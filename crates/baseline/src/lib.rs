@@ -1,0 +1,323 @@
+//! Global baseline algorithms for spanner comparisons.
+//!
+//! The paper's Table 1 positions its LCAs against classical *global*
+//! constructions; this crate provides those comparators, each reading the
+//! whole graph:
+//!
+//! * [`baswana_sen`] — the randomized (2k−1)-spanner of Baswana & Sen
+//!   (full independence; the LCA-internal simulation in `lca-core` uses
+//!   bounded independence, so this doubles as an ablation partner).
+//! * [`greedy_spanner`] — the greedy (Althöfer et al.) t-spanner: optimal
+//!   size-stretch trade-off, O(m · n) time.
+//! * [`bfs_forest`] — a BFS spanning forest: the connectivity-only baseline
+//!   (stretch unbounded), matching the “sparse spanning graph” line of work
+//!   the paper extends.
+//!
+//! # Example
+//!
+//! ```
+//! use lca_baseline::greedy_spanner;
+//! use lca_graph::gen::structured;
+//!
+//! let g = structured::complete(12);
+//! let h = greedy_spanner(&g, 3);
+//! assert!(h.edge_count() < g.edge_count());
+//! assert!(h.max_edge_stretch(&g, 4).unwrap() <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+
+use lca_graph::{Graph, Subgraph, VertexId};
+use lca_rand::{Seed, SplitMix64};
+
+/// The greedy t-spanner (Althöfer–Das–Dobkin–Joseph–Soares): scan edges in
+/// increasing ID order, keep an edge iff the spanner built so far offers no
+/// detour of length ≤ t. Guarantees girth > t + 1, hence O(n^{1+2/(t+1)})
+/// edges — the existentially-optimal trade-off the LCAs are measured against.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn greedy_spanner(graph: &Graph, t: usize) -> Subgraph {
+    assert!(t >= 1, "stretch must be at least 1");
+    let mut order: Vec<(u64, u64, VertexId, VertexId)> = graph
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (graph.label(u), graph.label(v));
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            (a, b, u, v)
+        })
+        .collect();
+    order.sort_unstable_by_key(|&(a, b, _, _)| (a, b));
+    // Incremental adjacency for distance queries.
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); graph.vertex_count()];
+    let mut kept: Vec<(VertexId, VertexId)> = Vec::new();
+    for (_, _, u, v) in order {
+        if bounded_dist(&adj, u, v, t).is_none() {
+            adj[u.index()].push(v);
+            adj[v.index()].push(u);
+            kept.push((u, v));
+        }
+    }
+    Subgraph::from_edges(graph, kept)
+}
+
+fn bounded_dist(adj: &[Vec<VertexId>], u: VertexId, v: VertexId, bound: usize) -> Option<usize> {
+    if u == v {
+        return Some(0);
+    }
+    let mut dist: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    dist.insert(u.raw(), 0);
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[&x.raw()];
+        if dx >= bound {
+            continue;
+        }
+        for &w in &adj[x.index()] {
+            if w == v {
+                return Some(dx + 1);
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w.raw()) {
+                e.insert(dx + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// The global Baswana–Sen (2k−1)-spanner with fully independent randomness.
+///
+/// Runs `k − 1` cluster-sampling rounds plus the inter-cluster phase; the
+/// expected size is O(k · n^{1+1/k}).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn baswana_sen(graph: &Graph, k: usize, seed: Seed) -> Subgraph {
+    assert!(k >= 1, "k must be at least 1");
+    let n = graph.vertex_count();
+    let p = if n > 1 {
+        (n as f64).powf(-1.0 / k as f64)
+    } else {
+        1.0
+    };
+    let mut rng = SplitMix64::new(seed.value());
+    // cluster[v] = Some(center index); active edge set.
+    let mut cluster: Vec<Option<u32>> = (0..n as u32).map(Some).collect();
+    let mut active: HashSet<(u32, u32)> = graph
+        .edges()
+        .map(|(u, v)| norm(u.raw(), v.raw()))
+        .collect();
+    let mut kept: Vec<(VertexId, VertexId)> = Vec::new();
+
+    for _round in 1..k {
+        // Sample surviving clusters with full independence.
+        let sampled: HashSet<u32> = (0..n as u32)
+            .filter(|_| rng.next_f64() < p)
+            .collect();
+        let mut next: Vec<Option<u32>> = vec![None; n];
+        let mut removals: Vec<(u32, u32)> = Vec::new();
+        for v in graph.vertices() {
+            let Some(cv) = cluster[v.index()] else {
+                continue;
+            };
+            if sampled.contains(&cv) {
+                next[v.index()] = Some(cv);
+                continue;
+            }
+            let mut seen: HashSet<u32> = HashSet::new();
+            let mut firsts: Vec<(u32, VertexId)> = Vec::new();
+            for &w in graph.neighbors(v) {
+                if !active.contains(&norm(v.raw(), w.raw())) {
+                    continue;
+                }
+                let Some(cw) = cluster[w.index()] else {
+                    continue;
+                };
+                if cw != cv && seen.insert(cw) {
+                    firsts.push((cw, w));
+                }
+            }
+            match firsts.iter().position(|&(c, _)| sampled.contains(&c)) {
+                None => {
+                    for &(_, w) in &firsts {
+                        kept.push((v, w));
+                    }
+                    for &w in graph.neighbors(v) {
+                        removals.push(norm(v.raw(), w.raw()));
+                    }
+                }
+                Some(pos) => {
+                    let (cstar, wstar) = firsts[pos];
+                    kept.push((v, wstar));
+                    next[v.index()] = Some(cstar);
+                    let resolved: HashSet<u32> = firsts[..pos]
+                        .iter()
+                        .map(|&(c, _)| c)
+                        .chain(std::iter::once(cstar))
+                        .collect();
+                    for &(_, w) in &firsts[..pos] {
+                        kept.push((v, w));
+                    }
+                    for &w in graph.neighbors(v) {
+                        if let Some(cw) = cluster[w.index()] {
+                            if resolved.contains(&cw) {
+                                removals.push(norm(v.raw(), w.raw()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for e in removals {
+            active.remove(&e);
+        }
+        cluster = next;
+        active.retain(|&(a, b)| {
+            match (cluster[a as usize], cluster[b as usize]) {
+                (Some(ca), Some(cb)) => ca != cb,
+                _ => false,
+            }
+        });
+    }
+
+    // Phase 2: one edge per adjacent cluster.
+    for v in graph.vertices() {
+        let Some(cv) = cluster[v.index()] else {
+            continue;
+        };
+        let mut seen: HashSet<u32> = HashSet::new();
+        for &w in graph.neighbors(v) {
+            if !active.contains(&norm(v.raw(), w.raw())) {
+                continue;
+            }
+            let Some(cw) = cluster[w.index()] else {
+                continue;
+            };
+            if cw != cv && seen.insert(cw) {
+                kept.push((v, w));
+            }
+        }
+    }
+
+    Subgraph::from_edges(graph, kept)
+}
+
+fn norm(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A BFS spanning forest: keeps `n − #components` tree edges. Connectivity
+/// baseline with unbounded stretch.
+pub fn bfs_forest(graph: &Graph) -> Subgraph {
+    let n = graph.vertex_count();
+    let mut visited = vec![false; n];
+    let mut kept = Vec::new();
+    for s in graph.vertices() {
+        if visited[s.index()] {
+            continue;
+        }
+        visited[s.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(x) = queue.pop_front() {
+            for &w in graph.neighbors(x) {
+                if !visited[w.index()] {
+                    visited[w.index()] = true;
+                    kept.push((x, w));
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    Subgraph::from_edges(graph, kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::analysis;
+    use lca_graph::gen::{structured, GnpBuilder};
+
+    #[test]
+    fn greedy_meets_stretch_and_girth_size() {
+        for t in [3usize, 5] {
+            let g = structured::complete(20);
+            let h = greedy_spanner(&g, t);
+            assert!(h.max_edge_stretch(&g, t as u32 + 1).unwrap() <= t as u32);
+            assert!(h.edge_count() < g.edge_count());
+        }
+    }
+
+    #[test]
+    fn greedy_t1_keeps_everything() {
+        let g = structured::complete(8);
+        let h = greedy_spanner(&g, 1);
+        assert_eq!(h.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn greedy_on_tree_keeps_the_tree() {
+        let g = structured::path(15);
+        let h = greedy_spanner(&g, 3);
+        assert_eq!(h.edge_count(), 14);
+    }
+
+    #[test]
+    fn baswana_sen_stretch_bound_holds() {
+        for k in [2usize, 3] {
+            for s in 0..4u64 {
+                let g = GnpBuilder::new(70, 0.25).seed(Seed::new(s)).build();
+                let h = baswana_sen(&g, k, Seed::new(40 + s));
+                let bound = (2 * k - 1) as u32;
+                let st = h.max_edge_stretch(&g, bound + 1);
+                assert!(
+                    matches!(st, Some(x) if x <= bound),
+                    "k={k} seed={s}: {st:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baswana_sen_sparsifies() {
+        let g = structured::complete(60);
+        let h = baswana_sen(&g, 2, Seed::new(3));
+        assert!(h.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn baswana_sen_k1_is_identity() {
+        let g = structured::complete(8);
+        let h = baswana_sen(&g, 1, Seed::new(0));
+        assert_eq!(h.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn bfs_forest_is_spanning() {
+        let g = GnpBuilder::new(60, 0.1).seed(Seed::new(2)).build();
+        let (_, comps) = analysis::connected_components(&g);
+        let f = bfs_forest(&g);
+        assert_eq!(f.edge_count(), g.vertex_count() - comps);
+    }
+
+    #[test]
+    fn bfs_forest_of_disconnected_graph() {
+        let g = lca_graph::GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build()
+            .unwrap();
+        let f = bfs_forest(&g);
+        assert_eq!(f.edge_count(), 3);
+    }
+}

@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **A1/A2 (Ideas I & II)** — block partitioning and multiple-center
+//!   membership testing: disable the neighborhood partition (block = n) and
+//!   shrink the center prefix, and watch the per-query cost move.
+//! * **A3 (Idea V)** — the q-lowest-ranks connection rule: q = 1 (the
+//!   Lenzen–Levi rule) vs the paper's q = Θ(n^{1/k} log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lca_bench::sample_edges;
+use lca_core::{EdgeSubgraphLca, K2Params, K2Spanner, ThreeSpanner, ThreeSpannerParams};
+use lca_graph::gen::{GnpBuilder, RegularBuilder};
+use lca_rand::Seed;
+
+fn bench_block_partitioning(c: &mut Criterion) {
+    let n = 1024usize;
+    let g = GnpBuilder::new(n, 0.25).seed(Seed::new(1)).build();
+    let sample = sample_edges(&g, 48, Seed::new(2));
+    let mut group = c.benchmark_group("ablation_block_partition");
+    group.sample_size(20);
+    for (name, params) in [
+        ("paper_blocks", ThreeSpannerParams::for_n(n)),
+        ("no_partition", {
+            // Idea II disabled: one block spanning the whole list — the
+            // scan may walk all of Γ(v) per query.
+            let mut p = ThreeSpannerParams::for_n(n);
+            p.super_block = n;
+            p
+        }),
+        ("single_center_prefix", {
+            // Idea I weakened: a tiny center prefix forces the fallback /
+            // more scans.
+            let mut p = ThreeSpannerParams::for_n(n);
+            p.center_block = 4;
+            p
+        }),
+    ] {
+        let lca = ThreeSpanner::new(&g, params, Seed::new(3));
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let (u, v) = sample[i % sample.len()];
+                i += 1;
+                std::hint::black_box(lca.contains(u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_q_rule(c: &mut Criterion) {
+    let n = 800usize;
+    let g = RegularBuilder::new(n, 4).seed(Seed::new(4)).build().unwrap();
+    let sample = sample_edges(&g, 32, Seed::new(5));
+    let mut group = c.benchmark_group("ablation_q_rule");
+    group.sample_size(15);
+    for &q in &[1usize, 8, 64] {
+        let mut params = K2Params::for_n(n, 2);
+        params.q = q;
+        let lca = K2Spanner::new(&g, params, Seed::new(6));
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, _| {
+            b.iter(|| {
+                let (u, v) = sample[i % sample.len()];
+                i += 1;
+                std::hint::black_box(lca.contains(u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_partitioning, bench_q_rule);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks: per-query latency of each spanner LCA
+//! (the wall-clock companion to the probe-count tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lca_bench::sample_edges;
+use lca_core::{
+    EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner,
+    ThreeSpannerParams,
+};
+use lca_graph::gen::{GnpBuilder, RegularBuilder};
+use lca_rand::Seed;
+
+fn bench_three(c: &mut Criterion) {
+    let mut group = c.benchmark_group("three_spanner_query");
+    for &n in &[512usize, 1024, 2048] {
+        let g = GnpBuilder::new(n, 0.25).seed(Seed::new(n as u64)).build();
+        let lca = ThreeSpanner::new(&g, ThreeSpannerParams::for_n(n), Seed::new(1));
+        let sample = sample_edges(&g, 64, Seed::new(2));
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (u, v) = sample[i % sample.len()];
+                i += 1;
+                std::hint::black_box(lca.contains(u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_five(c: &mut Criterion) {
+    let mut group = c.benchmark_group("five_spanner_query");
+    group.sample_size(20);
+    for &n in &[512usize, 1024] {
+        let g = GnpBuilder::new(n, 0.25).seed(Seed::new(n as u64)).build();
+        let lca = FiveSpanner::new(&g, FiveSpannerParams::for_n(n), Seed::new(1));
+        let sample = sample_edges(&g, 32, Seed::new(2));
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let (u, v) = sample[i % sample.len()];
+                i += 1;
+                std::hint::black_box(lca.contains(u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_k2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k2_spanner_query");
+    group.sample_size(20);
+    for &(n, k) in &[(800usize, 2usize), (800, 3)] {
+        let g = RegularBuilder::new(n, 4)
+            .seed(Seed::new(n as u64))
+            .build()
+            .unwrap();
+        let lca = K2Spanner::new(&g, K2Params::for_n(n, k), Seed::new(1));
+        let sample = sample_edges(&g, 32, Seed::new(2));
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+            b.iter(|| {
+                let (u, v) = sample[i % sample.len()];
+                i += 1;
+                std::hint::black_box(lca.contains(u, v).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_three, bench_five, bench_k2);
+criterion_main!(benches);

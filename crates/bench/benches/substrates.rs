@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the substrates: bounded-independence
+//! hashing, the center-BFS variant, generators, and the global baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lca_baseline::{baswana_sen, greedy_spanner};
+use lca_core::k2::{center_search, VertexStatus};
+use lca_graph::gen::{GnpBuilder, RegularBuilder};
+use lca_graph::VertexId;
+use lca_rand::{Coin, KWiseHash, RankAssigner, Seed};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rand_substrate");
+    for &d in &[2usize, 8, 32] {
+        let h = KWiseHash::new(Seed::new(1), d);
+        let mut x = 0u64;
+        group.bench_with_input(BenchmarkId::new("kwise_hash", d), &d, |b, _| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                std::hint::black_box(h.hash(x))
+            })
+        });
+    }
+    let coin = Coin::new(Seed::new(2), 0.1, 16);
+    let mut x = 0u64;
+    group.bench_function("coin_flip_16wise", |b| {
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            std::hint::black_box(coin.flip(x))
+        })
+    });
+    let ranks = RankAssigner::for_spanner(Seed::new(3), 1 << 20, 4);
+    let mut y = 0u64;
+    group.bench_function("rank_assignment_k4", |b| {
+        b.iter(|| {
+            y = y.wrapping_add(1);
+            std::hint::black_box(ranks.rank(y))
+        })
+    });
+    group.finish();
+}
+
+fn bench_center_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("center_bfs");
+    for &(n, d) in &[(1000usize, 4usize), (4000, 4)] {
+        let g = RegularBuilder::new(n, d)
+            .seed(Seed::new(n as u64))
+            .build()
+            .unwrap();
+        let coin = Coin::new(Seed::new(5), 0.05, 16);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                i = (i + 1) % n;
+                let st: VertexStatus = center_search(&g, VertexId::new(i), 3, &coin);
+                std::hint::black_box(st.is_sparse())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("gnp_n2000_p0.05", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            std::hint::black_box(GnpBuilder::new(2000, 0.05).seed(Seed::new(s)).build())
+        })
+    });
+    group.bench_function("regular_n2000_d4", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            std::hint::black_box(
+                RegularBuilder::new(2000, 4)
+                    .seed(Seed::new(s))
+                    .build()
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_baselines");
+    group.sample_size(10);
+    let g = GnpBuilder::new(500, 0.2).seed(Seed::new(9)).build();
+    group.bench_function("baswana_sen_k2_n500", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            std::hint::black_box(baswana_sen(&g, 2, Seed::new(s)))
+        })
+    });
+    group.bench_function("greedy_t3_n500", |b| {
+        b.iter(|| std::hint::black_box(greedy_spanner(&g, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_center_bfs,
+    bench_generators,
+    bench_baselines
+);
+criterion_main!(benches);

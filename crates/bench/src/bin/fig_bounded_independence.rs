@@ -1,0 +1,113 @@
+//! Figure F5 — Section 5 validation: the hitting-set properties (HI)/(HII)
+//! and the rank-block distribution under Θ(log n)-wise independent hashing,
+//! compared with low independence and with full independence.
+//!
+//! Run: `cargo run --release -p lca-bench --bin fig_bounded_independence`
+
+use lca_bench::{record_json, Table};
+use lca_rand::{Coin, RankAssigner, Seed, SplitMix64};
+
+#[derive(serde::Serialize)]
+struct HitRow {
+    independence: String,
+    n: usize,
+    prob: f64,
+    mean_centers: f64,
+    min_centers: u64,
+    max_centers: u64,
+    empty_prefix_rate: f64,
+}
+
+fn main() {
+    let n = 50_000usize;
+    let prob = 0.01f64; // ≈ log n / Δ with Δ = 1000
+    let prefix = 1000usize; // the "first Δ neighbors" window of (HII)
+    let seeds = 40u64;
+
+    let mut table = Table::new([
+        "independence", "E[|S|]=pn", "mean |S|", "min", "max", "P[prefix empty] (HII failure)",
+    ]);
+    for (name, indep) in [("2-wise", 2usize), ("8-wise", 8), ("Θ(log n)-wise", 24)] {
+        let mut sizes = Vec::new();
+        let mut empty = 0u64;
+        for s in 0..seeds {
+            let coin = Coin::new(Seed::new(1000 + s), prob, indep);
+            let size = (0..n as u64).filter(|&x| coin.flip(x)).count() as u64;
+            sizes.push(size);
+            // (HII): does the window [0, prefix) contain a sampled element?
+            if !(0..prefix as u64).any(|x| coin.flip(x)) {
+                empty += 1;
+            }
+        }
+        let mean = sizes.iter().sum::<u64>() as f64 / seeds as f64;
+        let row = HitRow {
+            independence: name.into(),
+            n,
+            prob,
+            mean_centers: mean,
+            min_centers: *sizes.iter().min().unwrap(),
+            max_centers: *sizes.iter().max().unwrap(),
+            empty_prefix_rate: empty as f64 / seeds as f64,
+        };
+        table.row([
+            name.to_string(),
+            format!("{:.0}", prob * n as f64),
+            format!("{:.1}", row.mean_centers),
+            row.min_centers.to_string(),
+            row.max_centers.to_string(),
+            format!("{:.3}", row.empty_prefix_rate),
+        ]);
+        record_json("fig_bounded_independence", &row);
+    }
+    // Full independence reference.
+    {
+        let mut sizes = Vec::new();
+        let mut empty = 0u64;
+        for s in 0..seeds {
+            let mut rng = SplitMix64::new(9000 + s);
+            let mut size = 0u64;
+            let mut prefix_hit = false;
+            for x in 0..n as u64 {
+                let heads = rng.next_f64() < prob;
+                if heads {
+                    size += 1;
+                    if (x as usize) < prefix {
+                        prefix_hit = true;
+                    }
+                }
+            }
+            sizes.push(size);
+            if !prefix_hit {
+                empty += 1;
+            }
+        }
+        let mean = sizes.iter().sum::<u64>() as f64 / seeds as f64;
+        table.row([
+            "full (reference)".to_string(),
+            format!("{:.0}", prob * n as f64),
+            format!("{mean:.1}"),
+            sizes.iter().min().unwrap().to_string(),
+            sizes.iter().max().unwrap().to_string(),
+            format!("{:.3}", empty as f64 / seeds as f64),
+        ]);
+    }
+    table.print("Figure F5a — hitting-set properties (HI)/(HII) under bounded independence");
+
+    // Rank blocks: each block of r(v) should be zero with probability 2^-N.
+    let mut t2 = Table::new(["k (blocks)", "N bits", "block", "P[block = 0]", "expected 2^-N"]);
+    for &k in &[2usize, 4] {
+        let r = RankAssigner::for_spanner(Seed::new(7), 1 << 20, k);
+        let nn = 20_000u64;
+        for b in 0..k {
+            let zeros = (0..nn).filter(|&v| r.block(v, b) == 0).count() as f64 / nn as f64;
+            t2.row([
+                k.to_string(),
+                r.block_bits().to_string(),
+                b.to_string(),
+                format!("{zeros:.4}"),
+                format!("{:.4}", 0.5f64.powi(r.block_bits() as i32)),
+            ]);
+        }
+    }
+    t2.print("Figure F5b — rank block distribution (Section 5.2)");
+}

@@ -1,0 +1,102 @@
+//! Figure F3 — the O(k²)-spanner trade-off: size and realized stretch vs k,
+//! probe cost vs ∆, and the Idea-V ablation (q = 1, the Lenzen–Levi rule,
+//! vs the paper's q = Θ(n^{1/k} log n)).
+//!
+//! Run: `cargo run --release -p lca-bench --bin fig_k2`
+
+use lca_bench::{probe_stats, record_json, sample_edges, sampled_stretch, Table};
+use lca_core::global::{into_subgraph, k2_spanner_global};
+use lca_core::{K2Params, K2Spanner};
+use lca_graph::gen::RegularBuilder;
+use lca_probe::CountingOracle;
+use lca_rand::Seed;
+
+#[derive(serde::Serialize)]
+struct Point {
+    n: usize,
+    degree: usize,
+    k: usize,
+    q: usize,
+    kept: usize,
+    size_over_envelope: f64,
+    stretch_measured: i64,
+    stretch_budget: usize,
+    probe_mean: f64,
+    probe_max: u64,
+}
+
+fn run_config(n: usize, d: usize, k: usize, q_override: Option<usize>, seed: Seed) -> Point {
+    let g = RegularBuilder::new(n, d)
+        .seed(seed.derive((n * 31 + d * 7 + k) as u64))
+        .build()
+        .expect("regular graph");
+    // Demo-scale center constant (see K2Params::with_center_constant docs).
+    let mut params = K2Params::with_center_constant(n, k, 3.0);
+    if let Some(q) = q_override {
+        params.q = q;
+    }
+    let h = into_subgraph(&g, &k2_spanner_global(&g, &params, seed));
+    let counter = CountingOracle::new(&g);
+    let lca = K2Spanner::new(&counter, params.clone(), seed);
+    let sample = sample_edges(&g, 80, seed.derive(1));
+    let st = probe_stats(&counter, &lca, &sample);
+    let budget = (2 * k + 1) * (2 * k + 2);
+    let stretch = sampled_stretch(&g, &h, 250, budget as u32, seed.derive(2));
+    Point {
+        n,
+        degree: d,
+        k,
+        q: params.q,
+        kept: h.edge_count(),
+        size_over_envelope: h.edge_count() as f64 / (n as f64).powf(1.0 + 1.0 / k as f64),
+        stretch_measured: stretch.map_or(-1, |s| s as i64),
+        stretch_budget: budget,
+        probe_mean: st.mean,
+        probe_max: st.max,
+    }
+}
+
+fn main() {
+    let seed = Seed::new(0xF36);
+    let mut table = Table::new([
+        "n", "d", "k", "q", "|H|", "|H|/n^{1+1/k}", "stretch", "budget k²-ish", "probes mean",
+        "probes max",
+    ]);
+    let mut push = |p: &Point| {
+        table.row([
+            p.n.to_string(),
+            p.degree.to_string(),
+            p.k.to_string(),
+            p.q.to_string(),
+            p.kept.to_string(),
+            format!("{:.2}", p.size_over_envelope),
+            p.stretch_measured.to_string(),
+            p.stretch_budget.to_string(),
+            format!("{:.0}", p.probe_mean),
+            p.probe_max.to_string(),
+        ]);
+        record_json("fig_k2", p);
+    };
+
+    // k sweep at fixed degree.
+    for &k in &[1usize, 2, 3, 4] {
+        let p = run_config(1200, 4, k, None, seed);
+        push(&p);
+    }
+    // Degree sweep at fixed k (probe cost should grow steeply with ∆ — the
+    // ∆⁴ term of Theorem 1.2).
+    for &d in &[3usize, 4, 6, 8] {
+        let p = run_config(900, d, 2, None, seed.derive(50 + d as u64));
+        push(&p);
+    }
+    // Idea-V ablation: q = 1 reproduces the Lenzen–Levi connection rule —
+    // fewer edges, weaker (longer) inter-cell paths.
+    for &q in &[1usize, 4] {
+        let p = run_config(1200, 4, 2, Some(q), seed.derive(90 + q as u64));
+        push(&p);
+    }
+
+    table.print("Figure F3 — O(k²)-spanner: k sweep, ∆ sweep, q ablation (4-regular unless noted)");
+    println!("\n(stretch = sampled max detour; -1 flags a sampled edge without a detour within budget.)");
+    println!("(last two rows: q=1 is the Lenzen–Levi rule of [25]; larger q is the paper's Idea V.)");
+}

@@ -1,0 +1,127 @@
+//! Figure F2 — spanner size scaling Õ(n^{1+1/r}) and the realized stretch
+//! distribution (sampled detour histogram) for the 3- and 5-spanner LCAs.
+//!
+//! Run: `cargo run --release -p lca-bench --bin fig_size_stretch`
+
+use lca_bench::{loglog_slope, record_json, Table};
+use lca_core::global::{five_spanner_global, into_subgraph, three_spanner_global};
+use lca_core::{FiveSpannerParams, ThreeSpannerParams};
+use lca_graph::gen::GnpBuilder;
+use lca_rand::{Seed, SplitMix64};
+
+#[derive(serde::Serialize)]
+struct Point {
+    algorithm: &'static str,
+    n: usize,
+    m: usize,
+    kept: usize,
+    keep_ratio: f64,
+    size_over_envelope: f64,
+    stretch_histogram: Vec<usize>,
+}
+
+fn detour_histogram(
+    g: &lca_graph::Graph,
+    h: &lca_graph::Subgraph,
+    cap: u32,
+    samples: usize,
+    seed: Seed,
+) -> Vec<usize> {
+    let omitted: Vec<_> = g.edges().filter(|&(u, v)| !h.has_edge(u, v)).collect();
+    let mut hist = vec![0usize; cap as usize + 1]; // index = detour length, 0 = none found
+    if omitted.is_empty() {
+        return hist;
+    }
+    let mut rng = SplitMix64::new(seed.value());
+    for _ in 0..samples.min(omitted.len()) {
+        let (u, v) = omitted[rng.next_below(omitted.len() as u64) as usize];
+        match h.distance_within(u, v, cap) {
+            Some(d) => hist[d as usize] += 1,
+            None => hist[0] += 1,
+        }
+    }
+    hist
+}
+
+fn main() {
+    let seed = Seed::new(0xF26);
+    let sizes = [256usize, 512, 1024, 2048, 4096];
+    let mut table = Table::new([
+        "algorithm", "n", "m", "|H|", "|H|/m", "|H|/n^{1+1/r}", "detours d=2", "d=3", "d=4..5", "none",
+    ]);
+    let mut s3: Vec<(f64, f64)> = Vec::new();
+    let mut s5: Vec<(f64, f64)> = Vec::new();
+
+    for &n in &sizes {
+        let g = GnpBuilder::new(n, 0.25).seed(seed.derive(n as u64)).build();
+
+        let h = into_subgraph(
+            &g,
+            &three_spanner_global(&g, &ThreeSpannerParams::for_n(n), seed),
+        );
+        let hist = detour_histogram(&g, &h, 5, 400, seed.derive(1));
+        let env = (n as f64).powf(1.5);
+        let p = Point {
+            algorithm: "three-spanner",
+            n,
+            m: g.edge_count(),
+            kept: h.edge_count(),
+            keep_ratio: h.edge_count() as f64 / g.edge_count() as f64,
+            size_over_envelope: h.edge_count() as f64 / env,
+            stretch_histogram: hist.clone(),
+        };
+        s3.push((n as f64, h.edge_count() as f64));
+        record_json("fig_size_stretch", &p);
+        table.row([
+            "three-spanner".to_string(),
+            n.to_string(),
+            g.edge_count().to_string(),
+            h.edge_count().to_string(),
+            format!("{:.3}", p.keep_ratio),
+            format!("{:.2}", p.size_over_envelope),
+            hist[2].to_string(),
+            hist[3].to_string(),
+            (hist[4] + hist[5]).to_string(),
+            hist[0].to_string(),
+        ]);
+
+        let h = into_subgraph(
+            &g,
+            &five_spanner_global(&g, &FiveSpannerParams::for_n(n), seed),
+        );
+        let hist = detour_histogram(&g, &h, 5, 400, seed.derive(2));
+        let env = (n as f64).powf(4.0 / 3.0);
+        let p = Point {
+            algorithm: "five-spanner",
+            n,
+            m: g.edge_count(),
+            kept: h.edge_count(),
+            keep_ratio: h.edge_count() as f64 / g.edge_count() as f64,
+            size_over_envelope: h.edge_count() as f64 / env,
+            stretch_histogram: hist.clone(),
+        };
+        s5.push((n as f64, h.edge_count() as f64));
+        record_json("fig_size_stretch", &p);
+        table.row([
+            "five-spanner".to_string(),
+            n.to_string(),
+            g.edge_count().to_string(),
+            h.edge_count().to_string(),
+            format!("{:.3}", p.keep_ratio),
+            format!("{:.2}", p.size_over_envelope),
+            hist[2].to_string(),
+            hist[3].to_string(),
+            (hist[4] + hist[5]).to_string(),
+            hist[0].to_string(),
+        ]);
+    }
+
+    table.print("Figure F2 — spanner size scaling and detour histograms on G(n, 0.25)");
+    println!();
+    println!(
+        "three-spanner size slope {:.3} (paper: 1.5 + o(1));  five-spanner size slope {:.3} (paper: 1.333 + o(1))",
+        loglog_slope(&s3),
+        loglog_slope(&s5)
+    );
+    println!("('none' = sampled omitted edge with no detour within 5 hops — must be 0 for both)");
+}

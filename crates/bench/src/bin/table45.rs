@@ -1,0 +1,173 @@
+//! Regenerates **Tables 4 and 5** (probe complexity of the O(k²)-spanner
+//! subroutines): measured probes for each subroutine of the H_sparse and
+//! H_dense pipelines, next to the paper's bounds.
+//!
+//! Run: `cargo run --release -p lca-bench --bin table45`
+
+use lca_bench::{record_json, Table};
+use lca_core::{EdgeSubgraphLca, K2Params, K2Spanner};
+use lca_graph::gen::RegularBuilder;
+use lca_graph::VertexId;
+use lca_probe::CountingOracle;
+use lca_rand::{Seed, SplitMix64};
+
+#[derive(serde::Serialize)]
+struct Row {
+    table: &'static str,
+    subroutine: String,
+    bound: String,
+    probe_mean: f64,
+    probe_max: u64,
+    samples: usize,
+}
+
+fn measure<F: FnMut(usize)>(
+    counter: &CountingOracle<&lca_graph::Graph>,
+    samples: usize,
+    mut f: F,
+) -> (f64, u64) {
+    let mut sum = 0u64;
+    let mut max = 0u64;
+    for i in 0..samples {
+        let scope = counter.scoped();
+        f(i);
+        let c = scope.cost().total();
+        sum += c;
+        max = max.max(c);
+    }
+    (sum as f64 / samples.max(1) as f64, max)
+}
+
+fn main() {
+    let n = 1200usize;
+    let d = 4usize;
+    let k = 2usize;
+    let seed = Seed::new(0x7AB45);
+    let g = RegularBuilder::new(n, d)
+        .seed(seed.derive(1))
+        .build()
+        .expect("regular graph");
+    let counter = CountingOracle::new(&g);
+    // Demo-scale center constant (see K2Params::with_center_constant docs).
+    let params = K2Params::with_center_constant(n, k, 3.0);
+    let lca = K2Spanner::new(&counter, params.clone(), seed);
+    let mut rng = SplitMix64::new(seed.derive(2).value());
+    let rand_v = |rng: &mut SplitMix64| VertexId::new(rng.next_below(n as u64) as usize);
+    let samples = 150usize;
+
+    let mut table = Table::new(["table", "subroutine", "paper bound", "mean", "max"]);
+    let mut emit = |t: &'static str, name: &str, bound: &str, mean: f64, max: u64| {
+        table.row([
+            t.to_string(),
+            name.to_string(),
+            bound.to_string(),
+            format!("{mean:.1}"),
+            max.to_string(),
+        ]);
+        record_json(
+            "table45",
+            &Row {
+                table: t,
+                subroutine: name.into(),
+                bound: bound.into(),
+                probe_mean: mean,
+                probe_max: max,
+                samples,
+            },
+        );
+    };
+
+    // ---- Table 4: H_sparse subroutines. -----------------------------------
+    let (mean, max) = measure(&counter, samples, |_| {
+        // Center membership is probe-free by construction.
+        let v = rand_v(&mut rng);
+        let _ = lca.is_center_label(g.label(v));
+    });
+    emit("T4", "is v a center?", "0 probes", mean, max);
+
+    let (mean, max) = measure(&counter, samples, |_| {
+        let v = rand_v(&mut rng);
+        let _ = lca.vertex_status(v);
+    });
+    emit("T4", "D^k_L / sparse-vs-dense test", "O(ΔL)", mean, max);
+
+    // Full sparse-edge test: query edges with a sparse endpoint.
+    let sparse_edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, v)| {
+            lca.vertex_status(u).is_sparse() || lca.vertex_status(v).is_sparse()
+        })
+        .take(samples)
+        .collect();
+    if !sparse_edges.is_empty() {
+        let mut i = 0usize;
+        let (mean, max) = measure(&counter, sparse_edges.len(), |_| {
+            let (u, v) = sparse_edges[i % sparse_edges.len()];
+            i += 1;
+            let _ = lca.contains(u, v);
+        });
+        emit("T4", "(u,v) ∈ H_sparse?", "O(Δ²L²)", mean, max);
+    }
+
+    // ---- Table 5: H_dense subroutines. ------------------------------------
+    let dense_vertices: Vec<VertexId> = g
+        .vertices()
+        .filter(|&v| !lca.vertex_status(v).is_sparse())
+        .collect();
+    if dense_vertices.is_empty() {
+        table.print("Tables 4 & 5 — O(k²) subroutine probe complexities");
+        println!("(no dense vertices at these parameters; H_dense rows skipped)");
+        return;
+    }
+    let pick_dense = |rng: &mut SplitMix64| {
+        dense_vertices[rng.next_below(dense_vertices.len() as u64) as usize]
+    };
+
+    let (mean, max) = measure(&counter, samples, |_| {
+        let v = pick_dense(&mut rng);
+        let _ = lca.tree_parent(v);
+    });
+    emit("T5", "c(v) and π(v,c(v))", "O(ΔL)", mean, max);
+
+    let (mean, max) = measure(&counter, samples, |_| {
+        let v = pick_dense(&mut rng);
+        let w = g.neighbors(v)[0];
+        let _ = lca.is_tree_edge(v, w);
+    });
+    emit("T5", "(u,v) ∈ H^(I)?", "O(ΔL)", mean, max);
+
+    let (mean, max) = measure(&counter, samples, |_| {
+        let v = pick_dense(&mut rng);
+        let _ = lca.cluster_members_of(v);
+    });
+    emit("T5", "entire cluster of v", "O(Δ³L²)", mean, max);
+
+    let (mean, max) = measure(&counter, samples, |_| {
+        let v = pick_dense(&mut rng);
+        let _ = lca.boundary_centers_of(v);
+    });
+    emit("T5", "c(∂A)", "O(Δ²L²)", mean, max);
+
+    // Full dense test on dense–dense edges.
+    let dense_edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, v)| {
+            !lca.vertex_status(u).is_sparse() && !lca.vertex_status(v).is_sparse()
+        })
+        .take(samples)
+        .collect();
+    if !dense_edges.is_empty() {
+        let mut i = 0usize;
+        let (mean, max) = measure(&counter, dense_edges.len(), |_| {
+            let (u, v) = dense_edges[i % dense_edges.len()];
+            i += 1;
+            let _ = lca.contains(u, v);
+        });
+        emit("T5", "(u,v) ∈ H_dense?", "O(pΔ⁴L³ log n)", mean, max);
+    }
+
+    table.print(&format!(
+        "Tables 4 & 5 — O(k²) subroutine probe complexities (n={n}, d={d}, k={k}, L={})",
+        params.l
+    ));
+}

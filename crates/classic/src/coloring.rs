@@ -1,0 +1,198 @@
+//! (∆+1)-coloring via random-order greedy simulation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::{KWiseHash, Seed};
+
+/// LCA for a greedy (∆+1)-coloring.
+///
+/// Over the same hash-rank order as [`crate::MisLca`], the greedy coloring
+/// assigns each vertex the smallest color not used by its lower-rank
+/// neighbors; since at most `deg(v)` colors are blocked, colors stay in
+/// `0..=∆`. The LCA evaluates the fixed point by recursing into lower-rank
+/// neighbors (colors, unlike MIS bits, require *all* lower-rank neighbors to
+/// resolve, so this is the costliest of the classic simulations).
+///
+/// # Example
+///
+/// ```
+/// use lca_classic::ColoringLca;
+/// use lca_graph::gen::structured;
+/// use lca_rand::Seed;
+///
+/// let g = structured::cycle(9);
+/// let coloring = ColoringLca::new(&g, Seed::new(1));
+/// for (u, v) in g.edges() {
+///     assert_ne!(coloring.color_of(u), coloring.color_of(v));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ColoringLca<O> {
+    oracle: O,
+    rank: KWiseHash,
+    memo: RefCell<HashMap<u32, u32>>,
+}
+
+impl<O: Oracle> ColoringLca<O> {
+    /// Creates the LCA; `seed` fixes the greedy order.
+    pub fn new(oracle: O, seed: Seed) -> Self {
+        let n = oracle.vertex_count();
+        let independence = (2 * (usize::BITS - n.max(2).leading_zeros()) as usize).max(8);
+        Self {
+            oracle,
+            rank: KWiseHash::new(seed.derive(0x434F4C), independence),
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The random rank of a vertex (rank, label) — a total order.
+    pub fn rank_of(&self, v: VertexId) -> (u64, u64) {
+        let l = self.oracle.label(v);
+        (self.rank.hash(l), l)
+    }
+
+    /// The color of `v`, in `0..=deg(v)` (hence `0..=∆`).
+    pub fn color_of(&self, v: VertexId) -> u32 {
+        if let Some(&c) = self.memo.borrow().get(&v.raw()) {
+            return c;
+        }
+        // Iterative DFS over the decreasing-rank dependency DAG; a vertex
+        // resolves once every lower-rank neighbor has a color.
+        let mut stack = vec![v];
+        while let Some(&x) = stack.last() {
+            if self.memo.borrow().contains_key(&x.raw()) {
+                stack.pop();
+                continue;
+            }
+            let rx = self.rank_of(x);
+            let deg = self.oracle.degree(x);
+            let mut blocked: Vec<u32> = Vec::new();
+            let mut need: Option<VertexId> = None;
+            for i in 0..deg {
+                let Some(w) = self.oracle.neighbor(x, i) else {
+                    break;
+                };
+                if self.rank_of(w) >= rx {
+                    continue;
+                }
+                match self.memo.borrow().get(&w.raw()) {
+                    Some(&c) => blocked.push(c),
+                    None => {
+                        need = Some(w);
+                        break;
+                    }
+                }
+            }
+            match need {
+                Some(w) => stack.push(w),
+                None => {
+                    blocked.sort_unstable();
+                    blocked.dedup();
+                    // Smallest color not in `blocked`.
+                    let mut color = 0u32;
+                    for &b in &blocked {
+                        if b == color {
+                            color += 1;
+                        } else if b > color {
+                            break;
+                        }
+                    }
+                    self.memo.borrow_mut().insert(x.raw(), color);
+                    stack.pop();
+                }
+            }
+        }
+        self.memo.borrow()[&v.raw()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder, RegularBuilder};
+    use lca_graph::Graph;
+
+    fn assert_proper(g: &Graph, lca: &ColoringLca<&Graph>) {
+        for (u, v) in g.edges() {
+            assert_ne!(
+                lca.color_of(u),
+                lca.color_of(v),
+                "edge {u}-{v} monochromatic"
+            );
+        }
+        for v in g.vertices() {
+            assert!(
+                lca.color_of(v) as usize <= g.degree(v),
+                "{v} colored beyond deg+1"
+            );
+        }
+    }
+
+    #[test]
+    fn proper_on_classic_families() {
+        for g in [
+            structured::cycle(15),
+            structured::path(10),
+            structured::star(12),
+            structured::grid(5, 5),
+            structured::complete(9),
+        ] {
+            for s in 0..3u64 {
+                let lca = ColoringLca::new(&g, Seed::new(s));
+                assert_proper(&g, &lca);
+            }
+        }
+    }
+
+    #[test]
+    fn proper_on_random_graphs() {
+        for s in 0..3u64 {
+            let g = GnpBuilder::new(70, 0.08).seed(Seed::new(s)).build();
+            let lca = ColoringLca::new(&g, Seed::new(60 + s));
+            assert_proper(&g, &lca);
+        }
+        let g = RegularBuilder::new(90, 5).seed(Seed::new(4)).build().unwrap();
+        let lca = ColoringLca::new(&g, Seed::new(5));
+        assert_proper(&g, &lca);
+    }
+
+    #[test]
+    fn complete_graph_uses_all_colors() {
+        let g = structured::complete(7);
+        let lca = ColoringLca::new(&g, Seed::new(9));
+        let mut colors: Vec<u32> = g.vertices().map(|v| lca.color_of(v)).collect();
+        colors.sort_unstable();
+        assert_eq!(colors, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lowest_rank_vertex_gets_color_zero() {
+        let g = structured::cycle(11);
+        let lca = ColoringLca::new(&g, Seed::new(3));
+        let lowest = g.vertices().min_by_key(|&v| lca.rank_of(v)).unwrap();
+        assert_eq!(lca.color_of(lowest), 0);
+    }
+
+    #[test]
+    fn deterministic_across_query_orders() {
+        let g = GnpBuilder::new(40, 0.15).seed(Seed::new(6)).build();
+        let a = ColoringLca::new(&g, Seed::new(7));
+        let b = ColoringLca::new(&g, Seed::new(7));
+        let ca: Vec<u32> = g.vertices().map(|v| a.color_of(v)).collect();
+        let mut order: Vec<VertexId> = g.vertices().collect();
+        order.reverse();
+        for v in order {
+            assert_eq!(b.color_of(v), ca[v.index()]);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_get_color_zero() {
+        let g = lca_graph::GraphBuilder::new(3).edge(0, 1).build().unwrap();
+        let lca = ColoringLca::new(&g, Seed::new(1));
+        assert_eq!(lca.color_of(VertexId::new(2)), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Classic local computation algorithms.
+//!
+//! The founding results of the LCA model (Rubinfeld–Tamir–Vardi–Xie, Alon et
+//! al., Nguyen–Onak) answer per-*vertex* (or per-edge) queries about a fixed
+//! maximal structure by simulating greedy over a random order: a vertex is in
+//! the MIS iff none of its lower-rank neighbors is; an edge is in the maximal
+//! matching iff none of its lower-rank adjacent edges is. Ranks come from the
+//! same bounded-independence machinery as the spanner LCAs, so one seed fixes
+//! one global answer set.
+//!
+//! These are the algorithms whose probe complexity is exponential in ∆ — the
+//! regime the spanner paper contrasts itself against (its Section 1 “broader
+//! scope” discussion); the bench harness makes that contrast measurable.
+//!
+//! * [`MisLca`] — maximal independent set.
+//! * [`MatchingLca`] — maximal matching.
+//! * [`VertexCoverLca`] — 2-approximate vertex cover (matched endpoints).
+//! * [`ColoringLca`] — greedy (∆+1)-coloring.
+//!
+//! # Example
+//!
+//! ```
+//! use lca_classic::MisLca;
+//! use lca_graph::gen::structured;
+//! use lca_rand::Seed;
+//!
+//! let g = structured::cycle(9);
+//! let mis = MisLca::new(&g, Seed::new(1));
+//! let members: Vec<_> = g.vertices().filter(|&v| mis.contains(v)).collect();
+//! assert!(!members.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coloring;
+mod matching;
+mod mis;
+mod vertex_cover;
+
+pub use coloring::ColoringLca;
+pub use matching::MatchingLca;
+pub use mis::MisLca;
+pub use vertex_cover::VertexCoverLca;

@@ -1,0 +1,222 @@
+//! Maximal matching via random-order greedy simulation on edges.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::{KWiseHash, Seed};
+
+/// LCA for a maximal matching.
+///
+/// Edges are ranked by a hash of their normalized label pair; the greedy
+/// matching over that order satisfies *e ∈ M ⇔ no adjacent edge of lower
+/// rank is in M*, evaluated by recursion into lower-rank adjacent edges
+/// (Nguyen–Onak style simulation).
+///
+/// # Example
+///
+/// ```
+/// use lca_classic::MatchingLca;
+/// use lca_graph::{gen::structured, VertexId};
+/// use lca_rand::Seed;
+///
+/// let g = structured::path(4);
+/// let mm = MatchingLca::new(&g, Seed::new(1));
+/// let matched = g
+///     .edges()
+///     .filter(|&(u, v)| mm.contains(u, v))
+///     .count();
+/// assert!(matched >= 1); // a maximal matching of P4 has 1 or 2 edges
+/// ```
+#[derive(Debug)]
+pub struct MatchingLca<O> {
+    oracle: O,
+    rank: KWiseHash,
+    memo: RefCell<HashMap<(u32, u32), bool>>,
+}
+
+impl<O: Oracle> MatchingLca<O> {
+    /// Creates the LCA; `seed` fixes the greedy edge order.
+    pub fn new(oracle: O, seed: Seed) -> Self {
+        let n = oracle.vertex_count();
+        let independence = (2 * (usize::BITS - n.max(2).leading_zeros()) as usize).max(8);
+        Self {
+            oracle,
+            rank: KWiseHash::new(seed.derive(0x4D4D), independence),
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    fn key(&self, u: VertexId, v: VertexId) -> (u32, u32) {
+        if u.raw() < v.raw() {
+            (u.raw(), v.raw())
+        } else {
+            (v.raw(), u.raw())
+        }
+    }
+
+    /// The rank of edge `{u, v}`: hash of the normalized label pair, with
+    /// the pair itself as tie-break (a total order on edges).
+    pub fn rank_of(&self, u: VertexId, v: VertexId) -> (u64, u64, u64) {
+        let (a, b) = {
+            let (la, lb) = (self.oracle.label(u), self.oracle.label(v));
+            if la < lb {
+                (la, lb)
+            } else {
+                (lb, la)
+            }
+        };
+        // Mix the pair into one key; the hash provides the randomness, the
+        // (a, b) components make ties impossible.
+        let mixed = a
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            .wrapping_add(b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        (self.rank.hash(mixed), a, b)
+    }
+
+    /// Whether edge `{u, v}` belongs to the maximal matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge of the oracle's graph.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        assert!(
+            self.oracle.adjacency(u, v).is_some(),
+            "{u}-{v} is not an edge"
+        );
+        let root = self.key(u, v);
+        if let Some(&d) = self.memo.borrow().get(&root) {
+            return d;
+        }
+        let mut stack: Vec<(VertexId, VertexId)> = vec![(u, v)];
+        while let Some(&(x, y)) = stack.last() {
+            let k = self.key(x, y);
+            if self.memo.borrow().contains_key(&k) {
+                stack.pop();
+                continue;
+            }
+            let r = self.rank_of(x, y);
+            let mut verdict = Some(true);
+            let mut need: Option<(VertexId, VertexId)> = None;
+            'outer: for &(a, b) in &[(x, y), (y, x)] {
+                let deg = self.oracle.degree(a);
+                for i in 0..deg {
+                    let Some(w) = self.oracle.neighbor(a, i) else {
+                        break;
+                    };
+                    if w == b {
+                        continue;
+                    }
+                    if self.rank_of(a, w) >= r {
+                        continue;
+                    }
+                    match self.memo.borrow().get(&self.key(a, w)) {
+                        Some(&true) => {
+                            verdict = Some(false);
+                            break 'outer;
+                        }
+                        Some(&false) => {}
+                        None => {
+                            verdict = None;
+                            need = Some((a, w));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            match (verdict, need) {
+                (Some(d), _) => {
+                    self.memo.borrow_mut().insert(k, d);
+                    stack.pop();
+                }
+                (None, Some(e)) => stack.push(e),
+                (None, None) => unreachable!("undecided without a dependency"),
+            }
+        }
+        self.memo.borrow()[&root]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder};
+    use lca_graph::Graph;
+
+    fn assert_valid_matching(g: &Graph, mm: &MatchingLca<&Graph>) {
+        let matched: Vec<(VertexId, VertexId)> =
+            g.edges().filter(|&(u, v)| mm.contains(u, v)).collect();
+        // No two matched edges share a vertex.
+        let mut used = std::collections::HashSet::new();
+        for &(u, v) in &matched {
+            assert!(used.insert(u), "vertex {u} matched twice");
+            assert!(used.insert(v), "vertex {v} matched twice");
+        }
+        // Maximality: every unmatched edge touches a matched vertex.
+        for (u, v) in g.edges() {
+            if !mm.contains(u, v) {
+                assert!(
+                    used.contains(&u) || used.contains(&v),
+                    "edge {u}-{v} could be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_classic_families() {
+        for g in [
+            structured::cycle(14),
+            structured::path(9),
+            structured::star(8),
+            structured::grid(4, 5),
+            structured::complete(9),
+        ] {
+            for s in 0..3u64 {
+                let mm = MatchingLca::new(&g, Seed::new(s));
+                assert_valid_matching(&g, &mm);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for s in 0..3u64 {
+            let g = GnpBuilder::new(60, 0.08).seed(Seed::new(s)).build();
+            let mm = MatchingLca::new(&g, Seed::new(50 + s));
+            assert_valid_matching(&g, &mm);
+        }
+    }
+
+    #[test]
+    fn star_matches_exactly_one_edge() {
+        let g = structured::star(10);
+        let mm = MatchingLca::new(&g, Seed::new(4));
+        let matched = g.edges().filter(|&(u, v)| mm.contains(u, v)).count();
+        assert_eq!(matched, 1);
+    }
+
+    #[test]
+    fn symmetric_and_deterministic() {
+        let g = GnpBuilder::new(40, 0.15).seed(Seed::new(6)).build();
+        let mm = MatchingLca::new(&g, Seed::new(7));
+        for (u, v) in g.edges() {
+            assert_eq!(mm.contains(u, v), mm.contains(v, u));
+            assert_eq!(mm.contains(u, v), mm.contains(u, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge")]
+    fn non_edge_panics() {
+        let g = structured::path(4);
+        let mm = MatchingLca::new(&g, Seed::new(1));
+        mm.contains(VertexId::new(0), VertexId::new(3));
+    }
+}

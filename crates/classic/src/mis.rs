@@ -1,0 +1,216 @@
+//! Maximal independent set via random-order greedy simulation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::{KWiseHash, Seed};
+
+/// LCA for a maximal independent set.
+///
+/// Fix a random order by ranking vertices with a hash of their label
+/// (ties broken by label, so the order is total). The greedy MIS over that
+/// order satisfies the local fixed-point rule
+/// *v ∈ MIS ⇔ no neighbor `w` with `rank(w) < rank(v)` is in the MIS*,
+/// which the LCA evaluates by recursing into lower-rank neighbors. Expected
+/// probe complexity is `2^{O(∆)}` in the worst case (the classic bound this
+/// paper's spanner LCAs escape), but `O(poly ∆)` on average over queries.
+///
+/// Decisions are memoized across queries; the cache is a pure accelerator —
+/// every answer is a deterministic function of `(graph, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use lca_classic::MisLca;
+/// use lca_graph::gen::structured;
+/// use lca_rand::Seed;
+///
+/// let g = structured::star(6);
+/// let mis = MisLca::new(&g, Seed::new(7));
+/// // In a star, either the hub is in the MIS, or all leaves are.
+/// let hub = mis.contains(lca_graph::VertexId::new(0));
+/// for leaf in 1..6 {
+///     assert_eq!(mis.contains(lca_graph::VertexId::new(leaf)), !hub);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct MisLca<O> {
+    oracle: O,
+    rank: KWiseHash,
+    memo: RefCell<HashMap<u32, bool>>,
+}
+
+impl<O: Oracle> MisLca<O> {
+    /// Creates the LCA; `seed` fixes the greedy order.
+    pub fn new(oracle: O, seed: Seed) -> Self {
+        let n = oracle.vertex_count();
+        let independence = (2 * (usize::BITS - n.max(2).leading_zeros()) as usize).max(8);
+        Self {
+            oracle,
+            rank: KWiseHash::new(seed.derive(0x004D_4953), independence),
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The random rank of a vertex (rank, label) — a total order.
+    pub fn rank_of(&self, v: VertexId) -> (u64, u64) {
+        let l = self.oracle.label(v);
+        (self.rank.hash(l), l)
+    }
+
+    /// Whether `v` belongs to the maximal independent set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the oracle's graph.
+    pub fn contains(&self, v: VertexId) -> bool {
+        if let Some(&d) = self.memo.borrow().get(&v.raw()) {
+            return d;
+        }
+        // Iterative DFS over the strictly-decreasing-rank dependency DAG.
+        let mut stack: Vec<VertexId> = vec![v];
+        while let Some(&x) = stack.last() {
+            if self.memo.borrow().contains_key(&x.raw()) {
+                stack.pop();
+                continue;
+            }
+            let rx = self.rank_of(x);
+            let deg = self.oracle.degree(x);
+            let mut verdict = Some(true);
+            let mut need: Option<VertexId> = None;
+            for i in 0..deg {
+                let Some(w) = self.oracle.neighbor(x, i) else {
+                    break;
+                };
+                if self.rank_of(w) >= rx {
+                    continue;
+                }
+                match self.memo.borrow().get(&w.raw()) {
+                    Some(&true) => {
+                        verdict = Some(false);
+                        break;
+                    }
+                    Some(&false) => {}
+                    None => {
+                        verdict = None;
+                        need = Some(w);
+                        break;
+                    }
+                }
+            }
+            match (verdict, need) {
+                (Some(d), _) => {
+                    self.memo.borrow_mut().insert(x.raw(), d);
+                    stack.pop();
+                }
+                (None, Some(w)) => stack.push(w),
+                (None, None) => unreachable!("undecided without a dependency"),
+            }
+        }
+        self.memo.borrow()[&v.raw()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder, RegularBuilder};
+    use lca_graph::Graph;
+
+    fn assert_valid_mis(g: &Graph, mis: &MisLca<&Graph>) {
+        let members: Vec<VertexId> = g.vertices().filter(|&v| mis.contains(v)).collect();
+        // Independence.
+        for &v in &members {
+            for &w in g.neighbors(v) {
+                assert!(!mis.contains(w), "adjacent MIS members {v} {w}");
+            }
+        }
+        // Maximality.
+        for v in g.vertices() {
+            if !mis.contains(v) {
+                assert!(
+                    g.neighbors(v).iter().any(|&w| mis.contains(w)),
+                    "{v} could be added"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_classic_families() {
+        for (name, g) in [
+            ("cycle", structured::cycle(17)),
+            ("path", structured::path(12)),
+            ("star", structured::star(9)),
+            ("grid", structured::grid(5, 6)),
+            ("complete", structured::complete(8)),
+        ] {
+            for s in 0..3u64 {
+                let mis = MisLca::new(&g, Seed::new(s));
+                assert_valid_mis(&g, &mis);
+                let _ = name;
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for s in 0..3u64 {
+            let g = GnpBuilder::new(80, 0.08).seed(Seed::new(s)).build();
+            let mis = MisLca::new(&g, Seed::new(100 + s));
+            assert_valid_mis(&g, &mis);
+        }
+        let g = RegularBuilder::new(100, 4)
+            .seed(Seed::new(8))
+            .build()
+            .unwrap();
+        let mis = MisLca::new(&g, Seed::new(9));
+        assert_valid_mis(&g, &mis);
+    }
+
+    #[test]
+    fn complete_graph_has_exactly_one_member() {
+        let g = structured::complete(12);
+        let mis = MisLca::new(&g, Seed::new(5));
+        let count = g.vertices().filter(|&v| mis.contains(v)).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn lowest_rank_vertex_is_always_in() {
+        let g = structured::cycle(11);
+        let mis = MisLca::new(&g, Seed::new(2));
+        let lowest = g.vertices().min_by_key(|&v| mis.rank_of(v)).unwrap();
+        assert!(mis.contains(lowest));
+    }
+
+    #[test]
+    fn deterministic_across_instances_and_query_orders() {
+        let g = GnpBuilder::new(50, 0.1).seed(Seed::new(3)).build();
+        let a = MisLca::new(&g, Seed::new(4));
+        let b = MisLca::new(&g, Seed::new(4));
+        // Query b in reverse order; answers must agree with a.
+        let va: Vec<bool> = g.vertices().map(|v| a.contains(v)).collect();
+        let vb: Vec<bool> = {
+            let mut all: Vec<VertexId> = g.vertices().collect();
+            all.reverse();
+            let mut tmp: Vec<(usize, bool)> =
+                all.into_iter().map(|v| (v.index(), b.contains(v))).collect();
+            tmp.sort_by_key(|&(i, _)| i);
+            tmp.into_iter().map(|(_, d)| d).collect()
+        };
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_give_different_sets() {
+        let g = structured::cycle(30);
+        let a = MisLca::new(&g, Seed::new(1));
+        let b = MisLca::new(&g, Seed::new(2));
+        let sa: Vec<bool> = g.vertices().map(|v| a.contains(v)).collect();
+        let sb: Vec<bool> = g.vertices().map(|v| b.contains(v)).collect();
+        assert_ne!(sa, sb);
+    }
+}

@@ -1,0 +1,111 @@
+//! 2-approximate vertex cover from the maximal matching.
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::Seed;
+
+use crate::MatchingLca;
+
+/// LCA for a 2-approximate vertex cover: `v` is in the cover iff some
+/// incident edge is in the underlying maximal matching.
+///
+/// The endpoints of any maximal matching form a vertex cover of size at most
+/// twice the optimum — the classic LCA reduction (Parnas–Ron).
+///
+/// # Example
+///
+/// ```
+/// use lca_classic::VertexCoverLca;
+/// use lca_graph::{gen::structured, VertexId};
+/// use lca_rand::Seed;
+///
+/// let g = structured::star(6);
+/// let vc = VertexCoverLca::new(&g, Seed::new(1));
+/// // Every edge must be covered.
+/// for (u, v) in g.edges() {
+///     assert!(vc.contains(u) || vc.contains(v));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct VertexCoverLca<O> {
+    matching: MatchingLca<O>,
+}
+
+impl<O: Oracle + Clone> VertexCoverLca<O> {
+    /// Creates the LCA over the maximal matching fixed by `seed`.
+    pub fn new(oracle: O, seed: Seed) -> Self {
+        Self {
+            matching: MatchingLca::new(oracle.clone(), seed),
+        }
+    }
+}
+
+impl<O: Oracle> VertexCoverLca<O> {
+    /// Access the underlying matching LCA.
+    pub fn matching(&self) -> &MatchingLca<O> {
+        &self.matching
+    }
+
+    /// Whether `v` belongs to the vertex cover (deg(v) matching queries).
+    pub fn contains(&self, v: VertexId) -> bool {
+        let o = self.matching.oracle();
+        let deg = o.degree(v);
+        for i in 0..deg {
+            let Some(w) = o.neighbor(v, i) else {
+                break;
+            };
+            if self.matching.contains(v, w) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder};
+    use lca_graph::Graph;
+
+    fn assert_valid_cover(g: &Graph, vc: &VertexCoverLca<&Graph>) {
+        for (u, v) in g.edges() {
+            assert!(vc.contains(u) || vc.contains(v), "edge {u}-{v} uncovered");
+        }
+        // 2-approximation: the cover is exactly the matched vertices, so its
+        // size is 2·|M|, and |M| lower-bounds any cover.
+        let cover: Vec<VertexId> = g.vertices().filter(|&v| vc.contains(v)).collect();
+        let matched_edges = g
+            .edges()
+            .filter(|&(u, v)| vc.matching().contains(u, v))
+            .count();
+        assert_eq!(cover.len(), 2 * matched_edges);
+    }
+
+    #[test]
+    fn valid_on_families() {
+        for g in [
+            structured::cycle(12),
+            structured::star(9),
+            structured::grid(4, 4),
+            structured::complete(7),
+        ] {
+            let vc = VertexCoverLca::new(&g, Seed::new(3));
+            assert_valid_cover(&g, &vc);
+        }
+    }
+
+    #[test]
+    fn valid_on_random_graph() {
+        let g = GnpBuilder::new(50, 0.1).seed(Seed::new(5)).build();
+        let vc = VertexCoverLca::new(&g, Seed::new(6));
+        assert_valid_cover(&g, &vc);
+    }
+
+    #[test]
+    fn isolated_vertices_are_never_covered() {
+        let g = lca_graph::GraphBuilder::new(5).edge(0, 1).build().unwrap();
+        let vc = VertexCoverLca::new(&g, Seed::new(2));
+        assert!(!vc.contains(VertexId::new(4)));
+    }
+}

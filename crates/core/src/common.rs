@@ -1,0 +1,235 @@
+//! Shared helpers for the spanner LCAs.
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::Coin;
+
+/// Normalized edge identifier: `(min label, max label)`, compared
+/// lexicographically.
+///
+/// The paper's “edge of minimum ID” rules write IDs as `(ID(u), ID(v))`;
+/// normalizing by label order makes the comparison orientation-independent
+/// (DESIGN.md deviation #1).
+pub(crate) fn edge_key(label_a: u64, label_b: u64) -> (u64, u64) {
+    if label_a <= label_b {
+        (label_a, label_b)
+    } else {
+        (label_b, label_a)
+    }
+}
+
+/// Computes `ceil(n^{num/den})`, the integer degree thresholds (√n, n^{3/4},
+/// n^{1/3}, n^{5/6}, …) used by the constructions. Exact for the ranges used
+/// here (adjusts the floating-point estimate by ±1).
+pub(crate) fn ceil_pow(n: usize, num: u32, den: u32) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    let est = (n as f64).powf(num as f64 / den as f64);
+    let mut c = est.ceil() as usize;
+    // Fix potential off-by-one from floating point: want smallest c with
+    // c^den >= n^num.
+    let pow_ge = |c: usize| -> bool {
+        // Compare c^den >= n^num in u128 when possible, else via logs.
+        let (mut lhs, mut ok_l) = (1u128, true);
+        for _ in 0..den {
+            lhs = match lhs.checked_mul(c as u128) {
+                Some(x) => x,
+                None => {
+                    ok_l = false;
+                    break;
+                }
+            };
+        }
+        let (mut rhs, mut ok_r) = (1u128, true);
+        for _ in 0..num {
+            rhs = match rhs.checked_mul(n as u128) {
+                Some(x) => x,
+                None => {
+                    ok_r = false;
+                    break;
+                }
+            };
+        }
+        if ok_l && ok_r {
+            lhs >= rhs
+        } else {
+            (c as f64).ln() * den as f64 >= (n as f64).ln() * num as f64
+        }
+    };
+    while c > 1 && pow_ge(c - 1) {
+        c -= 1;
+    }
+    while !pow_ge(c) {
+        c += 1;
+    }
+    c
+}
+
+/// `ln(n)` clamped below by 1 — the log factor in sampling probabilities.
+pub(crate) fn ln_n(n: usize) -> f64 {
+    (n.max(2) as f64).ln().max(1.0)
+}
+
+/// Scans the first `min(block, deg(w))` neighbors of `w` and returns those
+/// passing `coin` (and, if set, a maximum-degree cap) — the multiple-center
+/// set `S(w)` of Ideas (I)/(III).
+///
+/// Probe cost: `min(block, deg(w))` Neighbor probes, plus one Degree probe
+/// per sampled candidate when `max_degree` is set.
+pub(crate) fn prefix_centers<O: Oracle>(
+    oracle: &O,
+    coin: &Coin,
+    w: VertexId,
+    block: usize,
+    max_degree: Option<usize>,
+) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    for i in 0..block {
+        let Some(x) = oracle.neighbor(w, i) else {
+            break; // ⊥: past the end of Γ(w)
+        };
+        if coin.flip(oracle.label(x)) {
+            if let Some(cap) = max_degree {
+                if oracle.degree(x) > cap {
+                    continue;
+                }
+            }
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// Single-probe cluster-membership test (Idea (I)): is `s` in the
+/// multiple-center set of `w`, i.e. is `s` sampled and located within the
+/// first `block` positions of `Γ(w)`?
+///
+/// The caller must have already checked (probe-free) that `s` is sampled;
+/// this function performs only the positional half of the test.
+pub(crate) fn in_prefix<O: Oracle>(oracle: &O, w: VertexId, s: VertexId, block: usize) -> bool {
+    matches!(oracle.adjacency(w, s), Some(idx) if idx < block)
+}
+
+/// The “does this edge introduce a new center?” scan shared by the E_high,
+/// E_super and bucket machineries: walk positions `start..end` of `Γ(w)` and
+/// test whether any center in `centers` remains un-introduced, where
+/// membership of `s` in the set of neighbor `x` means `s` lies within the
+/// first `membership_block` positions of `Γ(x)` (one Adjacency probe each).
+///
+/// Returns true iff some center of `centers` was *not* covered by the scanned
+/// prefix — i.e. the candidate edge at position `end` introduces a new
+/// center and must be kept.
+pub(crate) fn scan_new_center<O: Oracle>(
+    oracle: &O,
+    w: VertexId,
+    start: usize,
+    end: usize,
+    centers: &[VertexId],
+    membership_block: usize,
+) -> bool {
+    if centers.is_empty() {
+        return false;
+    }
+    let mut covered = vec![false; centers.len()];
+    let mut remaining = centers.len();
+    for i in start..end {
+        let Some(x) = oracle.neighbor(w, i) else {
+            break;
+        };
+        for (ci, &s) in centers.iter().enumerate() {
+            if !covered[ci] && in_prefix(oracle, x, s, membership_block) {
+                covered[ci] = true;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            return false;
+        }
+    }
+    remaining > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::structured;
+    use lca_rand::Seed;
+
+    #[test]
+    fn edge_key_is_orientation_free() {
+        assert_eq!(edge_key(5, 9), (5, 9));
+        assert_eq!(edge_key(9, 5), (5, 9));
+        assert_eq!(edge_key(7, 7), (7, 7));
+    }
+
+    #[test]
+    fn ceil_pow_matches_reference() {
+        for n in [1usize, 2, 3, 4, 10, 100, 1000, 65536, 1_000_000] {
+            for (num, den) in [(1u32, 2u32), (3, 4), (1, 3), (5, 6), (2, 3), (1, 1)] {
+                let got = ceil_pow(n, num, den);
+                if n <= 1 {
+                    assert_eq!(got, n);
+                    continue;
+                }
+                // Reference: smallest c with c^den >= n^num.
+                let target = (n as u128).pow(num);
+                let mut c = 1usize;
+                while (c as u128).pow(den) < target {
+                    c += 1;
+                }
+                assert_eq!(got, c, "n={n} {num}/{den}");
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_pow_perfect_squares() {
+        assert_eq!(ceil_pow(16, 1, 2), 4);
+        assert_eq!(ceil_pow(81, 3, 4), 27);
+        assert_eq!(ceil_pow(64, 5, 6), 32);
+    }
+
+    #[test]
+    fn prefix_centers_respects_block_and_cap() {
+        let g = structured::star(20);
+        let hub = VertexId::new(0);
+        let always = Coin::new(Seed::new(1), 1.0, 4);
+        // Block of 5: exactly the first 5 neighbors.
+        let s = prefix_centers(&g, &always, hub, 5, None);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s, g.neighbors(hub)[..5].to_vec());
+        // Degree cap of 0 excludes everyone (leaves have degree 1).
+        let s = prefix_centers(&g, &always, hub, 5, Some(0));
+        assert!(s.is_empty());
+        // Beyond the degree, scanning stops at ⊥.
+        let leaf = VertexId::new(3);
+        let s = prefix_centers(&g, &always, leaf, 10, None);
+        assert_eq!(s, vec![hub]);
+    }
+
+    #[test]
+    fn prefix_centers_respects_coin() {
+        let g = structured::star(20);
+        let never = Coin::new(Seed::new(1), 0.0, 4);
+        assert!(prefix_centers(&g, &never, VertexId::new(0), 10, None).is_empty());
+    }
+
+    #[test]
+    fn in_prefix_checks_position() {
+        let g = structured::star(10);
+        let hub = VertexId::new(0);
+        let third = g.neighbors(hub)[2];
+        assert!(in_prefix(&g, hub, third, 3));
+        assert!(!in_prefix(&g, hub, third, 2));
+        // Non-edge: always false.
+        assert!(!in_prefix(&g, VertexId::new(1), VertexId::new(2), 10));
+    }
+
+    #[test]
+    fn ln_n_is_clamped() {
+        assert_eq!(ln_n(0), 1.0);
+        assert_eq!(ln_n(2), 1.0);
+        assert!(ln_n(1000) > 6.0);
+    }
+}

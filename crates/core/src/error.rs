@@ -1,0 +1,55 @@
+//! Error type for LCA queries.
+
+use lca_graph::VertexId;
+
+/// Errors returned by spanner LCA queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LcaError {
+    /// The queried pair is not an edge of the input graph. The LCA model
+    /// only defines answers for edge queries (Definition 1.4).
+    NotAnEdge {
+        /// First queried endpoint.
+        u: VertexId,
+        /// Second queried endpoint.
+        v: VertexId,
+    },
+    /// A vertex handle was out of range for the oracle's graph.
+    InvalidVertex {
+        /// The offending handle.
+        v: VertexId,
+        /// Number of vertices in the graph.
+        vertex_count: usize,
+    },
+}
+
+impl std::fmt::Display for LcaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LcaError::NotAnEdge { u, v } => {
+                write!(f, "queried pair {u}-{v} is not an edge of the input graph")
+            }
+            LcaError::InvalidVertex { v, vertex_count } => {
+                write!(f, "vertex {v} out of range for n={vertex_count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LcaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error_impl() {
+        let e = LcaError::NotAnEdge {
+            u: VertexId::new(1),
+            v: VertexId::new(2),
+        };
+        assert!(format!("{e}").contains("not an edge"));
+        fn assert_err<E: std::error::Error + Send + Sync>(_: &E) {}
+        assert_err(&e);
+    }
+}

@@ -1,0 +1,674 @@
+//! The 5-spanner LCA (paper Section 3).
+//!
+//! Target: a 5-spanner with Õ(n^{4/3}) edges and probe complexity Õ(n^{5/6}).
+//! With thresholds ∆_low = ∆_med = n^{1/3} and ∆_super = n^{5/6}, edges fall
+//! into four cases (paper Table 2):
+//!
+//! * `E_low` — an endpoint of degree ≤ ∆_low: kept wholesale.
+//! * `E_super` — an endpoint of degree > ∆_super: the Section 2 block
+//!   machinery re-instantiated at threshold ∆_super (3-stretch detours).
+//! * `E_bckt` — both endpoints *deserted* mid-degree vertices: clusters
+//!   around centers of degree ≤ ∆_super, partitioned into buckets of ∆_med,
+//!   one minimum-ID edge per bucket pair (Idea III).
+//! * `E_rep` — a *crowded* mid-degree endpoint: Θ(log n) random
+//!   *representatives* of degree > ∆_super hook the vertex into radius-2
+//!   clusters of super-centers (Idea IV).
+//!
+//! [`FiveSpannerParams::for_min_degree`] exposes the Theorem 3.5 variant
+//! (general `r` on graphs of minimum degree ≥ n^{1/2−1/(2r)}).
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::{Coin, IndexSampler, Seed};
+
+use crate::common::{ceil_pow, edge_key, ln_n, prefix_centers, scan_new_center};
+use crate::{EdgeSubgraphLca, LcaError};
+
+/// Tuning parameters of the 5-spanner construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiveSpannerParams {
+    /// ∆_low: edges with an endpoint of degree ≤ this are kept.
+    pub low_threshold: usize,
+    /// ∆_med: mid-degree range starts here (cluster/bucket granularity).
+    pub med_threshold: usize,
+    /// ∆_super: vertices above this degree are super-high.
+    pub super_threshold: usize,
+    /// Neighbor-list prefix length for `S(v)`, the deserted test, and the
+    /// bucket size (paper: ∆_med).
+    pub med_block: usize,
+    /// Prefix length for `S'(v)` and block size of the super machinery
+    /// (paper: ∆_super).
+    pub super_block: usize,
+    /// Sampling probability of bucket centers (paper: Θ(log n / ∆_med);
+    /// only vertices of degree ≤ ∆_super may be centers).
+    pub center_prob: f64,
+    /// Sampling probability of super-centers (paper: Θ(log n / ∆_super)).
+    pub super_center_prob: f64,
+    /// Number of representative draws (paper: Θ(log n)).
+    pub reps_count: usize,
+    /// Independence of all hash families (paper: Θ(log n)).
+    pub independence: usize,
+}
+
+impl FiveSpannerParams {
+    /// The paper's parameters for general n-vertex graphs (r = 3):
+    /// ∆_low = ∆_med = n^{1/3}, ∆_super = n^{5/6}.
+    pub fn for_n(n: usize) -> Self {
+        Self::with_thresholds(n, ceil_pow(n, 1, 3), ceil_pow(n, 1, 3), ceil_pow(n, 5, 6))
+    }
+
+    /// The Theorem 3.5 variant for graphs of minimum degree ≥ n^{1/2−1/(2r)}:
+    /// ∆_low = n^{1/r}, ∆_med = n^{(r−1)/(2r)}, ∆_super = n^{(2r−1)/(2r)},
+    /// giving a 5-spanner with Õ(n^{1+1/r}) edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn for_min_degree(n: usize, r: u32) -> Self {
+        assert!(r >= 1, "stretch parameter r must be at least 1");
+        Self::with_thresholds(
+            n,
+            ceil_pow(n, 1, r),
+            ceil_pow(n, r - 1, 2 * r),
+            ceil_pow(n, 2 * r - 1, 2 * r),
+        )
+    }
+
+    fn with_thresholds(n: usize, low: usize, med: usize, super_t: usize) -> Self {
+        let log = ln_n(n);
+        Self {
+            low_threshold: low,
+            med_threshold: med,
+            super_threshold: super_t,
+            med_block: med.max(1),
+            super_block: super_t.max(1),
+            center_prob: (1.5 * log / med.max(1) as f64).min(1.0),
+            super_center_prob: (1.5 * log / super_t.max(1) as f64).min(1.0),
+            reps_count: (2.0 * log).ceil().max(4.0) as usize,
+            independence: (2.0 * log).ceil().max(8.0) as usize,
+        }
+    }
+}
+
+/// The paper's Table 2 edge categories, extended by the explicit fallback
+/// class for degree gaps outside the Theorem 3.5 assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeClass {
+    /// `min(deg) ≤ ∆_low` — kept wholesale.
+    Low,
+    /// An endpoint of degree in `(∆_low, ∆_med)` — outside the paper's
+    /// regime (empty when ∆_low = ∆_med); kept as a deterministic fallback.
+    Gap,
+    /// `max(deg) > ∆_super` — the super machinery.
+    Super,
+    /// Both endpoints mid-degree and deserted — the bucket machinery.
+    Bucket,
+    /// Both endpoints mid-degree, at least one crowded — representatives.
+    Representative,
+}
+
+impl std::fmt::Display for EdgeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EdgeClass::Low => "E_low",
+            EdgeClass::Gap => "E_gap",
+            EdgeClass::Super => "E_super",
+            EdgeClass::Bucket => "E_bckt",
+            EdgeClass::Representative => "E_rep",
+        };
+        f.write_str(s)
+    }
+}
+
+/// LCA for 5-spanners (Theorem 1.1 r = 3 / Theorem 3.4 / Theorem 3.5).
+///
+/// # Example
+///
+/// ```
+/// use lca_core::{EdgeSubgraphLca, FiveSpanner};
+/// use lca_graph::gen::GnpBuilder;
+/// use lca_rand::Seed;
+///
+/// let g = GnpBuilder::new(100, 0.3).seed(Seed::new(1)).build();
+/// let lca = FiveSpanner::with_defaults(&g, Seed::new(2));
+/// let (u, v) = g.edge_endpoints(0);
+/// assert_eq!(lca.contains(u, v)?, lca.contains(v, u)?);
+/// # Ok::<(), lca_core::LcaError>(())
+/// ```
+#[derive(Debug)]
+pub struct FiveSpanner<O> {
+    oracle: O,
+    params: FiveSpannerParams,
+    center_coin: Coin,
+    super_coin: Coin,
+    rep_sampler: IndexSampler,
+}
+
+impl<O: Oracle> FiveSpanner<O> {
+    /// Creates the LCA with explicit parameters.
+    pub fn new(oracle: O, params: FiveSpannerParams, seed: Seed) -> Self {
+        let center_coin = Coin::new(seed.derive(0x3551), params.center_prob, params.independence);
+        let super_coin = Coin::new(
+            seed.derive(0x3552),
+            params.super_center_prob,
+            params.independence,
+        );
+        let rep_sampler = IndexSampler::new(seed.derive(0x3553), params.independence);
+        Self {
+            oracle,
+            params,
+            center_coin,
+            super_coin,
+            rep_sampler,
+        }
+    }
+
+    /// Creates the LCA with the paper's general-graph parameters.
+    pub fn with_defaults(oracle: O, seed: Seed) -> Self {
+        let params = FiveSpannerParams::for_n(oracle.vertex_count());
+        Self::new(oracle, params, seed)
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &FiveSpannerParams {
+        &self.params
+    }
+
+    fn is_mid(&self, deg: usize) -> bool {
+        deg >= self.params.med_threshold && deg <= self.params.super_threshold
+    }
+
+    /// Whether `x` (with degree `deg_x`) is a sampled bucket center: the
+    /// coin came up heads *and* `deg(x) ≤ ∆_super` (paper: only vertices of
+    /// degree at most ∆_super may be chosen into S).
+    fn is_bucket_center(&self, label: u64, deg: usize) -> bool {
+        deg <= self.params.super_threshold && self.center_coin.flip(label)
+    }
+
+    /// Whether `label` is a sampled super-center (probe-free).
+    pub fn is_super_center(&self, label: u64) -> bool {
+        self.super_coin.flip(label)
+    }
+
+    /// `S(w)`: bucket centers among the first ∆_med neighbors of `w`.
+    fn s_set(&self, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(
+            &self.oracle,
+            &self.center_coin,
+            w,
+            self.params.med_block,
+            Some(self.params.super_threshold),
+        )
+    }
+
+    /// `S'(w)`: super-centers among the first ∆_super neighbors of `w`.
+    fn sp_set(&self, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(
+            &self.oracle,
+            &self.super_coin,
+            w,
+            self.params.super_block,
+            None,
+        )
+    }
+
+    /// `Reps(w)`: draw `reps_count` pseudorandom positions within the first
+    /// `min(∆_med, deg w)` entries of `Γ(w)` and keep the super-high hits
+    /// (Section 3, the representative method). Costs O(reps_count) probes.
+    pub fn reps(&self, w: VertexId) -> Vec<VertexId> {
+        let deg = self.oracle.degree(w);
+        if deg == 0 {
+            return Vec::new();
+        }
+        let bound = deg.min(self.params.med_block) as u64;
+        let mut out: Vec<VertexId> = Vec::new();
+        for j in 0..self.params.reps_count {
+            let idx = self
+                .rep_sampler
+                .index(self.oracle.label(w), j as u64, bound);
+            if let Some(x) = self.oracle.neighbor(w, idx as usize) {
+                if self.oracle.degree(x) > self.params.super_threshold
+                    && !out.contains(&x)
+                {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+
+    /// `RS(w) = ∪_{x ∈ Reps(w)} S'(x)`: the radius-2 center set of `w`.
+    fn rs_set(&self, w: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for x in self.reps(w) {
+            for s in self.sp_set(x) {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserted test (Definition 3.1): at least half of the first
+    /// `min(∆_med, deg w)` neighbors have degree ≤ ∆_super.
+    pub fn is_deserted(&self, w: VertexId) -> bool {
+        let mut scanned = 0usize;
+        let mut small = 0usize;
+        for i in 0..self.params.med_block {
+            let Some(x) = self.oracle.neighbor(w, i) else {
+                break;
+            };
+            scanned += 1;
+            if self.oracle.degree(x) <= self.params.super_threshold {
+                small += 1;
+            }
+        }
+        2 * small >= scanned
+    }
+
+    /// Enumerates the cluster `C(s) = {s} ∪ {w : s ∈ S(w)}` of a sampled
+    /// center `s`, sorted by label (the consistent bucket-partition order).
+    fn cluster_of(&self, s: VertexId) -> Vec<VertexId> {
+        let mut members = vec![s];
+        let deg = self.oracle.degree(s);
+        for i in 0..deg {
+            let Some(w) = self.oracle.neighbor(s, i) else {
+                break;
+            };
+            if matches!(self.oracle.adjacency(w, s), Some(idx) if idx < self.params.med_block) {
+                members.push(w);
+            }
+        }
+        members.sort_by_key(|&w| self.oracle.label(w));
+        members.dedup();
+        members
+    }
+
+    /// The bucket of `member` within the (label-sorted) cluster: consecutive
+    /// chunks of size ∆_med.
+    fn bucket_of<'m>(&self, cluster: &'m [VertexId], member: VertexId) -> &'m [VertexId] {
+        let pos = cluster
+            .iter()
+            .position(|&w| w == member)
+            .expect("member must belong to its own cluster");
+        let b = self.params.med_block.max(1);
+        let start = (pos / b) * b;
+        &cluster[start..cluster.len().min(start + b)]
+    }
+
+    /// Bucket rule (B): is `(u, v)` the minimum-ID valid edge between the
+    /// buckets of `u` and `v` for some center pair `s ∈ S(u)`, `t ∈ S(v)`,
+    /// `s ≠ t`?
+    fn bucket_rule(&self, u: VertexId, v: VertexId, su: &[VertexId], sv: &[VertexId]) -> bool {
+        if su.is_empty() || sv.is_empty() {
+            return false;
+        }
+        let o = &self.oracle;
+        let med = self.params.med_threshold;
+        let target = edge_key(o.label(u), o.label(v));
+        let mut deg_cache: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut deg_of = |w: VertexId| -> usize {
+            *deg_cache
+                .entry(w.raw())
+                .or_insert_with(|| o.degree(w))
+        };
+        for &s in su {
+            let cs = self.cluster_of(s);
+            let bu = self.bucket_of(&cs, u).to_vec();
+            for &t in sv {
+                if s == t {
+                    continue;
+                }
+                let ct = self.cluster_of(t);
+                let bv = self.bucket_of(&ct, v).to_vec();
+                let mut best: Option<(u64, u64)> = None;
+                for &a in &bu {
+                    // Candidates are cluster *members* (s ∈ S(a) must hold so
+                    // the detour's center edge exists); the center itself is
+                    // excluded.
+                    if a == s || deg_of(a) < med {
+                        continue;
+                    }
+                    for &b in &bv {
+                        if b == t || a == b || deg_of(b) < med {
+                            continue;
+                        }
+                        if o.adjacency(a, b).is_some() {
+                            let k = edge_key(o.label(a), o.label(b));
+                            if best.is_none_or(|cur| k < cur) {
+                                best = Some(k);
+                            }
+                        }
+                    }
+                }
+                if best == Some(target) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Representative rule (B) from scanner `w`: does the endpoint at
+    /// position `other_idx` introduce a center of `rs_other` through some
+    /// earlier mid-degree neighbor's representatives?
+    fn rep_scan(&self, w: VertexId, other_idx: usize, rs_other: &[VertexId]) -> bool {
+        if rs_other.is_empty() {
+            return false;
+        }
+        let o = &self.oracle;
+        let mut covered = vec![false; rs_other.len()];
+        let mut remaining = rs_other.len();
+        for i in 0..other_idx {
+            let Some(x) = o.neighbor(w, i) else {
+                break;
+            };
+            if !self.is_mid(o.degree(x)) {
+                continue;
+            }
+            let reps_x = self.reps(x);
+            for (ci, &s) in rs_other.iter().enumerate() {
+                if covered[ci] {
+                    continue;
+                }
+                // s ∈ RS(x) ⇔ s ∈ S'(rep) for some representative of x.
+                let hit = reps_x.iter().any(|&rep| {
+                    matches!(o.adjacency(rep, s), Some(idx) if idx < self.params.super_block)
+                });
+                if hit {
+                    covered[ci] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                return false;
+            }
+        }
+        remaining > 0
+    }
+
+    /// Classifies an edge into the Table 2 categories (probe cost
+    /// O(∆_med) for the deserted tests).
+    pub fn classify_edge(&self, u: VertexId, v: VertexId) -> EdgeClass {
+        let p = &self.params;
+        let (du, dv) = (self.oracle.degree(u), self.oracle.degree(v));
+        let lo = du.min(dv);
+        let hi = du.max(dv);
+        if lo <= p.low_threshold {
+            EdgeClass::Low
+        } else if lo < p.med_threshold {
+            EdgeClass::Gap
+        } else if hi > p.super_threshold {
+            EdgeClass::Super
+        } else if self.is_deserted(u) && self.is_deserted(v) {
+            EdgeClass::Bucket
+        } else {
+            EdgeClass::Representative
+        }
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
+        let n = self.oracle.vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex {
+                v,
+                vertex_count: n,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<O: Oracle> EdgeSubgraphLca for FiveSpanner<O> {
+    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let o = &self.oracle;
+        let p = &self.params;
+        let Some(idx_vu) = o.adjacency(v, u) else {
+            return Err(LcaError::NotAnEdge { u, v });
+        };
+        let idx_uv = o.adjacency(u, v).ok_or(LcaError::NotAnEdge { u, v })?;
+        let (du, dv) = (o.degree(u), o.degree(v));
+
+        // E_low, plus the explicit fallback for the (∆_low, ∆_med) gap.
+        if du.min(dv) <= p.low_threshold {
+            return Ok(true);
+        }
+        if (du > p.low_threshold && du < p.med_threshold)
+            || (dv > p.low_threshold && dv < p.med_threshold)
+        {
+            return Ok(true);
+        }
+
+        let (lu, lv) = (o.label(u), o.label(v));
+
+        // Bucket-center star edges: u ∈ S(v) or v ∈ S(u)  (rule A).
+        if self.is_bucket_center(lu, du) && idx_vu < p.med_block {
+            return Ok(true);
+        }
+        if self.is_bucket_center(lv, dv) && idx_uv < p.med_block {
+            return Ok(true);
+        }
+        // Super-center star edges: u ∈ S'(v) or v ∈ S'(u).
+        if self.is_super_center(lu) && idx_vu < p.super_block {
+            return Ok(true);
+        }
+        if self.is_super_center(lv) && idx_uv < p.super_block {
+            return Ok(true);
+        }
+
+        // Super machinery: fallbacks and block scans (3-stretch detours for
+        // any edge whose endpoint is super-high; harmless otherwise).
+        let spu = self.sp_set(u);
+        let spv = self.sp_set(v);
+        if (du > p.super_threshold && spu.is_empty())
+            || (dv > p.super_threshold && spv.is_empty())
+        {
+            return Ok(true);
+        }
+        {
+            let block = p.super_block.max(1);
+            let start_v = (idx_vu / block) * block;
+            if scan_new_center(o, v, start_v, idx_vu, &spu, p.super_block) {
+                return Ok(true);
+            }
+            let start_u = (idx_uv / block) * block;
+            if scan_new_center(o, u, start_u, idx_uv, &spv, p.super_block) {
+                return Ok(true);
+            }
+        }
+
+        // Representative star edges (rule A): mid vertex → its reps.
+        if self.is_mid(dv) && self.reps(v).contains(&u) {
+            return Ok(true);
+        }
+        if self.is_mid(du) && self.reps(u).contains(&v) {
+            return Ok(true);
+        }
+
+        if du >= p.med_threshold && dv >= p.med_threshold {
+            // Representative machinery applies when both endpoints are mid.
+            if self.is_mid(du) && self.is_mid(dv) {
+                let rs_u = self.rs_set(u);
+                let rs_v = self.rs_set(v);
+                let des_u = self.is_deserted(u);
+                let des_v = self.is_deserted(v);
+                // Deterministic fallbacks (DESIGN.md deviation #2): a crowded
+                // vertex without a radius-2 center keeps its mid edges; a
+                // deserted pair without bucket centers keeps the edge.
+                if (!des_u && rs_u.is_empty()) || (!des_v && rs_v.is_empty()) {
+                    return Ok(true);
+                }
+                if des_u && des_v && (self.s_set(u).is_empty() || self.s_set(v).is_empty()) {
+                    return Ok(true);
+                }
+                if self.rep_scan(u, idx_uv, &rs_v) {
+                    return Ok(true);
+                }
+                if self.rep_scan(v, idx_vu, &rs_u) {
+                    return Ok(true);
+                }
+            }
+            // Bucket rule (B): both endpoints of degree ≥ ∆_med.
+            let su = self.s_set(u);
+            let sv = self.s_set(v);
+            if self.bucket_rule(u, v, &su, &sv) {
+                return Ok(true);
+            }
+        }
+
+        Ok(false)
+    }
+
+    fn stretch_bound(&self) -> usize {
+        5
+    }
+
+    fn name(&self) -> &'static str {
+        "five-spanner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder};
+    use lca_graph::Subgraph;
+
+    pub(crate) fn tiny_params() -> FiveSpannerParams {
+        FiveSpannerParams {
+            low_threshold: 2,
+            med_threshold: 2,
+            super_threshold: 9,
+            med_block: 2,
+            super_block: 9,
+            center_prob: 0.6,
+            super_center_prob: 0.4,
+            reps_count: 6,
+            independence: 8,
+        }
+    }
+
+    #[test]
+    fn default_params_match_paper_exponents() {
+        let p = FiveSpannerParams::for_n(4096);
+        assert_eq!(p.low_threshold, 16); // n^{1/3}
+        assert_eq!(p.med_threshold, 16);
+        assert_eq!(p.super_threshold, 1024); // n^{5/6}
+    }
+
+    #[test]
+    fn min_degree_variant_thresholds() {
+        // r = 2: low = n^{1/2}, med = n^{1/4}, super = n^{3/4}.
+        let p = FiveSpannerParams::for_min_degree(65536, 2);
+        assert_eq!(p.low_threshold, 256);
+        assert_eq!(p.med_threshold, 16);
+        assert_eq!(p.super_threshold, 4096);
+    }
+
+    #[test]
+    fn low_edges_are_kept() {
+        let g = structured::cycle(30);
+        let lca = FiveSpanner::with_defaults(&g, Seed::new(1));
+        for (u, v) in g.edges() {
+            assert!(lca.contains(u, v).unwrap());
+        }
+    }
+
+    #[test]
+    fn non_edge_errors() {
+        let g = structured::path(6);
+        let lca = FiveSpanner::with_defaults(&g, Seed::new(1));
+        assert!(matches!(
+            lca.contains(VertexId::new(0), VertexId::new(4)),
+            Err(LcaError::NotAnEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn symmetric_answers() {
+        let g = GnpBuilder::new(70, 0.35).seed(Seed::new(4)).build();
+        let lca = FiveSpanner::new(&g, tiny_params(), Seed::new(5));
+        for (u, v) in g.edges() {
+            assert_eq!(lca.contains(u, v).unwrap(), lca.contains(v, u).unwrap());
+        }
+    }
+
+    #[test]
+    fn stretch_is_at_most_five() {
+        for s in 0..5u64 {
+            let g = GnpBuilder::new(60, 0.4).seed(Seed::new(20 + s)).build();
+            let lca = FiveSpanner::new(&g, tiny_params(), Seed::new(s));
+            let h = Subgraph::from_edges(
+                &g,
+                g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
+            );
+            let stretch = h.max_edge_stretch(&g, 6);
+            assert!(stretch.is_some(), "seed {s}: disconnected edge");
+            assert!(stretch.unwrap() <= 5, "seed {s}: stretch {stretch:?}");
+        }
+    }
+
+    #[test]
+    fn stretch_holds_on_star_of_cliques() {
+        // Mixed degrees: hubs + clique tails exercise super and mid classes.
+        let g = structured::dumbbell(12, 2);
+        let lca = FiveSpanner::new(&g, tiny_params(), Seed::new(9));
+        let h = Subgraph::from_edges(
+            &g,
+            g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
+        );
+        assert!(h.max_edge_stretch(&g, 6).unwrap() <= 5);
+    }
+
+    #[test]
+    fn reps_only_contain_super_high_neighbors() {
+        let g = structured::complete_bipartite(3, 40); // left deg 40, right deg 3
+        let p = FiveSpannerParams {
+            super_threshold: 10,
+            ..tiny_params()
+        };
+        let lca = FiveSpanner::new(&g, p, Seed::new(3));
+        // Right-side vertices have all neighbors of degree 40 > 10.
+        let reps = lca.reps(VertexId::new(5));
+        assert!(!reps.is_empty());
+        assert!(reps.iter().all(|x| g.degree(*x) > 10));
+        // Left-side vertices have all neighbors of degree 3 ≤ 10 → no reps.
+        assert!(lca.reps(VertexId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn classify_edge_covers_classes() {
+        let g = structured::complete_bipartite(3, 40);
+        let p = FiveSpannerParams {
+            low_threshold: 1,
+            med_threshold: 2,
+            super_threshold: 10,
+            med_block: 2,
+            super_block: 10,
+            ..tiny_params()
+        };
+        let lca = FiveSpanner::new(&g, p, Seed::new(3));
+        // Every edge joins deg-40 (super) with deg-3 (mid): E_super.
+        let (u, v) = g.edge_endpoints(0);
+        assert_eq!(lca.classify_edge(u, v), EdgeClass::Super);
+        assert_eq!(format!("{}", EdgeClass::Super), "E_super");
+    }
+
+    #[test]
+    fn deserted_test_counts_small_neighbors() {
+        let g = structured::complete_bipartite(3, 40);
+        let p = FiveSpannerParams {
+            super_threshold: 10,
+            med_block: 3,
+            ..tiny_params()
+        };
+        let lca = FiveSpanner::new(&g, p, Seed::new(3));
+        // Right vertices: all neighbors have degree 40 > 10 → crowded.
+        assert!(!lca.is_deserted(VertexId::new(10)));
+        // Left vertices: all neighbors have degree 3 ≤ 10 → deserted.
+        assert!(lca.is_deserted(VertexId::new(0)));
+    }
+}

@@ -1,0 +1,325 @@
+//! Global reference construction of the Section 3 5-spanner.
+
+use std::collections::HashSet;
+
+use lca_graph::{Graph, VertexId};
+use lca_rand::{Coin, IndexSampler, Seed};
+
+use super::{key, EdgeSet};
+use crate::common::edge_key;
+use crate::FiveSpannerParams;
+
+/// Builds the exact 5-spanner that [`crate::FiveSpanner`] with the same
+/// `(params, seed)` answers queries about, by direct global sweeps.
+///
+/// The bucket rule enumerates all center pairs, so this reference costs up to
+/// `O(|S|² · ∆_med²)` time — fine for verification-sized graphs, which is its
+/// job.
+pub fn five_spanner_global(graph: &Graph, params: &FiveSpannerParams, seed: Seed) -> EdgeSet {
+    let n = graph.vertex_count();
+    let p = params;
+    let center_coin = Coin::new(seed.derive(0x3551), p.center_prob, p.independence);
+    let super_coin = Coin::new(seed.derive(0x3552), p.super_center_prob, p.independence);
+    let rep_sampler = IndexSampler::new(seed.derive(0x3553), p.independence);
+
+    let deg = |w: VertexId| graph.degree(w);
+    let lab = |w: VertexId| graph.label(w);
+    let is_mid = |d: usize| d >= p.med_threshold && d <= p.super_threshold;
+
+    // Per-vertex sampled structures, mirroring the LCA's definitions.
+    let mut s: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    let mut sp: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    let mut reps: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    let mut deserted: Vec<bool> = Vec::with_capacity(n);
+    for w in graph.vertices() {
+        let nbrs = graph.neighbors(w);
+        s.push(
+            nbrs.iter()
+                .take(p.med_block)
+                .copied()
+                .filter(|&x| deg(x) <= p.super_threshold && center_coin.flip(lab(x)))
+                .collect(),
+        );
+        sp.push(
+            nbrs.iter()
+                .take(p.super_block)
+                .copied()
+                .filter(|&x| super_coin.flip(lab(x)))
+                .collect(),
+        );
+        let d = deg(w);
+        let mut r: Vec<VertexId> = Vec::new();
+        if d > 0 {
+            let bound = d.min(p.med_block) as u64;
+            for j in 0..p.reps_count {
+                let idx = rep_sampler.index(lab(w), j as u64, bound) as usize;
+                if let Some(&x) = nbrs.get(idx) {
+                    if deg(x) > p.super_threshold && !r.contains(&x) {
+                        r.push(x);
+                    }
+                }
+            }
+        }
+        reps.push(r);
+        let prefix = nbrs.iter().take(p.med_block).collect::<Vec<_>>();
+        let small = prefix
+            .iter()
+            .filter(|&&&x| deg(x) <= p.super_threshold)
+            .count();
+        deserted.push(2 * small >= prefix.len());
+    }
+    let rs: Vec<Vec<VertexId>> = (0..n)
+        .map(|w| {
+            let mut out: Vec<VertexId> = Vec::new();
+            for &x in &reps[w] {
+                for &c in &sp[x.index()] {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+
+    let mut h = EdgeSet::new();
+
+    // Per-edge rules: E_low, gap fallback, super fallback, mid fallbacks.
+    for (u, v) in graph.edges() {
+        let (du, dv) = (deg(u), deg(v));
+        if du.min(dv) <= p.low_threshold {
+            h.insert(key(u, v));
+            continue;
+        }
+        if (du > p.low_threshold && du < p.med_threshold)
+            || (dv > p.low_threshold && dv < p.med_threshold)
+        {
+            h.insert(key(u, v));
+            continue;
+        }
+        if (du > p.super_threshold && sp[u.index()].is_empty())
+            || (dv > p.super_threshold && sp[v.index()].is_empty())
+        {
+            h.insert(key(u, v));
+            continue;
+        }
+        if is_mid(du) && is_mid(dv) {
+            let (iu, iv) = (u.index(), v.index());
+            if (!deserted[iu] && rs[iu].is_empty()) || (!deserted[iv] && rs[iv].is_empty()) {
+                h.insert(key(u, v));
+                continue;
+            }
+            if deserted[iu] && deserted[iv] && (s[iu].is_empty() || s[iv].is_empty()) {
+                h.insert(key(u, v));
+            }
+        }
+    }
+
+    // Star edges: bucket centers, super-centers, representatives.
+    for w in graph.vertices() {
+        for &c in s[w.index()].iter().chain(sp[w.index()].iter()) {
+            h.insert(key(w, c));
+        }
+        if is_mid(deg(w)) {
+            for &x in &reps[w.index()] {
+                h.insert(key(w, x));
+            }
+        }
+    }
+
+    // Super block sweeps (one edge per newly-seen super-center per block).
+    let block = p.super_block.max(1);
+    for w in graph.vertices() {
+        for chunk in graph.neighbors(w).chunks(block) {
+            let mut covered: HashSet<u32> = HashSet::new();
+            for &x in chunk {
+                if sp[x.index()].iter().any(|c| !covered.contains(&c.raw())) {
+                    h.insert(key(w, x));
+                }
+                covered.extend(sp[x.index()].iter().map(|c| c.raw()));
+            }
+        }
+    }
+
+    // Representative sweeps: mid scanner keeps one edge per newly-introduced
+    // radius-2 center among its mid neighbors.
+    for w in graph.vertices() {
+        if !is_mid(deg(w)) {
+            continue;
+        }
+        let mut covered: HashSet<u32> = HashSet::new();
+        for &x in graph.neighbors(w) {
+            if !is_mid(deg(x)) {
+                continue;
+            }
+            if rs[x.index()].iter().any(|c| !covered.contains(&c.raw())) {
+                h.insert(key(w, x));
+            }
+            covered.extend(rs[x.index()].iter().map(|c| c.raw()));
+        }
+    }
+
+    // Bucket rule: one minimum-ID member edge per bucket pair per center
+    // pair.
+    let centers: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&w| deg(w) <= p.super_threshold && center_coin.flip(lab(w)))
+        .collect();
+    let cluster_of = |c: VertexId| -> Vec<VertexId> {
+        let mut members = vec![c];
+        for &w in graph.neighbors(c) {
+            if matches!(graph.adjacency_index(w, c), Some(idx) if idx < p.med_block) {
+                members.push(w);
+            }
+        }
+        members.sort_by_key(|&w| lab(w));
+        members.dedup();
+        members
+    };
+    let clusters: Vec<Vec<VertexId>> = centers.iter().map(|&c| cluster_of(c)).collect();
+    let b = p.med_block.max(1);
+    for (si, &sc) in centers.iter().enumerate() {
+        for (ti, &tc) in centers.iter().enumerate() {
+            if si == ti {
+                continue;
+            }
+            for bucket_u in clusters[si].chunks(b) {
+                for bucket_v in clusters[ti].chunks(b) {
+                    let mut best: Option<((u64, u64), (VertexId, VertexId))> = None;
+                    for &a in bucket_u {
+                        if a == sc || deg(a) < p.med_threshold {
+                            continue;
+                        }
+                        for &bb in bucket_v {
+                            if bb == tc || a == bb || deg(bb) < p.med_threshold {
+                                continue;
+                            }
+                            if graph.has_edge(a, bb) {
+                                let k = edge_key(lab(a), lab(bb));
+                                if best.is_none_or(|(cur, _)| k < cur) {
+                                    best = Some((k, (a, bb)));
+                                }
+                            }
+                        }
+                    }
+                    if let Some((_, (a, bb))) = best {
+                        h.insert(key(a, bb));
+                    }
+                }
+            }
+        }
+    }
+
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::into_subgraph;
+    use crate::{EdgeSubgraphLca, FiveSpanner};
+    use lca_graph::gen::{structured, ChungLuBuilder, GnpBuilder};
+
+    fn tiny_params() -> FiveSpannerParams {
+        FiveSpannerParams {
+            low_threshold: 2,
+            med_threshold: 2,
+            super_threshold: 9,
+            med_block: 2,
+            super_block: 9,
+            center_prob: 0.6,
+            super_center_prob: 0.4,
+            reps_count: 6,
+            independence: 8,
+        }
+    }
+
+    fn assert_consistent(graph: &Graph, params: &FiveSpannerParams, seed: Seed) {
+        let global = five_spanner_global(graph, params, seed);
+        let lca = FiveSpanner::new(graph, params.clone(), seed);
+        for (u, v) in graph.edges() {
+            let local = lca.contains(u, v).unwrap();
+            assert_eq!(
+                local,
+                global.contains(&key(u, v)),
+                "disagreement on {u}-{v} (deg {} {}), class {:?}",
+                graph.degree(u),
+                graph.degree(v),
+                lca.classify_edge(u, v)
+            );
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_on_random_graphs() {
+        for s in 0..5u64 {
+            let g = GnpBuilder::new(50, 0.35).seed(Seed::new(s)).build();
+            assert_consistent(&g, &tiny_params(), Seed::new(500 + s));
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_on_dense_graph() {
+        let g = structured::complete(24);
+        assert_consistent(&g, &tiny_params(), Seed::new(5));
+    }
+
+    #[test]
+    fn lca_matches_global_on_power_law() {
+        let g = ChungLuBuilder::power_law(120, 2.5, 7.0)
+            .seed(Seed::new(8))
+            .build();
+        assert_consistent(&g, &tiny_params(), Seed::new(6));
+    }
+
+    #[test]
+    fn lca_matches_global_on_bipartite_hubs() {
+        // Strong degree asymmetry: exercises super + rep machinery.
+        let g = structured::complete_bipartite(4, 36);
+        let p = FiveSpannerParams {
+            super_threshold: 10,
+            ..tiny_params()
+        };
+        assert_consistent(&g, &p, Seed::new(7));
+    }
+
+    #[test]
+    fn lca_matches_global_with_default_params() {
+        let g = GnpBuilder::new(90, 0.3).seed(Seed::new(9)).build();
+        assert_consistent(&g, &FiveSpannerParams::for_n(90), Seed::new(10));
+    }
+
+    #[test]
+    fn lca_matches_global_min_degree_variant() {
+        let g = GnpBuilder::new(80, 0.5).seed(Seed::new(11)).build();
+        assert_consistent(&g, &FiveSpannerParams::for_min_degree(80, 2), Seed::new(12));
+    }
+
+    #[test]
+    fn global_spanner_has_stretch_five() {
+        for s in 0..4u64 {
+            let g = GnpBuilder::new(60, 0.4).seed(Seed::new(60 + s)).build();
+            let h = five_spanner_global(&g, &tiny_params(), Seed::new(s));
+            let sub = into_subgraph(&g, &h);
+            let stretch = sub.max_edge_stretch(&g, 6);
+            assert!(stretch.is_some(), "seed {s}: disconnected");
+            assert!(stretch.unwrap() <= 5, "seed {s}: stretch {stretch:?}");
+        }
+    }
+
+    #[test]
+    fn spanner_is_subset_of_graph() {
+        let g = GnpBuilder::new(40, 0.5).seed(Seed::new(13)).build();
+        let h = five_spanner_global(&g, &tiny_params(), Seed::new(14));
+        for &(a, b) in &h {
+            assert!(g.has_edge(VertexId::from(a), VertexId::from(b)));
+        }
+    }
+
+    #[test]
+    fn sparsifies_dense_instances() {
+        let g = structured::complete(48);
+        let h = five_spanner_global(&g, &tiny_params(), Seed::new(15));
+        assert!(h.len() < g.edge_count());
+    }
+}

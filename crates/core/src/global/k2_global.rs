@@ -1,0 +1,506 @@
+//! Global reference construction of the Section 4 O(k²)-spanner.
+
+use std::collections::{HashMap, HashSet};
+
+use lca_graph::{Graph, VertexId};
+use lca_rand::{Coin, RankAssigner, Seed};
+
+use super::{key, EdgeSet};
+use crate::common::edge_key;
+use crate::k2::baswana_sen::{simulate, BsParams, LocalGraph};
+use crate::k2::{center_search, VertexStatus};
+use crate::K2Params;
+
+/// Everything the global construction derives about the dense partition —
+/// exposed so benches can inspect cells, clusters and marks.
+#[derive(Debug)]
+pub struct K2Partition {
+    /// Per-vertex Voronoi cell center (None = sparse vertex).
+    pub cell: Vec<Option<VertexId>>,
+    /// Per-vertex Voronoi tree parent.
+    pub parent: Vec<Option<VertexId>>,
+    /// Per-vertex cluster id (dense vertices only).
+    pub cluster: Vec<Option<u32>>,
+    /// Members of each cluster.
+    pub cluster_members: Vec<Vec<VertexId>>,
+    /// Cell center of each cluster.
+    pub cluster_cell: Vec<VertexId>,
+    /// Whether each cluster's cell is marked.
+    pub cluster_marked: Vec<bool>,
+}
+
+impl K2Partition {
+    /// Number of distinct Voronoi cells.
+    pub fn cell_count(&self) -> usize {
+        self.cell
+            .iter()
+            .flatten()
+            .map(|c| c.raw())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// Number of sparse vertices.
+    pub fn sparse_count(&self) -> usize {
+        self.cell.iter().filter(|c| c.is_none()).count()
+    }
+}
+
+/// Computes the sparse/dense partition, Voronoi trees, and cluster
+/// refinement globally (same deterministic rules as the LCA).
+pub fn k2_partition(graph: &Graph, params: &K2Params, seed: Seed) -> K2Partition {
+    let n = graph.vertex_count();
+    let center_coin = Coin::new(seed.derive(0x4B31), params.center_prob, params.independence);
+    let mark_coin = Coin::new(seed.derive(0x4B32), params.mark_prob, params.independence);
+
+    let statuses: Vec<VertexStatus> = graph
+        .vertices()
+        .map(|v| center_search(graph, v, params.k, &center_coin))
+        .collect();
+    let cell: Vec<Option<VertexId>> = statuses.iter().map(|s| s.center()).collect();
+    let parent: Vec<Option<VertexId>> = statuses.iter().map(|s| s.parent()).collect();
+
+    // Children in adjacency order; exact subtree sizes by iterative DFS.
+    let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in graph.vertices() {
+        if cell[v.index()].is_none() {
+            continue;
+        }
+        for &w in graph.neighbors(v) {
+            if parent[w.index()] == Some(v) && cell[w.index()] == cell[v.index()] {
+                children[v.index()].push(w);
+            }
+        }
+    }
+    let mut size: Vec<usize> = vec![0; n];
+    for v in graph.vertices() {
+        if cell[v.index()] != Some(v) {
+            continue; // roots only
+        }
+        // Post-order accumulate.
+        let mut order = Vec::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            order.push(x);
+            stack.extend(children[x.index()].iter().copied());
+        }
+        for &x in order.iter().rev() {
+            size[x.index()] = 1 + children[x.index()]
+                .iter()
+                .map(|c| size[c.index()])
+                .sum::<usize>();
+        }
+    }
+    let heavy = |x: VertexId| size[x.index()] > params.l;
+
+    // Cluster refinement.
+    let mut cluster: Vec<Option<u32>> = vec![None; n];
+    let mut cluster_members: Vec<Vec<VertexId>> = Vec::new();
+    let mut cluster_cell: Vec<VertexId> = Vec::new();
+    let mut push_cluster = |members: Vec<VertexId>, cell_center: VertexId,
+                            cluster: &mut Vec<Option<u32>>| {
+        let id = cluster_members.len() as u32;
+        for &m in &members {
+            cluster[m.index()] = Some(id);
+        }
+        let mut members = members;
+        members.sort_by_key(|m| m.raw());
+        cluster_members.push(members);
+        cluster_cell.push(cell_center);
+    };
+    let collect_subtree = |root: VertexId| -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend(children[x.index()].iter().copied());
+        }
+        out
+    };
+    for s in graph.vertices() {
+        if cell[s.index()] != Some(s) {
+            continue; // not a cell root
+        }
+        if !heavy(s) {
+            // (a) Light cell: one cluster.
+            push_cluster(collect_subtree(s), s, &mut cluster);
+            continue;
+        }
+        // Heavy vertices of this cell: singletons; group light children.
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            if !heavy(x) {
+                continue;
+            }
+            push_cluster(vec![x], s, &mut cluster);
+            let mut cur: Vec<VertexId> = Vec::new();
+            let mut cur_size = 0usize;
+            let mut groups: Vec<Vec<VertexId>> = Vec::new();
+            for &w in &children[x.index()] {
+                if heavy(w) {
+                    stack.push(w);
+                    continue;
+                }
+                cur.push(w);
+                cur_size += size[w.index()];
+                if cur_size >= params.l {
+                    groups.push(std::mem::take(&mut cur));
+                    cur_size = 0;
+                }
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+            for g in groups {
+                let members: Vec<VertexId> =
+                    g.into_iter().flat_map(&collect_subtree).collect();
+                push_cluster(members, s, &mut cluster);
+            }
+        }
+    }
+    let cluster_marked: Vec<bool> = cluster_cell
+        .iter()
+        .map(|&c| mark_coin.flip(graph.label(c)))
+        .collect();
+
+    K2Partition {
+        cell,
+        parent,
+        cluster,
+        cluster_members,
+        cluster_cell,
+        cluster_marked,
+    }
+}
+
+/// Builds the exact O(k²)-spanner that [`crate::K2Spanner`] with the same
+/// `(params, seed)` answers queries about.
+pub fn k2_spanner_global(graph: &Graph, params: &K2Params, seed: Seed) -> EdgeSet {
+    let part = k2_partition(graph, params, seed);
+    let ranks = RankAssigner::for_spanner(
+        seed.derive(0x4B33),
+        graph.vertex_count().max(2),
+        params.k,
+    );
+    let mark_coin = Coin::new(seed.derive(0x4B32), params.mark_prob, params.independence);
+    let mut h = EdgeSet::new();
+
+    // --- H_sparse: Baswana–Sen on G_sparse. -------------------------------
+    let mut lg = LocalGraph::new();
+    for v in graph.vertices() {
+        lg.add_vertex(v, graph.label(v));
+    }
+    for v in graph.vertices() {
+        for &w in graph.neighbors(v) {
+            if part.cell[v.index()].is_none() || part.cell[w.index()].is_none() {
+                lg.push_neighbor(v, w);
+            }
+        }
+    }
+    h.extend(simulate(
+        &lg,
+        BsParams {
+            k: params.k,
+            sample_prob: params.bs_sample_prob,
+            independence: params.independence,
+        },
+        seed.derive(0x4B34),
+    ));
+
+    // --- H^(I): Voronoi tree edges. ---------------------------------------
+    for v in graph.vertices() {
+        if let Some(p) = part.parent[v.index()] {
+            h.insert(key(v, p));
+        }
+    }
+
+    // --- H^(B): inter-cell rules. ------------------------------------------
+    let cell_of = |v: VertexId| part.cell[v.index()];
+    let cid_of = |v: VertexId| part.cluster[v.index()];
+    let n_clusters = part.cluster_members.len();
+
+    // Minimum edges per (cluster pair) and per (cluster, foreign cell):
+    // key pair -> (normalized label key, endpoints).
+    type MinEdgeMap = HashMap<(u32, u32), ((u64, u64), (VertexId, VertexId))>;
+    let mut min_cc: MinEdgeMap = HashMap::new();
+    let mut min_ccell: MinEdgeMap = HashMap::new();
+    for (a, b) in graph.edges() {
+        let (Some(ca), Some(cb)) = (cell_of(a), cell_of(b)) else {
+            continue;
+        };
+        if ca == cb {
+            continue;
+        }
+        let (ia, ib) = (cid_of(a).unwrap(), cid_of(b).unwrap());
+        let k_ab = edge_key(graph.label(a), graph.label(b));
+        let cc_key = if ia < ib { (ia, ib) } else { (ib, ia) };
+        match min_cc.get(&cc_key) {
+            Some(&(cur, _)) if cur <= k_ab => {}
+            _ => {
+                min_cc.insert(cc_key, (k_ab, (a, b)));
+            }
+        }
+        for (from_cluster, to_cell, e) in
+            [(ia, cb.raw(), (a, b)), (ib, ca.raw(), (b, a))]
+        {
+            match min_ccell.get(&(from_cluster, to_cell)) {
+                Some(&(cur, _)) if cur <= k_ab => {}
+                _ => {
+                    min_ccell.insert((from_cluster, to_cell), (k_ab, e));
+                }
+            }
+        }
+    }
+
+    // Boundary cells of each cluster and their marked subset.
+    let mut boundary: Vec<HashSet<u32>> = vec![HashSet::new(); n_clusters];
+    for (cid, members) in part.cluster_members.iter().enumerate() {
+        for &m in members {
+            for &w in graph.neighbors(m) {
+                if let Some(c) = cell_of(w) {
+                    if c != part.cluster_cell[cid] {
+                        boundary[cid].insert(c.raw());
+                    }
+                }
+            }
+        }
+    }
+    let marked_cell = |c: u32| mark_coin.flip(graph.label(VertexId::from(c)));
+    let has_adjacent_marked = |cid: usize| -> bool {
+        part.cluster_marked[cid] || boundary[cid].iter().any(|&c| marked_cell(c))
+    };
+
+    // Rule (1): marked cluster → every adjacent cluster.
+    for (&(ia, ib), &(_, e)) in &min_cc {
+        if part.cluster_marked[ia as usize] || part.cluster_marked[ib as usize] {
+            h.insert(key(e.0, e.1));
+        }
+    }
+
+    // Rule (2): no adjacent marked cell → every adjacent cell.
+    for (cid, bnd) in boundary.iter().enumerate() {
+        if has_adjacent_marked(cid) {
+            continue;
+        }
+        for &c in bnd {
+            if let Some(&(_, e)) = min_ccell.get(&(cid as u32, c)) {
+                h.insert(key(e.0, e.1));
+            }
+        }
+    }
+
+    // Rule (3): cluster A → cell V' when the rank of V' is among the q
+    // lowest in c(∂A) ∩ c(∂C), for C the marked-cell participation cluster
+    // of the target cluster B*.
+    for cid in 0..n_clusters {
+        for &vc in &boundary[cid] {
+            let Some(&(_, e_star)) = min_ccell.get(&(cid as u32, vc)) else {
+                continue;
+            };
+            let w_star = e_star.1;
+            let b_star = cid_of(w_star).unwrap() as usize;
+            let mut keep = false;
+            for &m in &boundary[b_star] {
+                if !marked_cell(m) {
+                    continue;
+                }
+                let Some(&(_, e_m)) = min_ccell.get(&(b_star as u32, m)) else {
+                    continue;
+                };
+                let c_cluster = cid_of(e_m.1).unwrap() as usize;
+                if !boundary[cid].contains(&vc) || !boundary[c_cluster].contains(&vc) {
+                    continue;
+                }
+                let rank_v = ranks.rank(graph.label(VertexId::from(vc)));
+                let lower = boundary[cid]
+                    .intersection(&boundary[c_cluster])
+                    .filter(|&&c| ranks.rank(graph.label(VertexId::from(c))) < rank_v)
+                    .count();
+                if lower < params.q {
+                    keep = true;
+                    break;
+                }
+            }
+            if keep {
+                h.insert(key(e_star.0, e_star.1));
+            }
+        }
+    }
+
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::into_subgraph;
+    use crate::{EdgeSubgraphLca, K2Spanner};
+    use lca_graph::gen::{structured, GnpBuilder, RegularBuilder};
+
+    fn assert_consistent(graph: &Graph, params: &K2Params, seed: Seed) {
+        let global = k2_spanner_global(graph, params, seed);
+        let lca = K2Spanner::new(graph, params.clone(), seed);
+        for (u, v) in graph.edges() {
+            let local = lca.contains(u, v).unwrap();
+            assert_eq!(
+                local,
+                global.contains(&key(u, v)),
+                "disagreement on {u}-{v} (statuses {:?} / {:?}) params {params:?}",
+                lca.vertex_status(u).center(),
+                lca.vertex_status(v).center(),
+            );
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_on_regular_graphs() {
+        for s in 0..3u64 {
+            let g = RegularBuilder::new(60, 4)
+                .seed(Seed::new(s))
+                .build()
+                .unwrap();
+            assert_consistent(&g, &K2Params::for_n(60, 2), Seed::new(200 + s));
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_for_k3() {
+        let g = RegularBuilder::new(60, 3)
+            .seed(Seed::new(7))
+            .build()
+            .unwrap();
+        assert_consistent(&g, &K2Params::for_n(60, 3), Seed::new(8));
+    }
+
+    #[test]
+    fn lca_matches_global_on_grid_and_cycle() {
+        assert_consistent(
+            &structured::grid(7, 7),
+            &K2Params::for_n(49, 2),
+            Seed::new(3),
+        );
+        assert_consistent(
+            &structured::cycle(40),
+            &K2Params::for_n(40, 2),
+            Seed::new(4),
+        );
+    }
+
+    #[test]
+    fn lca_matches_global_with_forced_density() {
+        // High center probability → everything dense, exercising H^(B).
+        let mut p = K2Params::for_n(50, 2);
+        p.center_prob = 0.4;
+        p.mark_prob = 0.3;
+        let g = GnpBuilder::new(50, 0.15).seed(Seed::new(5)).build();
+        assert_consistent(&g, &p, Seed::new(6));
+    }
+
+    #[test]
+    fn lca_matches_global_with_tiny_q() {
+        // q = 1 (the Lenzen–Levi rule) stresses the rank logic.
+        let mut p = K2Params::for_n(48, 2);
+        p.center_prob = 0.5;
+        p.mark_prob = 0.4;
+        p.q = 1;
+        let g = RegularBuilder::new(48, 4)
+            .seed(Seed::new(9))
+            .build()
+            .unwrap();
+        assert_consistent(&g, &p, Seed::new(10));
+    }
+
+    #[test]
+    fn lca_matches_global_with_deep_voronoi_trees() {
+        // Small center probability ⇒ cells of radius up to k with real
+        // parent/child structure, heavy/light splits and grouped clusters —
+        // the code paths the saturated default (prob = 1) never reaches.
+        for (s, k) in [(0u64, 2usize), (1, 3)] {
+            let g = RegularBuilder::new(240, 4)
+                .seed(Seed::new(30 + s))
+                .build()
+                .unwrap();
+            let mut p = K2Params::with_center_constant(240, k, 3.0);
+            p.l = 8; // small L forces heavy vertices and cluster grouping
+            let part = k2_partition(&g, &p, Seed::new(40 + s));
+            assert!(
+                part.cell_count() < 240 && part.cell_count() > 1,
+                "want nontrivial cells, got {}",
+                part.cell_count()
+            );
+            assert!(
+                part.parent.iter().flatten().count() > 0,
+                "want real tree edges"
+            );
+            assert_consistent(&g, &p, Seed::new(40 + s));
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_all_sparse() {
+        let mut p = K2Params::for_n(50, 3);
+        p.center_prob = 0.0;
+        let g = GnpBuilder::new(50, 0.1).seed(Seed::new(11)).build();
+        assert_consistent(&g, &p, Seed::new(12));
+    }
+
+    #[test]
+    fn global_spanner_preserves_connectivity_with_bounded_stretch() {
+        for s in 0..3u64 {
+            let g = RegularBuilder::new(80, 4)
+                .seed(Seed::new(20 + s))
+                .build()
+                .unwrap();
+            let p = K2Params::for_n(80, 2);
+            let h = k2_spanner_global(&g, &p, Seed::new(s));
+            let sub = into_subgraph(&g, &h);
+            let bound = (2 * p.k + 1) * (2 * p.k + 2);
+            let stretch = sub.max_edge_stretch(&g, bound as u32);
+            assert!(stretch.is_some(), "seed {s}: disconnected edge");
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_vertices() {
+        let g = RegularBuilder::new(60, 4)
+            .seed(Seed::new(1))
+            .build()
+            .unwrap();
+        let p = K2Params::for_n(60, 2);
+        let part = k2_partition(&g, &p, Seed::new(2));
+        for v in g.vertices() {
+            match part.cell[v.index()] {
+                Some(_) => {
+                    assert!(part.cluster[v.index()].is_some(), "{v} dense w/o cluster");
+                }
+                None => assert!(part.cluster[v.index()].is_none()),
+            }
+        }
+        assert_eq!(part.cell_count(), {
+            let cells: HashSet<u32> = part
+                .cluster_cell
+                .iter()
+                .map(|c| c.raw())
+                .collect();
+            cells.len()
+        });
+        // Cluster members agree with the per-vertex assignment.
+        for (cid, members) in part.cluster_members.iter().enumerate() {
+            for &m in members {
+                assert_eq!(part.cluster[m.index()], Some(cid as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_have_bounded_size() {
+        let g = structured::grid(9, 9);
+        let mut p = K2Params::for_n(81, 2);
+        p.center_prob = 0.08;
+        p.l = 5;
+        let part = k2_partition(&g, &p, Seed::new(4));
+        for members in &part.cluster_members {
+            assert!(members.len() <= 2 * p.l + 1, "cluster size {}", members.len());
+        }
+    }
+}

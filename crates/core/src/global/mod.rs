@@ -1,0 +1,59 @@
+//! Global reference constructions.
+//!
+//! Each spanner LCA in this crate is re-implemented here as a direct
+//! whole-graph construction: linear sweeps over adjacency lists instead of
+//! per-query probing. For a fixed `(graph, params, seed)` the reference
+//! produces *exactly* the spanner that the LCA's answers describe — this is
+//! the executable form of Definition 1.4's consistency requirement, and the
+//! cross-check that catches locality bugs (a probe the LCA forgot to make
+//! shows up as a disagreement with the sweep).
+//!
+//! The reference builders are also the fast path for materializing a spanner
+//! when you *do* want the whole thing (benchmarks, verification).
+
+mod five_global;
+mod k2_global;
+mod three_global;
+
+pub use five_global::five_spanner_global;
+pub use k2_global::{k2_partition, k2_spanner_global, K2Partition};
+pub use three_global::three_spanner_global;
+
+use std::collections::HashSet;
+
+use lca_graph::{Graph, Subgraph, VertexId};
+
+/// An edge set over vertex indices, normalized `(min, max)`.
+pub type EdgeSet = HashSet<(u32, u32)>;
+
+/// Normalizes an edge into the [`EdgeSet`] key form.
+pub fn key(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.raw() < v.raw() {
+        (u.raw(), v.raw())
+    } else {
+        (v.raw(), u.raw())
+    }
+}
+
+/// Converts an [`EdgeSet`] into a [`Subgraph`] of `graph`.
+pub fn into_subgraph(graph: &Graph, edges: &EdgeSet) -> Subgraph {
+    Subgraph::from_edges(
+        graph,
+        edges
+            .iter()
+            .map(|&(a, b)| (VertexId::from(a), VertexId::from(b))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_normalizes() {
+        assert_eq!(
+            key(VertexId::new(5), VertexId::new(2)),
+            key(VertexId::new(2), VertexId::new(5))
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Global reference construction of the Section 2 3-spanner.
+
+use lca_graph::{Graph, VertexId};
+use lca_rand::{Coin, Seed};
+
+use super::{key, EdgeSet};
+use crate::ThreeSpannerParams;
+
+/// Builds the exact 3-spanner that [`crate::ThreeSpanner`] with the same
+/// `(params, seed)` answers queries about, by direct global sweeps.
+///
+/// # Example
+///
+/// ```
+/// use lca_core::global::three_spanner_global;
+/// use lca_core::ThreeSpannerParams;
+/// use lca_graph::gen::structured;
+/// use lca_rand::Seed;
+///
+/// let g = structured::complete(12);
+/// let h = three_spanner_global(&g, &ThreeSpannerParams::for_n(12), Seed::new(1));
+/// assert!(!h.is_empty());
+/// ```
+pub fn three_spanner_global(graph: &Graph, params: &ThreeSpannerParams, seed: Seed) -> EdgeSet {
+    let n = graph.vertex_count();
+    let center_coin = Coin::new(seed.derive(0x3531), params.center_prob, params.independence);
+    let super_coin = Coin::new(
+        seed.derive(0x3532),
+        params.super_center_prob,
+        params.independence,
+    );
+
+    // Per-vertex center sets S(w) and S'(w) (prefix scans).
+    let s_of = |w: VertexId, coin: &Coin, block: usize| -> Vec<VertexId> {
+        graph
+            .neighbors(w)
+            .iter()
+            .take(block)
+            .copied()
+            .filter(|&x| coin.flip(graph.label(x)))
+            .collect()
+    };
+    let mut s: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    let mut sp: Vec<Vec<VertexId>> = Vec::with_capacity(n);
+    for w in graph.vertices() {
+        s.push(s_of(w, &center_coin, params.center_block));
+        sp.push(s_of(w, &super_coin, params.super_block));
+    }
+
+    let mut h = EdgeSet::new();
+
+    // E_low plus fallbacks for vertices whose sampled sets are empty.
+    for (u, v) in graph.edges() {
+        let (du, dv) = (graph.degree(u), graph.degree(v));
+        if du.min(dv) <= params.low_threshold {
+            h.insert(key(u, v));
+            continue;
+        }
+        // Both endpoints are above T_low here; the LCA keeps the edge if
+        // either endpoint's S-set is empty, or a super endpoint's S'-set is.
+        if s[u.index()].is_empty() || s[v.index()].is_empty() {
+            h.insert(key(u, v));
+            continue;
+        }
+        if (du > params.super_threshold && sp[u.index()].is_empty())
+            || (dv > params.super_threshold && sp[v.index()].is_empty())
+        {
+            h.insert(key(u, v));
+        }
+    }
+
+    // Center edges (w, s) for s ∈ S(w) ∪ S'(w).
+    for w in graph.vertices() {
+        for &c in s[w.index()].iter().chain(sp[w.index()].iter()) {
+            h.insert(key(w, c));
+        }
+    }
+
+    // E_high sweeps: scanners with degree in (T_low, T_super] keep one edge
+    // per newly-introduced center.
+    for w in graph.vertices() {
+        let dw = graph.degree(w);
+        if dw <= params.low_threshold || dw > params.super_threshold {
+            continue;
+        }
+        let mut covered: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &x in graph.neighbors(w) {
+            let sx = &s[x.index()];
+            if sx.iter().any(|c| !covered.contains(&c.raw())) {
+                h.insert(key(w, x));
+            }
+            covered.extend(sx.iter().map(|c| c.raw()));
+        }
+    }
+
+    // E_super block sweeps: every vertex, per block of its neighbor list,
+    // keeps one edge per newly-seen super-center.
+    let block = params.super_block.max(1);
+    for w in graph.vertices() {
+        for chunk in graph.neighbors(w).chunks(block) {
+            let mut covered: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            for &x in chunk {
+                let sx = &sp[x.index()];
+                if sx.iter().any(|c| !covered.contains(&c.raw())) {
+                    h.insert(key(w, x));
+                }
+                covered.extend(sx.iter().map(|c| c.raw()));
+            }
+        }
+    }
+
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::into_subgraph;
+    use crate::{EdgeSubgraphLca, ThreeSpanner};
+    use lca_graph::gen::{structured, ChungLuBuilder, GnpBuilder};
+
+    fn tiny_params() -> ThreeSpannerParams {
+        ThreeSpannerParams {
+            low_threshold: 3,
+            super_threshold: 8,
+            center_block: 3,
+            super_block: 8,
+            center_prob: 0.5,
+            super_center_prob: 0.3,
+            independence: 8,
+        }
+    }
+
+    /// The core consistency check: LCA answers == global construction.
+    fn assert_consistent(graph: &Graph, params: &ThreeSpannerParams, seed: Seed) {
+        let global = three_spanner_global(graph, params, seed);
+        let lca = ThreeSpanner::new(graph, params.clone(), seed);
+        for (u, v) in graph.edges() {
+            let local = lca.contains(u, v).unwrap();
+            assert_eq!(
+                local,
+                global.contains(&key(u, v)),
+                "disagreement on {u}-{v} (deg {} {}), seed {seed}",
+                graph.degree(u),
+                graph.degree(v)
+            );
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_on_random_graphs() {
+        for s in 0..6u64 {
+            let g = GnpBuilder::new(70, 0.35).seed(Seed::new(s)).build();
+            assert_consistent(&g, &tiny_params(), Seed::new(1000 + s));
+        }
+    }
+
+    #[test]
+    fn lca_matches_global_on_dense_graph() {
+        let g = structured::complete(30);
+        assert_consistent(&g, &tiny_params(), Seed::new(5));
+    }
+
+    #[test]
+    fn lca_matches_global_on_power_law() {
+        let g = ChungLuBuilder::power_law(150, 2.5, 8.0)
+            .seed(Seed::new(3))
+            .build();
+        assert_consistent(&g, &tiny_params(), Seed::new(6));
+    }
+
+    #[test]
+    fn lca_matches_global_with_default_params() {
+        let g = GnpBuilder::new(120, 0.3).seed(Seed::new(9)).build();
+        assert_consistent(&g, &ThreeSpannerParams::for_n(120), Seed::new(10));
+    }
+
+    #[test]
+    fn lca_matches_global_with_shuffled_labels() {
+        let g = GnpBuilder::new(60, 0.5)
+            .seed(Seed::new(2))
+            .shuffle_labels(true)
+            .build();
+        assert_consistent(&g, &tiny_params(), Seed::new(11));
+    }
+
+    #[test]
+    fn global_spanner_has_stretch_three() {
+        for s in 0..4u64 {
+            let g = GnpBuilder::new(80, 0.5).seed(Seed::new(40 + s)).build();
+            let h = three_spanner_global(&g, &tiny_params(), Seed::new(s));
+            let sub = into_subgraph(&g, &h);
+            assert!(sub.max_edge_stretch(&g, 4).unwrap() <= 3, "seed {s}");
+        }
+    }
+
+    #[test]
+    fn spanner_is_subset_of_graph() {
+        let g = GnpBuilder::new(50, 0.4).seed(Seed::new(1)).build();
+        let h = three_spanner_global(&g, &tiny_params(), Seed::new(2));
+        for &(a, b) in &h {
+            assert!(g.has_edge(VertexId::from(a), VertexId::from(b)));
+        }
+    }
+
+    #[test]
+    fn sparser_than_input_on_dense_instances() {
+        let g = structured::complete(64);
+        let h = three_spanner_global(&g, &tiny_params(), Seed::new(3));
+        assert!(
+            h.len() < g.edge_count(),
+            "spanner kept everything: {} of {}",
+            h.len(),
+            g.edge_count()
+        );
+    }
+}

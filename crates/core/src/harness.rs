@@ -1,0 +1,136 @@
+//! Measurement harness: materialize an LCA's subgraph and account probes.
+
+use lca_graph::{Graph, Subgraph};
+use lca_probe::{CountingOracle, Oracle, ProbeCounts};
+
+use crate::{EdgeSubgraphLca, LcaError};
+
+/// The outcome of replaying every edge query of a graph through an LCA.
+///
+/// `per_query_max` is the paper's *probe complexity* (maximum probes over
+/// queries); `per_query_mean` the average; `kept` the materialized spanner.
+#[derive(Debug)]
+pub struct SpannerRun {
+    /// The subgraph described by the LCA's YES answers.
+    pub kept: Subgraph,
+    /// Maximum probes spent on a single edge query.
+    pub per_query_max: u64,
+    /// Mean probes per edge query.
+    pub per_query_mean: f64,
+    /// Total probes across all queries, by kind.
+    pub total: ProbeCounts,
+    /// Number of edge queries issued (= m).
+    pub queries: usize,
+}
+
+impl SpannerRun {
+    /// Fraction of host edges kept.
+    pub fn keep_ratio(&self, graph: &Graph) -> f64 {
+        if graph.edge_count() == 0 {
+            0.0
+        } else {
+            self.kept.edge_count() as f64 / graph.edge_count() as f64
+        }
+    }
+}
+
+/// Queries the LCA on every edge of `graph` (whose probes must flow through
+/// `counter`) and returns the materialized subgraph plus probe statistics.
+///
+/// # Errors
+///
+/// Propagates the first [`LcaError`] (which, on a well-formed run over
+/// `graph.edges()`, indicates an LCA bug).
+pub fn measure_queries<O: Oracle, L: EdgeSubgraphLca>(
+    graph: &Graph,
+    counter: &CountingOracle<O>,
+    lca: &L,
+) -> Result<SpannerRun, LcaError> {
+    let mut kept = Vec::new();
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    let mut queries = 0usize;
+    let start = counter.counts();
+    for (u, v) in graph.edges() {
+        let scope = counter.scoped();
+        if lca.contains(u, v)? {
+            kept.push((u, v));
+        }
+        let cost = scope.cost().total();
+        max = max.max(cost);
+        sum += cost;
+        queries += 1;
+    }
+    Ok(SpannerRun {
+        kept: Subgraph::from_edges(graph, kept),
+        per_query_max: max,
+        per_query_mean: if queries == 0 {
+            0.0
+        } else {
+            sum as f64 / queries as f64
+        },
+        total: counter.counts().since(start),
+        queries,
+    })
+}
+
+/// Materializes the subgraph only (no probe accounting).
+///
+/// # Errors
+///
+/// Propagates the first [`LcaError`].
+pub fn materialize<L: EdgeSubgraphLca>(graph: &Graph, lca: &L) -> Result<Subgraph, LcaError> {
+    let mut kept = Vec::new();
+    for (u, v) in graph.edges() {
+        if lca.contains(u, v)? {
+            kept.push((u, v));
+        }
+    }
+    Ok(Subgraph::from_edges(graph, kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreeSpanner, ThreeSpannerParams};
+    use lca_graph::gen::GnpBuilder;
+    use lca_rand::Seed;
+
+    #[test]
+    fn measure_counts_probes_and_keeps_edges() {
+        let g = GnpBuilder::new(60, 0.3).seed(Seed::new(1)).build();
+        let counter = CountingOracle::new(&g);
+        let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(60), Seed::new(2));
+        let run = measure_queries(&g, &counter, &lca).unwrap();
+        assert_eq!(run.queries, g.edge_count());
+        assert!(run.per_query_max >= 1);
+        assert!(run.per_query_mean > 0.0);
+        assert!(run.total.total() > 0);
+        assert!(run.kept.edge_count() > 0);
+        assert!(run.keep_ratio(&g) <= 1.0);
+    }
+
+    #[test]
+    fn materialize_matches_measure() {
+        let g = GnpBuilder::new(40, 0.4).seed(Seed::new(3)).build();
+        let counter = CountingOracle::new(&g);
+        let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(40), Seed::new(4));
+        let run = measure_queries(&g, &counter, &lca).unwrap();
+        let sub = materialize(&g, &lca).unwrap();
+        assert_eq!(run.kept.edge_count(), sub.edge_count());
+        for (u, v) in sub.edges() {
+            assert!(run.kept.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_run() {
+        let g = lca_graph::GraphBuilder::new(5).build().unwrap();
+        let counter = CountingOracle::new(&g);
+        let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(5), Seed::new(0));
+        let run = measure_queries(&g, &counter, &lca).unwrap();
+        assert_eq!(run.queries, 0);
+        assert_eq!(run.per_query_max, 0);
+        assert_eq!(run.kept.edge_count(), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! The Voronoi supergraph G_Vor / H_Vor (paper Section 4.3.5).
+//!
+//! Contracting every Voronoi cell to a supervertex turns the dense subgraph
+//! into `G_Vor`; applying the same contraction to the spanner's inter-cell
+//! edges yields `H_Vor`. Lemma 4.12 asserts that `H_Vor` preserves the
+//! connectivity of `G_Vor`, and Lemma 4.13 that its stretch is O(k) w.h.p. —
+//! the two facts that compose into the O(k²) bound once each cell's
+//! diameter-2k Voronoi tree is expanded back.
+//!
+//! This module materializes both supergraphs from a [`K2Partition`] so tests
+//! and benches can check those lemmas directly.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use lca_graph::{Graph, VertexId};
+
+use crate::global::{EdgeSet, K2Partition};
+
+/// The contracted cell-level view of the dense subgraph and its spanner.
+#[derive(Debug)]
+pub struct Supergraph {
+    /// Cell centers, one per supervertex, sorted by raw index.
+    pub cells: Vec<VertexId>,
+    /// Adjacency between cells in `G_Vor` (indices into `cells`).
+    pub g_adj: Vec<HashSet<usize>>,
+    /// Adjacency between cells in `H_Vor`.
+    pub h_adj: Vec<HashSet<usize>>,
+}
+
+impl Supergraph {
+    /// Builds the supergraphs from a partition and a spanner edge set.
+    pub fn build(graph: &Graph, partition: &K2Partition, spanner: &EdgeSet) -> Self {
+        let mut cells: Vec<VertexId> = partition
+            .cell
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        cells.sort_by_key(|c| c.raw());
+        let index: HashMap<u32, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.raw(), i))
+            .collect();
+        let mut g_adj = vec![HashSet::new(); cells.len()];
+        let mut h_adj = vec![HashSet::new(); cells.len()];
+        for (u, v) in graph.edges() {
+            let (Some(cu), Some(cv)) = (partition.cell[u.index()], partition.cell[v.index()])
+            else {
+                continue;
+            };
+            if cu == cv {
+                continue;
+            }
+            let (iu, iv) = (index[&cu.raw()], index[&cv.raw()]);
+            g_adj[iu].insert(iv);
+            g_adj[iv].insert(iu);
+            let key = if u.raw() < v.raw() {
+                (u.raw(), v.raw())
+            } else {
+                (v.raw(), u.raw())
+            };
+            if spanner.contains(&key) {
+                h_adj[iu].insert(iv);
+                h_adj[iv].insert(iu);
+            }
+        }
+        Self {
+            cells,
+            g_adj,
+            h_adj,
+        }
+    }
+
+    /// Number of supervertices (cells).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Checks Lemma 4.12: every pair of cells connected in `G_Vor` is
+    /// connected in `H_Vor`. Returns the number of connected components of
+    /// each graph; the lemma holds iff they are equal.
+    pub fn connectivity_preserved(&self) -> (usize, usize) {
+        (components(&self.g_adj), components(&self.h_adj))
+    }
+
+    /// The maximum, over adjacent cell pairs in `G_Vor`, of their distance
+    /// in `H_Vor` — the supergraph stretch of Lemma 4.13 (`None` if some
+    /// adjacent pair is disconnected in `H_Vor`).
+    pub fn max_cell_stretch(&self, cap: usize) -> Option<usize> {
+        let mut worst = 0usize;
+        for a in 0..self.cell_count() {
+            // One BFS per cell covers all its adjacent pairs.
+            let dist = bfs(&self.h_adj, a, cap);
+            for &b in &self.g_adj[a] {
+                match dist.get(&b) {
+                    Some(&d) => worst = worst.max(d),
+                    None => return None,
+                }
+            }
+        }
+        Some(worst)
+    }
+}
+
+fn components(adj: &[HashSet<usize>]) -> usize {
+    let n = adj.len();
+    let mut seen = vec![false; n];
+    let mut count = 0;
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        count += 1;
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(x) = stack.pop() {
+            for &w in &adj[x] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    count
+}
+
+fn bfs(adj: &[HashSet<usize>], src: usize, cap: usize) -> HashMap<usize, usize> {
+    let mut dist = HashMap::new();
+    dist.insert(src, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[&x];
+        if dx >= cap {
+            continue;
+        }
+        for &w in &adj[x] {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(dx + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{k2_partition, k2_spanner_global};
+    use crate::K2Params;
+    use lca_graph::gen::RegularBuilder;
+    use lca_rand::Seed;
+
+    fn setup(n: usize, k: usize, c: f64, seed: u64) -> (Graph, Supergraph) {
+        let g = RegularBuilder::new(n, 4)
+            .seed(Seed::new(seed))
+            .build()
+            .unwrap();
+        let params = K2Params::with_center_constant(n, k, c);
+        let part = k2_partition(&g, &params, Seed::new(seed + 1));
+        let h = k2_spanner_global(&g, &params, Seed::new(seed + 1));
+        let sg = Supergraph::build(&g, &part, &h);
+        (g, sg)
+    }
+
+    #[test]
+    fn lemma_4_12_connectivity_is_preserved() {
+        for seed in [1u64, 2, 3] {
+            let (_, sg) = setup(400, 2, 3.0, seed);
+            assert!(sg.cell_count() > 1, "want a nontrivial supergraph");
+            let (gc, hc) = sg.connectivity_preserved();
+            assert_eq!(gc, hc, "seed {seed}: H_Vor split a G_Vor component");
+        }
+    }
+
+    #[test]
+    fn lemma_4_13_cell_stretch_is_small() {
+        let (_, sg) = setup(600, 2, 3.0, 7);
+        let stretch = sg.max_cell_stretch(64);
+        // w.h.p. O(k); allow generous slack but insist it is far below the
+        // trivial bound (#cells).
+        assert!(
+            matches!(stretch, Some(s) if s <= 16),
+            "cell stretch {stretch:?} on {} cells",
+            sg.cell_count()
+        );
+    }
+
+    #[test]
+    fn supergraph_of_all_centers_mirrors_the_graph() {
+        // center prob 1 ⇒ every vertex its own cell ⇒ G_Vor ≅ G_dense = G.
+        let g = lca_graph::gen::structured::cycle(12);
+        let mut params = K2Params::for_n(12, 2);
+        params.center_prob = 1.0;
+        let part = k2_partition(&g, &params, Seed::new(1));
+        let h = k2_spanner_global(&g, &params, Seed::new(1));
+        let sg = Supergraph::build(&g, &part, &h);
+        assert_eq!(sg.cell_count(), 12);
+        let degree_sum: usize = sg.g_adj.iter().map(|a| a.len()).sum();
+        assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+}

@@ -1,0 +1,62 @@
+//! The edge-subgraph LCA interface.
+
+use lca_graph::VertexId;
+
+use crate::LcaError;
+
+/// A local computation algorithm that defines a subgraph `H ⊆ G` by
+/// answering per-edge membership queries.
+///
+/// Implementations must satisfy the LCA contract of Definition 1.4:
+///
+/// * **Consistency** — for a fixed input graph and seed, the answers to all
+///   possible edge queries describe one subgraph; in particular the answer to
+///   `contains(u, v)` never depends on previous queries, and
+///   `contains(u, v) == contains(v, u)`.
+/// * **Locality** — each query costs a bounded number of oracle probes
+///   (the implementation's documented probe complexity).
+///
+/// The trait is object-safe, so harnesses can treat heterogeneous spanner
+/// LCAs uniformly.
+pub trait EdgeSubgraphLca {
+    /// Returns whether `{u, v}` belongs to the subgraph.
+    ///
+    /// # Errors
+    ///
+    /// [`LcaError::NotAnEdge`] if `{u, v}` is not an edge of the input graph.
+    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError>;
+
+    /// An upper bound on the stretch of the subgraph this LCA defines
+    /// (used by the verification harness as its search radius).
+    fn stretch_bound(&self) -> usize;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "edge-subgraph-lca"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct KeepAll;
+
+    impl EdgeSubgraphLca for KeepAll {
+        fn contains(&self, _u: VertexId, _v: VertexId) -> Result<bool, LcaError> {
+            Ok(true)
+        }
+
+        fn stretch_bound(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let lca: Box<dyn EdgeSubgraphLca> = Box::new(KeepAll);
+        assert!(lca.contains(VertexId::new(0), VertexId::new(1)).unwrap());
+        assert_eq!(lca.stretch_bound(), 1);
+        assert_eq!(lca.name(), "edge-subgraph-lca");
+    }
+}

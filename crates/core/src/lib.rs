@@ -1,0 +1,61 @@
+//! Local computation algorithms for graph spanners.
+//!
+//! This crate implements the constructions of *“Local Computation Algorithms
+//! for Spanners”* (Parter, Rubinfeld, Vakilian, Yodpinyanee, 2019): given
+//! probe access to a huge graph `G`, answer queries of the form *“is the edge
+//! `(u, v)` in the spanner `H ⊆ G`?”* consistently with one fixed sparse
+//! low-stretch spanner — without ever materializing `H`.
+//!
+//! | LCA | Stretch | Spanner size | Probes per query | Paper |
+//! |-----|---------|--------------|------------------|-------|
+//! | [`ThreeSpanner`] | 3 | Õ(n^{3/2}) | Õ(n^{3/4}) | §2, Thm 1.1 (r=2) |
+//! | [`FiveSpanner`]  | 5 | Õ(n^{4/3}) | Õ(n^{5/6}) | §3, Thm 1.1 (r=3), Thm 3.5 |
+//! | [`K2Spanner`]    | O(k²) | Õ(n^{1+1/k}) | Õ(∆⁴n^{2/3}) | §4, Thm 1.2 |
+//!
+//! Every LCA is paired with an independent **global reference construction**
+//! (module [`global`]) computing the same spanner by direct whole-graph
+//! sweeps; the test suite asserts the two agree edge-for-edge, which is the
+//! executable form of the paper's consistency requirement (Definition 1.4).
+//!
+//! Two engineering deviations from the paper, both documented in `DESIGN.md`:
+//! edge IDs are normalized to `(min label, max label)` so queries `(u,v)` and
+//! `(v,u)` agree, and every “w.h.p.” hitting-set event is backed by a
+//! deterministic fallback (a vertex whose sampled center set came up empty
+//! keeps all its incident edges), making the stretch bounds unconditional.
+//!
+//! # Example
+//!
+//! ```
+//! use lca_core::{EdgeSubgraphLca, ThreeSpanner};
+//! use lca_graph::gen::GnpBuilder;
+//! use lca_probe::CountingOracle;
+//! use lca_rand::Seed;
+//!
+//! let graph = GnpBuilder::new(300, 0.2).seed(Seed::new(1)).build();
+//! let oracle = CountingOracle::new(&graph);
+//! let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(42));
+//! let (u, v) = graph.edge_endpoints(0);
+//! let in_spanner = lca.contains(u, v)?;
+//! println!("edge {u}-{v} in spanner: {in_spanner}, probes: {}", oracle.counts());
+//! # Ok::<(), lca_core::LcaError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod error;
+mod five;
+pub mod global;
+mod harness;
+pub mod k2;
+mod lca;
+mod three;
+pub mod verify;
+
+pub use error::LcaError;
+pub use five::{EdgeClass, FiveSpanner, FiveSpannerParams};
+pub use harness::{materialize, measure_queries, SpannerRun};
+pub use k2::{K2Params, K2Spanner};
+pub use lca::EdgeSubgraphLca;
+pub use three::{ThreeSpanner, ThreeSpannerParams};

@@ -1,0 +1,474 @@
+//! The 3-spanner LCA (paper Section 2).
+//!
+//! Target: a 3-spanner with Õ(n^{3/2}) edges, queryable with Õ(n^{3/4})
+//! probes. Edges are split by endpoint degrees into
+//!
+//! * `E_low` — `min(deg u, deg v) ≤ √n`: kept wholesale (Section 2.1),
+//! * `E_high` — minimum degree in `(√n, n^{3/4}]`: handled by multiple-center
+//!   sets and a full neighbor-list scan (Section 2.2, Idea I),
+//! * `E_super` — handled by partitioning neighbor lists into blocks of
+//!   `n^{3/4}` and keeping one edge per newly-seen super-center per block
+//!   (Section 2.3, Idea II).
+//!
+//! The decision rules here are the *query-local* versions; the module
+//! [`crate::global`] re-derives the same spanner by global sweeps, and the
+//! test suite checks they agree edge-for-edge.
+
+use lca_graph::VertexId;
+use lca_probe::Oracle;
+use lca_rand::{Coin, Seed};
+
+use crate::common::{ceil_pow, ln_n, prefix_centers, scan_new_center};
+use crate::{EdgeSubgraphLca, LcaError};
+
+/// Tuning parameters of the 3-spanner construction.
+///
+/// [`ThreeSpannerParams::for_n`] gives the paper's defaults; tests override
+/// fields to exercise every edge class on small graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeSpannerParams {
+    /// `T_low`: all edges with an endpoint of degree ≤ this are kept
+    /// (paper: √n).
+    pub low_threshold: usize,
+    /// `T_super`: vertices above this degree are “super-high”
+    /// (paper: n^{3/4}).
+    pub super_threshold: usize,
+    /// Length of the neighbor-list prefix defining the multiple-center set
+    /// `S(v)` (paper: √n).
+    pub center_block: usize,
+    /// Block length for the super-high machinery, and the prefix defining
+    /// `S'(v)` (paper: n^{3/4}).
+    pub super_block: usize,
+    /// Sampling probability for centers `S` (paper: Θ(log n / √n)).
+    pub center_prob: f64,
+    /// Sampling probability for super-centers `S'` (paper: Θ(log n / n^{3/4})).
+    pub super_center_prob: f64,
+    /// Independence of the sampling hash family (paper: Θ(log n)).
+    pub independence: usize,
+}
+
+impl ThreeSpannerParams {
+    /// The paper's parameters for an n-vertex graph.
+    pub fn for_n(n: usize) -> Self {
+        let sqrt_n = ceil_pow(n, 1, 2);
+        let n34 = ceil_pow(n, 3, 4);
+        let log = ln_n(n);
+        Self {
+            low_threshold: sqrt_n,
+            super_threshold: n34,
+            center_block: sqrt_n,
+            super_block: n34,
+            center_prob: (1.5 * log / sqrt_n as f64).min(1.0),
+            super_center_prob: (1.5 * log / n34 as f64).min(1.0),
+            independence: (2.0 * log).ceil().max(8.0) as usize,
+        }
+    }
+}
+
+/// Degree-based edge classes of the 3-spanner construction (Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreeEdgeClass {
+    /// `min(deg u, deg v) ≤ T_low`.
+    Low,
+    /// `T_low < min ≤ T_super`.
+    High,
+    /// `min > T_super`.
+    Super,
+}
+
+/// LCA for 3-spanners (Theorem 1.1, r = 2).
+///
+/// Construct once per `(graph, seed)`; [`ThreeSpanner::contains`] then
+/// answers any edge query independently, consistently with one fixed spanner.
+///
+/// # Example
+///
+/// ```
+/// use lca_core::{EdgeSubgraphLca, ThreeSpanner};
+/// use lca_graph::gen::structured;
+/// use lca_rand::Seed;
+///
+/// let g = structured::complete(20);
+/// let lca = ThreeSpanner::with_defaults(&g, Seed::new(3));
+/// let (u, v) = g.edge_endpoints(0);
+/// assert_eq!(lca.contains(u, v)?, lca.contains(v, u)?);
+/// # Ok::<(), lca_core::LcaError>(())
+/// ```
+#[derive(Debug)]
+pub struct ThreeSpanner<O> {
+    oracle: O,
+    params: ThreeSpannerParams,
+    center_coin: Coin,
+    super_coin: Coin,
+}
+
+impl<O: Oracle> ThreeSpanner<O> {
+    /// Creates the LCA with explicit parameters.
+    pub fn new(oracle: O, params: ThreeSpannerParams, seed: Seed) -> Self {
+        let center_coin = Coin::new(seed.derive(0x3531), params.center_prob, params.independence);
+        let super_coin = Coin::new(
+            seed.derive(0x3532),
+            params.super_center_prob,
+            params.independence,
+        );
+        Self {
+            oracle,
+            params,
+            center_coin,
+            super_coin,
+        }
+    }
+
+    /// Creates the LCA with the paper's parameters for the oracle's `n`.
+    pub fn with_defaults(oracle: O, seed: Seed) -> Self {
+        let params = ThreeSpannerParams::for_n(oracle.vertex_count());
+        Self::new(oracle, params, seed)
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &ThreeSpannerParams {
+        &self.params
+    }
+
+    /// Whether vertex label `l` was sampled into the center set `S`
+    /// (probe-free, Observation 2.3).
+    pub fn is_center(&self, label: u64) -> bool {
+        self.center_coin.flip(label)
+    }
+
+    /// Whether vertex label `l` was sampled into the super-center set `S'`.
+    pub fn is_super_center(&self, label: u64) -> bool {
+        self.super_coin.flip(label)
+    }
+
+    /// Classifies an edge by its endpoint degrees (2 Degree probes).
+    pub fn classify(&self, u: VertexId, v: VertexId) -> ThreeEdgeClass {
+        let m = self.oracle.degree(u).min(self.oracle.degree(v));
+        if m <= self.params.low_threshold {
+            ThreeEdgeClass::Low
+        } else if m <= self.params.super_threshold {
+            ThreeEdgeClass::High
+        } else {
+            ThreeEdgeClass::Super
+        }
+    }
+
+    /// `S(w)`: sampled centers among the first `center_block` neighbors.
+    fn s_set(&self, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(
+            &self.oracle,
+            &self.center_coin,
+            w,
+            self.params.center_block,
+            None,
+        )
+    }
+
+    /// `S'(w)`: sampled super-centers among the first `super_block` neighbors.
+    fn s_prime_set(&self, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(
+            &self.oracle,
+            &self.super_coin,
+            w,
+            self.params.super_block,
+            None,
+        )
+    }
+
+    /// The E_high scan from scanner `w` (Section 2.2): does the endpoint at
+    /// position `other_idx` of `Γ(w)` introduce a center of `s_other` not
+    /// seen earlier in the list?
+    fn high_scan(&self, w: VertexId, other_idx: usize, s_other: &[VertexId]) -> bool {
+        scan_new_center(
+            &self.oracle,
+            w,
+            0,
+            other_idx,
+            s_other,
+            self.params.center_block,
+        )
+    }
+
+    /// The E_super block scan from scanner `w` (Section 2.3): restricted to
+    /// the block of `Γ(w)` containing position `other_idx`.
+    fn super_scan(&self, w: VertexId, other_idx: usize, sp_other: &[VertexId]) -> bool {
+        let block = self.params.super_block.max(1);
+        let start = (other_idx / block) * block;
+        scan_new_center(
+            &self.oracle,
+            w,
+            start,
+            other_idx,
+            sp_other,
+            self.params.super_block,
+        )
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
+        let n = self.oracle.vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex {
+                v,
+                vertex_count: n,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
+    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let o = &self.oracle;
+        let p = &self.params;
+        // Position of u in Γ(v) and of v in Γ(u); also the edge check.
+        let Some(idx_vu) = o.adjacency(v, u) else {
+            return Err(LcaError::NotAnEdge { u, v });
+        };
+        let idx_uv = o
+            .adjacency(u, v)
+            .ok_or(LcaError::NotAnEdge { u, v })?;
+
+        let du = o.degree(u);
+        let dv = o.degree(v);
+
+        // E_low: keep every edge touching a low-degree vertex.
+        if du.min(dv) <= p.low_threshold {
+            return Ok(true);
+        }
+
+        // Center edges: u ∈ S(v) ∪ S'(v) or v ∈ S(u) ∪ S'(u).
+        let (lu, lv) = (o.label(u), o.label(v));
+        if self.is_center(lu) && idx_vu < p.center_block {
+            return Ok(true);
+        }
+        if self.is_center(lv) && idx_uv < p.center_block {
+            return Ok(true);
+        }
+        if self.is_super_center(lu) && idx_vu < p.super_block {
+            return Ok(true);
+        }
+        if self.is_super_center(lv) && idx_uv < p.super_block {
+            return Ok(true);
+        }
+
+        // Multiple-center sets of both endpoints, plus deterministic
+        // fallbacks: a high-degree vertex whose sampled set is empty keeps
+        // all of its edges (DESIGN.md deviation #2).
+        let su = self.s_set(u);
+        let sv = self.s_set(v);
+        if su.is_empty() || sv.is_empty() {
+            // du, dv > low_threshold here, so both sets should be non-empty
+            // w.h.p.; an empty set triggers the fallback.
+            return Ok(true);
+        }
+        let spu = self.s_prime_set(u);
+        let spv = self.s_prime_set(v);
+        if (du > p.super_threshold && spu.is_empty())
+            || (dv > p.super_threshold && spv.is_empty())
+        {
+            return Ok(true);
+        }
+
+        // E_high scans: any endpoint with degree in (T_low, T_super] scans
+        // its full neighbor list for newly-introduced centers.
+        if dv <= p.super_threshold && self.high_scan(v, idx_vu, &su) {
+            return Ok(true);
+        }
+        if du <= p.super_threshold && self.high_scan(u, idx_uv, &sv) {
+            return Ok(true);
+        }
+
+        // E_super block scans: every vertex keeps one edge per newly-seen
+        // super-center within each block of its neighbor list.
+        if self.super_scan(v, idx_vu, &spu) {
+            return Ok(true);
+        }
+        if self.super_scan(u, idx_uv, &spv) {
+            return Ok(true);
+        }
+
+        Ok(false)
+    }
+
+    fn stretch_bound(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "three-spanner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::{structured, GnpBuilder};
+    use lca_graph::Subgraph;
+
+    fn tiny_params() -> ThreeSpannerParams {
+        // Thresholds small enough that a ~30-vertex graph exercises the
+        // high and super classes.
+        ThreeSpannerParams {
+            low_threshold: 3,
+            super_threshold: 8,
+            center_block: 3,
+            super_block: 8,
+            center_prob: 0.5,
+            super_center_prob: 0.3,
+            independence: 8,
+        }
+    }
+
+    #[test]
+    fn default_params_match_paper_exponents() {
+        let p = ThreeSpannerParams::for_n(10_000);
+        assert_eq!(p.low_threshold, 100); // √n
+        assert_eq!(p.super_threshold, 1000); // n^{3/4}
+        assert_eq!(p.center_block, 100);
+        assert!(p.center_prob > 0.0 && p.center_prob <= 1.0);
+    }
+
+    #[test]
+    fn low_degree_edges_are_always_kept() {
+        let g = structured::path(30);
+        let lca = ThreeSpanner::with_defaults(&g, Seed::new(1));
+        for (u, v) in g.edges() {
+            assert!(lca.contains(u, v).unwrap());
+        }
+    }
+
+    #[test]
+    fn queries_are_symmetric() {
+        let g = GnpBuilder::new(80, 0.4).seed(Seed::new(2)).build();
+        let lca = ThreeSpanner::new(&g, tiny_params(), Seed::new(7));
+        for (u, v) in g.edges() {
+            assert_eq!(
+                lca.contains(u, v).unwrap(),
+                lca.contains(v, u).unwrap(),
+                "asymmetric answer on {u}-{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_edge_queries_error() {
+        let g = structured::path(5);
+        let lca = ThreeSpanner::with_defaults(&g, Seed::new(1));
+        let err = lca.contains(VertexId::new(0), VertexId::new(3)).unwrap_err();
+        assert!(matches!(err, LcaError::NotAnEdge { .. }));
+        let err = lca.contains(VertexId::new(0), VertexId::new(99)).unwrap_err();
+        assert!(matches!(err, LcaError::InvalidVertex { .. }));
+    }
+
+    #[test]
+    fn answers_are_deterministic_and_order_independent() {
+        let g = GnpBuilder::new(60, 0.5).seed(Seed::new(3)).build();
+        let lca = ThreeSpanner::new(&g, tiny_params(), Seed::new(9));
+        let forward: Vec<bool> = g.edges().map(|(u, v)| lca.contains(u, v).unwrap()).collect();
+        let backward: Vec<bool> = {
+            let edges: Vec<_> = g.edges().collect();
+            let mut tmp: Vec<(usize, bool)> = edges
+                .iter()
+                .enumerate()
+                .rev()
+                .map(|(i, &(u, v))| (i, lca.contains(u, v).unwrap()))
+                .collect();
+            tmp.sort_by_key(|&(i, _)| i);
+            tmp.into_iter().map(|(_, b)| b).collect()
+        };
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn stretch_is_at_most_three_on_dense_graphs() {
+        for seed in 0..5u64 {
+            let g = GnpBuilder::new(70, 0.5).seed(Seed::new(100 + seed)).build();
+            let lca = ThreeSpanner::new(&g, tiny_params(), Seed::new(seed));
+            let kept = g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap());
+            let h = Subgraph::from_edges(&g, kept);
+            let stretch = h.max_edge_stretch(&g, 4);
+            assert!(
+                stretch.is_some(),
+                "seed {seed}: spanner disconnected an edge"
+            );
+            assert!(stretch.unwrap() <= 3, "seed {seed}: stretch {stretch:?}");
+        }
+    }
+
+    #[test]
+    fn stretch_three_with_shuffled_adversarial_orders() {
+        let g = GnpBuilder::new(64, 0.6)
+            .seed(Seed::new(5))
+            .shuffle_labels(true)
+            .build();
+        let lca = ThreeSpanner::new(&g, tiny_params(), Seed::new(77));
+        let kept = g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap());
+        let h = Subgraph::from_edges(&g, kept);
+        assert!(h.max_edge_stretch(&g, 4).unwrap() <= 3);
+    }
+
+    #[test]
+    fn complete_graph_is_sparsified() {
+        // K_64 with parameters scaled so the Õ(·) overheads are genuinely
+        // below n²: big center prefixes (rare fallbacks), few super-centers.
+        let g = structured::complete(64);
+        let params = ThreeSpannerParams {
+            low_threshold: 8,
+            super_threshold: 16,
+            center_block: 12,
+            super_block: 64,
+            center_prob: 0.4,
+            super_center_prob: 0.08,
+            independence: 8,
+        };
+        let lca = ThreeSpanner::new(&g, params, Seed::new(4));
+        let kept = g
+            .edges()
+            .filter(|&(u, v)| lca.contains(u, v).unwrap())
+            .count();
+        assert!(
+            kept * 2 < g.edge_count(),
+            "kept {kept}/{}",
+            g.edge_count()
+        );
+        // And it is still a 3-spanner.
+        let h = Subgraph::from_edges(
+            &g,
+            g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
+        );
+        assert!(h.max_edge_stretch(&g, 4).unwrap() <= 3);
+    }
+
+    #[test]
+    fn classify_matches_degrees() {
+        let g = structured::star(20); // hub degree 19, leaves degree 1
+        let p = ThreeSpannerParams {
+            low_threshold: 0,
+            super_threshold: 10,
+            ..tiny_params()
+        };
+        let lca = ThreeSpanner::new(&g, p, Seed::new(1));
+        // Edge hub-leaf: min degree 1 > 0? no, 1 > 0 yes... min = 1 > low=0,
+        // and min = 1 <= super=10 → High.
+        let (u, v) = g.edge_endpoints(0);
+        assert_eq!(lca.classify(u, v), ThreeEdgeClass::High);
+    }
+
+    #[test]
+    fn center_probability_one_keeps_center_edges() {
+        let mut p = tiny_params();
+        p.center_prob = 1.0;
+        let g = GnpBuilder::new(30, 0.6).seed(Seed::new(8)).build();
+        let lca = ThreeSpanner::new(&g, p.clone(), Seed::new(8));
+        // Every vertex is a center, so every edge within the first
+        // center_block positions of either endpoint's list is kept.
+        for (u, v) in g.edges() {
+            let idx = g.adjacency_index(v, u).unwrap();
+            if idx < p.center_block {
+                assert!(lca.contains(u, v).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Spanner verification: stretch, consistency, subset checks.
+
+use lca_graph::{Graph, Subgraph, VertexId};
+
+use crate::{EdgeSubgraphLca, LcaError};
+
+/// The verdict of [`verify_spanner`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannerVerdict {
+    /// Maximum detour length over omitted host edges (`None` ⇒ some omitted
+    /// edge's endpoints are disconnected in the subgraph, i.e. infinite
+    /// stretch).
+    pub max_stretch: Option<u32>,
+    /// Edges kept.
+    pub kept_edges: usize,
+    /// Edges in the host graph.
+    pub host_edges: usize,
+    /// The claimed stretch bound that was checked.
+    pub bound: usize,
+}
+
+impl SpannerVerdict {
+    /// Whether the subgraph is a spanner within the claimed bound.
+    pub fn holds(&self) -> bool {
+        matches!(self.max_stretch, Some(s) if s as usize <= self.bound)
+    }
+}
+
+/// Checks that `subgraph` is a `bound`-spanner of `graph`.
+///
+/// For unweighted spanners it suffices to check host edges: if every omitted
+/// edge has a detour of length ≤ `bound`, every pairwise distance is
+/// stretched by at most `bound` as well.
+pub fn verify_spanner(graph: &Graph, subgraph: &Subgraph, bound: usize) -> SpannerVerdict {
+    let max_stretch = subgraph.max_edge_stretch(graph, bound as u32 + 1);
+    SpannerVerdict {
+        max_stretch,
+        kept_edges: subgraph.edge_count(),
+        host_edges: graph.edge_count(),
+        bound,
+    }
+}
+
+/// Replays every edge query in both orientations and in two different global
+/// orders, asserting the LCA's answers are identical — the executable
+/// consistency requirement of Definition 1.4.
+///
+/// Returns the number of YES answers.
+///
+/// # Errors
+///
+/// Propagates [`LcaError`] from the LCA.
+///
+/// # Panics
+///
+/// Panics (with a descriptive message) on any inconsistency.
+pub fn assert_query_consistency<L: EdgeSubgraphLca>(
+    graph: &Graph,
+    lca: &L,
+) -> Result<usize, LcaError> {
+    let edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+    let forward: Vec<bool> = edges
+        .iter()
+        .map(|&(u, v)| lca.contains(u, v))
+        .collect::<Result<_, _>>()?;
+    // Reverse orientation.
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        let back = lca.contains(v, u)?;
+        assert_eq!(
+            forward[i], back,
+            "orientation-dependent answer on {u}-{v}"
+        );
+    }
+    // Reverse order re-query.
+    for (i, &(u, v)) in edges.iter().enumerate().rev() {
+        let again = lca.contains(u, v)?;
+        assert_eq!(forward[i], again, "history-dependent answer on {u}-{v}");
+    }
+    Ok(forward.iter().filter(|&&b| b).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreeSpanner, ThreeSpannerParams};
+    use lca_graph::gen::{structured, GnpBuilder};
+    use lca_rand::Seed;
+
+    #[test]
+    fn verdict_on_exact_spanner() {
+        let g = structured::cycle(8);
+        let all = Subgraph::from_edges(&g, g.edges());
+        let v = verify_spanner(&g, &all, 1);
+        assert!(v.holds());
+        assert_eq!(v.max_stretch, Some(1));
+        assert_eq!(v.kept_edges, 8);
+    }
+
+    #[test]
+    fn verdict_detects_violation() {
+        let g = structured::cycle(8);
+        let tree = Subgraph::from_edges(&g, g.edges().take(7));
+        let v = verify_spanner(&g, &tree, 3);
+        assert!(!v.holds());
+        // Detour exists but exceeds 3: reported as None (search capped).
+        assert_eq!(v.max_stretch, None);
+        let v = verify_spanner(&g, &tree, 7);
+        assert!(v.holds());
+        assert_eq!(v.max_stretch, Some(7));
+    }
+
+    #[test]
+    fn verdict_detects_disconnection() {
+        let g = structured::path(4);
+        let partial = Subgraph::from_edges(&g, g.edges().take(1));
+        let v = verify_spanner(&g, &partial, 10);
+        assert!(!v.holds());
+        assert_eq!(v.max_stretch, None);
+    }
+
+    #[test]
+    fn consistency_harness_passes_for_three_spanner() {
+        let g = GnpBuilder::new(50, 0.4).seed(Seed::new(7)).build();
+        let lca = ThreeSpanner::new(&g, ThreeSpannerParams::for_n(50), Seed::new(8));
+        let yes = assert_query_consistency(&g, &lca).unwrap();
+        assert!(yes > 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Breadth-first search primitives.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, VertexId};
+
+/// Distance label for unreachable vertices.
+pub(crate) const UNREACHED: u32 = u32::MAX;
+
+/// Single-source BFS distances; unreachable vertices get `u32::MAX`.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::{analysis::bfs_distances, gen::structured, VertexId};
+/// let g = structured::path(4);
+/// let d = bfs_distances(&g, VertexId::new(0));
+/// assert_eq!(d, vec![0, 1, 2, 3]);
+/// ```
+pub fn bfs_distances(graph: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; graph.vertex_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in graph.neighbors(u) {
+            if dist[w.index()] == UNREACHED {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS truncated at `max_dist` hops and `max_visited` discovered vertices.
+/// Returns `(vertex, distance)` pairs in discovery order (source first).
+pub fn bfs_limited(
+    graph: &Graph,
+    source: VertexId,
+    max_dist: u32,
+    max_visited: usize,
+) -> Vec<(VertexId, u32)> {
+    let mut out = Vec::new();
+    if max_visited == 0 {
+        return out;
+    }
+    let mut dist = std::collections::HashMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(source, 0u32);
+    out.push((source, 0));
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if du >= max_dist {
+            continue;
+        }
+        for &w in graph.neighbors(u) {
+            if out.len() >= max_visited {
+                return out;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(du + 1);
+                out.push((w, du + 1));
+                queue.push_back(w);
+            }
+        }
+    }
+    out
+}
+
+/// Shortest-path distance between `u` and `v` if it is at most `bound`,
+/// else `None`. Runs a truncated BFS from `u`.
+pub fn distance_within(graph: &Graph, u: VertexId, v: VertexId, bound: u32) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let mut dist = std::collections::HashMap::new();
+    let mut queue = VecDeque::new();
+    dist.insert(u, 0u32);
+    queue.push_back(u);
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[&x];
+        if dx >= bound {
+            continue;
+        }
+        for &w in graph.neighbors(x) {
+            if w == v {
+                return Some(dx + 1);
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                e.insert(dx + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// The eccentricity of `source` (max distance to a reachable vertex).
+pub fn eccentricity(graph: &Graph, source: VertexId) -> u32 {
+    bfs_distances(graph, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = structured::cycle(6);
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_flagged() {
+        let g = crate::GraphBuilder::new(4).edge(0, 1).build().unwrap();
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHED);
+        assert_eq!(d[3], UNREACHED);
+    }
+
+    #[test]
+    fn limited_bfs_respects_radius() {
+        let g = structured::path(10);
+        let visited = bfs_limited(&g, VertexId::new(0), 3, usize::MAX);
+        assert_eq!(visited.len(), 4); // v0..v3
+        assert!(visited.iter().all(|&(_, d)| d <= 3));
+    }
+
+    #[test]
+    fn limited_bfs_respects_visit_cap() {
+        let g = structured::star(50);
+        let visited = bfs_limited(&g, VertexId::new(0), 10, 5);
+        assert_eq!(visited.len(), 5);
+        assert_eq!(visited[0], (VertexId::new(0), 0));
+    }
+
+    #[test]
+    fn limited_bfs_discovery_order_is_adjacency_order() {
+        let g = crate::GraphBuilder::new(4)
+            .edge(0, 2)
+            .edge(0, 1)
+            .edge(0, 3)
+            .build()
+            .unwrap();
+        let visited: Vec<usize> = bfs_limited(&g, VertexId::new(0), 1, usize::MAX)
+            .into_iter()
+            .map(|(v, _)| v.index())
+            .collect();
+        assert_eq!(visited, vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn distance_within_bounds() {
+        let g = structured::path(8);
+        let (a, b) = (VertexId::new(0), VertexId::new(5));
+        assert_eq!(distance_within(&g, a, b, 5), Some(5));
+        assert_eq!(distance_within(&g, a, b, 4), None);
+        assert_eq!(distance_within(&g, a, a, 0), Some(0));
+    }
+
+    #[test]
+    fn eccentricity_of_path_end() {
+        let g = structured::path(7);
+        assert_eq!(eccentricity(&g, VertexId::new(0)), 6);
+        assert_eq!(eccentricity(&g, VertexId::new(3)), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Connectivity: union–find and component labelling.
+
+use crate::{Graph, VertexId};
+
+/// A classic disjoint-set forest with path halving and union by size.
+///
+/// Exposed publicly because the lower-bound crate uses it to certify that
+/// D⁻ instances really are disconnected across the designated edge.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::analysis::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp; // path halving
+            x = gp;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// Labels each vertex with a component id in `[0, #components)`; returns
+/// `(labels, component_count)`.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.vertex_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if labels[s] != u32::MAX {
+            continue;
+        }
+        labels[s] = next;
+        stack.push(VertexId::new(s));
+        while let Some(u) = stack.pop() {
+            for &w in graph.neighbors(u) {
+                if labels[w.index()] == u32::MAX {
+                    labels[w.index()] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(graph: &Graph) -> bool {
+    connected_components(graph).1 <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_count(), 3);
+    }
+
+    #[test]
+    fn components_on_disjoint_paths() {
+        let g = GraphBuilder::new(6)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build()
+            .unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_families() {
+        assert!(is_connected(&structured::cycle(9)));
+        assert!(is_connected(&structured::grid(4, 5)));
+        assert!(is_connected(&structured::dumbbell(4, 2)));
+        assert!(is_connected(&GraphBuilder::new(0).build().unwrap()));
+        assert!(is_connected(&GraphBuilder::new(1).build().unwrap()));
+    }
+}

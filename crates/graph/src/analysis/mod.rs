@@ -1,0 +1,13 @@
+//! Graph analysis utilities: BFS, connectivity, degree statistics.
+//!
+//! These are *global* algorithms — the verification side of the workspace.
+//! LCAs never call them; the test and bench harnesses use them to check
+//! stretch, connectivity preservation, and workload shapes.
+
+mod bfs;
+mod connectivity;
+mod stats;
+
+pub use bfs::{bfs_distances, bfs_limited, distance_within, eccentricity};
+pub use connectivity::{connected_components, is_connected, UnionFind};
+pub use stats::DegreeStats;

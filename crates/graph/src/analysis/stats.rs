@@ -1,0 +1,123 @@
+//! Degree statistics for workload characterization.
+
+use crate::Graph;
+
+/// Summary statistics of a graph's degree sequence.
+///
+/// The spanner constructions branch on degree thresholds (√n, n^{3/4},
+/// ∆_med, ∆_super, …); the bench harness prints these stats so every table
+/// row documents which regime the workload actually hit.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::{analysis::DegreeStats, gen::structured};
+/// let s = DegreeStats::compute(&structured::star(11));
+/// assert_eq!(s.max, 10);
+/// assert_eq!(s.min, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree ∆.
+    pub max: usize,
+    /// Mean degree 2m/n.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Number of vertices with degree at least each power of two:
+    /// `at_least[i] = #{v : deg(v) >= 2^i}`.
+    pub at_least_pow2: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Computes the statistics (O(n log n)).
+    pub fn compute(graph: &Graph) -> Self {
+        let mut degrees: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let (min, max, median) = if n == 0 {
+            (0, 0, 0)
+        } else {
+            (degrees[0], degrees[n - 1], degrees[n / 2])
+        };
+        let max_pow = if max == 0 {
+            0
+        } else {
+            (usize::BITS - max.leading_zeros()) as usize
+        };
+        let mut at_least_pow2 = Vec::with_capacity(max_pow + 1);
+        for i in 0..=max_pow {
+            let threshold = 1usize << i;
+            let idx = degrees.partition_point(|&d| d < threshold);
+            at_least_pow2.push(n - idx);
+        }
+        Self {
+            min,
+            max,
+            mean: graph.avg_degree(),
+            median,
+            at_least_pow2,
+        }
+    }
+
+    /// Number of vertices with degree at least `threshold` (recomputed from
+    /// the graph would be exact; this interpolates from the pow-2 table and
+    /// is exact when `threshold` is a power of two).
+    pub fn count_at_least_pow2(&self, i: usize) -> usize {
+        self.at_least_pow2.get(i).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deg[min={} med={} mean={:.2} max={}]",
+            self.min, self.median, self.mean, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_star() {
+        let s = DegreeStats::compute(&structured::star(9));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 16.0 / 9.0).abs() < 1e-12);
+        // One vertex has degree >= 8 = 2^3.
+        assert_eq!(s.count_at_least_pow2(3), 1);
+        // All 9 have degree >= 1 = 2^0.
+        assert_eq!(s.count_at_least_pow2(0), 9);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let s = DegreeStats::compute(&GraphBuilder::new(0).build().unwrap());
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn stats_on_regular_graph() {
+        let s = DegreeStats::compute(&structured::cycle(10));
+        assert_eq!((s.min, s.max, s.median), (2, 2, 2));
+        assert_eq!(s.count_at_least_pow2(1), 10);
+        assert_eq!(s.count_at_least_pow2(2), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = DegreeStats::compute(&structured::cycle(5));
+        assert!(format!("{s}").contains("max=2"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Validated graph construction.
+
+use std::collections::HashSet;
+
+use lca_rand::Seed;
+
+use crate::graph::Edge;
+use crate::{Graph, GraphError, VertexId};
+
+/// Builder for [`Graph`].
+///
+/// Enforces the simple-graph invariants of the LCA model (no self-loops, no
+/// parallel edges) and controls the two “arbitrary but fixed” inputs the
+/// algorithms are sensitive to: adjacency-list order and vertex labels.
+///
+/// By default, adjacency lists are in edge-insertion order and labels are
+/// `0..n`. [`GraphBuilder::shuffle_labels`] and
+/// [`GraphBuilder::shuffle_adjacency`] derange both deterministically — the
+/// adversarial inputs used by the test suite.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::GraphBuilder;
+/// let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build()?;
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), lca_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    labels: Option<Vec<u64>>,
+    shuffle_labels: Option<Seed>,
+    shuffle_adjacency: Option<Seed>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Starts a graph on `n` vertices with no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+            labels: None,
+            shuffle_labels: None,
+            shuffle_adjacency: None,
+            dedup: false,
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}` (validated at [`build`]).
+    ///
+    /// [`build`]: GraphBuilder::build
+    pub fn edge(mut self, u: usize, v: usize) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges.
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Sets explicit labels (must be unique and of length `n`).
+    pub fn labels(mut self, labels: Vec<u64>) -> Self {
+        self.labels = Some(labels);
+        self
+    }
+
+    /// Replaces the default `0..n` labels with a deterministic pseudorandom
+    /// permutation of a sparse 48-bit label space.
+    pub fn shuffle_labels(mut self, seed: Seed) -> Self {
+        self.shuffle_labels = Some(seed);
+        self
+    }
+
+    /// Deterministically shuffles every adjacency list (the “arbitrary
+    /// order” adversary).
+    pub fn shuffle_adjacency(mut self, seed: Seed) -> Self {
+        self.shuffle_adjacency = Some(seed);
+        self
+    }
+
+    /// Silently drops duplicate edges and self-loops instead of failing.
+    /// Used by generators that may produce collisions.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Number of edges currently staged (before dedup).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] on out-of-range endpoints, self-loops or
+    /// parallel edges (unless [`dedup`](GraphBuilder::dedup) is set), or
+    /// invalid label vectors.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        // Validate and normalize edges.
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(self.edges.len());
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edges.len());
+        for &(a, b) in &self.edges {
+            if a >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    index: a,
+                    vertex_count: n,
+                });
+            }
+            if b >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    index: b,
+                    vertex_count: n,
+                });
+            }
+            if a == b {
+                if self.dedup {
+                    continue;
+                }
+                return Err(GraphError::SelfLoop {
+                    vertex: VertexId::new(a),
+                });
+            }
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if !seen.insert((lo as u32, hi as u32)) {
+                if self.dedup {
+                    continue;
+                }
+                return Err(GraphError::ParallelEdge {
+                    u: VertexId::new(lo),
+                    v: VertexId::new(hi),
+                });
+            }
+            edges.push((VertexId::new(lo), VertexId::new(hi)));
+        }
+
+        // Labels.
+        let labels = match (self.labels, self.shuffle_labels) {
+            (Some(_), Some(_)) => {
+                return Err(GraphError::InvalidLabels {
+                    reason: "both explicit labels and shuffle_labels were set".into(),
+                })
+            }
+            (Some(labels), None) => {
+                if labels.len() != n {
+                    return Err(GraphError::InvalidLabels {
+                        reason: format!("expected {n} labels, got {}", labels.len()),
+                    });
+                }
+                let distinct: HashSet<&u64> = labels.iter().collect();
+                if distinct.len() != n {
+                    return Err(GraphError::InvalidLabels {
+                        reason: "labels are not unique".into(),
+                    });
+                }
+                labels
+            }
+            (None, Some(seed)) => sparse_label_permutation(n, seed),
+            (None, None) => (0..n as u64).collect(),
+        };
+
+        // CSR assembly, preserving insertion order of the directed arcs.
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![VertexId::new(0); acc];
+        for &(u, v) in &edges {
+            adjacency[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            adjacency[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+
+        if let Some(seed) = self.shuffle_adjacency {
+            for u in 0..n {
+                let slice = &mut adjacency[offsets[u]..offsets[u + 1]];
+                fisher_yates(slice, seed.derive2(0xAD7A, u as u64));
+            }
+        }
+
+        Ok(Graph::from_parts(offsets, adjacency, labels, edges))
+    }
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a [`Seed`].
+fn fisher_yates<T>(slice: &mut [T], seed: Seed) {
+    let mut stream = seed.stream();
+    let len = slice.len();
+    for i in (1..len).rev() {
+        let j = stream.next_below(i as u64 + 1) as usize;
+        slice.swap(i, j);
+    }
+}
+
+/// Unique pseudorandom 48-bit labels: a random base permutation of `0..n`
+/// offset into a sparse space so labels are far from indices.
+fn sparse_label_permutation(n: usize, seed: Seed) -> Vec<u64> {
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    fisher_yates(&mut labels, seed.derive(0x4C41_4245));
+    let offset = seed.derive(0x4F46_4653).value() & 0xFFFF_FFFF;
+    // Spread: label = π(i) * stride + offset keeps uniqueness.
+    let stride = 2_654_435_761u64; // odd ⇒ injective modulo 2^64
+    labels
+        .iter()
+        .map(|&l| l.wrapping_mul(stride).wrapping_add(offset) & 0xFFFF_FFFF_FFFF)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = GraphBuilder::new(2).edge(1, 1).build().unwrap_err();
+        assert!(matches!(err, GraphError::SelfLoop { .. }));
+    }
+
+    #[test]
+    fn rejects_parallel_edges_in_both_orientations() {
+        let err = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ParallelEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = GraphBuilder::new(2).edge(0, 5).build().unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dedup_drops_instead_of_failing() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 0)
+            .edge(2, 2)
+            .dedup(true)
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn explicit_labels_are_validated() {
+        let err = GraphBuilder::new(2)
+            .labels(vec![5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidLabels { .. }));
+        let err = GraphBuilder::new(2)
+            .labels(vec![5, 5])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidLabels { .. }));
+        let g = GraphBuilder::new(2)
+            .edge(0, 1)
+            .labels(vec![100, 7])
+            .build()
+            .unwrap();
+        assert_eq!(g.label(VertexId::new(0)), 100);
+    }
+
+    #[test]
+    fn shuffled_labels_are_unique_and_deterministic() {
+        let mk = || {
+            GraphBuilder::new(50)
+                .shuffle_labels(Seed::new(3))
+                .build()
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.labels(), b.labels());
+        let distinct: HashSet<u64> = a.labels().iter().copied().collect();
+        assert_eq!(distinct.len(), 50);
+        // Labels should not be the identity.
+        assert!(a.labels().iter().enumerate().any(|(i, &l)| l != i as u64));
+    }
+
+    #[test]
+    fn explicit_plus_shuffled_labels_conflict() {
+        let err = GraphBuilder::new(1)
+            .labels(vec![1])
+            .shuffle_labels(Seed::new(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::InvalidLabels { .. }));
+    }
+
+    #[test]
+    fn shuffle_adjacency_permutes_but_preserves_sets() {
+        let base = GraphBuilder::new(6).edges((1..6).map(|i| (0, i)));
+        let plain = base.clone().build().unwrap();
+        let shuffled = base.shuffle_adjacency(Seed::new(9)).build().unwrap();
+        let mut a: Vec<usize> = plain
+            .neighbors(VertexId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        let mut b: Vec<usize> = shuffled
+            .neighbors(VertexId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        assert_ne!(a, b, "shuffle should change the order");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "shuffle must preserve the neighbor set");
+        // Positions stay consistent with the adjacency index.
+        for (i, &w) in shuffled.neighbors(VertexId::new(0)).iter().enumerate() {
+            assert_eq!(shuffled.adjacency_index(VertexId::new(0), w), Some(i));
+        }
+    }
+
+    #[test]
+    fn staged_edges_counts_prevalidation() {
+        let b = GraphBuilder::new(3).edge(0, 1).edge(0, 1);
+        assert_eq!(b.staged_edges(), 2);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mk = || {
+            GraphBuilder::new(5)
+                .edges([(0, 1), (1, 2), (3, 4), (0, 4)])
+                .shuffle_adjacency(Seed::new(11))
+                .build()
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

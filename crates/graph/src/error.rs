@@ -1,0 +1,90 @@
+//! Error types for graph construction.
+
+use crate::VertexId;
+
+/// Errors raised while constructing a [`crate::Graph`].
+///
+/// The LCA model is defined over *simple* undirected graphs (Section 1.4), so
+/// the builder rejects anything else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge had both endpoints equal.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// The same undirected edge was added twice.
+    ParallelEdge {
+        /// One endpoint of the duplicated edge.
+        u: VertexId,
+        /// The other endpoint.
+        v: VertexId,
+    },
+    /// An endpoint index was `>= n`.
+    VertexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of vertices in the graph under construction.
+        vertex_count: usize,
+    },
+    /// A label vector had the wrong length or repeated labels.
+    InvalidLabels {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A generator could not satisfy its constraints (e.g. a d-regular graph
+    /// with `n * d` odd, or repeated matching-fix-up failure).
+    Unsatisfiable {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at {vertex}"),
+            GraphError::ParallelEdge { u, v } => write!(f, "parallel edge {u}-{v}"),
+            GraphError::VertexOutOfRange {
+                index,
+                vertex_count,
+            } => write!(f, "vertex index {index} out of range for n={vertex_count}"),
+            GraphError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+            GraphError::Unsatisfiable { reason } => write!(f, "unsatisfiable: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop {
+            vertex: VertexId::new(3),
+        };
+        assert!(format!("{e}").contains("v3"));
+        let e = GraphError::ParallelEdge {
+            u: VertexId::new(1),
+            v: VertexId::new(2),
+        };
+        assert!(format!("{e}").contains("v1-v2"));
+        let e = GraphError::VertexOutOfRange {
+            index: 9,
+            vertex_count: 4,
+        };
+        assert!(format!("{e}").contains("n=4"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(GraphError::InvalidLabels {
+            reason: "dup".into(),
+        });
+    }
+}

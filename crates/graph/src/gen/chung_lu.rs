@@ -1,0 +1,202 @@
+//! Chung–Lu graphs with power-law expected degrees.
+
+use lca_rand::Seed;
+
+use super::gnp::finalize;
+use super::CommonOpts;
+use crate::{Graph, GraphBuilder};
+
+/// Builds a Chung–Lu random graph: vertices carry weights `w_i`, and pair
+/// `{i, j}` is an edge independently with probability
+/// `min(1, w_i·w_j / Σw)`.
+///
+/// The default weight profile is a power law `w_i ∝ (i+1)^{−1/(β−1)}` scaled
+/// to a target average degree — the “social network” mixed-degree workload:
+/// a few hubs of very high degree plus a heavy tail of low-degree vertices,
+/// which exercises all edge classes of the 5-spanner construction at once.
+///
+/// Generation uses the Miller–Hagberg skipping technique, costing O(n + m).
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::gen::ChungLuBuilder;
+/// use lca_rand::Seed;
+/// let g = ChungLuBuilder::power_law(300, 2.5, 8.0).seed(Seed::new(1)).build();
+/// assert!(g.max_degree() > g.avg_degree() as usize);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChungLuBuilder {
+    weights: Vec<f64>,
+    opts: CommonOpts,
+}
+
+impl ChungLuBuilder {
+    /// Builds from explicit non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        Self {
+            weights,
+            opts: CommonOpts::default(),
+        }
+    }
+
+    /// Power-law weights with exponent `beta > 2` scaled so the expected
+    /// average degree is `avg_degree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta <= 2` or `avg_degree <= 0`.
+    pub fn power_law(n: usize, beta: f64, avg_degree: f64) -> Self {
+        assert!(beta > 2.0, "beta must exceed 2 for a finite mean");
+        assert!(avg_degree > 0.0, "avg_degree must be positive");
+        let gamma = 1.0 / (beta - 1.0);
+        let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
+        let sum: f64 = weights.iter().sum();
+        if sum > 0.0 {
+            let scale = avg_degree * n as f64 / sum;
+            for w in &mut weights {
+                *w *= scale;
+            }
+        }
+        Self::with_weights(weights)
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Also permute vertex labels.
+    pub fn shuffle_labels(mut self, yes: bool) -> Self {
+        self.opts.shuffle_labels = yes;
+        self
+    }
+
+    /// Shuffle adjacency lists (default: true).
+    pub fn shuffle_adjacency(mut self, yes: bool) -> Self {
+        self.opts.shuffle_adjacency = yes;
+        self
+    }
+
+    /// Generates the graph (Miller–Hagberg algorithm).
+    pub fn build(self) -> Graph {
+        let n = self.weights.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        // Sort by weight descending; ties by index for determinism.
+        order.sort_by(|&a, &b| {
+            self.weights[b]
+                .partial_cmp(&self.weights[a])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let w: Vec<f64> = order.iter().map(|&i| self.weights[i]).collect();
+        let total: f64 = w.iter().sum();
+        let mut builder = GraphBuilder::new(n);
+        if total > 0.0 {
+            let mut stream = self.opts.seed.derive(0x434C55).stream();
+            for i in 0..n.saturating_sub(1) {
+                let mut j = i + 1;
+                if w[i] <= 0.0 {
+                    break; // weights sorted descending: nothing further
+                }
+                let mut p = (w[i] * w[j] / total).min(1.0);
+                while j < n && p > 0.0 {
+                    if p < 1.0 {
+                        let r = stream.next_f64().max(f64::MIN_POSITIVE);
+                        let skip = (r.ln() / (1.0 - p).ln()).floor() as usize;
+                        j = j.saturating_add(skip);
+                    }
+                    if j >= n {
+                        break;
+                    }
+                    let q = (w[i] * w[j] / total).min(1.0);
+                    if stream.next_f64() < q / p {
+                        builder = builder.edge(order[i], order[j]);
+                    }
+                    p = q;
+                    j += 1;
+                }
+            }
+        }
+        finalize(builder, &self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_is_near_target() {
+        let target = 6.0;
+        let g = ChungLuBuilder::power_law(2_000, 2.8, target)
+            .seed(Seed::new(11))
+            .build();
+        let avg = g.avg_degree();
+        assert!(
+            (avg - target).abs() < 1.5,
+            "avg degree {avg}, target {target}"
+        );
+    }
+
+    #[test]
+    fn power_law_has_hubs_and_tail() {
+        let g = ChungLuBuilder::power_law(2_000, 2.2, 6.0)
+            .seed(Seed::new(2))
+            .build();
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+        let low = g.vertices().filter(|&v| g.degree(v) <= 3).count();
+        assert!(low > 500, "tail too small: {low}");
+    }
+
+    #[test]
+    fn zero_weights_give_empty_graph() {
+        let g = ChungLuBuilder::with_weights(vec![0.0; 10]).build();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn heavy_pair_is_almost_surely_connected() {
+        // Two huge weights, rest tiny: edge {0,1} has probability ~1.
+        let mut w = vec![0.001; 50];
+        w[0] = 100.0;
+        w[1] = 100.0;
+        let hits = (0..20)
+            .filter(|&s| {
+                ChungLuBuilder::with_weights(w.clone())
+                    .seed(Seed::new(s))
+                    .build()
+                    .has_edge(crate::VertexId::new(0), crate::VertexId::new(1))
+            })
+            .count();
+        assert!(hits >= 18, "hub edge present only {hits}/20 times");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ChungLuBuilder::power_law(300, 2.5, 5.0).seed(Seed::new(4)).build();
+        let b = ChungLuBuilder::power_law(300, 2.5, 5.0).seed(Seed::new(4)).build();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must exceed 2")]
+    fn invalid_beta_panics() {
+        let _ = ChungLuBuilder::power_law(10, 2.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn negative_weight_panics() {
+        let _ = ChungLuBuilder::with_weights(vec![1.0, -2.0]);
+    }
+}

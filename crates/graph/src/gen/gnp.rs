@@ -1,0 +1,209 @@
+//! Erdős–Rényi G(n, p).
+
+use lca_rand::Seed;
+
+use super::CommonOpts;
+use crate::{Graph, GraphBuilder};
+
+/// Builds an Erdős–Rényi graph G(n, p): every unordered pair is an edge
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so generation costs O(n + m) rather than O(n²).
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::gen::GnpBuilder;
+/// use lca_rand::Seed;
+/// let g = GnpBuilder::new(100, 0.1).seed(Seed::new(1)).build();
+/// assert_eq!(g.vertex_count(), 100);
+/// assert!(g.edge_count() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GnpBuilder {
+    n: usize,
+    p: f64,
+    opts: CommonOpts,
+}
+
+impl GnpBuilder {
+    /// Starts a G(n, p) builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        Self {
+            n,
+            p,
+            opts: CommonOpts::default(),
+        }
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Also permute vertex labels (default: labels are `0..n`).
+    pub fn shuffle_labels(mut self, yes: bool) -> Self {
+        self.opts.shuffle_labels = yes;
+        self
+    }
+
+    /// Shuffle adjacency lists (default: true — the model's order is
+    /// arbitrary, so we never hand algorithms a sorted order by accident).
+    pub fn shuffle_adjacency(mut self, yes: bool) -> Self {
+        self.opts.shuffle_adjacency = yes;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let p = self.p;
+        let mut builder = GraphBuilder::new(n);
+        if p > 0.0 && n >= 2 {
+            let mut stream = self.opts.seed.derive(0x474E50).stream();
+            if p >= 1.0 {
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        builder = builder.edge(u, v);
+                    }
+                }
+            } else {
+                // Geometric skipping over the implicit pair sequence
+                // (0,1),(0,2),…,(0,n-1),(1,2),… .
+                let log1p = (1.0 - p).ln();
+                let total = n as u64 * (n as u64 - 1) / 2;
+                let mut pos: u64 = 0;
+                loop {
+                    let r = stream.next_f64().max(f64::MIN_POSITIVE);
+                    let skip = (r.ln() / log1p).floor() as u64;
+                    pos = match pos.checked_add(skip) {
+                        Some(p) => p,
+                        None => break,
+                    };
+                    if pos >= total {
+                        break;
+                    }
+                    let (u, v) = pair_from_rank(pos, n as u64);
+                    builder = builder.edge(u as usize, v as usize);
+                    pos += 1;
+                    if pos >= total {
+                        break;
+                    }
+                }
+            }
+        }
+        finalize(builder, &self.opts)
+    }
+}
+
+/// Maps a rank in `[0, n(n-1)/2)` to the corresponding pair `(u, v)`,
+/// enumerating pairs row by row: (0,1)…(0,n-1),(1,2)… .
+fn pair_from_rank(rank: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+1)/2 - u... solve incrementally via
+    // the quadratic formula on the triangular layout.
+    // Offset of row u: S(u) = u*(2n - u - 1)/2.
+    // Find the largest u with S(u) <= rank.
+    let fu = {
+        // Approximate root of u^2 - (2n-1)u + 2*rank = 0.
+        let a = (2 * n - 1) as f64;
+        let disc = (a * a - 8.0 * rank as f64).max(0.0);
+        ((a - disc.sqrt()) / 2.0).floor() as u64
+    };
+    let mut u = fu.min(n.saturating_sub(2));
+    let row_start = |u: u64| u * (2 * n - u - 1) / 2;
+    while u > 0 && row_start(u) > rank {
+        u -= 1;
+    }
+    while u + 1 < n - 1 && row_start(u + 1) <= rank {
+        u += 1;
+    }
+    let v = u + 1 + (rank - row_start(u));
+    (u, v)
+}
+
+pub(crate) fn finalize(mut builder: GraphBuilder, opts: &CommonOpts) -> Graph {
+    if opts.shuffle_labels {
+        builder = builder.shuffle_labels(opts.seed.derive(0x4C424C));
+    }
+    if opts.shuffle_adjacency {
+        builder = builder.shuffle_adjacency(opts.seed.derive(0x414A44));
+    }
+    builder
+        .dedup(true)
+        .build()
+        .expect("generator produced an invalid graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_from_rank_enumerates_all_pairs() {
+        for n in [2u64, 3, 5, 9] {
+            let total = n * (n - 1) / 2;
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..total {
+                let (u, v) = pair_from_rank(r, n);
+                assert!(u < v && v < n, "rank {r} -> ({u},{v}) for n={n}");
+                assert!(seen.insert((u, v)));
+            }
+            assert_eq!(seen.len() as u64, total);
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = GnpBuilder::new(n, p).seed(Seed::new(7)).build();
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let sigma = (expect * (1.0 - p)).sqrt();
+        assert!(
+            (g.edge_count() as f64 - expect).abs() < 6.0 * sigma + 10.0,
+            "m = {}, expected ≈ {expect}",
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        let empty = GnpBuilder::new(10, 0.0).build();
+        assert_eq!(empty.edge_count(), 0);
+        let full = GnpBuilder::new(10, 1.0).build();
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GnpBuilder::new(100, 0.1).seed(Seed::new(3)).build();
+        let b = GnpBuilder::new(100, 0.1).seed(Seed::new(3)).build();
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        let c = GnpBuilder::new(100, 0.1).seed(Seed::new(4)).build();
+        assert_ne!(
+            a.edges().collect::<Vec<_>>(),
+            c.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn invalid_p_panics() {
+        let _ = GnpBuilder::new(10, 1.5);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(GnpBuilder::new(0, 0.5).build().vertex_count(), 0);
+        assert_eq!(GnpBuilder::new(1, 1.0).build().edge_count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic graph generators.
+//!
+//! The paper has no datasets: every claim is parameterized only by
+//! `(n, m, ∆, k)`, so reproduction workloads are synthetic families chosen to
+//! pin those parameters:
+//!
+//! * [`GnpBuilder`] / [`GnmBuilder`] — Erdős–Rényi; the dense regime
+//!   (∆ = Θ(n)) of the 3/5-spanner theorems.
+//! * [`RegularBuilder`] — random d-regular graphs via the §6 matching-table
+//!   model; the bounded-degree regime of Theorem 1.2 and the lower bound.
+//! * [`ChungLuBuilder`] — power-law expected degrees; mixed-degree workloads
+//!   exercising every edge class of the 5-spanner construction.
+//! * [`structured`] — deterministic families (complete, cycle, path, star,
+//!   grid, bipartite, dumbbell, clustered) for unit tests and edge cases.
+//!
+//! All generators are deterministic functions of a [`Seed`].
+
+mod chung_lu;
+mod gnm;
+mod gnp;
+mod preferential;
+mod regular;
+pub mod structured;
+
+pub use chung_lu::ChungLuBuilder;
+pub use gnm::GnmBuilder;
+pub use gnp::GnpBuilder;
+pub use preferential::{PreferentialBuilder, SmallWorldBuilder};
+pub use regular::RegularBuilder;
+
+use lca_rand::Seed;
+
+/// Options shared by the randomized generator builders.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommonOpts {
+    pub seed: Seed,
+    pub shuffle_labels: bool,
+    pub shuffle_adjacency: bool,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        Self {
+            seed: Seed::new(0),
+            shuffle_labels: false,
+            shuffle_adjacency: true,
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Preferential attachment (Barabási–Albert) and small-world
+//! (Watts–Strogatz) generators.
+
+use lca_rand::Seed;
+
+use super::gnp::finalize;
+use super::CommonOpts;
+use crate::{Graph, GraphBuilder};
+
+/// Builds a Barabási–Albert preferential-attachment graph: vertices arrive
+/// one at a time and attach `m_edges` links to existing vertices chosen
+/// proportionally to their current degree.
+///
+/// Produces the heavy-tailed hub structure (power-law with β ≈ 3) that
+/// stresses the super-high-degree machinery of the 3/5-spanner LCAs.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::gen::PreferentialBuilder;
+/// use lca_rand::Seed;
+/// let g = PreferentialBuilder::new(500, 3).seed(Seed::new(1)).build();
+/// assert_eq!(g.vertex_count(), 500);
+/// assert!(g.max_degree() > 3 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreferentialBuilder {
+    n: usize,
+    m_edges: usize,
+    opts: CommonOpts,
+}
+
+impl PreferentialBuilder {
+    /// Starts a builder for `n` vertices with `m_edges` attachments each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_edges == 0`.
+    pub fn new(n: usize, m_edges: usize) -> Self {
+        assert!(m_edges >= 1, "each vertex must attach at least one edge");
+        Self {
+            n,
+            m_edges,
+            opts: CommonOpts::default(),
+        }
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Also permute vertex labels.
+    pub fn shuffle_labels(mut self, yes: bool) -> Self {
+        self.opts.shuffle_labels = yes;
+        self
+    }
+
+    /// Shuffle adjacency lists (default: true).
+    pub fn shuffle_adjacency(mut self, yes: bool) -> Self {
+        self.opts.shuffle_adjacency = yes;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let m = self.m_edges;
+        let mut stream = self.opts.seed.derive(0x4241).stream();
+        // `targets` holds one entry per half-edge: sampling uniformly from
+        // it is degree-proportional sampling.
+        let mut targets: Vec<u32> = Vec::new();
+        let mut builder = GraphBuilder::new(n);
+        let core = (m + 1).min(n);
+        // Seed clique so early attachments have somewhere to go.
+        for u in 0..core {
+            for v in (u + 1)..core {
+                builder = builder.edge(u, v);
+                targets.push(u as u32);
+                targets.push(v as u32);
+            }
+        }
+        for v in core..n {
+            let mut chosen: Vec<u32> = Vec::with_capacity(m);
+            let mut guard = 0;
+            while chosen.len() < m.min(v) && guard < 50 * m {
+                guard += 1;
+                let t = targets[stream.next_below(targets.len() as u64) as usize];
+                if t as usize != v && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            for &t in &chosen {
+                builder = builder.edge(v, t as usize);
+                targets.push(v as u32);
+                targets.push(t);
+            }
+        }
+        finalize(builder, &self.opts)
+    }
+}
+
+/// Builds a Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex links to its `k_half` nearest neighbors on each side, with every
+/// lattice edge rewired to a random endpoint with probability `beta`.
+///
+/// Constant degree plus short global distances — the bounded-degree regime
+/// of Theorem 1.2 with nontrivial ball growth.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::gen::SmallWorldBuilder;
+/// use lca_rand::Seed;
+/// let g = SmallWorldBuilder::new(200, 2, 0.1).seed(Seed::new(1)).build();
+/// assert_eq!(g.vertex_count(), 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallWorldBuilder {
+    n: usize,
+    k_half: usize,
+    beta: f64,
+    opts: CommonOpts,
+}
+
+impl SmallWorldBuilder {
+    /// Starts a builder: ring of `n` vertices, `k_half` neighbors per side,
+    /// rewiring probability `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 1]` or `2·k_half >= n`.
+    pub fn new(n: usize, k_half: usize, beta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        assert!(2 * k_half < n.max(1), "lattice degree must be below n");
+        Self {
+            n,
+            k_half,
+            beta,
+            opts: CommonOpts::default(),
+        }
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Shuffle adjacency lists (default: true).
+    pub fn shuffle_adjacency(mut self, yes: bool) -> Self {
+        self.opts.shuffle_adjacency = yes;
+        self
+    }
+
+    /// Generates the graph.
+    pub fn build(self) -> Graph {
+        let n = self.n;
+        let mut stream = self.opts.seed.derive(0x5753).stream();
+        let mut edges: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let norm = |a: usize, b: usize| {
+            let (a, b) = if a < b { (a, b) } else { (b, a) };
+            (a as u32, b as u32)
+        };
+        for v in 0..n {
+            for j in 1..=self.k_half {
+                let w = (v + j) % n;
+                if stream.next_f64() < self.beta {
+                    // Rewire: pick a random endpoint avoiding loops/dups.
+                    let mut guard = 0;
+                    loop {
+                        guard += 1;
+                        let t = stream.next_below(n as u64) as usize;
+                        if t != v && !edges.contains(&norm(v, t)) {
+                            edges.insert(norm(v, t));
+                            break;
+                        }
+                        if guard > 100 {
+                            edges.insert(norm(v, w));
+                            break;
+                        }
+                    }
+                } else {
+                    edges.insert(norm(v, w));
+                }
+            }
+        }
+        let mut builder = GraphBuilder::new(n);
+        let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+        sorted.sort_unstable();
+        for (a, b) in sorted {
+            builder = builder.edge(a as usize, b as usize);
+        }
+        finalize(builder, &self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn preferential_attachment_grows_hubs() {
+        let g = PreferentialBuilder::new(800, 2).seed(Seed::new(3)).build();
+        assert_eq!(g.vertex_count(), 800);
+        assert!(analysis::is_connected(&g));
+        // The earliest vertices should be strong hubs.
+        let early_max = (0..5)
+            .map(|i| g.degree(crate::VertexId::new(i)))
+            .max()
+            .unwrap();
+        assert!(early_max > 20, "hub degree only {early_max}");
+        // Most vertices stay near the minimum attachment count.
+        let small = g.vertices().filter(|&v| g.degree(v) <= 4).count();
+        assert!(small > 400, "tail too small: {small}");
+    }
+
+    #[test]
+    fn preferential_is_deterministic() {
+        let a = PreferentialBuilder::new(200, 3).seed(Seed::new(5)).build();
+        let b = PreferentialBuilder::new(200, 3).seed(Seed::new(5)).build();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn preferential_rejects_zero_m() {
+        let _ = PreferentialBuilder::new(10, 0);
+    }
+
+    #[test]
+    fn small_world_without_rewiring_is_a_lattice() {
+        let g = SmallWorldBuilder::new(30, 2, 0.0).build();
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn small_world_rewiring_shrinks_diameter() {
+        let lattice = SmallWorldBuilder::new(400, 2, 0.0).build();
+        let rewired = SmallWorldBuilder::new(400, 2, 0.2).seed(Seed::new(2)).build();
+        let d0 = analysis::eccentricity(&lattice, crate::VertexId::new(0));
+        let d1 = analysis::eccentricity(&rewired, crate::VertexId::new(0));
+        assert!(
+            d1 < d0,
+            "rewiring should shorten paths: {d1} !< {d0}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0, 1]")]
+    fn small_world_rejects_bad_beta() {
+        let _ = SmallWorldBuilder::new(10, 2, 1.5);
+    }
+}

@@ -1,0 +1,204 @@
+//! Random d-regular graphs via the matching-table model of Section 6.
+//!
+//! The paper's lower-bound instances are defined as perfect matchings between
+//! the cells of an `n × d` table: matching cell `(u, i)` to `(v, j)` makes `v`
+//! the i-th neighbor of `u` and `u` the j-th neighbor of `v`. This generator
+//! samples such a matching uniformly and then repairs the (expected O(d²))
+//! self-loops and parallel edges by re-pairing, exactly as the paper's
+//! simplification step prescribes.
+
+use std::collections::HashSet;
+
+use lca_rand::Seed;
+
+use super::gnp::finalize;
+use super::CommonOpts;
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Builds a uniform-ish random d-regular simple graph (configuration model
+/// with collision repair).
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::gen::RegularBuilder;
+/// use lca_rand::Seed;
+/// let g = RegularBuilder::new(100, 4).seed(Seed::new(3)).build().unwrap();
+/// assert!(g.vertices().all(|v| g.degree(v) == 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegularBuilder {
+    n: usize,
+    d: usize,
+    opts: CommonOpts,
+    max_repair_rounds: usize,
+}
+
+impl RegularBuilder {
+    /// Starts a d-regular builder.
+    pub fn new(n: usize, d: usize) -> Self {
+        Self {
+            n,
+            d,
+            opts: CommonOpts::default(),
+            max_repair_rounds: 200,
+        }
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: Seed) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Also permute vertex labels.
+    pub fn shuffle_labels(mut self, yes: bool) -> Self {
+        self.opts.shuffle_labels = yes;
+        self
+    }
+
+    /// Shuffle adjacency lists (default: true).
+    pub fn shuffle_adjacency(mut self, yes: bool) -> Self {
+        self.opts.shuffle_adjacency = yes;
+        self
+    }
+
+    /// Generates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Unsatisfiable`] if `n·d` is odd, `d >= n`, or
+    /// collision repair fails to converge (essentially impossible for
+    /// `d = o(√n)`).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let (n, d) = (self.n, self.d);
+        if d == 0 {
+            return Ok(finalize(GraphBuilder::new(n), &self.opts));
+        }
+        if d >= n {
+            return Err(GraphError::Unsatisfiable {
+                reason: format!("d = {d} must be < n = {n}"),
+            });
+        }
+        if (n * d) % 2 != 0 {
+            return Err(GraphError::Unsatisfiable {
+                reason: format!("n·d = {} is odd", n * d),
+            });
+        }
+        let mut stream = self.opts.seed.derive(0x524547).stream();
+        // Stubs: cell (v, i) is stub v for each of the d slots.
+        let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+        for v in 0..n as u32 {
+            for _ in 0..d {
+                stubs.push(v);
+            }
+        }
+        // Shuffle and pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = stream.next_below(i as u64 + 1) as usize;
+            stubs.swap(i, j);
+        }
+        let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+
+        // Repair: repeatedly re-pair bad matches with random good ones.
+        let mut rounds = 0usize;
+        loop {
+            let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(pairs.len());
+            let mut bad: Vec<usize> = Vec::new();
+            for (idx, &(a, b)) in pairs.iter().enumerate() {
+                let key = if a < b { (a, b) } else { (b, a) };
+                if a == b || !seen.insert(key) {
+                    bad.push(idx);
+                }
+            }
+            if bad.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds > self.max_repair_rounds {
+                return Err(GraphError::Unsatisfiable {
+                    reason: format!(
+                        "matching repair did not converge after {rounds} rounds (n={n}, d={d})"
+                    ),
+                });
+            }
+            // Swap one endpoint of each bad pair with a random other pair.
+            for idx in bad {
+                let other = stream.next_below(pairs.len() as u64) as usize;
+                if other == idx {
+                    continue;
+                }
+                let (a, b) = pairs[idx];
+                let (c, e) = pairs[other];
+                pairs[idx] = (a, e);
+                pairs[other] = (c, b);
+            }
+        }
+
+        let mut builder = GraphBuilder::new(n);
+        for (a, b) in pairs {
+            builder = builder.edge(a as usize, b as usize);
+        }
+        Ok(finalize(builder, &self.opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_are_exactly_d() {
+        for (n, d) in [(20usize, 3usize), (50, 4), (100, 7), (64, 2)] {
+            let g = RegularBuilder::new(n, d).seed(Seed::new(1)).build().unwrap();
+            assert_eq!(g.vertex_count(), n);
+            assert!(
+                g.vertices().all(|v| g.degree(v) == d),
+                "n={n} d={d}: degrees {:?}",
+                g.vertices().map(|v| g.degree(v)).collect::<Vec<_>>()
+            );
+            assert_eq!(g.edge_count(), n * d / 2);
+        }
+    }
+
+    #[test]
+    fn zero_degree_is_empty() {
+        let g = RegularBuilder::new(5, 0).build().unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn odd_total_degree_fails() {
+        let err = RegularBuilder::new(5, 3).build().unwrap_err();
+        assert!(matches!(err, GraphError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn d_at_least_n_fails() {
+        let err = RegularBuilder::new(4, 4).build().unwrap_err();
+        assert!(matches!(err, GraphError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RegularBuilder::new(60, 4).seed(Seed::new(8)).build().unwrap();
+        let b = RegularBuilder::new(60, 4).seed(Seed::new(8)).build().unwrap();
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = RegularBuilder::new(60, 4).seed(Seed::new(9)).build().unwrap();
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn near_complete_regular_graph() {
+        // d = n - 1 forces the complete graph; the repair loop must converge.
+        let g = RegularBuilder::new(8, 7).seed(Seed::new(2)).build().unwrap();
+        assert_eq!(g.edge_count(), 28);
+    }
+
+    #[test]
+    fn random_regular_graphs_are_usually_connected() {
+        // d >= 3 random regular graphs are connected w.h.p.
+        let g = RegularBuilder::new(200, 3).seed(Seed::new(4)).build().unwrap();
+        assert!(crate::analysis::is_connected(&g));
+    }
+}

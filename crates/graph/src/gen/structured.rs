@@ -1,0 +1,314 @@
+//! Deterministic structured graph families.
+//!
+//! Small, fully-understood topologies used throughout the test suites, plus
+//! two composite families ([`dumbbell`], [`clustered`]) that plant the degree
+//! and density mixes the 3/5-spanner edge classification needs to see.
+
+use lca_rand::Seed;
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// The complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b = b.edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is simple")
+}
+
+/// The cycle C_n (`n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b = b.edge(u, (u + 1) % n);
+    }
+    b.build().expect("cycle is simple")
+}
+
+/// The path P_n on `n` vertices (`n-1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b = b.edge(u - 1, u);
+    }
+    b.build().expect("path is simple")
+}
+
+/// The star K_{1,n−1}: vertex 0 joined to all others.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.edge(0, v);
+    }
+    b.build().expect("star is simple")
+}
+
+/// The `rows × cols` grid.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                b = b.edge(i, i + 1);
+            }
+            if r + 1 < rows {
+                b = b.edge(i, i + cols);
+            }
+        }
+    }
+    b.build().expect("grid is simple")
+}
+
+/// The complete bipartite graph K_{a,b}.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            builder = builder.edge(u, a + v);
+        }
+    }
+    builder.build().expect("bipartite is simple")
+}
+
+/// Two cliques of size `clique` joined by a path of `bridge` extra vertices.
+///
+/// Distances across the bridge are large, making this the canonical stretch
+/// stress test: a spanner must keep (almost) the whole bridge.
+///
+/// # Panics
+///
+/// Panics if `clique < 1`.
+pub fn dumbbell(clique: usize, bridge: usize) -> Graph {
+    assert!(clique >= 1, "cliques must be non-empty");
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b = b.edge(u, v);
+        }
+    }
+    let right = clique + bridge;
+    for u in right..n {
+        for v in (u + 1)..n {
+            b = b.edge(u, v);
+        }
+    }
+    // Bridge path: clique0's vertex 0 — bridge vertices — right clique's first.
+    let mut prev = 0usize;
+    for i in 0..bridge {
+        b = b.edge(prev, clique + i);
+        prev = clique + i;
+    }
+    b = b.edge(prev, right);
+    b.build().expect("dumbbell is simple")
+}
+
+/// The `rows × cols` torus (grid with wraparound): 4-regular when both
+/// dimensions exceed 2.
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (wraparound would create parallel
+/// edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions ≥ 3");
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            b = b.edge(i, r * cols + (c + 1) % cols);
+            b = b.edge(i, ((r + 1) % rows) * cols + c);
+        }
+    }
+    b.build().expect("torus is simple")
+}
+
+/// The `d`-dimensional hypercube on `2^d` vertices.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 20`.
+pub fn hypercube(d: u32) -> Graph {
+    assert!((1..=20).contains(&d), "dimension must be in 1..=20");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b = b.edge(v, w);
+            }
+        }
+    }
+    b.build().expect("hypercube is simple")
+}
+
+/// A planted-partition (“clustered”) graph: `communities` blocks of
+/// `block_size` vertices, intra-block pairs joined with probability
+/// `p_intra`, inter-block pairs with probability `p_inter`.
+///
+/// # Errors
+///
+/// Returns an error only on pathological parameters (propagated from the
+/// builder); probabilities are clamped to `[0, 1]`.
+pub fn clustered(
+    communities: usize,
+    block_size: usize,
+    p_intra: f64,
+    p_inter: f64,
+    seed: Seed,
+) -> Result<Graph, GraphError> {
+    let n = communities * block_size;
+    let p_intra = p_intra.clamp(0.0, 1.0);
+    let p_inter = p_inter.clamp(0.0, 1.0);
+    let mut stream = seed.derive(0x434C5553).stream();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = u / block_size == v / block_size;
+            let p = if same { p_intra } else { p_inter };
+            if p > 0.0 && stream.next_f64() < p {
+                b = b.edge(u, v);
+            }
+        }
+    }
+    b.shuffle_adjacency(seed.derive(0x414A44)).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::VertexId;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn cycle_counts_and_connectivity() {
+        let g = cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(VertexId::new(0)), 1);
+        assert_eq!(g.degree(VertexId::new(2)), 2);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(0).vertex_count(), 0);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(VertexId::new(0)), 9);
+        assert!((1..10).all(|i| g.degree(VertexId::new(i)) == 1));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        assert!((0..3).all(|i| g.degree(VertexId::new(i)) == 4));
+        assert!((3..7).all(|i| g.degree(VertexId::new(i)) == 3));
+    }
+
+    #[test]
+    fn dumbbell_distance_spans_bridge() {
+        let g = dumbbell(5, 3);
+        assert!(analysis::is_connected(&g));
+        let d = analysis::bfs_distances(&g, VertexId::new(1));
+        // From inside the left clique to inside the right clique:
+        // 1 (to v0) + bridge 3 + 1 (into right clique) + 1 = 6 hops to the
+        // farthest right vertex.
+        let far = d[g.vertex_count() - 1];
+        assert_eq!(far, 6);
+    }
+
+    #[test]
+    fn clustered_blocks_are_denser_inside() {
+        let g = clustered(4, 25, 0.5, 0.01, Seed::new(3)).unwrap();
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if u.index() / 25 == v.index() / 25 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn clustered_respects_zero_probabilities() {
+        let g = clustered(3, 10, 0.0, 0.0, Seed::new(1)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular_and_connected() {
+        let g = torus(5, 7);
+        assert_eq!(g.vertex_count(), 35);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(analysis::is_connected(&g));
+        assert_eq!(g.edge_count(), 2 * 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions ≥ 3")]
+    fn tiny_torus_panics() {
+        let _ = torus(2, 5);
+    }
+
+    #[test]
+    fn hypercube_degrees_and_distances() {
+        let g = hypercube(4);
+        assert_eq!(g.vertex_count(), 16);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        // Distance = Hamming distance: opposite corner is d away.
+        let d = analysis::bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d[0b1111], 4);
+        assert_eq!(d[0b0101], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be")]
+    fn zero_dim_hypercube_panics() {
+        let _ = hypercube(0);
+    }
+}

@@ -1,0 +1,335 @@
+//! The immutable CSR graph.
+
+use std::collections::HashMap;
+
+use crate::VertexId;
+
+/// An undirected edge, stored with `u.index() < v.index()`.
+pub type Edge = (VertexId, VertexId);
+
+/// An immutable simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Three properties matter for the LCA model:
+///
+/// * **Fixed adjacency order.** `Γ(u)` is exposed in a fixed (arbitrary)
+///   order; [`Graph::neighbor`]`(u, i)` is the `Neighbor` probe and every
+///   tie-breaking rule in the algorithms depends on this order.
+/// * **O(1) adjacency index.** [`Graph::adjacency_index`]`(u, v)` returns the
+///   position of `v` inside `Γ(u)` (the paper's `Adjacency` probe semantics).
+/// * **Labels.** Each vertex carries a unique `u64` label — the paper's
+///   `ID(v)` — used for lexicographic tie-breaks and as hash keys. Labels
+///   need not be `0..n`.
+///
+/// Construct via [`crate::GraphBuilder`] or a generator in [`crate::gen`].
+#[derive(Clone)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adjacency: Vec<VertexId>,
+    labels: Vec<u64>,
+    /// `(u << 32 | v) -> position of v in Γ(u)`.
+    position: HashMap<u64, u32>,
+    /// Undirected edges with `u.index() < v.index()`, in insertion order.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<VertexId>,
+        labels: Vec<u64>,
+        edges: Vec<Edge>,
+    ) -> Self {
+        let mut position = HashMap::with_capacity(adjacency.len());
+        let n = offsets.len() - 1;
+        for u in 0..n {
+            for (i, &w) in adjacency[offsets[u]..offsets[u + 1]].iter().enumerate() {
+                position.insert(((u as u64) << 32) | w.raw() as u64, i as u32);
+            }
+        }
+        Self {
+            offsets,
+            adjacency,
+            labels,
+            position,
+            edges,
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let i = v.index();
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// The neighbor list `Γ(v)` in its fixed order.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = v.index();
+        &self.adjacency[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// The `i`-th neighbor of `v` (0-based), or `None` if `i >= deg(v)` —
+    /// the `Neighbor` probe.
+    #[inline]
+    pub fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        self.neighbors(v).get(i).copied()
+    }
+
+    /// The position of `v` inside `Γ(u)` (0-based), or `None` if the edge
+    /// does not exist — the `Adjacency` probe.
+    #[inline]
+    pub fn adjacency_index(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        self.position
+            .get(&(((u.index() as u64) << 32) | v.raw() as u64))
+            .map(|&p| p as usize)
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adjacency_index(u, v).is_some()
+    }
+
+    /// The label `ID(v)`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> u64 {
+        self.labels[v.index()]
+    }
+
+    /// All labels, indexed by vertex index.
+    #[inline]
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// Iterator over all vertex handles `0..n`.
+    pub fn vertices(&self) -> Vertices {
+        Vertices {
+            next: 0,
+            n: self.vertex_count() as u32,
+        }
+    }
+
+    /// All undirected edges, each reported once with
+    /// `u.index() < v.index()`, in insertion order.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            inner: self.edges.iter(),
+        }
+    }
+
+    /// Endpoints of the `i`-th inserted edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.edge_count()`.
+    pub fn edge_endpoints(&self, i: usize) -> Edge {
+        self.edges[i]
+    }
+
+    /// Maximum degree ∆.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.vertex_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count() as f64 / self.vertex_count() as f64
+        }
+    }
+
+    /// Looks up a vertex handle by label (linear scan; test/debug helper).
+    pub fn vertex_by_label(&self, label: u64) -> Option<VertexId> {
+        self.labels
+            .iter()
+            .position(|&l| l == label)
+            .map(VertexId::new)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.vertex_count())
+            .field("m", &self.edge_count())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+/// Iterator over vertex handles. Produced by [`Graph::vertices`].
+#[derive(Debug, Clone)]
+pub struct Vertices {
+    next: u32,
+    n: u32,
+}
+
+impl Iterator for Vertices {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        if self.next < self.n {
+            let v = VertexId::from(self.next);
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.n - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Vertices {}
+
+/// Iterator over undirected edges. Produced by [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    inner: std::slice::Iter<'a, Edge>,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        self.inner.next().copied()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Edges<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path4() -> Graph {
+        GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = path4();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_probe_semantics() {
+        let g = path4();
+        let v1 = VertexId::new(1);
+        assert_eq!(g.neighbor(v1, 0), Some(VertexId::new(0)));
+        assert_eq!(g.neighbor(v1, 1), Some(VertexId::new(2)));
+        assert_eq!(g.neighbor(v1, 2), None); // ⊥ beyond the degree
+    }
+
+    #[test]
+    fn adjacency_probe_returns_position() {
+        let g = path4();
+        // Insertion order: Γ(2) = [1, 3].
+        assert_eq!(
+            g.adjacency_index(VertexId::new(2), VertexId::new(3)),
+            Some(1)
+        );
+        assert_eq!(
+            g.adjacency_index(VertexId::new(2), VertexId::new(1)),
+            Some(0)
+        );
+        assert_eq!(g.adjacency_index(VertexId::new(0), VertexId::new(3)), None);
+    }
+
+    #[test]
+    fn adjacency_order_is_insertion_order() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        let nbrs: Vec<usize> = g
+            .neighbors(VertexId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(nbrs, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn edges_are_normalized_and_ordered() {
+        let g = GraphBuilder::new(3).edge(2, 0).edge(1, 2).build().unwrap();
+        let e: Vec<(usize, usize)> = g.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        assert_eq!(e, vec![(0, 2), (1, 2)]);
+        assert_eq!(g.edge_endpoints(1), (VertexId::new(1), VertexId::new(2)));
+    }
+
+    #[test]
+    fn default_labels_are_indices() {
+        let g = path4();
+        for v in g.vertices() {
+            assert_eq!(g.label(v), v.index() as u64);
+        }
+        assert_eq!(g.vertex_by_label(2), Some(VertexId::new(2)));
+        assert_eq!(g.vertex_by_label(99), None);
+    }
+
+    #[test]
+    fn vertices_iterator_is_exact() {
+        let g = path4();
+        assert_eq!(g.vertices().len(), 4);
+        assert_eq!(g.vertices().count(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(format!("{:?}", path4()).contains("Graph"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Plain-text graph I/O.
+//!
+//! In the LCA model the *adjacency order* is part of the input (every
+//! tie-break depends on it), so the native format serializes it exactly:
+//!
+//! ```text
+//! # comments
+//! v <label>            one line per vertex, in index order
+//! a <index>: <i> <j> …  the full neighbor list of that vertex, in order
+//! ```
+//!
+//! [`read_edge_list`] also accepts plain `<label> <label>` edge lines (one
+//! undirected edge each) for hand-written files; adjacency order is then
+//! file order.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use crate::{Graph, GraphBuilder, GraphError, VertexId};
+
+/// Writes `graph` in the native format (lossless, including adjacency
+/// order).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# n = {}", graph.vertex_count())?;
+    writeln!(w, "# m = {}", graph.edge_count())?;
+    for v in graph.vertices() {
+        writeln!(w, "v {}", graph.label(v))?;
+    }
+    for v in graph.vertices() {
+        write!(w, "a {}:", v.index())?;
+        for nbr in graph.neighbors(v) {
+            write!(w, " {}", nbr.index())?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_edge_list`], or a plain edge list of
+/// `<label> <label>` lines.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidLabels`] on malformed lines or an
+/// inconsistent adjacency section, and builder validation errors for plain
+/// edge lists.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, GraphError> {
+    let mut labels: Vec<u64> = Vec::new();
+    let mut index: HashMap<u64, usize> = HashMap::new();
+    let mut plain_edges: Vec<(usize, usize)> = Vec::new();
+    let mut adjacency: Vec<(usize, Vec<usize>)> = Vec::new();
+    let bad = |lineno: usize, why: String| GraphError::InvalidLabels {
+        reason: format!("line {}: {why}", lineno + 1),
+    };
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| bad(lineno, format!("I/O error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(decl) = trimmed.strip_prefix("v ") {
+            let label: u64 = decl
+                .trim()
+                .parse()
+                .map_err(|_| bad(lineno, format!("invalid vertex label {decl:?}")))?;
+            if index.insert(label, labels.len()).is_some() {
+                return Err(bad(lineno, format!("vertex {label} declared twice")));
+            }
+            labels.push(label);
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("a ") {
+            let (head, tail) = rest
+                .split_once(':')
+                .ok_or_else(|| bad(lineno, "adjacency line without ':'".into()))?;
+            let v: usize = head
+                .trim()
+                .parse()
+                .map_err(|_| bad(lineno, format!("invalid vertex index {head:?}")))?;
+            let mut nbrs = Vec::new();
+            for tok in tail.split_whitespace() {
+                nbrs.push(
+                    tok.parse::<usize>()
+                        .map_err(|_| bad(lineno, format!("invalid neighbor index {tok:?}")))?,
+                );
+            }
+            adjacency.push((v, nbrs));
+            continue;
+        }
+        // Plain edge line: two labels.
+        let mut parts = trimmed.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => return Err(bad(lineno, format!("expected `u v`, got {trimmed:?}"))),
+        };
+        let mut parse_intern = |s: &str| -> Result<usize, GraphError> {
+            let label: u64 = s
+                .parse()
+                .map_err(|_| bad(lineno, format!("invalid label {s:?}")))?;
+            Ok(*index.entry(label).or_insert_with(|| {
+                labels.push(label);
+                labels.len() - 1
+            }))
+        };
+        let ia = parse_intern(a)?;
+        let ib = parse_intern(b)?;
+        plain_edges.push((ia, ib));
+    }
+
+    if adjacency.is_empty() {
+        return GraphBuilder::new(labels.len())
+            .edges(plain_edges)
+            .labels(labels)
+            .build();
+    }
+    if !plain_edges.is_empty() {
+        return Err(GraphError::InvalidLabels {
+            reason: "file mixes adjacency lines with plain edge lines".into(),
+        });
+    }
+    // Reconstruct CSR with exact order from the adjacency section.
+    let n = labels.len();
+    let mut lists: Vec<Option<Vec<usize>>> = vec![None; n];
+    for (v, nbrs) in adjacency {
+        if v >= n {
+            return Err(GraphError::InvalidLabels {
+                reason: format!("adjacency for undeclared vertex {v}"),
+            });
+        }
+        if lists[v].replace(nbrs).is_some() {
+            return Err(GraphError::InvalidLabels {
+                reason: format!("duplicate adjacency for vertex {v}"),
+            });
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut flat: Vec<VertexId> = Vec::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    offsets.push(0);
+    for (v, slot) in lists.iter_mut().enumerate() {
+        let nbrs = slot.take().unwrap_or_default();
+        for &w in &nbrs {
+            if w >= n || w == v {
+                return Err(GraphError::InvalidLabels {
+                    reason: format!("invalid neighbor {w} of vertex {v}"),
+                });
+            }
+            flat.push(VertexId::new(w));
+            if v < w {
+                edges.push((VertexId::new(v), VertexId::new(w)));
+            }
+        }
+        offsets.push(flat.len());
+    }
+    // Validate symmetry: every arc must have its reverse.
+    let mut arcs: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for v in 0..n {
+        for &w in &flat[offsets[v]..offsets[v + 1]] {
+            if !arcs.insert((v as u32, w.raw())) {
+                return Err(GraphError::ParallelEdge {
+                    u: VertexId::new(v),
+                    v: w,
+                });
+            }
+        }
+    }
+    for &(a, b) in &arcs {
+        if !arcs.contains(&(b, a)) {
+            return Err(GraphError::InvalidLabels {
+                reason: format!("arc {a}->{b} has no reverse; adjacency is not symmetric"),
+            });
+        }
+    }
+    Ok(Graph::from_parts(offsets, flat, labels, edges))
+}
+
+/// Round-trip helper used by tests: serialize then parse.
+///
+/// # Errors
+///
+/// Propagates serialization and parse errors.
+pub fn roundtrip(graph: &Graph) -> Result<Graph, GraphError> {
+    let mut buf = Vec::new();
+    write_edge_list(graph, &mut buf).map_err(|e| GraphError::InvalidLabels {
+        reason: format!("serialize failed: {e}"),
+    })?;
+    read_edge_list(std::io::BufReader::new(buf.as_slice()))
+}
+
+/// Whether two graphs are probe-for-probe identical: same handles, labels,
+/// and adjacency order.
+pub fn probe_equivalent(a: &Graph, b: &Graph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    for v in a.vertices() {
+        if a.label(v) != b.label(v) || a.neighbors(v) != b.neighbors(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// `VertexId` of the vertex with a given label (error helper for CLIs).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidLabels`] if no vertex carries `label`.
+pub fn require_label(graph: &Graph, label: u64) -> Result<VertexId, GraphError> {
+    graph
+        .vertex_by_label(label)
+        .ok_or(GraphError::InvalidLabels {
+            reason: format!("no vertex labeled {label}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{structured, GnpBuilder};
+    use lca_rand::Seed;
+
+    #[test]
+    fn roundtrip_preserves_probe_view() {
+        let g = GnpBuilder::new(60, 0.2)
+            .seed(Seed::new(1))
+            .shuffle_labels(true)
+            .build();
+        let back = roundtrip(&g).unwrap();
+        assert!(probe_equivalent(&g, &back));
+    }
+
+    #[test]
+    fn roundtrip_preserves_shuffled_adjacency_order() {
+        let g = crate::GraphBuilder::new(8)
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)])
+            .shuffle_adjacency(Seed::new(9))
+            .build()
+            .unwrap();
+        let back = roundtrip(&g).unwrap();
+        assert!(probe_equivalent(&g, &back));
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), back.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_isolated_vertices() {
+        let g = crate::GraphBuilder::new(5).edge(0, 1).build().unwrap();
+        let back = roundtrip(&g).unwrap();
+        assert_eq!(back.vertex_count(), 5);
+        assert_eq!(back.edge_count(), 1);
+    }
+
+    #[test]
+    fn reads_hand_written_edge_lists() {
+        let text = "# a comment\n10 20\n20 30\n\n30 10\n";
+        let g = read_edge_list(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label(VertexId::new(0)), 10);
+        assert!(require_label(&g, 30).is_ok());
+        assert!(require_label(&g, 99).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "1\n",
+            "1 2 3\n",
+            "x y\n",
+            "1 1\n",
+            "v 5\nv 5\n",
+            "v 1\na 0: 9\n",
+            "v 1\nv 2\na 0: 1\na 1:\n", // asymmetric adjacency
+            "v 1\nv 2\na 0: 1\n2 3\n",  // mixed sections
+        ] {
+            assert!(
+                read_edge_list(std::io::BufReader::new(bad.as_bytes())).is_err(),
+                "{bad:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn structured_families_roundtrip() {
+        for g in [
+            structured::complete(6),
+            structured::grid(3, 3),
+            structured::star(7),
+            structured::hypercube(3),
+        ] {
+            assert!(probe_equivalent(&g, &roundtrip(&g).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Static graph substrate for local computation algorithms.
+//!
+//! The LCA model of the paper (Section 1.4) assumes a simple undirected graph
+//! in adjacency-list representation where **each neighbor set has a fixed but
+//! arbitrary order** — the order is part of the input and every tie-breaking
+//! rule of the algorithms depends on it. This crate provides:
+//!
+//! * [`Graph`] — an immutable CSR graph with per-vertex 64-bit labels
+//!   (the paper's `ID(v)`, not required to be a bijection onto `[n]`),
+//!   insertion-ordered adjacency lists, and an O(1) adjacency index
+//!   (the backing store for `Adjacency` probes, which return the *position*
+//!   of `v` inside `Γ(u)`).
+//! * [`GraphBuilder`] — validated construction (simple graphs only), with
+//!   deterministic label and adjacency-order shuffling for adversarial tests.
+//! * [`gen`] — synthetic workload generators: G(n,p), G(n,m), random regular
+//!   (the §6 matching-table model), Chung–Lu power-law, and structured
+//!   families.
+//! * [`analysis`] — BFS, truncated distances, connectivity, degree statistics.
+//! * [`Subgraph`] — an edge-subset view used to verify spanner stretch.
+//!
+//! # Example
+//!
+//! ```
+//! use lca_graph::{GraphBuilder, VertexId};
+//!
+//! let g = GraphBuilder::new(4)
+//!     .edge(0, 1)
+//!     .edge(1, 2)
+//!     .edge(2, 3)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(g.vertex_count(), 4);
+//! assert_eq!(g.edge_count(), 3);
+//! assert_eq!(g.degree(VertexId::new(1)), 2);
+//! assert_eq!(g.adjacency_index(VertexId::new(1), VertexId::new(2)), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod error;
+pub mod gen;
+mod graph;
+pub mod io;
+mod subgraph;
+mod vertex;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edge, Edges, Graph, Vertices};
+pub use subgraph::Subgraph;
+pub use vertex::VertexId;

@@ -1,0 +1,212 @@
+//! Edge-subset views for spanner verification.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::{Graph, VertexId};
+
+/// A subgraph of a host [`Graph`] defined by an edge subset, with its own
+/// adjacency structure for distance queries.
+///
+/// This is what an LCA's answers *mean*: the set of edges it says YES to.
+/// The verification harness materializes that set into a `Subgraph` and
+/// checks stretch/connectivity against the host.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::{gen::structured, Subgraph, VertexId};
+/// let g = structured::cycle(4);
+/// // Keep three of the four cycle edges: still connected, stretch 3.
+/// let h = Subgraph::from_edges(&g, g.edges().take(3));
+/// assert_eq!(h.edge_count(), 3);
+/// assert!(h.distance_within(VertexId::new(0), VertexId::new(3), 3).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    n: usize,
+    adjacency: Vec<Vec<VertexId>>,
+    edges: HashSet<(u32, u32)>,
+}
+
+impl Subgraph {
+    /// Builds a subgraph from an edge iterator. Edges are normalized and
+    /// de-duplicated; each must exist in the host graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is not present in `host` (that would mean an LCA
+    /// answered YES on a non-edge, which the harness treats as a bug).
+    pub fn from_edges<I>(host: &Graph, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let n = host.vertex_count();
+        let mut adjacency = vec![Vec::new(); n];
+        let mut set = HashSet::new();
+        for (u, v) in edges {
+            assert!(
+                host.has_edge(u, v),
+                "subgraph edge {u}-{v} does not exist in the host graph"
+            );
+            let key = normalize(u, v);
+            if set.insert(key) {
+                adjacency[u.index()].push(v);
+                adjacency[v.index()].push(u);
+            }
+        }
+        Self {
+            n,
+            adjacency,
+            edges: set,
+        }
+    }
+
+    /// Number of vertices (same as the host).
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges kept.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `{u, v}` was kept.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains(&normalize(u, v))
+    }
+
+    /// Neighbors of `v` within the subgraph.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adjacency[v.index()]
+    }
+
+    /// Iterates over the kept edges (normalized, arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.edges
+            .iter()
+            .map(|&(a, b)| (VertexId::from(a), VertexId::from(b)))
+    }
+
+    /// Shortest-path distance within the subgraph if at most `bound`.
+    pub fn distance_within(&self, u: VertexId, v: VertexId, bound: u32) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let mut dist = std::collections::HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(u, 0u32);
+        queue.push_back(u);
+        while let Some(x) = queue.pop_front() {
+            let dx = dist[&x];
+            if dx >= bound {
+                continue;
+            }
+            for &w in self.neighbors(x) {
+                if w == v {
+                    return Some(dx + 1);
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(dx + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// The maximum, over host edges `(u,v)` *not* kept, of the subgraph
+    /// distance between `u` and `v` — i.e. the realized stretch of the
+    /// subgraph as a spanner of `host` (∞ ⇒ `None`).
+    ///
+    /// For spanners it suffices to check host *edges*: if every host edge is
+    /// stretched by at most `t`, every pairwise distance is too.
+    pub fn max_edge_stretch(&self, host: &Graph, cap: u32) -> Option<u32> {
+        let mut worst = 1u32;
+        for (u, v) in host.edges() {
+            if self.has_edge(u, v) {
+                continue;
+            }
+            match self.distance_within(u, v, cap) {
+                Some(d) => worst = worst.max(d),
+                None => return None,
+            }
+        }
+        Some(worst)
+    }
+}
+
+fn normalize(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.raw() < v.raw() {
+        (u.raw(), v.raw())
+    } else {
+        (v.raw(), u.raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured;
+
+    #[test]
+    fn keeps_and_queries_edges() {
+        let g = structured::cycle(5);
+        let h = Subgraph::from_edges(&g, g.edges());
+        assert_eq!(h.edge_count(), 5);
+        assert!(h.has_edge(VertexId::new(0), VertexId::new(1)));
+        assert!(h.has_edge(VertexId::new(1), VertexId::new(0)));
+    }
+
+    #[test]
+    fn deduplicates_and_normalizes() {
+        let g = structured::path(3);
+        let e = (VertexId::new(0), VertexId::new(1));
+        let h = Subgraph::from_edges(&g, [e, (e.1, e.0)]);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn rejects_non_host_edges() {
+        let g = structured::path(3);
+        let _ = Subgraph::from_edges(&g, [(VertexId::new(0), VertexId::new(2))]);
+    }
+
+    #[test]
+    fn stretch_of_spanning_tree_of_cycle() {
+        let g = structured::cycle(6);
+        let tree: Vec<_> = g.edges().take(5).collect();
+        let h = Subgraph::from_edges(&g, tree);
+        // Dropping one cycle edge forces a 5-hop detour.
+        assert_eq!(h.max_edge_stretch(&g, 10), Some(5));
+    }
+
+    #[test]
+    fn stretch_is_none_when_disconnected() {
+        let g = structured::path(3);
+        let h = Subgraph::from_edges(&g, [(VertexId::new(0), VertexId::new(1))]);
+        assert_eq!(h.max_edge_stretch(&g, 10), None);
+    }
+
+    #[test]
+    fn full_subgraph_has_stretch_one() {
+        let g = structured::complete(5);
+        let h = Subgraph::from_edges(&g, g.edges());
+        assert_eq!(h.max_edge_stretch(&g, 10), Some(1));
+    }
+
+    #[test]
+    fn distance_within_subgraph_only_uses_kept_edges() {
+        let g = structured::cycle(4);
+        let kept: Vec<_> = g
+            .edges()
+            .filter(|&(u, v)| !(u.index() == 0 && v.index() == 1))
+            .collect();
+        let h = Subgraph::from_edges(&g, kept);
+        assert_eq!(
+            h.distance_within(VertexId::new(0), VertexId::new(1), 5),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Vertex handles.
+
+/// A handle to a vertex: its dense internal index in `[0, n)`.
+///
+/// `VertexId` is the *handle* used to address probes; the paper's `ID(v)`
+/// (an arbitrary unique O(log n)-bit value used for tie-breaking and hashing)
+/// is the vertex *label*, accessed via [`crate::Graph::label`]. Keeping the
+/// two separate lets tests permute labels adversarially without touching the
+/// graph topology.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a handle from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("vertex index exceeds u32"))
+    }
+
+    /// The dense index in `[0, n)`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` representation.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds u32")]
+    fn oversized_index_panics() {
+        let _ = VertexId::new(usize::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", VertexId::new(7)), "v7");
+    }
+}

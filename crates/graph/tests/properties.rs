@@ -1,0 +1,106 @@
+//! Property-based tests for the graph substrate.
+
+use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
+use lca_graph::{analysis, io, GraphBuilder, VertexId};
+use lca_rand::Seed;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two probe views agree: the i-th neighbor of v reports v at the
+    /// index the adjacency probe returns, and degree equals list length.
+    #[test]
+    fn probe_views_are_coherent(n in 2usize..60, p in 0.0f64..0.6, seed in any::<u64>()) {
+        let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
+        for v in g.vertices() {
+            prop_assert_eq!(g.degree(v), g.neighbors(v).len());
+            for (i, &w) in g.neighbors(v).iter().enumerate() {
+                prop_assert_eq!(g.adjacency_index(v, w), Some(i));
+                // Undirectedness: the reverse arc exists too.
+                prop_assert!(g.adjacency_index(w, v).is_some());
+            }
+            prop_assert_eq!(g.neighbor(v, g.degree(v)), None);
+        }
+    }
+
+    /// Handshake lemma and symmetric edge iteration.
+    #[test]
+    fn degree_sum_is_twice_edges(n in 2usize..80, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
+        let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(u.index() < v.index());
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+        }
+    }
+
+    /// G(n, m) hits its edge count exactly and stays simple.
+    #[test]
+    fn gnm_has_exact_size(n in 3usize..50, frac in 0.0f64..0.9, seed in any::<u64>()) {
+        let max = n * (n - 1) / 2;
+        let m = (frac * max as f64) as usize;
+        let g = GnmBuilder::new(n, m).seed(Seed::new(seed)).build();
+        prop_assert_eq!(g.edge_count(), m);
+    }
+
+    /// Random regular graphs are exactly regular.
+    #[test]
+    fn regular_graphs_are_regular(n in 6usize..60, d in 1usize..5, seed in any::<u64>()) {
+        prop_assume!(n * d % 2 == 0 && d < n);
+        let g = RegularBuilder::new(n, d).seed(Seed::new(seed)).build().unwrap();
+        prop_assert!(g.vertices().all(|v| g.degree(v) == d));
+    }
+
+    /// Edge-list round-trip is probe-for-probe lossless.
+    #[test]
+    fn io_roundtrip(n in 1usize..40, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let g = GnpBuilder::new(n, p)
+            .seed(Seed::new(seed))
+            .shuffle_labels(true)
+            .build();
+        let back = io::roundtrip(&g).unwrap();
+        prop_assert!(io::probe_equivalent(&g, &back));
+    }
+
+    /// Component labels agree with pairwise reachability (spot check).
+    #[test]
+    fn components_match_reachability(n in 2usize..40, p in 0.0f64..0.2, seed in any::<u64>()) {
+        let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
+        let (labels, _) = analysis::connected_components(&g);
+        let d0 = analysis::bfs_distances(&g, VertexId::new(0));
+        for v in g.vertices() {
+            let reachable = d0[v.index()] != u32::MAX;
+            prop_assert_eq!(reachable, labels[v.index()] == labels[0]);
+        }
+    }
+
+    /// Builder validation refuses anything non-simple, regardless of input
+    /// order.
+    #[test]
+    fn builder_rejects_duplicates(n in 2usize..20, a in 0usize..20, b in 0usize..20) {
+        prop_assume!(a < n && b < n && a != b);
+        let r = GraphBuilder::new(n).edge(a, b).edge(b, a).build();
+        prop_assert!(r.is_err());
+    }
+
+    /// Shuffled adjacency preserves the neighbor multiset.
+    #[test]
+    fn shuffle_preserves_sets(n in 3usize..40, p in 0.1f64..0.6, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let base = GnpBuilder::new(n, p).seed(Seed::new(s1)).shuffle_adjacency(false).build();
+        let edges: Vec<(usize, usize)> = base.edges().map(|(u, v)| (u.index(), v.index())).collect();
+        let shuffled = GraphBuilder::new(n)
+            .edges(edges.iter().copied())
+            .shuffle_adjacency(Seed::new(s2))
+            .build()
+            .unwrap();
+        for v in base.vertices() {
+            let mut a: Vec<u32> = base.neighbors(v).iter().map(|w| w.raw()).collect();
+            let mut b: Vec<u32> = shuffled.neighbors(v).iter().map(|w| w.raw()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The indistinguishability experiment.
+
+use lca_graph::VertexId;
+use lca_probe::{CountingOracle, Oracle};
+use lca_rand::Seed;
+
+use crate::{sample_dminus, sample_dplus};
+
+/// Result of one budget point of the distinguishing experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutcome {
+    /// Probe budget given to the distinguisher.
+    pub budget: u64,
+    /// Fraction of D⁺ instances on which the distinguisher accepted
+    /// (declared “x–y stay connected without the designated edge”).
+    pub plus_accept: f64,
+    /// Fraction of D⁻ instances accepted.
+    pub minus_accept: f64,
+    /// Trials per distribution.
+    pub trials: usize,
+}
+
+impl ExperimentOutcome {
+    /// The distinguishing advantage `|Pr⁺[accept] − Pr⁻[accept]|`.
+    pub fn advantage(&self) -> f64 {
+        (self.plus_accept - self.minus_accept).abs()
+    }
+}
+
+/// The natural distinguisher: breadth-first reachability from `x` toward
+/// `y`, skipping the designated edge, halting when the probe budget is
+/// exhausted. Accepts iff `y` was reached — i.e. iff it *proved* the edge
+/// `(x, y)` is redundant.
+///
+/// On D⁻ it can never accept (there is no alternative path); on D⁺ it
+/// accepts once the budget reaches the size of the x-side search frontier —
+/// which is Θ(min{n·d, …}) ≫ the o(min{√n, n/d}) regime of Theorem 1.3.
+pub fn bounded_reachability_accepts<O: Oracle>(
+    oracle: &CountingOracle<O>,
+    x: VertexId,
+    y: VertexId,
+    budget: u64,
+) -> bool {
+    let scope = oracle.scoped();
+    let mut visited = std::collections::HashSet::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited.insert(x);
+    queue.push_back(x);
+    while let Some(v) = queue.pop_front() {
+        if scope.cost().total() >= budget {
+            return false;
+        }
+        let deg = oracle.degree(v);
+        for i in 0..deg {
+            if scope.cost().total() >= budget {
+                return false;
+            }
+            let Some(w) = oracle.neighbor(v, i) else {
+                break;
+            };
+            if (v == x && w == y) || (v == y && w == x) {
+                continue; // never use the designated edge itself
+            }
+            if w == y {
+                return true;
+            }
+            if visited.insert(w) {
+                queue.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Runs the experiment: `trials` instances from each distribution, the
+/// bounded-reachability distinguisher with the given probe budget.
+///
+/// # Panics
+///
+/// Panics if instance sampling fails (invalid `(n, d)` parity; see
+/// [`sample_dminus`]).
+pub fn distinguishing_experiment(
+    n: usize,
+    d: usize,
+    budget: u64,
+    trials: usize,
+    seed: Seed,
+) -> ExperimentOutcome {
+    let mut plus = 0usize;
+    let mut minus = 0usize;
+    for t in 0..trials {
+        let sp = sample_dplus(n, d, seed.derive2(1, t as u64)).expect("valid D+ parameters");
+        let counting = CountingOracle::new(&sp.graph);
+        if bounded_reachability_accepts(&counting, sp.x, sp.y, budget) {
+            plus += 1;
+        }
+        let sm = sample_dminus(n, d, seed.derive2(2, t as u64)).expect("valid D- parameters");
+        let counting = CountingOracle::new(&sm.graph);
+        if bounded_reachability_accepts(&counting, sm.x, sm.y, budget) {
+            minus += 1;
+        }
+    }
+    ExperimentOutcome {
+        budget,
+        plus_accept: plus as f64 / trials as f64,
+        minus_accept: minus as f64 / trials as f64,
+        trials,
+    }
+}
+
+/// Measures how many edges a spanner LCA keeps on D⁺ instances — the
+/// *conclusion* of Theorem 1.3 made observable: because no sublinear-probe
+/// algorithm can certify the designated edge redundant, a correct LCA must
+/// keep it, and by symmetry it must keep a constant fraction of **all**
+/// edges of such sparse regular instances.
+///
+/// Returns `(kept_fraction, designated_edge_keep_rate)` averaged over
+/// `trials` D⁺ instances; `make` builds the LCA under test for each
+/// instance graph.
+///
+/// # Panics
+///
+/// Panics if instance sampling fails or the LCA errors on an edge query.
+pub fn spanner_keep_rate<F>(n: usize, d: usize, trials: usize, seed: Seed, make: F) -> (f64, f64)
+where
+    F: for<'g> Fn(&'g lca_graph::Graph) -> Box<dyn lca_core::EdgeSubgraphLca + 'g>,
+{
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    let mut designated = 0usize;
+    for t in 0..trials {
+        let inst = sample_dplus(n, d, seed.derive2(3, t as u64)).expect("valid D+ parameters");
+        let lca = make(&inst.graph);
+        for (u, v) in inst.graph.edges() {
+            total += 1;
+            if lca.contains(u, v).expect("edge query") {
+                kept += 1;
+                if (u == inst.x && v == inst.y) || (u == inst.y && v == inst.x) {
+                    designated += 1;
+                }
+            }
+        }
+    }
+    (
+        kept as f64 / total.max(1) as f64,
+        designated as f64 / trials.max(1) as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dminus_is_never_accepted() {
+        // No alternative x–y path exists, so no budget can accept.
+        let o = distinguishing_experiment(50, 3, 100_000, 6, Seed::new(1));
+        assert_eq!(o.minus_accept, 0.0);
+    }
+
+    #[test]
+    fn large_budget_accepts_dplus() {
+        let o = distinguishing_experiment(50, 3, 100_000, 6, Seed::new(2));
+        assert!(
+            o.plus_accept >= 0.8,
+            "unbounded search should certify redundancy: {o:?}"
+        );
+        assert!(o.advantage() >= 0.8);
+    }
+
+    #[test]
+    fn tiny_budget_cannot_distinguish() {
+        // Budget far below √n ⇒ advantage collapses.
+        let o = distinguishing_experiment(102, 3, 4, 8, Seed::new(3));
+        assert!(
+            o.advantage() <= 0.25,
+            "tiny budget should be blind: {o:?}"
+        );
+    }
+
+    #[test]
+    fn advantage_is_monotone_in_budget_overall() {
+        let lo = distinguishing_experiment(50, 3, 6, 8, Seed::new(4));
+        let hi = distinguishing_experiment(50, 3, 5_000, 8, Seed::new(4));
+        assert!(hi.advantage() >= lo.advantage());
+    }
+
+    #[test]
+    fn probe_answer_histories_respect_the_budget() {
+        // Section 6 reasons about probe-answer histories of length L; the
+        // tester must actually stop within its budget, and its recorded
+        // history must match the counted probes.
+        use lca_probe::TracingOracle;
+        let inst = sample_dplus(50, 3, Seed::new(5)).unwrap();
+        for budget in [1u64, 4, 16, 64] {
+            let traced = TracingOracle::new(&inst.graph);
+            let counted = CountingOracle::new(&traced);
+            let _ = bounded_reachability_accepts(&counted, inst.x, inst.y, budget);
+            let history = traced.take_trace();
+            assert_eq!(history.len() as u64, counted.counts().total());
+            assert!(
+                history.len() as u64 <= budget + 1,
+                "budget {budget}: history of {} probes",
+                history.len()
+            );
+        }
+    }
+
+    #[test]
+    fn correct_lcas_keep_omega_m_on_lower_bound_instances() {
+        // Theorem 1.3's conclusion: on sparse regular instances a correct
+        // spanner LCA keeps (nearly) all edges — here all of them, since
+        // d = 3 ≤ √n puts every edge in E_low.
+        let (kept, designated) = spanner_keep_rate(50, 3, 4, Seed::new(9), |g| {
+            Box::new(lca_core::ThreeSpanner::with_defaults(
+                g,
+                lca_rand::Seed::new(1),
+            ))
+        });
+        assert_eq!(kept, 1.0);
+        assert_eq!(designated, 1.0);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = ExperimentOutcome {
+            budget: 10,
+            plus_accept: 0.75,
+            minus_accept: 0.25,
+            trials: 4,
+        };
+        assert!((o.advantage() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Sampling the D⁺ and D⁻ instance distributions.
+
+use lca_graph::{Graph, GraphBuilder, GraphError, VertexId};
+use lca_rand::{Seed, SplitMix64};
+
+/// A sampled lower-bound instance: a d-regular graph with a designated edge.
+#[derive(Debug)]
+pub struct LowerBoundInstance {
+    /// The instance graph (simple, d-regular).
+    pub graph: Graph,
+    /// First endpoint of the designated edge.
+    pub x: VertexId,
+    /// Second endpoint of the designated edge.
+    pub y: VertexId,
+    /// Whether removing `(x, y)` keeps `x` and `y` connected (D⁺ property;
+    /// false for D⁻ by construction).
+    pub connected_without_edge: bool,
+}
+
+/// Pairs stubs into a matching and repairs self-loops/parallel edges by
+/// random pair swaps, never touching pairs flagged as `pinned` (the
+/// designated edge). Swaps stay within the provided pair list, so any
+/// side-partition invariant is preserved.
+fn repair_matching(
+    pairs: &mut [(u32, u32)],
+    pinned: &[(u32, u32)],
+    rng: &mut SplitMix64,
+) -> Result<(), GraphError> {
+    use std::collections::HashSet;
+    for _round in 0..500 {
+        let mut seen: HashSet<(u32, u32)> = pinned
+            .iter()
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            let k = if a < b { (a, b) } else { (b, a) };
+            if a == b || !seen.insert(k) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            return Ok(());
+        }
+        for i in bad {
+            if pairs.len() < 2 {
+                break;
+            }
+            let j = rng.next_below(pairs.len() as u64) as usize;
+            if i == j {
+                continue;
+            }
+            let (a, b) = pairs[i];
+            let (c, d) = pairs[j];
+            pairs[i] = (a, d);
+            pairs[j] = (c, b);
+        }
+    }
+    Err(GraphError::Unsatisfiable {
+        reason: "matching repair did not converge".into(),
+    })
+}
+
+fn build(
+    n: usize,
+    pairs: Vec<(u32, u32)>,
+    x: VertexId,
+    y: VertexId,
+    seed: Seed,
+    connected_without_edge: bool,
+) -> Result<LowerBoundInstance, GraphError> {
+    let mut b = GraphBuilder::new(n).edge(x.index(), y.index());
+    for (a, c) in pairs {
+        b = b.edge(a as usize, c as usize);
+    }
+    let graph = b.shuffle_adjacency(seed.derive(0x4C42_4144)).build()?;
+    Ok(LowerBoundInstance {
+        graph,
+        x,
+        y,
+        connected_without_edge,
+    })
+}
+
+/// Samples a D⁺ instance: a uniform(-ish, after repair) d-regular simple
+/// graph on `n` vertices containing the designated edge `(0, 1)`.
+///
+/// # Errors
+///
+/// Fails if `n·d` is odd, `d >= n`, or repair cannot converge.
+pub fn sample_dplus(n: usize, d: usize, seed: Seed) -> Result<LowerBoundInstance, GraphError> {
+    if d < 1 || d >= n {
+        return Err(GraphError::Unsatisfiable {
+            reason: format!("need 1 <= d < n, got d={d}, n={n}"),
+        });
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::Unsatisfiable {
+            reason: "n·d must be even".into(),
+        });
+    }
+    let x = VertexId::new(0);
+    let y = VertexId::new(1);
+    let mut rng = SplitMix64::new(seed.derive(0xD9).value());
+    // Stubs: d per vertex, minus the designated slot of x and y.
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d - 2);
+    for v in 0..n as u32 {
+        let count = if v < 2 { d - 1 } else { d };
+        for _ in 0..count {
+            stubs.push(v);
+        }
+    }
+    for i in (1..stubs.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        stubs.swap(i, j);
+    }
+    let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    // Forbid recreating (x, y) as a parallel edge: treat it as pinned.
+    repair_matching(&mut pairs, &[(0, 1)], &mut rng)?;
+    build(n, pairs, x, y, seed, true)
+}
+
+/// Samples a D⁻ instance: the vertex set splits into two halves containing
+/// `x = 0` and `y = 1` respectively; each half is internally d-regular
+/// (minus the designated stubs) and `(x, y)` is the only crossing edge.
+///
+/// # Errors
+///
+/// Fails unless `n ≡ 2 (mod 4)` and `d` is odd (the paper's parity
+/// condition, which makes each half's stub count even), or on repair failure.
+pub fn sample_dminus(n: usize, d: usize, seed: Seed) -> Result<LowerBoundInstance, GraphError> {
+    if d < 1 || d >= n / 2 {
+        return Err(GraphError::Unsatisfiable {
+            reason: format!("need 1 <= d < n/2, got d={d}, n={n}"),
+        });
+    }
+    if n % 4 != 2 || d % 2 != 1 {
+        return Err(GraphError::Unsatisfiable {
+            reason: format!("need n ≡ 2 (mod 4) and odd d, got n={n}, d={d}"),
+        });
+    }
+    let x = VertexId::new(0);
+    let y = VertexId::new(1);
+    let mut rng = SplitMix64::new(seed.derive(0xDA).value());
+    let half = n / 2;
+    // Random halves: x with a uniform (half-1)-subset of {2..n}, y with the
+    // rest.
+    let mut rest: Vec<u32> = (2..n as u32).collect();
+    for i in (1..rest.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        rest.swap(i, j);
+    }
+    let side_x: Vec<u32> = std::iter::once(0u32)
+        .chain(rest[..half - 1].iter().copied())
+        .collect();
+    let side_y: Vec<u32> = std::iter::once(1u32)
+        .chain(rest[half - 1..].iter().copied())
+        .collect();
+
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+    for (side, designated) in [(&side_x, 0u32), (&side_y, 1u32)] {
+        let mut stubs: Vec<u32> = Vec::with_capacity(half * d - 1);
+        for &v in side.iter() {
+            let count = if v == designated { d - 1 } else { d };
+            for _ in 0..count {
+                stubs.push(v);
+            }
+        }
+        for i in (1..stubs.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            stubs.swap(i, j);
+        }
+        let mut side_pairs: Vec<(u32, u32)> =
+            stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        repair_matching(&mut side_pairs, &[(0, 1)], &mut rng)?;
+        pairs.extend(side_pairs);
+    }
+    build(n, pairs, x, y, seed, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::analysis::{connected_components, UnionFind};
+
+    #[test]
+    fn dplus_is_regular_and_contains_designated_edge() {
+        let inst = sample_dplus(50, 3, Seed::new(1)).unwrap();
+        assert!(inst.graph.vertices().all(|v| inst.graph.degree(v) == 3));
+        assert!(inst.graph.has_edge(inst.x, inst.y));
+        assert!(inst.connected_without_edge);
+    }
+
+    #[test]
+    fn dplus_usually_stays_connected_without_the_edge() {
+        // d >= 3 random regular graphs are connected (and 3-edge-connected)
+        // w.h.p.; check x–y connectivity avoiding the designated edge.
+        let mut ok = 0;
+        let trials = 10;
+        for s in 0..trials {
+            let inst = sample_dplus(102, 3, Seed::new(s)).unwrap();
+            let mut uf = UnionFind::new(inst.graph.vertex_count());
+            for (u, v) in inst.graph.edges() {
+                if (u, v) == (inst.x, inst.y) || (v, u) == (inst.x, inst.y) {
+                    continue;
+                }
+                uf.union(u.index(), v.index());
+            }
+            if uf.same(inst.x.index(), inst.y.index()) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials - 1, "only {ok}/{trials} stayed connected");
+    }
+
+    #[test]
+    fn dminus_disconnects_exactly_at_the_designated_edge() {
+        for s in 0..5u64 {
+            let inst = sample_dminus(50, 3, Seed::new(s)).unwrap();
+            assert!(inst.graph.vertices().all(|v| inst.graph.degree(v) == 3));
+            assert!(inst.graph.has_edge(inst.x, inst.y));
+            assert!(!inst.connected_without_edge);
+            // Removing (x, y) splits x from y.
+            let mut uf = UnionFind::new(inst.graph.vertex_count());
+            for (u, v) in inst.graph.edges() {
+                if (u == inst.x && v == inst.y) || (u == inst.y && v == inst.x) {
+                    continue;
+                }
+                uf.union(u.index(), v.index());
+            }
+            assert!(
+                !uf.same(inst.x.index(), inst.y.index()),
+                "seed {s}: halves are linked without the designated edge"
+            );
+        }
+    }
+
+    #[test]
+    fn dminus_graph_is_connected_with_the_edge() {
+        let inst = sample_dminus(102, 3, Seed::new(7)).unwrap();
+        let (_, comps) = connected_components(&inst.graph);
+        // Each d=3 half is connected w.h.p., and the designated edge joins
+        // them.
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(sample_dplus(10, 0, Seed::new(0)).is_err());
+        assert!(sample_dplus(9, 3, Seed::new(0)).is_err()); // odd n·d
+        assert!(sample_dminus(48, 3, Seed::new(0)).is_err()); // n % 4 == 0
+        assert!(sample_dminus(50, 4, Seed::new(0)).is_err()); // even d
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample_dplus(30, 3, Seed::new(5)).unwrap();
+        let b = sample_dplus(30, 3, Seed::new(5)).unwrap();
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+}

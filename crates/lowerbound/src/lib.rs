@@ -1,0 +1,36 @@
+//! The Section 6 lower bound, made executable.
+//!
+//! Theorem 1.3: any LCA that outputs a spanning subgraph with o(m) edges
+//! needs Ω(min{√n, n²/m}) probes. The proof builds two distributions over
+//! d-regular instances containing a designated edge `(x, y)`:
+//!
+//! * **D⁺** — uniform d-regular graphs containing `(x, y)`; removing the
+//!   edge w.h.p. leaves `x` and `y` connected.
+//! * **D⁻** — the vertex set is split in half around `x` and `y`, each half
+//!   independently d-regular, and `(x, y)` is the *only* crossing edge;
+//!   removing it disconnects `x` from `y`.
+//!
+//! A probe-bounded algorithm cannot tell the two apart, yet must keep
+//! `(x, y)` on D⁻ — so it must answer YES on Ω(m) edges overall.
+//!
+//! The paper presents instances as perfect matchings of an `n × d` cell
+//! table; sampling a uniform matching is equivalent to the configuration
+//! model with uniformly shuffled adjacency slots, which is how
+//! [`sample_dplus`]/[`sample_dminus`] realize the distributions (collisions
+//! repaired by pair swaps, the paper's simplification step).
+//!
+//! [`distinguishing_experiment`] measures the empirical advantage of a
+//! natural probe-budgeted distinguisher as the budget sweeps across the
+//! Ω(min{√n, n/d}) threshold — the data behind the lower-bound “figure”.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod instance;
+
+pub use experiment::{
+    bounded_reachability_accepts, distinguishing_experiment, spanner_keep_rate,
+    ExperimentOutcome,
+};
+pub use instance::{sample_dminus, sample_dplus, LowerBoundInstance};

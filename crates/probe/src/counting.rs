@@ -1,0 +1,274 @@
+//! Probe counting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lca_graph::VertexId;
+
+use crate::{Oracle, ProbeKind};
+
+/// Per-kind probe totals.
+///
+/// # Example
+///
+/// ```
+/// use lca_probe::ProbeCounts;
+/// let c = ProbeCounts { neighbor: 3, degree: 1, adjacency: 2 };
+/// assert_eq!(c.total(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ProbeCounts {
+    /// Number of `Neighbor` probes.
+    pub neighbor: u64,
+    /// Number of `Degree` probes.
+    pub degree: u64,
+    /// Number of `Adjacency` probes.
+    pub adjacency: u64,
+}
+
+impl ProbeCounts {
+    /// Total probes of all kinds.
+    pub fn total(&self) -> u64 {
+        self.neighbor + self.degree + self.adjacency
+    }
+
+    /// Count of one probe kind.
+    pub fn of(&self, kind: ProbeKind) -> u64 {
+        match kind {
+            ProbeKind::Neighbor => self.neighbor,
+            ProbeKind::Degree => self.degree,
+            ProbeKind::Adjacency => self.adjacency,
+        }
+    }
+
+    /// Component-wise difference (`self - earlier`); saturates at zero.
+    pub fn since(&self, earlier: ProbeCounts) -> ProbeCounts {
+        ProbeCounts {
+            neighbor: self.neighbor.saturating_sub(earlier.neighbor),
+            degree: self.degree.saturating_sub(earlier.degree),
+            adjacency: self.adjacency.saturating_sub(earlier.adjacency),
+        }
+    }
+}
+
+impl std::ops::Add for ProbeCounts {
+    type Output = ProbeCounts;
+
+    fn add(self, rhs: ProbeCounts) -> ProbeCounts {
+        ProbeCounts {
+            neighbor: self.neighbor + rhs.neighbor,
+            degree: self.degree + rhs.degree,
+            adjacency: self.adjacency + rhs.adjacency,
+        }
+    }
+}
+
+impl std::fmt::Display for ProbeCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "probes[nbr={} deg={} adj={} total={}]",
+            self.neighbor,
+            self.degree,
+            self.adjacency,
+            self.total()
+        )
+    }
+}
+
+/// An [`Oracle`] wrapper that counts every probe.
+///
+/// Thread-safe (atomic counters), so parallel bench harnesses can share one.
+/// Use [`CountingOracle::scoped`] to measure a single query:
+///
+/// ```
+/// use lca_graph::{gen::structured, VertexId};
+/// use lca_probe::{CountingOracle, Oracle};
+///
+/// let g = structured::cycle(6);
+/// let o = CountingOracle::new(&g);
+/// let scope = o.scoped();
+/// o.degree(VertexId::new(0));
+/// o.neighbor(VertexId::new(0), 1);
+/// assert_eq!(scope.cost().total(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CountingOracle<O> {
+    inner: O,
+    neighbor: AtomicU64,
+    degree: AtomicU64,
+    adjacency: AtomicU64,
+}
+
+impl<O: Oracle> CountingOracle<O> {
+    /// Wraps an oracle with fresh counters.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            neighbor: AtomicU64::new(0),
+            degree: AtomicU64::new(0),
+            adjacency: AtomicU64::new(0),
+        }
+    }
+
+    /// Current cumulative counts.
+    pub fn counts(&self) -> ProbeCounts {
+        ProbeCounts {
+            neighbor: self.neighbor.load(Ordering::Relaxed),
+            degree: self.degree.load(Ordering::Relaxed),
+            adjacency: self.adjacency.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.neighbor.store(0, Ordering::Relaxed);
+        self.degree.store(0, Ordering::Relaxed);
+        self.adjacency.store(0, Ordering::Relaxed);
+    }
+
+    /// Starts a measurement scope (snapshot of the current counts).
+    pub fn scoped(&self) -> QueryScope<'_, O> {
+        QueryScope {
+            oracle: self,
+            start: self.counts(),
+        }
+    }
+
+    /// Access the wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for CountingOracle<O> {
+    fn vertex_count(&self) -> usize {
+        self.inner.vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree.fetch_add(1, Ordering::Relaxed);
+        self.inner.degree(v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        self.neighbor.fetch_add(1, Ordering::Relaxed);
+        self.inner.neighbor(v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        self.adjacency.fetch_add(1, Ordering::Relaxed);
+        self.inner.adjacency(u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        self.inner.label(v)
+    }
+}
+
+/// A per-query measurement scope produced by [`CountingOracle::scoped`].
+#[derive(Debug)]
+pub struct QueryScope<'a, O> {
+    oracle: &'a CountingOracle<O>,
+    start: ProbeCounts,
+}
+
+impl<O: Oracle> QueryScope<'_, O> {
+    /// Probes spent since the scope was opened.
+    pub fn cost(&self) -> ProbeCounts {
+        self.oracle.counts().since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::structured;
+
+    #[test]
+    fn counts_every_probe_kind() {
+        let g = structured::star(5);
+        let o = CountingOracle::new(&g);
+        o.degree(VertexId::new(0));
+        o.degree(VertexId::new(1));
+        o.neighbor(VertexId::new(0), 0);
+        o.adjacency(VertexId::new(0), VertexId::new(1));
+        o.adjacency(VertexId::new(1), VertexId::new(2));
+        o.adjacency(VertexId::new(2), VertexId::new(3));
+        let c = o.counts();
+        assert_eq!(c.degree, 2);
+        assert_eq!(c.neighbor, 1);
+        assert_eq!(c.adjacency, 3);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.of(crate::ProbeKind::Adjacency), 3);
+    }
+
+    #[test]
+    fn labels_and_vertex_count_are_free() {
+        let g = structured::path(4);
+        let o = CountingOracle::new(&g);
+        o.label(VertexId::new(2));
+        o.vertex_count();
+        assert_eq!(o.counts().total(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let g = structured::path(4);
+        let o = CountingOracle::new(&g);
+        o.degree(VertexId::new(0));
+        o.reset();
+        assert_eq!(o.counts(), ProbeCounts::default());
+    }
+
+    #[test]
+    fn scoped_measures_deltas() {
+        let g = structured::path(4);
+        let o = CountingOracle::new(&g);
+        o.degree(VertexId::new(0));
+        let scope = o.scoped();
+        o.neighbor(VertexId::new(1), 0);
+        o.neighbor(VertexId::new(1), 1);
+        assert_eq!(scope.cost().total(), 2);
+        assert_eq!(scope.cost().neighbor, 2);
+        assert_eq!(o.counts().total(), 3);
+    }
+
+    #[test]
+    fn forwarding_preserves_answers() {
+        let g = structured::cycle(7);
+        let o = CountingOracle::new(&g);
+        for v in g.vertices() {
+            assert_eq!(o.degree(v), g.degree(v));
+            for i in 0..g.degree(v) + 1 {
+                assert_eq!(o.neighbor(v, i), g.neighbor(v, i));
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_since() {
+        let a = ProbeCounts {
+            neighbor: 1,
+            degree: 2,
+            adjacency: 3,
+        };
+        let b = ProbeCounts {
+            neighbor: 10,
+            degree: 20,
+            adjacency: 30,
+        };
+        assert_eq!((a + b).total(), 66);
+        assert_eq!(b.since(a).neighbor, 9);
+        assert_eq!(a.since(b), ProbeCounts::default());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = ProbeCounts {
+            neighbor: 1,
+            degree: 0,
+            adjacency: 2,
+        };
+        assert!(format!("{c}").contains("total=3"));
+    }
+}

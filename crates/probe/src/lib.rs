@@ -1,0 +1,71 @@
+//! The adjacency-list oracle model (paper Section 1.4).
+//!
+//! An LCA never reads the graph directly: it accesses the oracle `O_G`
+//! through three probe types, and its *probe complexity* — the maximum number
+//! of probes per query — is the headline cost measure of every theorem in the
+//! paper.
+//!
+//! * `Neighbor⟨v, i⟩` — the i-th neighbor of `v`, or ⊥ if `i ≥ deg(v)`.
+//! * `Degree⟨v⟩` — `deg(v)`.
+//! * `Adjacency⟨u, v⟩` — the index of `v` inside `Γ(u)`, or ⊥. (Returning the
+//!   *index* is what makes the single-probe cluster-membership test of
+//!   Idea (I) possible.)
+//!
+//! [`Oracle`] is the probe interface; [`lca_graph::Graph`] implements it directly.
+//! Wrappers layer accounting on top without changing semantics:
+//!
+//! * [`CountingOracle`] — per-kind totals ([`ProbeCounts`]) and a
+//!   [`CountingOracle::scoped`] helper for per-query costs.
+//! * [`TracingOracle`] — records the full probe sequence for debugging and
+//!   for the lower-bound experiment's probe-answer histories.
+//! * [`MemoOracle`] — counts only *distinct* probes, modelling an LCA that
+//!   caches oracle answers in its local memory during one query.
+//!
+//! # Example
+//!
+//! ```
+//! use lca_graph::{gen::structured, VertexId};
+//! use lca_probe::{CountingOracle, Oracle};
+//!
+//! let g = structured::star(8);
+//! let o = CountingOracle::new(&g);
+//! assert_eq!(o.degree(VertexId::new(0)), 7);
+//! let w = o.neighbor(VertexId::new(0), 3).unwrap();
+//! assert_eq!(o.adjacency(VertexId::new(0), w), Some(3));
+//! assert_eq!(o.counts().total(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counting;
+mod memo;
+mod oracle;
+mod tracing;
+
+pub use counting::{CountingOracle, ProbeCounts, QueryScope};
+pub use memo::{measure_distinct, MemoOracle};
+pub use oracle::Oracle;
+pub use tracing::{ProbeRecord, TracingOracle};
+
+/// The three probe types of the LCA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// `Neighbor⟨v, i⟩`.
+    Neighbor,
+    /// `Degree⟨v⟩`.
+    Degree,
+    /// `Adjacency⟨u, v⟩`.
+    Adjacency,
+}
+
+impl std::fmt::Display for ProbeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProbeKind::Neighbor => "neighbor",
+            ProbeKind::Degree => "degree",
+            ProbeKind::Adjacency => "adjacency",
+        };
+        f.write_str(s)
+    }
+}

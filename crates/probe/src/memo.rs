@@ -1,0 +1,185 @@
+//! Distinct-probe accounting.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use lca_graph::VertexId;
+
+use crate::{CountingOracle, Oracle, ProbeCounts};
+
+/// An [`Oracle`] wrapper that answers repeated probes from a local cache, so
+/// the wrapped counter only sees *distinct* probes.
+///
+/// The paper counts every oracle access, but an LCA has read-write local
+/// memory (Definition 1.4) and would never pay twice for the same probe
+/// within one query. Wrapping a [`CountingOracle`] in a `MemoOracle` yields
+/// the distinct-probe measure; the bench harness reports both.
+///
+/// Call [`MemoOracle::clear`] between queries: the cache models *per-query*
+/// memory, not a persistent data structure (an LCA must not keep state across
+/// queries).
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::{gen::structured, VertexId};
+/// use lca_probe::{CountingOracle, MemoOracle, Oracle};
+///
+/// let g = structured::star(5);
+/// let counted = CountingOracle::new(&g);
+/// let memo = MemoOracle::new(&counted);
+/// memo.degree(VertexId::new(0));
+/// memo.degree(VertexId::new(0)); // served from cache
+/// assert_eq!(counted.counts().degree, 1);
+/// ```
+#[derive(Debug)]
+pub struct MemoOracle<O> {
+    inner: O,
+    state: Mutex<MemoState>,
+}
+
+#[derive(Debug, Default)]
+struct MemoState {
+    degree: std::collections::HashMap<u32, usize>,
+    neighbor: std::collections::HashMap<(u32, u64), Option<VertexId>>,
+    adjacency: std::collections::HashMap<(u32, u32), Option<usize>>,
+    distinct: HashSet<(u8, u64)>,
+}
+
+impl<O: Oracle> MemoOracle<O> {
+    /// Wraps an oracle with an empty cache.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            state: Mutex::new(MemoState::default()),
+        }
+    }
+
+    /// Clears the cache (call between queries).
+    pub fn clear(&self) {
+        *self.state.lock().expect("memo poisoned") = MemoState::default();
+    }
+
+    /// Number of distinct probes issued since the last [`clear`].
+    ///
+    /// [`clear`]: MemoOracle::clear
+    pub fn distinct_probes(&self) -> usize {
+        self.state.lock().expect("memo poisoned").distinct.len()
+    }
+}
+
+impl<O: Oracle> Oracle for MemoOracle<O> {
+    fn vertex_count(&self) -> usize {
+        self.inner.vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        let mut s = self.state.lock().expect("memo poisoned");
+        if let Some(&d) = s.degree.get(&v.raw()) {
+            return d;
+        }
+        let d = self.inner.degree(v);
+        s.degree.insert(v.raw(), d);
+        s.distinct.insert((0, v.raw() as u64));
+        d
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        let key = (v.raw(), i as u64);
+        let mut s = self.state.lock().expect("memo poisoned");
+        if let Some(&w) = s.neighbor.get(&key) {
+            return w;
+        }
+        let w = self.inner.neighbor(v, i);
+        s.neighbor.insert(key, w);
+        s.distinct.insert((1, ((v.raw() as u64) << 32) | i as u64));
+        w
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let key = (u.raw(), v.raw());
+        let mut s = self.state.lock().expect("memo poisoned");
+        if let Some(&p) = s.adjacency.get(&key) {
+            return p;
+        }
+        let p = self.inner.adjacency(u, v);
+        s.adjacency.insert(key, p);
+        s.distinct
+            .insert((2, ((u.raw() as u64) << 32) | v.raw() as u64));
+        p
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        self.inner.label(v)
+    }
+}
+
+/// Convenience: measure the distinct-probe cost of one closure against a
+/// graph-backed oracle. Returns `(closure result, raw counts, distinct)`.
+pub fn measure_distinct<O: Oracle, T>(
+    oracle: O,
+    f: impl FnOnce(&MemoOracle<&CountingOracle<O>>) -> T,
+) -> (T, ProbeCounts, usize) {
+    let counted = CountingOracle::new(oracle);
+    let memo = MemoOracle::new(&counted);
+    let out = f(&memo);
+    let distinct = memo.distinct_probes();
+    (out, counted.counts(), distinct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::structured;
+
+    #[test]
+    fn caches_each_probe_kind() {
+        let g = structured::cycle(6);
+        let counted = CountingOracle::new(&g);
+        let memo = MemoOracle::new(&counted);
+        for _ in 0..5 {
+            memo.degree(VertexId::new(0));
+            memo.neighbor(VertexId::new(0), 1);
+            memo.adjacency(VertexId::new(0), VertexId::new(1));
+        }
+        assert_eq!(counted.counts().total(), 3);
+        assert_eq!(memo.distinct_probes(), 3);
+    }
+
+    #[test]
+    fn cached_answers_match_oracle() {
+        let g = structured::star(6);
+        let memo = MemoOracle::new(&g);
+        for v in g.vertices() {
+            assert_eq!(memo.degree(v), g.degree(v));
+            assert_eq!(memo.degree(v), g.degree(v));
+            for i in 0..g.degree(v) {
+                assert_eq!(memo.neighbor(v, i), g.neighbor(v, i));
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_cache_and_count() {
+        let g = structured::path(4);
+        let counted = CountingOracle::new(&g);
+        let memo = MemoOracle::new(&counted);
+        memo.degree(VertexId::new(1));
+        memo.clear();
+        assert_eq!(memo.distinct_probes(), 0);
+        memo.degree(VertexId::new(1));
+        assert_eq!(counted.counts().degree, 2);
+    }
+
+    #[test]
+    fn measure_distinct_helper() {
+        let g = structured::star(8);
+        let (_out, counts, distinct) = measure_distinct(&g, |o| {
+            o.degree(VertexId::new(0));
+            o.degree(VertexId::new(0));
+            o.neighbor(VertexId::new(0), 2)
+        });
+        assert_eq!(counts.total(), 2);
+        assert_eq!(distinct, 2);
+    }
+}

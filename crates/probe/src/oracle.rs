@@ -1,0 +1,107 @@
+//! The probe interface.
+
+use lca_graph::{Graph, VertexId};
+
+/// Probe access to an input graph (the paper's adjacency-list oracle `O_G`).
+///
+/// Everything an LCA may learn about the graph flows through these three
+/// methods plus the two *free* facts the model grants: the vertex count `n`
+/// and the label `ID(v)` of any vertex handle it already holds (labels ride
+/// along with handles; learning a *new* handle always costs a probe).
+///
+/// Implementations must be deterministic and side-effect-free with respect to
+/// the graph; wrappers add accounting.
+pub trait Oracle {
+    /// Number of vertices `n` (known to the algorithm up front).
+    fn vertex_count(&self) -> usize;
+
+    /// `Degree⟨v⟩` probe: the degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// `Neighbor⟨v, i⟩` probe: the `i`-th neighbor (0-based) of `v`, or
+    /// `None` (⊥) if `i >= deg(v)`.
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId>;
+
+    /// `Adjacency⟨u, v⟩` probe: the index of `v` inside `Γ(u)`, or `None`.
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize>;
+
+    /// The label `ID(v)` (free: labels travel with handles in this model).
+    fn label(&self, v: VertexId) -> u64;
+}
+
+impl Oracle for Graph {
+    fn vertex_count(&self) -> usize {
+        Graph::vertex_count(self)
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        Graph::neighbor(self, v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        Graph::adjacency_index(self, u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        Graph::label(self, v)
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for &O {
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        (**self).neighbor(v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        (**self).adjacency(u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        (**self).label(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::structured;
+
+    #[test]
+    fn graph_implements_oracle() {
+        let g = structured::cycle(5);
+        let o: &dyn Oracle = &g;
+        assert_eq!(o.vertex_count(), 5);
+        assert_eq!(o.degree(VertexId::new(0)), 2);
+        let w = o.neighbor(VertexId::new(0), 0).unwrap();
+        assert!(o.adjacency(VertexId::new(0), w).is_some());
+        assert_eq!(o.label(VertexId::new(3)), 3);
+    }
+
+    #[test]
+    fn neighbor_out_of_range_is_bottom() {
+        let g = structured::path(3);
+        assert_eq!(g.neighbor(VertexId::new(0), 5), None);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let g = structured::path(4);
+        fn takes_oracle<O: Oracle>(o: O) -> usize {
+            o.vertex_count()
+        }
+        assert_eq!(takes_oracle(&g), 4);
+        assert_eq!(takes_oracle(&g), 4);
+    }
+}

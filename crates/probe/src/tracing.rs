@@ -1,0 +1,161 @@
+//! Probe tracing: full probe-answer histories.
+
+use std::sync::Mutex;
+
+use lca_graph::VertexId;
+
+use crate::{Oracle, ProbeKind};
+
+/// One recorded probe with its answer.
+///
+/// This is exactly the paper's "probe-answer history" element (Section 6):
+/// the lower-bound argument reasons about the distribution of these records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Which probe type was issued.
+    pub kind: ProbeKind,
+    /// First argument (the probed vertex).
+    pub u: VertexId,
+    /// Second argument: neighbor index for `Neighbor`, target vertex index
+    /// for `Adjacency`, unused (0) for `Degree`.
+    pub arg: u64,
+    /// The oracle's answer encoded as `i64`: the returned vertex index /
+    /// position / degree, or `-1` for ⊥.
+    pub answer: i64,
+}
+
+/// An [`Oracle`] wrapper that records every probe and its answer.
+///
+/// # Example
+///
+/// ```
+/// use lca_graph::{gen::structured, VertexId};
+/// use lca_probe::{Oracle, TracingOracle};
+///
+/// let g = structured::path(3);
+/// let o = TracingOracle::new(&g);
+/// o.neighbor(VertexId::new(1), 0);
+/// o.adjacency(VertexId::new(0), VertexId::new(2));
+/// let trace = o.take_trace();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace[1].answer, -1); // 0-2 is not an edge
+/// ```
+#[derive(Debug)]
+pub struct TracingOracle<O> {
+    inner: O,
+    trace: Mutex<Vec<ProbeRecord>>,
+}
+
+impl<O: Oracle> TracingOracle<O> {
+    /// Wraps an oracle with an empty trace.
+    pub fn new(inner: O) -> Self {
+        Self {
+            inner,
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns and clears the recorded trace.
+    pub fn take_trace(&self) -> Vec<ProbeRecord> {
+        std::mem::take(&mut self.trace.lock().expect("trace poisoned"))
+    }
+
+    /// Number of probes recorded so far.
+    pub fn len(&self) -> usize {
+        self.trace.lock().expect("trace poisoned").len()
+    }
+
+    /// Whether no probe has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(&self, r: ProbeRecord) {
+        self.trace.lock().expect("trace poisoned").push(r);
+    }
+}
+
+impl<O: Oracle> Oracle for TracingOracle<O> {
+    fn vertex_count(&self) -> usize {
+        self.inner.vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        let d = self.inner.degree(v);
+        self.record(ProbeRecord {
+            kind: ProbeKind::Degree,
+            u: v,
+            arg: 0,
+            answer: d as i64,
+        });
+        d
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        let w = self.inner.neighbor(v, i);
+        self.record(ProbeRecord {
+            kind: ProbeKind::Neighbor,
+            u: v,
+            arg: i as u64,
+            answer: w.map_or(-1, |x| x.index() as i64),
+        });
+        w
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let p = self.inner.adjacency(u, v);
+        self.record(ProbeRecord {
+            kind: ProbeKind::Adjacency,
+            u,
+            arg: v.index() as u64,
+            answer: p.map_or(-1, |x| x as i64),
+        });
+        p
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        self.inner.label(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca_graph::gen::structured;
+
+    #[test]
+    fn records_in_order_with_answers() {
+        let g = structured::star(4);
+        let o = TracingOracle::new(&g);
+        o.degree(VertexId::new(0));
+        o.neighbor(VertexId::new(0), 1);
+        o.neighbor(VertexId::new(0), 99);
+        let t = o.take_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].kind, ProbeKind::Degree);
+        assert_eq!(t[0].answer, 3);
+        assert_eq!(t[1].kind, ProbeKind::Neighbor);
+        assert!(t[1].answer >= 0);
+        assert_eq!(t[2].answer, -1);
+    }
+
+    #[test]
+    fn take_trace_clears() {
+        let g = structured::path(3);
+        let o = TracingOracle::new(&g);
+        assert!(o.is_empty());
+        o.degree(VertexId::new(0));
+        assert_eq!(o.len(), 1);
+        let _ = o.take_trace();
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn answers_are_faithful() {
+        let g = structured::cycle(5);
+        let o = TracingOracle::new(&g);
+        for v in g.vertices() {
+            assert_eq!(o.degree(v), g.degree(v));
+        }
+    }
+}

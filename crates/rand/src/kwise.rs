@@ -1,0 +1,235 @@
+//! d-wise independent hash functions (random polynomials over GF(2⁶¹ − 1)).
+
+use crate::field::{add_mod, into_field, mul_mod, MERSENNE_PRIME_61};
+use crate::splitmix::Seed;
+
+/// A hash function drawn from a d-wise independent family.
+///
+/// The function is a uniformly random polynomial of degree `d − 1` over
+/// GF(2⁶¹ − 1); evaluations at any `d` distinct points are independent and
+/// uniform over the field. This is the explicit construction behind the
+/// paper's Lemma 5.2: drawing the function costs `d` field elements of seed
+/// material, and evaluating it costs `O(d)` time and **zero probes** — which is
+/// what lets an LCA decide “is `v` a center?” from the random tape alone
+/// (Observation 2.3).
+///
+/// The paper's algorithms use `d = Θ(log n)`-wise independence throughout
+/// (Section 5); callers pick `d` explicitly so tests can exercise both small
+/// and large independence.
+///
+/// # Example
+///
+/// ```
+/// use lca_rand::{KWiseHash, Seed};
+/// let h = KWiseHash::new(Seed::new(7), 8);
+/// assert_eq!(h.hash(42), h.hash(42));              // deterministic
+/// assert!(h.hash(42) < lca_rand::MERSENNE_PRIME_61); // field element
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, constant term first. Length = independence.
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a function from the `independence`-wise independent family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `independence == 0`.
+    pub fn new(seed: Seed, independence: usize) -> Self {
+        assert!(independence > 0, "independence must be at least 1");
+        let mut stream = seed.stream();
+        let mut coeffs = Vec::with_capacity(independence);
+        for _ in 0..independence {
+            // Rejection-sample a uniform field element from 61 random bits;
+            // only the single value 2^61 - 1 is rejected.
+            loop {
+                let v = stream.next_u64() & MERSENNE_PRIME_61;
+                if v != MERSENNE_PRIME_61 {
+                    coeffs.push(v);
+                    break;
+                }
+            }
+        }
+        Self { coeffs }
+    }
+
+    /// The independence parameter `d` of the family this function was drawn
+    /// from.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the hash at `x`, returning a uniform element of
+    /// `[0, 2⁶¹ − 1)`.
+    ///
+    /// Keys are reduced into the field first, so keys that differ by a
+    /// multiple of 2⁶¹ − 1 collide; vertex labels in this workspace are
+    /// well below that bound.
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = into_field(x);
+        // Horner evaluation, highest-degree coefficient first.
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Evaluates the hash and folds it to a uniform value in `[0, bound)`.
+    ///
+    /// Bias is at most `bound / 2⁶¹`, negligible for the bounds used here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn hash_below(&self, x: u64, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((self.hash(x) as u128 * bound as u128) >> 61) as u64
+    }
+
+    /// Evaluates the hash as a uniform value in `[0.0, 1.0)`.
+    pub fn hash_unit(&self, x: u64) -> f64 {
+        self.hash(x) as f64 / MERSENNE_PRIME_61 as f64
+    }
+
+    /// Extracts `bits` pseudorandom bits (`1..=32`) from the evaluation at
+    /// `x`; used by the block-rank construction of Section 5.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 32`.
+    pub fn hash_bits(&self, x: u64, bits: u32) -> u64 {
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
+        // Use the high-order bits of the field element; the field is not a
+        // power of two but the deviation from uniform is < 2^-29 per block.
+        self.hash(x) >> (61 - bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = KWiseHash::new(Seed::new(5), 4);
+        let b = KWiseHash::new(Seed::new(5), 4);
+        for x in 0..100 {
+            assert_eq!(a.hash(x), b.hash(x));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let a = KWiseHash::new(Seed::new(5), 4);
+        let b = KWiseHash::new(Seed::new(6), 4);
+        let agree = (0..256).filter(|&x| a.hash(x) == b.hash(x)).count();
+        assert!(agree <= 3, "functions agree on {agree}/256 points");
+    }
+
+    #[test]
+    #[should_panic(expected = "independence must be at least 1")]
+    fn zero_independence_panics() {
+        let _ = KWiseHash::new(Seed::new(0), 0);
+    }
+
+    #[test]
+    fn values_are_field_elements() {
+        let h = KWiseHash::new(Seed::new(1), 8);
+        for x in 0..10_000u64 {
+            assert!(h.hash(x) < MERSENNE_PRIME_61);
+        }
+    }
+
+    #[test]
+    fn hash_below_in_range_and_roughly_uniform() {
+        let h = KWiseHash::new(Seed::new(11), 16);
+        let m = 10u64;
+        let mut buckets = vec![0u32; m as usize];
+        let n = 100_000u64;
+        for x in 0..n {
+            let v = h.hash_below(x, m);
+            assert!(v < m);
+            buckets[v as usize] += 1;
+        }
+        let expect = n as f64 / m as f64;
+        for &b in &buckets {
+            assert!(
+                (b as f64 - expect).abs() < expect * 0.08,
+                "bucket {b} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_unit_in_unit_interval_with_correct_mean() {
+        let h = KWiseHash::new(Seed::new(3), 8);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for x in 0..n {
+            let v = h.hash_unit(x);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn hash_bits_in_range() {
+        let h = KWiseHash::new(Seed::new(21), 8);
+        for bits in [1u32, 4, 8, 16, 32] {
+            for x in 0..200 {
+                assert!(h.hash_bits(x, bits) < (1u64 << bits));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_independence_empirically() {
+        // For a 2-wise independent family, Pr[h(x)=h(y) mod m] ≈ 1/m for x≠y.
+        let m = 64u64;
+        let mut collisions = 0u32;
+        let trials = 4_000u64;
+        for t in 0..trials {
+            let h = KWiseHash::new(Seed::new(1000 + t), 2);
+            if h.hash_below(17, m) == h.hash_below(23, m) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expect = 1.0 / m as f64;
+        assert!(
+            (rate - expect).abs() < 0.015,
+            "collision rate {rate}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn degree_one_family_is_constant_in_seed_only() {
+        // independence = 1 means a constant polynomial: same value everywhere.
+        let h = KWiseHash::new(Seed::new(9), 1);
+        let v = h.hash(0);
+        for x in 1..100 {
+            assert_eq!(h.hash(x), v);
+        }
+    }
+
+    #[test]
+    fn sum_of_coin_like_events_concentrates() {
+        // Property (HI) of Section 5: with Θ(log n)-wise independence, the
+        // number of sampled vertices concentrates around pn.
+        let n = 20_000u64;
+        let p = 0.02f64;
+        let h = KWiseHash::new(Seed::new(77), 32);
+        let thresh = (p * MERSENNE_PRIME_61 as f64) as u64;
+        let count = (0..n).filter(|&x| h.hash(x) < thresh).count() as f64;
+        let expect = p * n as f64;
+        assert!(
+            (count - expect).abs() < 4.0 * expect.sqrt() + 10.0,
+            "count {count}, expected {expect}"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Block-concatenated random ranks (paper Section 5.2).
+//!
+//! The O(k²)-spanner construction orders Voronoi-cell centers by random
+//! *ranks*. Full independence would need Ω(n) random bits; instead the paper
+//! builds an ℓ ≈ log₂ n bit rank from `T = k` blocks of `N = ⌈ℓ/k⌉` bits,
+//! where block `i` is `h_i(ID(v))` for independent Θ(log n)-wise hash
+//! functions `h_i`. The stretch induction (Lemma 5.5) reveals one block per
+//! step and only needs, per step, that a fresh block of an unrevealed center
+//! is all-zero with probability 2^{-N} — which bounded independence delivers.
+
+use crate::kwise::KWiseHash;
+use crate::splitmix::Seed;
+
+/// A random rank: the concatenated block bits, with the owner's label as a
+/// deterministic tie-break so that ranks are *distinct* (the paper assumes
+/// distinct ranks; labels are unique, so ties cannot survive).
+///
+/// Ranks order lexicographically: block bits first, then label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank {
+    /// Concatenated block bits, most-significant block first.
+    pub bits: u64,
+    /// Owner label used as the final tie-break.
+    pub label: u64,
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank({:#x}/{})", self.bits, self.label)
+    }
+}
+
+/// Assigns block-concatenated ranks `r(v) = h₁(ID(v)) ∘ … ∘ h_T(ID(v))`.
+///
+/// # Example
+///
+/// ```
+/// use lca_rand::{RankAssigner, Seed};
+/// // T = 3 blocks of 4 bits each, 16-wise independent per block.
+/// let ranks = RankAssigner::new(Seed::new(5), 3, 4, 16);
+/// let a = ranks.rank(10);
+/// assert_eq!(a, ranks.rank(10));        // deterministic
+/// assert_ne!(a, ranks.rank(11));        // distinct labels ⇒ distinct ranks
+/// assert!(ranks.block(10, 0) < 16);     // block value fits in 4 bits
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankAssigner {
+    hashes: Vec<KWiseHash>,
+    block_bits: u32,
+}
+
+impl RankAssigner {
+    /// Creates an assigner with `blocks` blocks of `block_bits` bits each,
+    /// every block drawn from an `independence`-wise independent family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks == 0`, `block_bits == 0`, or the total bit width
+    /// `blocks * block_bits` exceeds 62.
+    pub fn new(seed: Seed, blocks: usize, block_bits: u32, independence: usize) -> Self {
+        assert!(blocks > 0, "need at least one block");
+        assert!(block_bits > 0, "blocks must be non-empty");
+        assert!(
+            blocks as u32 * block_bits <= 62,
+            "total rank width {} exceeds 62 bits",
+            blocks as u32 * block_bits
+        );
+        let hashes = (0..blocks)
+            .map(|i| KWiseHash::new(seed.derive2(0x52414e4b, i as u64), independence))
+            .collect();
+        Self { hashes, block_bits }
+    }
+
+    /// Convenience constructor with the paper's defaults: `T = k` blocks of
+    /// `N = ⌈log₂(n)/k⌉` bits (clamped so the total width fits), Θ(log n)
+    /// independence.
+    pub fn for_spanner(seed: Seed, n: usize, k: usize) -> Self {
+        let k = k.max(1);
+        let ell = usize::BITS - n.max(2).leading_zeros(); // ≈ ⌈log2 n⌉
+        let block_bits = ell.div_ceil(k as u32).clamp(1, 62 / k as u32);
+        let independence = (2 * ell as usize).max(8);
+        Self::new(seed, k, block_bits, independence)
+    }
+
+    /// Number of blocks `T`.
+    pub fn blocks(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Bits per block `N`.
+    pub fn block_bits(&self) -> u32 {
+        self.block_bits
+    }
+
+    /// The value of block `i` (0-based) of the rank of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.blocks()`.
+    pub fn block(&self, label: u64, i: usize) -> u64 {
+        self.hashes[i].hash_bits(label, self.block_bits)
+    }
+
+    /// The full rank of `label`.
+    pub fn rank(&self, label: u64) -> Rank {
+        let mut bits = 0u64;
+        for h in &self.hashes {
+            bits = (bits << self.block_bits) | h.hash_bits(label, self.block_bits);
+        }
+        Rank { bits, label }
+    }
+
+    /// Whether the first `prefix` blocks of `label`'s rank are all zero —
+    /// the event driving each step of the Lemma 5.5 induction.
+    pub fn prefix_is_zero(&self, label: u64, prefix: usize) -> bool {
+        self.hashes
+            .iter()
+            .take(prefix)
+            .all(|h| h.hash_bits(label, self.block_bits) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_is_deterministic_and_distinct() {
+        let r = RankAssigner::new(Seed::new(1), 4, 8, 16);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..5_000u64 {
+            let rank = r.rank(v);
+            assert_eq!(rank, r.rank(v));
+            assert!(seen.insert(rank), "duplicate rank for {v}");
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_bits_then_label() {
+        let a = Rank { bits: 1, label: 9 };
+        let b = Rank { bits: 2, label: 0 };
+        let c = Rank { bits: 2, label: 1 };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn block_concatenation_matches_rank_bits() {
+        let r = RankAssigner::new(Seed::new(2), 3, 5, 8);
+        for v in 0..200u64 {
+            let mut bits = 0u64;
+            for i in 0..3 {
+                bits = (bits << 5) | r.block(v, i);
+            }
+            assert_eq!(bits, r.rank(v).bits);
+        }
+    }
+
+    #[test]
+    fn block_values_fit_width() {
+        let r = RankAssigner::new(Seed::new(3), 4, 6, 8);
+        for v in 0..500u64 {
+            for i in 0..4 {
+                assert!(r.block(v, i) < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_probability_is_about_two_to_minus_n() {
+        let r = RankAssigner::new(Seed::new(4), 1, 4, 32);
+        let n = 40_000u64;
+        let zeros = (0..n).filter(|&v| r.block(v, 0) == 0).count() as f64;
+        let expect = n as f64 / 16.0;
+        assert!(
+            (zeros - expect).abs() < 5.0 * expect.sqrt(),
+            "zeros {zeros}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn prefix_is_zero_consistent_with_blocks() {
+        let r = RankAssigner::new(Seed::new(5), 4, 3, 8);
+        for v in 0..2_000u64 {
+            for p in 0..=4usize {
+                let want = (0..p).all(|i| r.block(v, i) == 0);
+                assert_eq!(r.prefix_is_zero(v, p), want);
+            }
+        }
+    }
+
+    #[test]
+    fn for_spanner_parameters_are_sane() {
+        for (n, k) in [(100usize, 2usize), (10_000, 3), (1_000_000, 8), (10, 1)] {
+            let r = RankAssigner::for_spanner(Seed::new(6), n, k);
+            assert_eq!(r.blocks(), k.max(1));
+            assert!(r.block_bits() >= 1);
+            assert!(r.blocks() as u32 * r.block_bits() <= 62);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total rank width")]
+    fn oversized_rank_panics() {
+        let _ = RankAssigner::new(Seed::new(0), 8, 8, 4);
+    }
+
+    #[test]
+    fn different_blocks_are_different_functions() {
+        let r = RankAssigner::new(Seed::new(7), 2, 16, 8);
+        let agree = (0..1_000u64)
+            .filter(|&v| r.block(v, 0) == r.block(v, 1))
+            .count();
+        // Two independent 16-bit hashes agree with probability 2^-16.
+        assert!(agree <= 2, "blocks agree on {agree}/1000 labels");
+    }
+
+    #[test]
+    fn display_rank() {
+        let r = RankAssigner::new(Seed::new(8), 2, 4, 4);
+        let s = format!("{}", r.rank(3));
+        assert!(s.starts_with("rank("));
+    }
+}

@@ -1,0 +1,72 @@
+//! Scenario: sparsifying a bounded-degree mesh with the O(k²)-spanner LCA.
+//!
+//! Sensor meshes and NoC-style topologies have small maximum degree; the
+//! Theorem 1.2 construction gives Õ(n^{1+1/k}) edges with stretch O(k²) and
+//! probes polynomial in ∆ — this example walks through its moving parts
+//! (sparse/dense partition, Voronoi cells, cluster refinement) on a torus.
+//!
+//! Run: `cargo run --release --example bounded_degree_k2`
+
+use lca::core::{K2Params, K2Spanner};
+use lca::core::global::k2_partition;
+use lca::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = RegularBuilder::new(1_500, 4).seed(Seed::new(5)).build()?;
+    let k = 2;
+    let seed = Seed::new(99);
+    // Demo-scale center constant: the paper's Θ(log n)/L sampling rate
+    // saturates to 1 below n ≈ 10⁵ (see the method docs).
+    let params = K2Params::with_center_constant(graph.vertex_count(), k, 3.0);
+    println!(
+        "mesh: n = {}, ∆ = {}, k = {k}, L = {}, q = {}",
+        graph.vertex_count(),
+        graph.max_degree(),
+        params.l,
+        params.q
+    );
+
+    // Peek at the dense partition the LCA implicitly maintains.
+    let part = k2_partition(&graph, &params, seed);
+    println!(
+        "partition: {} sparse vertices, {} Voronoi cells, {} clusters",
+        part.sparse_count(),
+        part.cell_count(),
+        part.cluster_members.len()
+    );
+
+    // Query through the probe-counting oracle.
+    let oracle = CountingOracle::new(&graph);
+    let lca = K2Spanner::new(&oracle, params, seed);
+    let mut kept = 0usize;
+    let mut max_probes = 0u64;
+    let sample = 200;
+    for i in 0..sample {
+        let (u, v) = graph.edge_endpoints((i * 131) % graph.edge_count());
+        let scope = oracle.scoped();
+        kept += usize::from(lca.contains(u, v)?);
+        max_probes = max_probes.max(scope.cost().total());
+    }
+    println!(
+        "sampled {sample} edge queries: {kept} kept, worst query used {max_probes} probes \
+         (graph has {} edges)",
+        graph.edge_count()
+    );
+
+    // Inspect one vertex's local world.
+    let v = VertexId::new(0);
+    match lca.vertex_status(v) {
+        lca::core::k2::VertexStatus::Sparse { discovered } => {
+            println!("vertex {v}: sparse (ball of {discovered} vertices, handled by Baswana–Sen)")
+        }
+        lca::core::k2::VertexStatus::Dense {
+            center,
+            path,
+            discovered,
+        } => println!(
+            "vertex {v}: dense — cell center {center} at distance {}, found after {discovered} discoveries",
+            path.len() - 1
+        ),
+    }
+    Ok(())
+}

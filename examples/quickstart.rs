@@ -1,0 +1,48 @@
+//! Quickstart: query a 3-spanner of a graph you never fully read.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use lca::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dense random graph: 2 000 vertices, ~250 000 edges.
+    let n = 2_000;
+    let graph = GnpBuilder::new(n, 0.125).seed(Seed::new(7)).build();
+    println!(
+        "input: n = {}, m = {}, max degree = {}",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+
+    // Wrap the graph in a probe-counting oracle — the LCA may only access
+    // the graph through Neighbor/Degree/Adjacency probes.
+    let oracle = CountingOracle::new(&graph);
+    let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(42));
+
+    // Query a handful of edges, as if a distributed application were asking
+    // "should I keep this link?" on demand.
+    let mut kept = 0;
+    let queries = 20;
+    for i in 0..queries {
+        let (u, v) = graph.edge_endpoints(i * 97 % graph.edge_count());
+        let scope = oracle.scoped();
+        let in_spanner = lca.contains(u, v)?;
+        kept += usize::from(in_spanner);
+        println!(
+            "edge {u}-{v}: {}  ({} probes)",
+            if in_spanner { "KEEP" } else { "drop" },
+            scope.cost().total()
+        );
+    }
+
+    let total = oracle.counts();
+    println!("\n{kept}/{queries} sampled edges kept");
+    println!(
+        "total probes for {queries} queries: {} — the graph has {} edges; \
+         we read a vanishing fraction of it",
+        total.total(),
+        graph.edge_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # `lca` — Local Computation Algorithms for Graph Spanners
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-to-code map.
+//!
+//! ```
+//! use lca::prelude::*;
+//!
+//! let graph = GnpBuilder::new(200, 0.2).seed(Seed::new(1)).build();
+//! let oracle = CountingOracle::new(&graph);
+//! let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(7));
+//! let (u, v) = graph.edge_endpoints(0);
+//! let _keep = lca.contains(u, v).unwrap();
+//! assert!(oracle.counts().total() > 0);
+//! ```
+
+pub use lca_baseline as baseline;
+pub use lca_classic as classic;
+pub use lca_core as core;
+pub use lca_graph as graph;
+pub use lca_lowerbound as lowerbound;
+pub use lca_probe as probe;
+pub use lca_rand as rand;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use lca_core::{
+        EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner,
+        ThreeSpannerParams,
+    };
+    pub use lca_graph::{Graph, GraphBuilder, VertexId};
+    pub use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
+    pub use lca_probe::{CountingOracle, Oracle, ProbeCounts};
+    pub use lca_rand::Seed;
+}

@@ -1,0 +1,119 @@
+//! Cross-crate consistency: every spanner LCA must agree edge-for-edge with
+//! its global reference construction, under adversarial labels and
+//! adjacency orders, and its answers must be independent of query order and
+//! orientation (Definition 1.4).
+
+use lca::core::global::{
+    five_spanner_global, k2_spanner_global, three_spanner_global,
+};
+use lca::core::verify::assert_query_consistency;
+use lca::core::{
+    FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner, ThreeSpannerParams,
+};
+use lca::prelude::*;
+
+fn key(u: VertexId, v: VertexId) -> (u32, u32) {
+    if u.raw() < v.raw() {
+        (u.raw(), v.raw())
+    } else {
+        (v.raw(), u.raw())
+    }
+}
+
+/// An adversarial workload: shuffled labels *and* shuffled adjacency lists.
+fn adversarial_graph(n: usize, p: f64, seed: u64) -> Graph {
+    GnpBuilder::new(n, p)
+        .seed(Seed::new(seed))
+        .shuffle_labels(true)
+        .shuffle_adjacency(true)
+        .build()
+}
+
+#[test]
+fn three_spanner_consistency_under_adversarial_orders() {
+    for s in 0..4u64 {
+        let g = adversarial_graph(80, 0.3, s);
+        let params = ThreeSpannerParams::for_n(80);
+        let seed = Seed::new(500 + s);
+        let global = three_spanner_global(&g, &params, seed);
+        let lca = ThreeSpanner::new(&g, params, seed);
+        for (u, v) in g.edges() {
+            assert_eq!(
+                lca.contains(u, v).unwrap(),
+                global.contains(&key(u, v)),
+                "seed {s}, edge {u}-{v}"
+            );
+        }
+        assert_query_consistency(&g, &lca).unwrap();
+    }
+}
+
+#[test]
+fn five_spanner_consistency_under_adversarial_orders() {
+    for s in 0..3u64 {
+        let g = adversarial_graph(70, 0.3, 40 + s);
+        let params = FiveSpannerParams::for_n(70);
+        let seed = Seed::new(600 + s);
+        let global = five_spanner_global(&g, &params, seed);
+        let lca = FiveSpanner::new(&g, params, seed);
+        for (u, v) in g.edges() {
+            assert_eq!(
+                lca.contains(u, v).unwrap(),
+                global.contains(&key(u, v)),
+                "seed {s}, edge {u}-{v}"
+            );
+        }
+        assert_query_consistency(&g, &lca).unwrap();
+    }
+}
+
+#[test]
+fn k2_spanner_consistency_under_adversarial_orders() {
+    for s in 0..2u64 {
+        let g = RegularBuilder::new(70, 4)
+            .seed(Seed::new(70 + s))
+            .shuffle_labels(true)
+            .build()
+            .unwrap();
+        let params = K2Params::for_n(70, 2);
+        let seed = Seed::new(700 + s);
+        let global = k2_spanner_global(&g, &params, seed);
+        let lca = K2Spanner::new(&g, params, seed);
+        for (u, v) in g.edges() {
+            assert_eq!(
+                lca.contains(u, v).unwrap(),
+                global.contains(&key(u, v)),
+                "seed {s}, edge {u}-{v}"
+            );
+        }
+        assert_query_consistency(&g, &lca).unwrap();
+    }
+}
+
+#[test]
+fn same_seed_same_spanner_different_seed_different_spanner() {
+    let g = GnpBuilder::new(90, 0.3).seed(Seed::new(9)).build();
+    let params = ThreeSpannerParams::for_n(90);
+    let a = three_spanner_global(&g, &params, Seed::new(1));
+    let b = three_spanner_global(&g, &params, Seed::new(1));
+    assert_eq!(a, b, "same seed must reproduce the same spanner");
+    let c = three_spanner_global(&g, &params, Seed::new(2));
+    assert_ne!(a, c, "distinct seeds should pick distinct spanners");
+}
+
+#[test]
+fn probe_counting_does_not_change_answers() {
+    // The counting wrapper must be semantically transparent.
+    let g = GnpBuilder::new(60, 0.3).seed(Seed::new(3)).build();
+    let params = ThreeSpannerParams::for_n(60);
+    let plain = ThreeSpanner::new(&g, params.clone(), Seed::new(4));
+    let counter = CountingOracle::new(&g);
+    let counted = ThreeSpanner::new(&counter, params, Seed::new(4));
+    for (u, v) in g.edges() {
+        assert_eq!(
+            plain.contains(u, v).unwrap(),
+            counted.contains(u, v).unwrap()
+        );
+    }
+    assert!(counter.counts().total() > 0);
+}

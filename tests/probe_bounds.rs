@@ -1,0 +1,111 @@
+//! Probe-complexity regression guards: per-query probe counts must stay
+//! within a (generous) constant of the paper's envelopes. These tests are
+//! what catches an accidental locality regression — e.g. a scan that walks
+//! a whole adjacency list instead of one block.
+
+use lca::core::{
+    measure_queries, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner,
+    ThreeSpannerParams,
+};
+use lca::prelude::*;
+
+fn ln(n: usize) -> f64 {
+    (n as f64).ln()
+}
+
+#[test]
+fn three_spanner_probes_stay_within_envelope() {
+    let n = 500;
+    let g = GnpBuilder::new(n, 0.3).seed(Seed::new(1)).build();
+    let counter = CountingOracle::new(&g);
+    let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(n), Seed::new(2));
+    let run = measure_queries(&g, &counter, &lca).unwrap();
+    // Õ(n^{3/4}): allow a 10·log n constant.
+    let envelope = 10.0 * (n as f64).powf(0.75) * ln(n);
+    assert!(
+        (run.per_query_max as f64) < envelope,
+        "worst query {} exceeds envelope {envelope:.0}",
+        run.per_query_max
+    );
+}
+
+#[test]
+fn five_spanner_probes_stay_within_envelope() {
+    use lca::core::EdgeSubgraphLca;
+    let n = 400;
+    let g = GnpBuilder::new(n, 0.3).seed(Seed::new(3)).build();
+    let counter = CountingOracle::new(&g);
+    let lca = FiveSpanner::new(&counter, FiveSpannerParams::for_n(n), Seed::new(4));
+    // Õ(n^{5/6}) with the |S(u)|·|S(v)| pair loop: allow 10·log³ n.
+    let envelope = 10.0 * (n as f64).powf(5.0 / 6.0) * ln(n).powi(3);
+    let mut worst = 0u64;
+    for (i, (u, v)) in g.edges().enumerate() {
+        if i % 17 != 0 {
+            continue; // ~6% sample keeps the test fast
+        }
+        let scope = counter.scoped();
+        lca.contains(u, v).unwrap();
+        worst = worst.max(scope.cost().total());
+    }
+    assert!(
+        (worst as f64) < envelope,
+        "worst query {worst} exceeds envelope {envelope:.0}"
+    );
+}
+
+#[test]
+fn k2_spanner_probes_stay_within_envelope() {
+    let n = 400;
+    let d = 4;
+    let g = RegularBuilder::new(n, d).seed(Seed::new(5)).build().unwrap();
+    let counter = CountingOracle::new(&g);
+    let lca = K2Spanner::new(
+        &counter,
+        K2Params::with_center_constant(n, 2, 3.0),
+        Seed::new(6),
+    );
+    let run = measure_queries(&g, &counter, &lca).unwrap();
+    // Õ(∆⁴·n^{2/3}·p) with p = 1/L: allow a 4·log n constant on ∆⁴L²·log n.
+    let l = (n as f64).powf(1.0 / 3.0);
+    let envelope = 4.0 * (d as f64).powi(4) * l * l * ln(n);
+    assert!(
+        (run.per_query_max as f64) < envelope,
+        "worst query {} exceeds envelope {envelope:.0}",
+        run.per_query_max
+    );
+}
+
+#[test]
+fn low_degree_queries_are_constant_probes() {
+    // E_low answers must cost O(1): an edge query touching a low-degree
+    // endpoint resolves after the degree checks.
+    let g = lca::graph::gen::structured::cycle(5_000);
+    let counter = CountingOracle::new(&g);
+    let lca = ThreeSpanner::with_defaults(&counter, Seed::new(7));
+    for i in [0usize, 1_000, 4_999] {
+        let (u, v) = g.edge_endpoints(i);
+        let scope = counter.scoped();
+        assert!(lca.contains(u, v).unwrap());
+        assert!(
+            scope.cost().total() <= 6,
+            "low-degree query cost {} probes",
+            scope.cost().total()
+        );
+    }
+}
+
+#[test]
+fn probe_counts_are_deterministic_per_query() {
+    // Same query, fresh LCA ⇒ identical probe count (no hidden state).
+    let g = GnpBuilder::new(300, 0.2).seed(Seed::new(8)).build();
+    for i in [0usize, 77, 500] {
+        let (u, v) = g.edge_endpoints(i % g.edge_count());
+        let cost = |seed: u64| {
+            let counter = CountingOracle::new(&g);
+            let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(300), Seed::new(seed));
+            lca.contains(u, v).unwrap();
+            counter.counts().total()
+        };
+        assert_eq!(cost(9), cost(9));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests: the stretch invariants hold unconditionally over
+//! random graphs, densities and seeds (thanks to the deterministic
+//! fallbacks documented in DESIGN.md).
+
+use lca::core::global::{
+    five_spanner_global, into_subgraph, three_spanner_global,
+};
+use lca::core::{FiveSpannerParams, ThreeSpannerParams};
+use lca::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_gnp() -> impl Strategy<Value = Graph> {
+    (20usize..70, 5u32..50, any::<u64>()).prop_map(|(n, p_pct, seed)| {
+        GnpBuilder::new(n, p_pct as f64 / 100.0)
+            .seed(Seed::new(seed))
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn three_spanner_stretch_never_exceeds_three(g in arbitrary_gnp(), seed in any::<u64>()) {
+        let params = ThreeSpannerParams::for_n(g.vertex_count());
+        let h = into_subgraph(&g, &three_spanner_global(&g, &params, Seed::new(seed)));
+        let stretch = h.max_edge_stretch(&g, 4);
+        prop_assert!(matches!(stretch, Some(s) if s <= 3), "stretch {stretch:?}");
+    }
+
+    #[test]
+    fn five_spanner_stretch_never_exceeds_five(g in arbitrary_gnp(), seed in any::<u64>()) {
+        let params = FiveSpannerParams::for_n(g.vertex_count());
+        let h = into_subgraph(&g, &five_spanner_global(&g, &params, Seed::new(seed)));
+        let stretch = h.max_edge_stretch(&g, 6);
+        prop_assert!(matches!(stretch, Some(s) if s <= 5), "stretch {stretch:?}");
+    }
+
+    #[test]
+    fn spanners_are_subgraphs(g in arbitrary_gnp(), seed in any::<u64>()) {
+        let params = ThreeSpannerParams::for_n(g.vertex_count());
+        let h = three_spanner_global(&g, &params, Seed::new(seed));
+        for &(a, b) in &h {
+            prop_assert!(g.has_edge(VertexId::from(a), VertexId::from(b)));
+        }
+    }
+
+    #[test]
+    fn baseline_baswana_sen_stretch(g in arbitrary_gnp(), seed in any::<u64>(), k in 2usize..4) {
+        let h = lca::baseline::baswana_sen(&g, k, Seed::new(seed));
+        let bound = (2 * k - 1) as u32;
+        let stretch = h.max_edge_stretch(&g, bound + 1);
+        prop_assert!(matches!(stretch, Some(s) if s <= bound), "k={k}: {stretch:?}");
+    }
+
+    #[test]
+    fn baseline_greedy_stretch_and_size(g in arbitrary_gnp(), t in 3usize..6) {
+        let h = lca::baseline::greedy_spanner(&g, t);
+        let stretch = h.max_edge_stretch(&g, t as u32 + 1);
+        prop_assert!(matches!(stretch, Some(s) if s as usize <= t));
+        prop_assert!(h.edge_count() <= g.edge_count());
+    }
+
+    #[test]
+    fn tiny_toy_parameters_still_give_valid_three_spanners(
+        g in arbitrary_gnp(),
+        seed in any::<u64>(),
+        low in 1usize..6,
+        super_t in 6usize..14,
+        p_center in 2u32..9,
+    ) {
+        // Arbitrary (even silly) parameter combinations must never break
+        // the stretch guarantee — only the size/probe trade-off.
+        let params = lca::core::ThreeSpannerParams {
+            low_threshold: low,
+            super_threshold: super_t,
+            center_block: low.max(2),
+            super_block: super_t,
+            center_prob: p_center as f64 / 10.0,
+            super_center_prob: 0.2,
+            independence: 8,
+        };
+        let h = into_subgraph(&g, &three_spanner_global(&g, &params, Seed::new(seed)));
+        let stretch = h.max_edge_stretch(&g, 4);
+        prop_assert!(matches!(stretch, Some(s) if s <= 3), "stretch {stretch:?}");
+    }
+}
+
+#[test]
+fn k2_spanner_connectivity_on_bounded_degree_graphs() {
+    // Separate (non-proptest) loop: k² cases are heavier.
+    use lca::core::global::k2_spanner_global;
+    use lca::core::K2Params;
+    for (s, k) in [(1u64, 2usize), (2, 3)] {
+        let g = RegularBuilder::new(80, 4).seed(Seed::new(s)).build().unwrap();
+        let params = K2Params::for_n(80, k);
+        let h = into_subgraph(&g, &k2_spanner_global(&g, &params, Seed::new(10 + s)));
+        let bound = ((2 * k + 1) * (2 * k + 2)) as u32;
+        let stretch = h.max_edge_stretch(&g, bound);
+        assert!(stretch.is_some(), "k={k}: a removed edge lost connectivity");
+    }
+}
