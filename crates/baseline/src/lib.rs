@@ -110,17 +110,13 @@ pub fn baswana_sen(graph: &Graph, k: usize, seed: Seed) -> Subgraph {
     let mut rng = SplitMix64::new(seed.value());
     // cluster[v] = Some(center index); active edge set.
     let mut cluster: Vec<Option<u32>> = (0..n as u32).map(Some).collect();
-    let mut active: HashSet<(u32, u32)> = graph
-        .edges()
-        .map(|(u, v)| norm(u.raw(), v.raw()))
-        .collect();
+    let mut active: HashSet<(u32, u32)> =
+        graph.edges().map(|(u, v)| norm(u.raw(), v.raw())).collect();
     let mut kept: Vec<(VertexId, VertexId)> = Vec::new();
 
     for _round in 1..k {
         // Sample surviving clusters with full independence.
-        let sampled: HashSet<u32> = (0..n as u32)
-            .filter(|_| rng.next_f64() < p)
-            .collect();
+        let sampled: HashSet<u32> = (0..n as u32).filter(|_| rng.next_f64() < p).collect();
         let mut next: Vec<Option<u32>> = vec![None; n];
         let mut removals: Vec<(u32, u32)> = Vec::new();
         for v in graph.vertices() {
@@ -179,11 +175,9 @@ pub fn baswana_sen(graph: &Graph, k: usize, seed: Seed) -> Subgraph {
             active.remove(&e);
         }
         cluster = next;
-        active.retain(|&(a, b)| {
-            match (cluster[a as usize], cluster[b as usize]) {
-                (Some(ca), Some(cb)) => ca != cb,
-                _ => false,
-            }
+        active.retain(|&(a, b)| match (cluster[a as usize], cluster[b as usize]) {
+            (Some(ca), Some(cb)) => ca != cb,
+            _ => false,
         });
     }
 

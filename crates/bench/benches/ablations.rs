@@ -50,7 +50,10 @@ fn bench_block_partitioning(c: &mut Criterion) {
 
 fn bench_q_rule(c: &mut Criterion) {
     let n = 800usize;
-    let g = RegularBuilder::new(n, 4).seed(Seed::new(4)).build().unwrap();
+    let g = RegularBuilder::new(n, 4)
+        .seed(Seed::new(4))
+        .build()
+        .unwrap();
     let sample = sample_edges(&g, 32, Seed::new(5));
     let mut group = c.benchmark_group("ablation_q_rule");
     group.sample_size(15);

@@ -1,0 +1,84 @@
+//! QueryEngine throughput: batched parallel materialization vs the serial
+//! `measure_queries` harness, on graphs big enough (n ≥ 10 000) that probe
+//! work dominates thread setup.
+//!
+//! Run: `cargo bench -p lca-bench --bench engine_throughput`
+//!
+//! Plain `std::time::Instant` harness (`harness = false`): the comparison
+//! is wall-clock over identical full-edge query sets, and each parallel
+//! configuration re-verifies that it kept exactly the serial spanner.
+
+use std::time::Instant;
+
+use lca::prelude::*;
+use lca_core::{measure_queries, QueryEngine};
+
+fn main() {
+    let n = 10_000;
+    let seed = Seed::new(0xBEEF);
+    // Two regimes on bounded-degree graphs: the 3-spanner's low-class
+    // queries cost O(1) probes (engine-overhead floor — thread setup must
+    // not swamp cheap queries), while the O(k²) construction's Õ(Δ⁴n^{2/3})
+    // queries are probe-dominated (where sharding pays off).
+    let workloads = [(SpannerKind::Three, 12usize), (SpannerKind::K2, 12usize)];
+    for (kind, degree) in workloads {
+        let g = RegularBuilder::new(n, degree)
+            .seed(Seed::new(0xE16))
+            .build()
+            .expect("regular graph");
+        println!(
+            "graph: n = {n}, d = {degree}, m = {} (full edge query set per run)",
+            g.edge_count()
+        );
+        let config = LcaConfig::new(AlgorithmKind::Spanner(kind), seed);
+
+        // Serial baseline: the classic harness, one instance, one thread.
+        let counter = CountingOracle::new(&g);
+        let serial_lca = config.build_spanner(&counter).expect("spanner kind");
+        let t = Instant::now();
+        let serial = measure_queries(&g, &counter, &serial_lca).expect("serial run");
+        let serial_time = t.elapsed();
+        println!(
+            "{:<16} serial measure_queries: {:>8.1} ms  ({} kept, {} probes)",
+            serial.algorithm,
+            serial_time.as_secs_f64() * 1e3,
+            serial.kept.edge_count(),
+            serial.total.total()
+        );
+
+        // Shared-instance parallel materialization.
+        let shared = config.build_spanner(&g).expect("spanner kind");
+        for threads in [2usize, 4, 8] {
+            let engine = QueryEngine::with_threads(threads);
+            let t = Instant::now();
+            let sub = engine.materialize(&g, &shared).expect("parallel run");
+            let elapsed = t.elapsed();
+            assert_eq!(sub.edge_count(), serial.kept.edge_count(), "answer drift");
+            println!(
+                "{:<16} parallel materialize x{threads}: {:>6.1} ms  (speedup {:.2}x)",
+                serial.algorithm,
+                elapsed.as_secs_f64() * 1e3,
+                serial_time.as_secs_f64() / elapsed.as_secs_f64()
+            );
+        }
+
+        // Per-shard instances with full probe accounting. Explicit thread
+        // count so the sharded path is exercised even on small hosts.
+        let engine = QueryEngine::with_threads(4);
+        let t = Instant::now();
+        let run = engine
+            .measure_queries(&g, &g, |c| config.build_spanner(c).expect("spanner kind"))
+            .expect("engine run");
+        let elapsed = t.elapsed();
+        assert_eq!(run.kept.edge_count(), serial.kept.edge_count());
+        assert_eq!(run.total, serial.total);
+        println!(
+            "{:<16} engine measure x{}:   {:>8.1} ms  (speedup {:.2}x, {} shards)\n",
+            run.algorithm,
+            engine.threads(),
+            elapsed.as_secs_f64() * 1e3,
+            serial_time.as_secs_f64() / elapsed.as_secs_f64(),
+            run.per_shard.len()
+        );
+    }
+}

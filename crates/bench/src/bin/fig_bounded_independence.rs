@@ -25,7 +25,12 @@ fn main() {
     let seeds = 40u64;
 
     let mut table = Table::new([
-        "independence", "E[|S|]=pn", "mean |S|", "min", "max", "P[prefix empty] (HII failure)",
+        "independence",
+        "E[|S|]=pn",
+        "mean |S|",
+        "min",
+        "max",
+        "P[prefix empty] (HII failure)",
     ]);
     for (name, indep) in [("2-wise", 2usize), ("8-wise", 8), ("Θ(log n)-wise", 24)] {
         let mut sizes = Vec::new();
@@ -94,7 +99,13 @@ fn main() {
     table.print("Figure F5a — hitting-set properties (HI)/(HII) under bounded independence");
 
     // Rank blocks: each block of r(v) should be zero with probability 2^-N.
-    let mut t2 = Table::new(["k (blocks)", "N bits", "block", "P[block = 0]", "expected 2^-N"]);
+    let mut t2 = Table::new([
+        "k (blocks)",
+        "N bits",
+        "block",
+        "P[block = 0]",
+        "expected 2^-N",
+    ]);
     for &k in &[2usize, 4] {
         let r = RankAssigner::for_spanner(Seed::new(7), 1 << 20, k);
         let nn = 20_000u64;

@@ -59,7 +59,15 @@ fn run_config(n: usize, d: usize, k: usize, q_override: Option<usize>, seed: See
 fn main() {
     let seed = Seed::new(0xF36);
     let mut table = Table::new([
-        "n", "d", "k", "q", "|H|", "|H|/n^{1+1/k}", "stretch", "budget k²-ish", "probes mean",
+        "n",
+        "d",
+        "k",
+        "q",
+        "|H|",
+        "|H|/n^{1+1/k}",
+        "stretch",
+        "budget k²-ish",
+        "probes mean",
         "probes max",
     ]);
     let mut push = |p: &Point| {
@@ -97,6 +105,10 @@ fn main() {
     }
 
     table.print("Figure F3 — O(k²)-spanner: k sweep, ∆ sweep, q ablation (4-regular unless noted)");
-    println!("\n(stretch = sampled max detour; -1 flags a sampled edge without a detour within budget.)");
-    println!("(last two rows: q=1 is the Lenzen–Levi rule of [25]; larger q is the paper's Idea V.)");
+    println!(
+        "\n(stretch = sampled max detour; -1 flags a sampled edge without a detour within budget.)"
+    );
+    println!(
+        "(last two rows: q=1 is the Lenzen–Levi rule of [25]; larger q is the paper's Idea V.)"
+    );
 }

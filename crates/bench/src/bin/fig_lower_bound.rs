@@ -23,7 +23,13 @@ fn main() {
     let seed = Seed::new(0xF46);
     let trials = 24;
     let mut table = Table::new([
-        "n", "d", "budget", "accept D+", "accept D-", "advantage", "min(√n, n/d)",
+        "n",
+        "d",
+        "budget",
+        "accept D+",
+        "accept D-",
+        "advantage",
+        "min(√n, n/d)",
     ]);
     for &(n, d) in &[(102usize, 3usize), (402, 3), (1602, 3)] {
         let threshold = (n as f64).sqrt().min(n as f64 / d as f64);
@@ -59,6 +65,8 @@ fn main() {
         }
     }
     table.print("Figure F4 — D⁺/D⁻ distinguishing advantage vs probe budget (Theorem 1.3)");
-    println!("\n(Any LCA outputting o(m) edges must distinguish the families on the designated edge;");
+    println!(
+        "\n(Any LCA outputting o(m) edges must distinguish the families on the designated edge;"
+    );
     println!(" the advantage stays ≈0 until the budget clears the min(√n, n/d) threshold — hence the Ω bound.)");
 }

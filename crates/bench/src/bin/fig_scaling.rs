@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p lca-bench --bin fig_scaling`
 
 use lca_bench::{loglog_slope, probe_stats, record_json, sample_edges, Table};
-use lca_core::{FiveSpanner, FiveSpannerParams, ThreeSpanner, ThreeSpannerParams};
+use lca_core::{FiveSpanner, FiveSpannerParams, Lca, ThreeSpanner, ThreeSpannerParams};
 use lca_graph::gen::GnpBuilder;
 use lca_probe::CountingOracle;
 use lca_rand::Seed;
@@ -24,7 +24,12 @@ fn main() {
     let seed = Seed::new(0xF16);
     let sizes = [256usize, 512, 1024, 2048, 4096];
     let mut table = Table::new([
-        "algorithm", "n", "m", "probes mean", "probes max", "mean/ln²n",
+        "algorithm",
+        "n",
+        "m",
+        "probes mean",
+        "probes max",
+        "mean/ln²n",
     ]);
     let mut series3: Vec<(f64, f64)> = Vec::new();
     let mut series5: Vec<(f64, f64)> = Vec::new();
@@ -42,7 +47,7 @@ fn main() {
         series3.push((n as f64, st.mean));
         series3d.push((n as f64, st.mean / lnsq));
         let p = Point {
-            algorithm: "three-spanner",
+            algorithm: lca.name(),
             n,
             m: g.edge_count(),
             probe_mean: st.mean,
@@ -66,7 +71,7 @@ fn main() {
         series5.push((n as f64, st.mean));
         series5d.push((n as f64, st.mean / lnsq));
         let p = Point {
-            algorithm: "five-spanner",
+            algorithm: lca.name(),
             n,
             m: g.edge_count(),
             probe_mean: st.mean,

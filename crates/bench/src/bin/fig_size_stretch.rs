@@ -47,7 +47,16 @@ fn main() {
     let seed = Seed::new(0xF26);
     let sizes = [256usize, 512, 1024, 2048, 4096];
     let mut table = Table::new([
-        "algorithm", "n", "m", "|H|", "|H|/m", "|H|/n^{1+1/r}", "detours d=2", "d=3", "d=4..5", "none",
+        "algorithm",
+        "n",
+        "m",
+        "|H|",
+        "|H|/m",
+        "|H|/n^{1+1/r}",
+        "detours d=2",
+        "d=3",
+        "d=4..5",
+        "none",
     ]);
     let mut s3: Vec<(f64, f64)> = Vec::new();
     let mut s5: Vec<(f64, f64)> = Vec::new();

@@ -37,8 +37,18 @@ fn main() {
     let seed = Seed::new(0xA11CE);
     let queries = 200;
     let mut table = Table::new([
-        "theorem", "workload", "n", "m", "Δ", "|H|", "|H|/env", "stretch≤", "measured",
-        "probes max", "probes mean", "env n^a",
+        "theorem",
+        "workload",
+        "n",
+        "m",
+        "Δ",
+        "|H|",
+        "|H|/env",
+        "stretch≤",
+        "measured",
+        "probes max",
+        "probes mean",
+        "env n^a",
     ]);
 
     // --- Theorem 1.1, r = 2: 3-spanner, Õ(n^{3/2}) edges, Õ(n^{3/4}) probes.

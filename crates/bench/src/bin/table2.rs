@@ -75,7 +75,11 @@ fn run(name: &str, graph: &Graph, table: &mut Table) {
             class: class.to_string(),
             edges_in_class: count,
             class_fraction: count as f64 / graph.edge_count().max(1) as f64,
-            probe_mean: if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 },
+            probe_mean: if cnt == 0 {
+                0.0
+            } else {
+                sum as f64 / cnt as f64
+            },
             probe_max: max,
             bound: bound(class).into(),
         };
@@ -120,7 +124,14 @@ fn hubs_and_crosslinks(hubs: usize, spokes: usize, crosslink_p: f64, seed: Seed)
 
 fn main() {
     let mut table = Table::new([
-        "workload", "n", "class", "#edges", "fraction", "probes mean", "probes max", "paper bound",
+        "workload",
+        "n",
+        "class",
+        "#edges",
+        "fraction",
+        "probes mean",
+        "probes max",
+        "paper bound",
     ]);
     let dense = GnpBuilder::new(1024, 0.25).seed(Seed::new(1)).build();
     run("G(1024,0.25)", &dense, &mut table);

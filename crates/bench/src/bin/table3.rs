@@ -30,11 +30,27 @@ struct Row {
 
 fn main() {
     let mut table = Table::new([
-        "n", "d", "k", "#sparse", "#cells", "|E_sp|", "|E_dn|", "|H_sp|", "|H^I|", "|H^B|",
-        "probes sp", "probes dn", "probes max",
+        "n",
+        "d",
+        "k",
+        "#sparse",
+        "#cells",
+        "|E_sp|",
+        "|E_dn|",
+        "|H_sp|",
+        "|H^I|",
+        "|H^B|",
+        "probes sp",
+        "probes dn",
+        "probes max",
     ]);
     let seed = Seed::new(0xC0DE);
-    for &(n, d, k) in &[(800usize, 4usize, 2usize), (800, 4, 3), (1500, 4, 2), (800, 6, 2)] {
+    for &(n, d, k) in &[
+        (800usize, 4usize, 2usize),
+        (800, 4, 3),
+        (1500, 4, 2),
+        (800, 6, 2),
+    ] {
         let g = RegularBuilder::new(n, d)
             .seed(seed.derive((n + d + k) as u64))
             .build()
@@ -112,8 +128,16 @@ fn main() {
             h_sparse,
             h_tree,
             h_between,
-            probe_mean_sparse: if s_cnt == 0 { 0.0 } else { s_sum as f64 / s_cnt as f64 },
-            probe_mean_dense: if d_cnt == 0 { 0.0 } else { d_sum as f64 / d_cnt as f64 },
+            probe_mean_sparse: if s_cnt == 0 {
+                0.0
+            } else {
+                s_sum as f64 / s_cnt as f64
+            },
+            probe_mean_dense: if d_cnt == 0 {
+                0.0
+            } else {
+                d_sum as f64 / d_cnt as f64
+            },
             probe_max: max,
         };
         table.row([
@@ -133,5 +157,6 @@ fn main() {
         ]);
         record_json("table3", &row);
     }
-    table.print("Table 3 — O(k²)-spanner categorization: E_sparse/E_dense and H_sparse/H^(I)/H^(B)");
+    table
+        .print("Table 3 — O(k²)-spanner categorization: E_sparse/E_dense and H_sparse/H^(I)/H^(B)");
 }

@@ -94,9 +94,7 @@ fn main() {
     // Full sparse-edge test: query edges with a sparse endpoint.
     let sparse_edges: Vec<(VertexId, VertexId)> = g
         .edges()
-        .filter(|&(u, v)| {
-            lca.vertex_status(u).is_sparse() || lca.vertex_status(v).is_sparse()
-        })
+        .filter(|&(u, v)| lca.vertex_status(u).is_sparse() || lca.vertex_status(v).is_sparse())
         .take(samples)
         .collect();
     if !sparse_edges.is_empty() {
@@ -119,9 +117,8 @@ fn main() {
         println!("(no dense vertices at these parameters; H_dense rows skipped)");
         return;
     }
-    let pick_dense = |rng: &mut SplitMix64| {
-        dense_vertices[rng.next_below(dense_vertices.len() as u64) as usize]
-    };
+    let pick_dense =
+        |rng: &mut SplitMix64| dense_vertices[rng.next_below(dense_vertices.len() as u64) as usize];
 
     let (mean, max) = measure(&counter, samples, |_| {
         let v = pick_dense(&mut rng);
@@ -151,9 +148,7 @@ fn main() {
     // Full dense test on dense–dense edges.
     let dense_edges: Vec<(VertexId, VertexId)> = g
         .edges()
-        .filter(|&(u, v)| {
-            !lca.vertex_status(u).is_sparse() && !lca.vertex_status(v).is_sparse()
-        })
+        .filter(|&(u, v)| !lca.vertex_status(u).is_sparse() && !lca.vertex_status(v).is_sparse())
         .take(samples)
         .collect();
     if !dense_edges.is_empty() {

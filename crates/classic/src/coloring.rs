@@ -1,8 +1,9 @@
 //! (∆+1)-coloring via random-order greedy simulation.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
+use lca_core::{Lca, LcaError, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -33,7 +34,7 @@ use lca_rand::{KWiseHash, Seed};
 pub struct ColoringLca<O> {
     oracle: O,
     rank: KWiseHash,
-    memo: RefCell<HashMap<u32, u32>>,
+    memo: Mutex<HashMap<u32, u32>>,
 }
 
 impl<O: Oracle> ColoringLca<O> {
@@ -44,7 +45,7 @@ impl<O: Oracle> ColoringLca<O> {
         Self {
             oracle,
             rank: KWiseHash::new(seed.derive(0x434F4C), independence),
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -56,14 +57,19 @@ impl<O: Oracle> ColoringLca<O> {
 
     /// The color of `v`, in `0..=deg(v)` (hence `0..=∆`).
     pub fn color_of(&self, v: VertexId) -> u32 {
-        if let Some(&c) = self.memo.borrow().get(&v.raw()) {
+        if let Some(&c) = self.memo.lock().expect("memo poisoned").get(&v.raw()) {
             return c;
         }
         // Iterative DFS over the decreasing-rank dependency DAG; a vertex
         // resolves once every lower-rank neighbor has a color.
         let mut stack = vec![v];
         while let Some(&x) = stack.last() {
-            if self.memo.borrow().contains_key(&x.raw()) {
+            if self
+                .memo
+                .lock()
+                .expect("memo poisoned")
+                .contains_key(&x.raw())
+            {
                 stack.pop();
                 continue;
             }
@@ -78,7 +84,7 @@ impl<O: Oracle> ColoringLca<O> {
                 if self.rank_of(w) >= rx {
                     continue;
                 }
-                match self.memo.borrow().get(&w.raw()) {
+                match self.memo.lock().expect("memo poisoned").get(&w.raw()) {
                     Some(&c) => blocked.push(c),
                     None => {
                         need = Some(w);
@@ -100,14 +106,45 @@ impl<O: Oracle> ColoringLca<O> {
                             break;
                         }
                     }
-                    self.memo.borrow_mut().insert(x.raw(), color);
+                    self.memo
+                        .lock()
+                        .expect("memo poisoned")
+                        .insert(x.raw(), color);
                     stack.pop();
                 }
             }
         }
-        self.memo.borrow()[&v.raw()]
+        self.memo.lock().expect("memo poisoned")[&v.raw()]
     }
 }
+
+impl<O: Oracle> Lca for ColoringLca<O> {
+    type Query = VertexId;
+    type Answer = bool;
+
+    /// Membership in color class 0 — the designated vertex subset of the
+    /// coloring. Over a fixed rank order, "`v` gets color 0" is exactly the
+    /// greedy-MIS fixed point ("no lower-rank neighbor has color 0"), so
+    /// class 0 is itself a maximal independent set; the full color is still
+    /// available via [`ColoringLca::color_of`].
+    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+        let n = self.oracle.vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
+        }
+        Ok(self.color_of(v) == 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-coloring"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "2^{O(Δ)} worst case, O(poly Δ) on average"
+    }
+}
+
+impl<O: Oracle> VertexSubsetLca for ColoringLca<O> {}
 
 #[cfg(test)]
 mod tests {
@@ -154,7 +191,10 @@ mod tests {
             let lca = ColoringLca::new(&g, Seed::new(60 + s));
             assert_proper(&g, &lca);
         }
-        let g = RegularBuilder::new(90, 5).seed(Seed::new(4)).build().unwrap();
+        let g = RegularBuilder::new(90, 5)
+            .seed(Seed::new(4))
+            .build()
+            .unwrap();
         let lca = ColoringLca::new(&g, Seed::new(5));
         assert_proper(&g, &lca);
     }

@@ -17,6 +17,15 @@
 //! * [`VertexCoverLca`] — 2-approximate vertex cover (matched endpoints).
 //! * [`ColoringLca`] — greedy (∆+1)-coloring.
 //!
+//! All four implement the unified [`lca_core::Lca`] /
+//! [`lca_core::VertexSubsetLca`] trait family — fallible, `Sync` (memo
+//! tables are mutex-guarded), and servable through
+//! [`lca_core::QueryEngine`] or the `lca::registry` builder alongside the
+//! spanner LCAs. The matching's vertex-subset view is "`v` is matched"
+//! (also reachable edge-by-edge via [`MatchingLca::contains`]); the
+//! coloring's is membership in color class 0, with the full color via
+//! [`ColoringLca::color_of`].
+//!
 //! # Example
 //!
 //! ```

@@ -1,8 +1,9 @@
 //! Maximal matching via random-order greedy simulation on edges.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
+use lca_core::{Lca, LcaError, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -33,7 +34,7 @@ use lca_rand::{KWiseHash, Seed};
 pub struct MatchingLca<O> {
     oracle: O,
     rank: KWiseHash,
-    memo: RefCell<HashMap<(u32, u32), bool>>,
+    memo: Mutex<HashMap<(u32, u32), bool>>,
 }
 
 impl<O: Oracle> MatchingLca<O> {
@@ -44,7 +45,7 @@ impl<O: Oracle> MatchingLca<O> {
         Self {
             oracle,
             rank: KWiseHash::new(seed.derive(0x4D4D), independence),
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -91,13 +92,13 @@ impl<O: Oracle> MatchingLca<O> {
             "{u}-{v} is not an edge"
         );
         let root = self.key(u, v);
-        if let Some(&d) = self.memo.borrow().get(&root) {
+        if let Some(&d) = self.memo.lock().expect("memo poisoned").get(&root) {
             return d;
         }
         let mut stack: Vec<(VertexId, VertexId)> = vec![(u, v)];
         while let Some(&(x, y)) = stack.last() {
             let k = self.key(x, y);
-            if self.memo.borrow().contains_key(&k) {
+            if self.memo.lock().expect("memo poisoned").contains_key(&k) {
                 stack.pop();
                 continue;
             }
@@ -116,7 +117,12 @@ impl<O: Oracle> MatchingLca<O> {
                     if self.rank_of(a, w) >= r {
                         continue;
                     }
-                    match self.memo.borrow().get(&self.key(a, w)) {
+                    match self
+                        .memo
+                        .lock()
+                        .expect("memo poisoned")
+                        .get(&self.key(a, w))
+                    {
                         Some(&true) => {
                             verdict = Some(false);
                             break 'outer;
@@ -132,16 +138,55 @@ impl<O: Oracle> MatchingLca<O> {
             }
             match (verdict, need) {
                 (Some(d), _) => {
-                    self.memo.borrow_mut().insert(k, d);
+                    self.memo.lock().expect("memo poisoned").insert(k, d);
                     stack.pop();
                 }
                 (None, Some(e)) => stack.push(e),
                 (None, None) => unreachable!("undecided without a dependency"),
             }
         }
-        self.memo.borrow()[&root]
+        self.memo.lock().expect("memo poisoned")[&root]
+    }
+
+    /// Whether `v` is an endpoint of some matched edge (deg(v) edge
+    /// queries) — the vertex-subset view of the matching, identical to the
+    /// Parnas–Ron vertex cover built on it.
+    pub fn is_matched(&self, v: VertexId) -> bool {
+        let deg = self.oracle.degree(v);
+        for i in 0..deg {
+            let Some(w) = self.oracle.neighbor(v, i) else {
+                break;
+            };
+            if self.contains(v, w) {
+                return true;
+            }
+        }
+        false
     }
 }
+
+impl<O: Oracle> Lca for MatchingLca<O> {
+    type Query = VertexId;
+    type Answer = bool;
+
+    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+        let n = self.oracle.vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
+        }
+        Ok(self.is_matched(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "maximal-matching"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "2^{O(Δ)} worst case, O(poly Δ) on average"
+    }
+}
+
+impl<O: Oracle> VertexSubsetLca for MatchingLca<O> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,9 @@
 //! Maximal independent set via random-order greedy simulation.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
+use lca_core::{Lca, LcaError, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -39,7 +40,7 @@ use lca_rand::{KWiseHash, Seed};
 pub struct MisLca<O> {
     oracle: O,
     rank: KWiseHash,
-    memo: RefCell<HashMap<u32, bool>>,
+    memo: Mutex<HashMap<u32, bool>>,
 }
 
 impl<O: Oracle> MisLca<O> {
@@ -50,7 +51,7 @@ impl<O: Oracle> MisLca<O> {
         Self {
             oracle,
             rank: KWiseHash::new(seed.derive(0x004D_4953), independence),
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -66,13 +67,18 @@ impl<O: Oracle> MisLca<O> {
     ///
     /// Panics if `v` is out of range for the oracle's graph.
     pub fn contains(&self, v: VertexId) -> bool {
-        if let Some(&d) = self.memo.borrow().get(&v.raw()) {
+        if let Some(&d) = self.memo.lock().expect("memo poisoned").get(&v.raw()) {
             return d;
         }
         // Iterative DFS over the strictly-decreasing-rank dependency DAG.
         let mut stack: Vec<VertexId> = vec![v];
         while let Some(&x) = stack.last() {
-            if self.memo.borrow().contains_key(&x.raw()) {
+            if self
+                .memo
+                .lock()
+                .expect("memo poisoned")
+                .contains_key(&x.raw())
+            {
                 stack.pop();
                 continue;
             }
@@ -87,7 +93,7 @@ impl<O: Oracle> MisLca<O> {
                 if self.rank_of(w) >= rx {
                     continue;
                 }
-                match self.memo.borrow().get(&w.raw()) {
+                match self.memo.lock().expect("memo poisoned").get(&w.raw()) {
                     Some(&true) => {
                         verdict = Some(false);
                         break;
@@ -102,16 +108,39 @@ impl<O: Oracle> MisLca<O> {
             }
             match (verdict, need) {
                 (Some(d), _) => {
-                    self.memo.borrow_mut().insert(x.raw(), d);
+                    self.memo.lock().expect("memo poisoned").insert(x.raw(), d);
                     stack.pop();
                 }
                 (None, Some(w)) => stack.push(w),
                 (None, None) => unreachable!("undecided without a dependency"),
             }
         }
-        self.memo.borrow()[&v.raw()]
+        self.memo.lock().expect("memo poisoned")[&v.raw()]
     }
 }
+
+impl<O: Oracle> Lca for MisLca<O> {
+    type Query = VertexId;
+    type Answer = bool;
+
+    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+        let n = self.oracle.vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
+        }
+        Ok(self.contains(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "2^{O(Δ)} worst case, O(poly Δ) on average"
+    }
+}
+
+impl<O: Oracle> VertexSubsetLca for MisLca<O> {}
 
 #[cfg(test)]
 mod tests {
@@ -196,8 +225,10 @@ mod tests {
         let vb: Vec<bool> = {
             let mut all: Vec<VertexId> = g.vertices().collect();
             all.reverse();
-            let mut tmp: Vec<(usize, bool)> =
-                all.into_iter().map(|v| (v.index(), b.contains(v))).collect();
+            let mut tmp: Vec<(usize, bool)> = all
+                .into_iter()
+                .map(|v| (v.index(), b.contains(v)))
+                .collect();
             tmp.sort_by_key(|&(i, _)| i);
             tmp.into_iter().map(|(_, d)| d).collect()
         };

@@ -1,5 +1,6 @@
 //! 2-approximate vertex cover from the maximal matching.
 
+use lca_core::{Lca, LcaError, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::Seed;
@@ -48,19 +49,32 @@ impl<O: Oracle> VertexCoverLca<O> {
 
     /// Whether `v` belongs to the vertex cover (deg(v) matching queries).
     pub fn contains(&self, v: VertexId) -> bool {
-        let o = self.matching.oracle();
-        let deg = o.degree(v);
-        for i in 0..deg {
-            let Some(w) = o.neighbor(v, i) else {
-                break;
-            };
-            if self.matching.contains(v, w) {
-                return true;
-            }
-        }
-        false
+        self.matching.is_matched(v)
     }
 }
+
+impl<O: Oracle> Lca for VertexCoverLca<O> {
+    type Query = VertexId;
+    type Answer = bool;
+
+    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+        let n = self.matching.oracle().vertex_count();
+        if v.index() >= n {
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
+        }
+        Ok(self.contains(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "vertex-cover"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "2^{O(Δ)} worst case, O(poly Δ) on average"
+    }
+}
+
+impl<O: Oracle> VertexSubsetLca for VertexCoverLca<O> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,380 @@
+//! Batched, thread-parallel query serving.
+//!
+//! LCA queries are independent by construction (Definition 1.4: every answer
+//! is a function of `(graph, seed, query)` alone), which makes them
+//! embarrassingly parallel — the observation Rubinfeld–Tamir–Vardi–Xie make
+//! when motivating the model for huge inputs. [`QueryEngine`] exploits it:
+//!
+//! * [`QueryEngine::query_batch`] shards a slice of queries over OS threads
+//!   against one shared `Send + Sync` oracle/LCA and returns the answers in
+//!   input order.
+//! * [`QueryEngine::materialize`] runs every edge query of a graph through
+//!   an [`EdgeSubgraphLca`] in parallel and assembles the spanner.
+//! * [`QueryEngine::measure_queries`] is the parallel counterpart of
+//!   [`crate::measure_queries`]: each shard gets its *own*
+//!   [`CountingOracle`] and its own LCA instance built by a caller-supplied
+//!   factory from the same seed — consistency guarantees all instances
+//!   answer identically, and per-shard counters keep per-query probe costs
+//!   exact (a shared counter would attribute concurrent probes to the wrong
+//!   query). The result reports per-shard *and* aggregate [`ProbeCounts`].
+
+use lca_graph::{Graph, Subgraph, VertexId};
+use lca_probe::{CountingOracle, Oracle, ProbeCounts};
+
+use crate::{EdgeSubgraphLca, Lca, LcaError};
+
+/// A thread pool policy for answering LCA query batches.
+///
+/// The engine holds no threads itself — it spawns scoped workers per batch,
+/// so it is `Copy`-cheap to create and safe to share.
+///
+/// # Example
+///
+/// ```
+/// use lca_core::{QueryEngine, ThreeSpanner};
+/// use lca_graph::gen::GnpBuilder;
+/// use lca_rand::Seed;
+///
+/// let g = GnpBuilder::new(200, 0.2).seed(Seed::new(1)).build();
+/// let lca = ThreeSpanner::with_defaults(&g, Seed::new(2));
+/// let queries: Vec<_> = g.edges().collect();
+/// let answers = QueryEngine::new().query_batch(&lca, &queries);
+/// assert_eq!(answers.len(), queries.len());
+/// assert!(answers.into_iter().all(|a| a.is_ok()));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine {
+    threads: usize,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryEngine {
+    /// An engine using all available hardware parallelism.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self { threads }
+    }
+
+    /// An engine with an explicit worker count (`0` is clamped to `1`).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded engine (useful as a baseline and in tests).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The number of worker threads the engine shards batches across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Answers a batch of queries against one shared LCA, in input order.
+    ///
+    /// Queries are split into contiguous shards, one per worker. Failures
+    /// are per-query: a malformed query yields its own `Err` entry without
+    /// disturbing the rest of the batch.
+    pub fn query_batch<L>(&self, lca: &L, queries: &[L::Query]) -> Vec<Result<L::Answer, LcaError>>
+    where
+        L: Lca + Sync + ?Sized,
+        L::Query: Clone + Sync,
+        L::Answer: Send,
+    {
+        if self.threads == 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| lca.query(q.clone())).collect();
+        }
+        let shard = queries.len().div_ceil(self.threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(shard)
+                .map(|chunk| {
+                    s.spawn(move || -> Vec<Result<L::Answer, LcaError>> {
+                        chunk.iter().map(|q| lca.query(q.clone())).collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("query engine worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Materializes the subgraph an [`EdgeSubgraphLca`] describes by
+    /// answering every edge query of `graph` in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`LcaError`] (which, on a well-formed run over
+    /// `graph.edges()`, indicates an LCA bug).
+    pub fn materialize<L>(&self, graph: &Graph, lca: &L) -> Result<Subgraph, LcaError>
+    where
+        L: EdgeSubgraphLca + Sync + ?Sized,
+    {
+        let edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+        let answers = self.query_batch(lca, &edges);
+        let mut kept = Vec::new();
+        for (&(u, v), answer) in edges.iter().zip(answers) {
+            if answer? {
+                kept.push((u, v));
+            }
+        }
+        Ok(Subgraph::from_edges(graph, kept))
+    }
+
+    /// Replays every edge query of `graph` with full probe accounting,
+    /// sharded across the engine's workers.
+    ///
+    /// `make` builds one LCA instance per shard over that shard's private
+    /// [`CountingOracle`] (wrap the same `(params, seed)`; Definition 1.4
+    /// consistency makes all instances answer identically, and
+    /// [`crate::verify::assert_query_consistency`]-style tests plus the
+    /// engine-equivalence suite enforce it). Keeping the counter private to
+    /// a shard is what makes `per_query_max` exact under parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`LcaError`] from any shard.
+    pub fn measure_queries<'g, O, F>(
+        &self,
+        graph: &'g Graph,
+        base: &'g O,
+        make: F,
+    ) -> Result<EngineRun, LcaError>
+    where
+        O: Oracle + Sync,
+        F: for<'c> Fn(&'c CountingOracle<&'g O>) -> Box<dyn EdgeSubgraphLca + 'c> + Sync,
+    {
+        let edges: Vec<(VertexId, VertexId)> = graph.edges().collect();
+        // Resolve the name from a throwaway instance so it is right even
+        // when the graph has no edges (constructors are probe-free).
+        let algorithm = make(&CountingOracle::new(base)).name();
+        let shard_len = edges.len().div_ceil(self.threads).max(1);
+        let shards: Vec<Result<ShardRun, LcaError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = edges
+                .chunks(shard_len)
+                .enumerate()
+                .map(|(index, chunk)| {
+                    let make = &make;
+                    s.spawn(move || run_shard(index, chunk, base, make))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query engine worker panicked"))
+                .collect()
+        });
+
+        let mut kept = Vec::new();
+        let mut per_shard = Vec::new();
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut total = ProbeCounts::default();
+        for shard in shards {
+            let shard = shard?;
+            max = max.max(shard.counts.per_query_max);
+            sum += shard.probe_sum;
+            total = total + shard.counts.counts;
+            kept.extend(shard.kept);
+            per_shard.push(shard.counts);
+        }
+        Ok(EngineRun {
+            algorithm,
+            kept: Subgraph::from_edges(graph, kept),
+            per_query_max: max,
+            per_query_mean: if edges.is_empty() {
+                0.0
+            } else {
+                sum as f64 / edges.len() as f64
+            },
+            total,
+            queries: edges.len(),
+            per_shard,
+        })
+    }
+}
+
+/// Per-shard outcome inside [`QueryEngine::measure_queries`].
+struct ShardRun {
+    kept: Vec<(VertexId, VertexId)>,
+    counts: ShardCounts,
+    probe_sum: u64,
+}
+
+fn run_shard<'g, O, F>(
+    index: usize,
+    chunk: &[(VertexId, VertexId)],
+    base: &'g O,
+    make: &F,
+) -> Result<ShardRun, LcaError>
+where
+    O: Oracle + Sync,
+    F: for<'c> Fn(&'c CountingOracle<&'g O>) -> Box<dyn EdgeSubgraphLca + 'c> + Sync,
+{
+    let counter = CountingOracle::new(base);
+    let lca = make(&counter);
+    let mut kept = Vec::new();
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    for &(u, v) in chunk {
+        let scope = counter.scoped();
+        if lca.contains(u, v)? {
+            kept.push((u, v));
+        }
+        let cost = scope.cost().total();
+        max = max.max(cost);
+        sum += cost;
+    }
+    Ok(ShardRun {
+        kept,
+        counts: ShardCounts {
+            shard: index,
+            queries: chunk.len(),
+            per_query_max: max,
+            counts: counter.counts(),
+        },
+        probe_sum: sum,
+    })
+}
+
+/// Probe accounting for one shard of a parallel measurement run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardCounts {
+    /// Shard index (shards partition `graph.edges()` contiguously).
+    pub shard: usize,
+    /// Number of edge queries this shard answered.
+    pub queries: usize,
+    /// Maximum probes spent on a single query within the shard.
+    pub per_query_max: u64,
+    /// Total probes of the shard, by kind.
+    pub counts: ProbeCounts,
+}
+
+/// The outcome of a parallel [`QueryEngine::measure_queries`] run: the
+/// union of all shards' YES answers plus per-shard and aggregate probe
+/// statistics.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// [`Lca::name`] of the measured algorithm.
+    pub algorithm: &'static str,
+    /// The subgraph described by the LCA's YES answers.
+    pub kept: Subgraph,
+    /// Maximum probes spent on a single edge query, across all shards.
+    pub per_query_max: u64,
+    /// Mean probes per edge query.
+    pub per_query_mean: f64,
+    /// Aggregate probes across all shards, by kind.
+    pub total: ProbeCounts,
+    /// Number of edge queries issued (= m).
+    pub queries: usize,
+    /// Per-shard accounting, in shard order.
+    pub per_shard: Vec<ShardCounts>,
+}
+
+impl EngineRun {
+    /// Fraction of host edges kept; `NaN` for an empty graph (see
+    /// [`crate::SpannerRun::keep_ratio`] for the convention).
+    pub fn keep_ratio(&self, graph: &Graph) -> f64 {
+        crate::harness::ratio_kept(self.kept.edge_count(), graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure_queries, ThreeSpanner, ThreeSpannerParams};
+    use lca_graph::gen::GnpBuilder;
+    use lca_rand::Seed;
+
+    #[test]
+    fn batch_answers_match_serial_answers() {
+        let g = GnpBuilder::new(120, 0.2).seed(Seed::new(1)).build();
+        let lca = ThreeSpanner::new(&g, ThreeSpannerParams::for_n(120), Seed::new(2));
+        let queries: Vec<_> = g.edges().collect();
+        let serial: Vec<_> = queries.iter().map(|&(u, v)| lca.contains(u, v)).collect();
+        for threads in [1, 2, 4, 7] {
+            let batched = QueryEngine::with_threads(threads).query_batch(&lca, &queries);
+            assert_eq!(batched, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_materialize_matches_serial_materialize() {
+        let g = GnpBuilder::new(100, 0.3).seed(Seed::new(3)).build();
+        let lca = ThreeSpanner::new(&g, ThreeSpannerParams::for_n(100), Seed::new(4));
+        let serial = crate::materialize(&g, &lca).unwrap();
+        let parallel = QueryEngine::with_threads(4).materialize(&g, &lca).unwrap();
+        assert_eq!(serial.edge_count(), parallel.edge_count());
+        for (u, v) in serial.edges() {
+            assert!(parallel.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn parallel_measure_agrees_with_serial_measure() {
+        let n = 80;
+        let g = GnpBuilder::new(n, 0.3).seed(Seed::new(5)).build();
+        let params = ThreeSpannerParams::for_n(n);
+        let seed = Seed::new(6);
+
+        let counter = CountingOracle::new(&g);
+        let lca = ThreeSpanner::new(&counter, params.clone(), seed);
+        let serial = measure_queries(&g, &counter, &lca).unwrap();
+
+        let engine = QueryEngine::with_threads(4);
+        let run = engine
+            .measure_queries(&g, &g, |c| {
+                Box::new(ThreeSpanner::new(c, params.clone(), seed))
+            })
+            .unwrap();
+
+        assert_eq!(run.algorithm, "three-spanner");
+        assert_eq!(run.queries, serial.queries);
+        assert_eq!(run.kept.edge_count(), serial.kept.edge_count());
+        for (u, v) in serial.kept.edges() {
+            assert!(run.kept.has_edge(u, v));
+        }
+        // Probe totals agree exactly: shard counters partition the work.
+        assert_eq!(run.total, serial.total);
+        assert_eq!(run.per_query_max, serial.per_query_max);
+        let shard_total: u64 = run.per_shard.iter().map(|s| s.counts.total()).sum();
+        assert_eq!(shard_total, run.total.total());
+        let shard_queries: usize = run.per_shard.iter().map(|s| s.queries).sum();
+        assert_eq!(shard_queries, run.queries);
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_engine_run() {
+        let g = lca_graph::GraphBuilder::new(4).build().unwrap();
+        let run = QueryEngine::new()
+            .measure_queries(&g, &g, |c| {
+                Box::new(ThreeSpanner::new(
+                    c,
+                    ThreeSpannerParams::for_n(4),
+                    Seed::new(0),
+                ))
+            })
+            .unwrap();
+        assert_eq!(run.queries, 0);
+        // The name must be real even when no shard ever ran.
+        assert_eq!(run.algorithm, "three-spanner");
+        assert!(run.keep_ratio(&g).is_nan());
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(QueryEngine::with_threads(0).threads(), 1);
+        assert!(QueryEngine::new().threads() >= 1);
+        assert_eq!(QueryEngine::serial().threads(), 1);
+    }
+}

@@ -2,7 +2,9 @@
 
 use lca_graph::VertexId;
 
-/// Errors returned by spanner LCA queries.
+use crate::lca::QueryKind;
+
+/// Errors returned by LCA queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum LcaError {
@@ -21,6 +23,14 @@ pub enum LcaError {
         /// Number of vertices in the graph.
         vertex_count: usize,
     },
+    /// A type-erased algorithm received a query shape it does not serve
+    /// (e.g. a vertex query sent to a spanner).
+    UnsupportedQuery {
+        /// The query shape the algorithm answers.
+        expected: QueryKind,
+        /// The query shape it received.
+        got: QueryKind,
+    },
 }
 
 impl std::fmt::Display for LcaError {
@@ -31,6 +41,9 @@ impl std::fmt::Display for LcaError {
             }
             LcaError::InvalidVertex { v, vertex_count } => {
                 write!(f, "vertex {v} out of range for n={vertex_count}")
+            }
+            LcaError::UnsupportedQuery { expected, got } => {
+                write!(f, "algorithm answers {expected} queries, got a {got} query")
             }
         }
     }

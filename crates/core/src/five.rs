@@ -22,7 +22,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, IndexSampler, Seed};
 
 use crate::common::{ceil_pow, edge_key, ln_n, prefix_centers, scan_new_center};
-use crate::{EdgeSubgraphLca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError};
 
 /// Tuning parameters of the 5-spanner construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -227,9 +227,7 @@ impl<O: Oracle> FiveSpanner<O> {
                 .rep_sampler
                 .index(self.oracle.label(w), j as u64, bound);
             if let Some(x) = self.oracle.neighbor(w, idx as usize) {
-                if self.oracle.degree(x) > self.params.super_threshold
-                    && !out.contains(&x)
-                {
+                if self.oracle.degree(x) > self.params.super_threshold && !out.contains(&x) {
                     out.push(x);
                 }
             }
@@ -308,11 +306,8 @@ impl<O: Oracle> FiveSpanner<O> {
         let med = self.params.med_threshold;
         let target = edge_key(o.label(u), o.label(v));
         let mut deg_cache: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
-        let mut deg_of = |w: VertexId| -> usize {
-            *deg_cache
-                .entry(w.raw())
-                .or_insert_with(|| o.degree(w))
-        };
+        let mut deg_of =
+            |w: VertexId| -> usize { *deg_cache.entry(w.raw()).or_insert_with(|| o.degree(w)) };
         for &s in su {
             let cs = self.cluster_of(s);
             let bu = self.bucket_of(&cs, u).to_vec();
@@ -411,17 +406,17 @@ impl<O: Oracle> FiveSpanner<O> {
     fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
-            return Err(LcaError::InvalidVertex {
-                v,
-                vertex_count: n,
-            });
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
         Ok(())
     }
 }
 
-impl<O: Oracle> EdgeSubgraphLca for FiveSpanner<O> {
-    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+impl<O: Oracle> Lca for FiveSpanner<O> {
+    type Query = (VertexId, VertexId);
+    type Answer = bool;
+
+    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
         let o = &self.oracle;
@@ -463,8 +458,7 @@ impl<O: Oracle> EdgeSubgraphLca for FiveSpanner<O> {
         // any edge whose endpoint is super-high; harmless otherwise).
         let spu = self.sp_set(u);
         let spv = self.sp_set(v);
-        if (du > p.super_threshold && spu.is_empty())
-            || (dv > p.super_threshold && spv.is_empty())
+        if (du > p.super_threshold && spu.is_empty()) || (dv > p.super_threshold && spv.is_empty())
         {
             return Ok(true);
         }
@@ -522,12 +516,18 @@ impl<O: Oracle> EdgeSubgraphLca for FiveSpanner<O> {
         Ok(false)
     }
 
-    fn stretch_bound(&self) -> usize {
-        5
-    }
-
     fn name(&self) -> &'static str {
         "five-spanner"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "Õ(n^{5/6})"
+    }
+}
+
+impl<O: Oracle> EdgeSubgraphLca for FiveSpanner<O> {
+    fn stretch_bound(&self) -> usize {
+        5
     }
 }
 
@@ -601,10 +601,8 @@ mod tests {
         for s in 0..5u64 {
             let g = GnpBuilder::new(60, 0.4).seed(Seed::new(20 + s)).build();
             let lca = FiveSpanner::new(&g, tiny_params(), Seed::new(s));
-            let h = Subgraph::from_edges(
-                &g,
-                g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
-            );
+            let h =
+                Subgraph::from_edges(&g, g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()));
             let stretch = h.max_edge_stretch(&g, 6);
             assert!(stretch.is_some(), "seed {s}: disconnected edge");
             assert!(stretch.unwrap() <= 5, "seed {s}: stretch {stretch:?}");
@@ -616,10 +614,7 @@ mod tests {
         // Mixed degrees: hubs + clique tails exercise super and mid classes.
         let g = structured::dumbbell(12, 2);
         let lca = FiveSpanner::new(&g, tiny_params(), Seed::new(9));
-        let h = Subgraph::from_edges(
-            &g,
-            g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
-        );
+        let h = Subgraph::from_edges(&g, g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()));
         assert!(h.max_edge_stretch(&g, 6).unwrap() <= 5);
     }
 

@@ -97,17 +97,17 @@ pub fn k2_partition(graph: &Graph, params: &K2Params, seed: Seed) -> K2Partition
     let mut cluster: Vec<Option<u32>> = vec![None; n];
     let mut cluster_members: Vec<Vec<VertexId>> = Vec::new();
     let mut cluster_cell: Vec<VertexId> = Vec::new();
-    let mut push_cluster = |members: Vec<VertexId>, cell_center: VertexId,
-                            cluster: &mut Vec<Option<u32>>| {
-        let id = cluster_members.len() as u32;
-        for &m in &members {
-            cluster[m.index()] = Some(id);
-        }
-        let mut members = members;
-        members.sort_by_key(|m| m.raw());
-        cluster_members.push(members);
-        cluster_cell.push(cell_center);
-    };
+    let mut push_cluster =
+        |members: Vec<VertexId>, cell_center: VertexId, cluster: &mut Vec<Option<u32>>| {
+            let id = cluster_members.len() as u32;
+            for &m in &members {
+                cluster[m.index()] = Some(id);
+            }
+            let mut members = members;
+            members.sort_by_key(|m| m.raw());
+            cluster_members.push(members);
+            cluster_cell.push(cell_center);
+        };
     let collect_subtree = |root: VertexId| -> Vec<VertexId> {
         let mut out = Vec::new();
         let mut stack = vec![root];
@@ -152,8 +152,7 @@ pub fn k2_partition(graph: &Graph, params: &K2Params, seed: Seed) -> K2Partition
                 groups.push(cur);
             }
             for g in groups {
-                let members: Vec<VertexId> =
-                    g.into_iter().flat_map(&collect_subtree).collect();
+                let members: Vec<VertexId> = g.into_iter().flat_map(&collect_subtree).collect();
                 push_cluster(members, s, &mut cluster);
             }
         }
@@ -177,11 +176,8 @@ pub fn k2_partition(graph: &Graph, params: &K2Params, seed: Seed) -> K2Partition
 /// `(params, seed)` answers queries about.
 pub fn k2_spanner_global(graph: &Graph, params: &K2Params, seed: Seed) -> EdgeSet {
     let part = k2_partition(graph, params, seed);
-    let ranks = RankAssigner::for_spanner(
-        seed.derive(0x4B33),
-        graph.vertex_count().max(2),
-        params.k,
-    );
+    let ranks =
+        RankAssigner::for_spanner(seed.derive(0x4B33), graph.vertex_count().max(2), params.k);
     let mark_coin = Coin::new(seed.derive(0x4B32), params.mark_prob, params.independence);
     let mut h = EdgeSet::new();
 
@@ -240,9 +236,7 @@ pub fn k2_spanner_global(graph: &Graph, params: &K2Params, seed: Seed) -> EdgeSe
                 min_cc.insert(cc_key, (k_ab, (a, b)));
             }
         }
-        for (from_cluster, to_cell, e) in
-            [(ia, cb.raw(), (a, b)), (ib, ca.raw(), (b, a))]
-        {
+        for (from_cluster, to_cell, e) in [(ia, cb.raw(), (a, b)), (ib, ca.raw(), (b, a))] {
             match min_ccell.get(&(from_cluster, to_cell)) {
                 Some(&(cur, _)) if cur <= k_ab => {}
                 _ => {
@@ -477,11 +471,7 @@ mod tests {
             }
         }
         assert_eq!(part.cell_count(), {
-            let cells: HashSet<u32> = part
-                .cluster_cell
-                .iter()
-                .map(|c| c.raw())
-                .collect();
+            let cells: HashSet<u32> = part.cluster_cell.iter().map(|c| c.raw()).collect();
             cells.len()
         });
         // Cluster members agree with the per-vertex assignment.
@@ -500,7 +490,11 @@ mod tests {
         p.l = 5;
         let part = k2_partition(&g, &p, Seed::new(4));
         for members in &part.cluster_members {
-            assert!(members.len() <= 2 * p.l + 1, "cluster size {}", members.len());
+            assert!(
+                members.len() <= 2 * p.l + 1,
+                "cluster size {}",
+                members.len()
+            );
         }
     }
 }

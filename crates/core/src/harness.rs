@@ -1,7 +1,8 @@
-//! Measurement harness: materialize an LCA's subgraph and account probes.
+//! Serial measurement harness: materialize an LCA's subgraph and account
+//! probes. The thread-parallel counterpart lives in [`crate::QueryEngine`].
 
 use lca_graph::{Graph, Subgraph};
-use lca_probe::{CountingOracle, Oracle, ProbeCounts};
+use lca_probe::{CountingOracle, MemoOracle, Oracle, ProbeCounts};
 
 use crate::{EdgeSubgraphLca, LcaError};
 
@@ -11,6 +12,8 @@ use crate::{EdgeSubgraphLca, LcaError};
 /// queries); `per_query_mean` the average; `kept` the materialized spanner.
 #[derive(Debug)]
 pub struct SpannerRun {
+    /// [`crate::Lca::name`] of the measured algorithm.
+    pub algorithm: &'static str,
     /// The subgraph described by the LCA's YES answers.
     pub kept: Subgraph,
     /// Maximum probes spent on a single edge query.
@@ -25,12 +28,24 @@ pub struct SpannerRun {
 
 impl SpannerRun {
     /// Fraction of host edges kept.
+    ///
+    /// **Convention:** on an empty graph the ratio is `0/0`, which this
+    /// method reports as [`f64::NAN`] — "no edges were kept" (`0.0`) would
+    /// wrongly read as aggressive sparsification, and "everything was kept"
+    /// (`1.0`) as no sparsification, when in fact there was nothing to
+    /// decide. Callers that format reports should render `NaN` as `-`.
     pub fn keep_ratio(&self, graph: &Graph) -> f64 {
-        if graph.edge_count() == 0 {
-            0.0
-        } else {
-            self.kept.edge_count() as f64 / graph.edge_count() as f64
-        }
+        ratio_kept(self.kept.edge_count(), graph)
+    }
+}
+
+/// The shared keep-ratio convention: `kept / m`, [`f64::NAN`] when `m = 0`
+/// (see [`SpannerRun::keep_ratio`]).
+pub(crate) fn ratio_kept(kept: usize, graph: &Graph) -> f64 {
+    if graph.edge_count() == 0 {
+        f64::NAN
+    } else {
+        kept as f64 / graph.edge_count() as f64
     }
 }
 
@@ -62,6 +77,7 @@ pub fn measure_queries<O: Oracle, L: EdgeSubgraphLca>(
         queries += 1;
     }
     Ok(SpannerRun {
+        algorithm: lca.name(),
         kept: Subgraph::from_edges(graph, kept),
         per_query_max: max,
         per_query_mean: if queries == 0 {
@@ -74,7 +90,107 @@ pub fn measure_queries<O: Oracle, L: EdgeSubgraphLca>(
     })
 }
 
-/// Materializes the subgraph only (no probe accounting).
+/// A [`SpannerRun`] extended with the *distinct*-probe measure: repeated
+/// probes within one query are free, modelling the per-query read-write
+/// local memory of Definition 1.4 (see [`MemoOracle`]).
+#[derive(Debug)]
+pub struct DistinctRun {
+    /// The raw-probe measurement (every probe counted).
+    pub run: SpannerRun,
+    /// Maximum *distinct* probes over the queries.
+    pub distinct_max: usize,
+    /// Mean distinct probes per query.
+    pub distinct_mean: f64,
+    /// Total distinct probes across all queries.
+    pub distinct_total: u64,
+}
+
+/// Like [`measure_queries`], but additionally reports distinct-probe
+/// statistics: each query runs against a freshly cleared memo, so the
+/// cache models per-query memory rather than a persistent data structure.
+///
+/// The oracle wiring is `graph → memo → counter → lca`, and the signature
+/// enforces it: the counter must wrap a [`MemoOracle`], from which the
+/// harness reaches the memo itself. Every probe the LCA issues is counted
+/// *raw* by `counter`, then deduplicated by the memo underneath, whose
+/// [`MemoOracle::distinct_probes`] yields the per-query distinct measure.
+/// (Caching below the counter cannot change any answer, so both measures
+/// describe the same run.)
+///
+/// ```
+/// use lca_core::{measure_queries_distinct, ThreeSpanner};
+/// use lca_graph::gen::GnpBuilder;
+/// use lca_probe::{CountingOracle, MemoOracle};
+/// use lca_rand::Seed;
+///
+/// let g = GnpBuilder::new(80, 0.3).seed(Seed::new(1)).build();
+/// let memo = MemoOracle::new(&g);
+/// let counter = CountingOracle::new(&memo);
+/// let lca = ThreeSpanner::with_defaults(&counter, Seed::new(2));
+/// let d = measure_queries_distinct(&g, &counter, &lca)?;
+/// assert!(d.distinct_total <= d.run.total.total());
+/// # Ok::<(), lca_core::LcaError>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates the first [`LcaError`].
+pub fn measure_queries_distinct<O, L>(
+    graph: &Graph,
+    counter: &CountingOracle<&MemoOracle<O>>,
+    lca: &L,
+) -> Result<DistinctRun, LcaError>
+where
+    O: Oracle,
+    L: EdgeSubgraphLca,
+{
+    let memo: &MemoOracle<O> = counter.inner();
+    let mut kept = Vec::new();
+    let mut max = 0u64;
+    let mut sum = 0u64;
+    let mut distinct_max = 0usize;
+    let mut distinct_total = 0u64;
+    let mut queries = 0usize;
+    let start = counter.counts();
+    for (u, v) in graph.edges() {
+        memo.clear();
+        let scope = counter.scoped();
+        if lca.contains(u, v)? {
+            kept.push((u, v));
+        }
+        let cost = scope.cost().total();
+        max = max.max(cost);
+        sum += cost;
+        let distinct = memo.distinct_probes();
+        distinct_max = distinct_max.max(distinct);
+        distinct_total += distinct as u64;
+        queries += 1;
+    }
+    Ok(DistinctRun {
+        run: SpannerRun {
+            algorithm: lca.name(),
+            kept: Subgraph::from_edges(graph, kept),
+            per_query_max: max,
+            per_query_mean: if queries == 0 {
+                0.0
+            } else {
+                sum as f64 / queries as f64
+            },
+            total: counter.counts().since(start),
+            queries,
+        },
+        distinct_max,
+        distinct_mean: if queries == 0 {
+            0.0
+        } else {
+            distinct_total as f64 / queries as f64
+        },
+        distinct_total,
+    })
+}
+
+/// Materializes the subgraph only (no probe accounting). For a
+/// thread-parallel version see [`crate::QueryEngine::materialize`].
 ///
 /// # Errors
 ///
@@ -102,6 +218,7 @@ mod tests {
         let counter = CountingOracle::new(&g);
         let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(60), Seed::new(2));
         let run = measure_queries(&g, &counter, &lca).unwrap();
+        assert_eq!(run.algorithm, "three-spanner");
         assert_eq!(run.queries, g.edge_count());
         assert!(run.per_query_max >= 1);
         assert!(run.per_query_mean > 0.0);
@@ -124,7 +241,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_graph_yields_empty_run() {
+    fn empty_graph_yields_empty_run_and_nan_ratio() {
         let g = lca_graph::GraphBuilder::new(5).build().unwrap();
         let counter = CountingOracle::new(&g);
         let lca = ThreeSpanner::new(&counter, ThreeSpannerParams::for_n(5), Seed::new(0));
@@ -132,5 +249,36 @@ mod tests {
         assert_eq!(run.queries, 0);
         assert_eq!(run.per_query_max, 0);
         assert_eq!(run.kept.edge_count(), 0);
+        // The documented convention: 0/0 edges kept is undefined, not 0.0.
+        assert!(run.keep_ratio(&g).is_nan());
+    }
+
+    #[test]
+    fn distinct_mode_reports_both_measures_consistently() {
+        let n = 60;
+        let g = GnpBuilder::new(n, 0.3).seed(Seed::new(7)).build();
+        let seed = Seed::new(8);
+        let params = ThreeSpannerParams::for_n(n);
+
+        let memo = MemoOracle::new(&g);
+        let counter = CountingOracle::new(&memo);
+        let lca = ThreeSpanner::new(&counter, params.clone(), seed);
+        let d = measure_queries_distinct(&g, &counter, &lca).unwrap();
+
+        // Distinct probes can never exceed raw probes.
+        assert!(d.distinct_total <= d.run.total.total());
+        assert!((d.distinct_max as u64) <= d.run.per_query_max);
+        assert!(d.distinct_mean <= d.run.per_query_mean);
+        assert!(d.distinct_total > 0);
+
+        // Memoization must not change any answer: same spanner as a plain
+        // run over an uncached oracle.
+        let counter2 = CountingOracle::new(&g);
+        let plain = ThreeSpanner::new(&counter2, params, seed);
+        let run = measure_queries(&g, &counter2, &plain).unwrap();
+        assert_eq!(run.kept.edge_count(), d.run.kept.edge_count());
+        for (u, v) in run.kept.edges() {
+            assert!(d.run.kept.has_edge(u, v));
+        }
     }
 }

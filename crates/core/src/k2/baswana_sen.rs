@@ -269,7 +269,8 @@ mod tests {
     fn stretch_ok(g: &Graph, kept: &HashSet<(u32, u32)>, bound: u32) -> bool {
         let sub = lca_graph::Subgraph::from_edges(
             g,
-            kept.iter().map(|&(a, b)| (VertexId::from(a), VertexId::from(b))),
+            kept.iter()
+                .map(|&(a, b)| (VertexId::from(a), VertexId::from(b))),
         );
         matches!(sub.max_edge_stretch(g, bound + 1), Some(s) if s <= bound)
     }

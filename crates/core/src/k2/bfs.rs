@@ -67,7 +67,12 @@ impl VertexStatus {
 ///
 /// Probe cost: one Degree plus `deg(x)` Neighbor probes per expanded vertex
 /// `x`; the paper's analysis bounds the number of expansions by `O(L)` w.h.p.
-pub fn center_search<O: Oracle>(oracle: &O, v: VertexId, k: usize, is_center: &Coin) -> VertexStatus {
+pub fn center_search<O: Oracle>(
+    oracle: &O,
+    v: VertexId,
+    k: usize,
+    is_center: &Coin,
+) -> VertexStatus {
     if is_center.flip(oracle.label(v)) {
         return VertexStatus::Dense {
             center: v,

@@ -40,7 +40,9 @@ impl<O: Oracle> K2Spanner<O> {
         }
         let o = self.oracle();
         let st = self.status(ctx, x);
-        let cx = st.center().expect("children only defined for dense vertices");
+        let cx = st
+            .center()
+            .expect("children only defined for dense vertices");
         let mut kids = Vec::new();
         let deg = o.degree(x);
         for i in 0..deg {
@@ -100,7 +102,9 @@ impl<O: Oracle> K2Spanner<O> {
             return Rc::clone(c);
         }
         let st = self.status(ctx, x);
-        let s = st.center().expect("clusters only defined for dense vertices");
+        let s = st
+            .center()
+            .expect("clusters only defined for dense vertices");
         let members: Vec<VertexId> = if self.subtree_size(ctx, s).is_some() {
             // (a) Light cell: the whole cell is one cluster.
             self.collect_subtree(ctx, s)
@@ -249,13 +253,13 @@ impl<O: Oracle> K2Spanner<O> {
             .boundary(ctx, a)
             .iter()
             .copied()
-            .filter(|&c| self.mark_coin().flip(self.oracle().label(VertexId::from(c))))
+            .filter(|&c| {
+                self.mark_coin()
+                    .flip(self.oracle().label(VertexId::from(c)))
+            })
             .collect();
         out.sort_unstable();
-        if self
-            .mark_coin()
-            .flip(self.oracle().label(a.cell_center))
-        {
+        if self.mark_coin().flip(self.oracle().label(a.cell_center)) {
             out.push(a.cell_center.raw());
         }
         out
@@ -298,9 +302,7 @@ impl<O: Oracle> K2Spanner<O> {
             let rank_to = self.ranks().rank(self.oracle().label(to.cell_center));
             let lower = boundary_from
                 .intersection(&boundary_c)
-                .filter(|&&c| {
-                    self.ranks().rank(self.oracle().label(VertexId::from(c))) < rank_to
-                })
+                .filter(|&&c| self.ranks().rank(self.oracle().label(VertexId::from(c))) < rank_to)
                 .count();
             if lower < self.params().q {
                 return true;

@@ -33,7 +33,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, RankAssigner, Seed};
 
 use crate::common::{ceil_pow, ln_n};
-use crate::{EdgeSubgraphLca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError};
 
 /// Tuning parameters of the O(k²)-spanner construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -199,9 +199,7 @@ impl<O: Oracle> K2Spanner<O> {
             self.params.k,
             &self.center_coin,
         ));
-        ctx.status
-            .borrow_mut()
-            .insert(v.raw(), Rc::clone(&st));
+        ctx.status.borrow_mut().insert(v.raw(), Rc::clone(&st));
         st
     }
 
@@ -252,17 +250,17 @@ impl<O: Oracle> K2Spanner<O> {
     fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
-            return Err(LcaError::InvalidVertex {
-                v,
-                vertex_count: n,
-            });
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
         Ok(())
     }
 }
 
-impl<O: Oracle> EdgeSubgraphLca for K2Spanner<O> {
-    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+impl<O: Oracle> Lca for K2Spanner<O> {
+    type Query = (VertexId, VertexId);
+    type Answer = bool;
+
+    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
         if self.oracle.adjacency(u, v).is_none() || self.oracle.adjacency(v, u).is_none() {
@@ -282,15 +280,21 @@ impl<O: Oracle> EdgeSubgraphLca for K2Spanner<O> {
         Ok(dense::dense_contains(self, &ctx, u, v, &su, &sv))
     }
 
+    fn name(&self) -> &'static str {
+        "k2-spanner"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "Õ(Δ⁴n^{2/3})"
+    }
+}
+
+impl<O: Oracle> EdgeSubgraphLca for K2Spanner<O> {
     fn stretch_bound(&self) -> usize {
         // O(k) cell hops w.h.p., each expanded through a ≤2k-diameter cell;
         // generous deterministic verification radius.
         let k = self.params.k;
         (2 * k + 1) * (2 * k + 2)
-    }
-
-    fn name(&self) -> &'static str {
-        "k2-spanner"
     }
 }
 
@@ -325,9 +329,7 @@ mod tests {
             .filter(|&(u, v)| lca.contains(u, v).unwrap())
             .collect();
         let h = Subgraph::from_edges(&g, kept);
-        assert!(h
-            .max_edge_stretch(&g, lca.stretch_bound() as u32)
-            .is_some());
+        assert!(h.max_edge_stretch(&g, lca.stretch_bound() as u32).is_some());
     }
 
     #[test]
@@ -346,7 +348,10 @@ mod tests {
 
     #[test]
     fn symmetric_answers_on_regular_graph() {
-        let g = RegularBuilder::new(80, 4).seed(Seed::new(4)).build().unwrap();
+        let g = RegularBuilder::new(80, 4)
+            .seed(Seed::new(4))
+            .build()
+            .unwrap();
         let lca = K2Spanner::with_defaults(&g, 2, Seed::new(5));
         for (u, v) in g.edges() {
             assert_eq!(lca.contains(u, v).unwrap(), lca.contains(v, u).unwrap());
@@ -361,10 +366,8 @@ mod tests {
                 .build()
                 .unwrap();
             let lca = K2Spanner::with_defaults(&g, k, Seed::new(seed + 10));
-            let h = Subgraph::from_edges(
-                &g,
-                g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
-            );
+            let h =
+                Subgraph::from_edges(&g, g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()));
             let bound = lca.stretch_bound() as u32;
             let stretch = h.max_edge_stretch(&g, bound);
             assert!(stretch.is_some(), "k={k}: some edge lost connectivity");

@@ -128,10 +128,8 @@ mod tests {
                 .seed(Seed::new(1))
                 .build();
             let lca = K2Spanner::new(&g, all_sparse_params(50, k), Seed::new(2));
-            let h = Subgraph::from_edges(
-                &g,
-                g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
-            );
+            let h =
+                Subgraph::from_edges(&g, g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()));
             let stretch = h.max_edge_stretch(&g, (2 * k) as u32);
             assert!(
                 matches!(stretch, Some(s) if (s as usize) < 2 * k),

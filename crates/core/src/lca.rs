@@ -1,38 +1,249 @@
-//! The edge-subgraph LCA interface.
+//! The unified LCA query interface.
+//!
+//! Definition 1.4 of the paper is one abstraction — query access to a fixed
+//! legal solution — instantiated by different query/answer shapes: spanners
+//! answer *edge* queries ("is `{u, v}` in the subgraph?"), the classic
+//! algorithms answer *vertex* queries ("is `v` in the set?"). The trait
+//! family here mirrors that structure:
+//!
+//! * [`Lca`] — the core trait, generic over `Query` and `Answer`. Everything
+//!   downstream (the [`QueryEngine`](crate::QueryEngine), the registry in the
+//!   facade crate, the measurement harnesses) speaks this trait.
+//! * [`EdgeSubgraphLca`] — the edge-subgraph instantiation
+//!   (`Query = (VertexId, VertexId)`, `Answer = bool`) plus the spanner
+//!   contract ([`EdgeSubgraphLca::stretch_bound`]).
+//! * [`VertexSubsetLca`] — the vertex-subset instantiation
+//!   (`Query = VertexId`, `Answer = bool`).
+//! * [`DynQuery`] / [`DynEdgeLca`] / [`DynVertexLca`] — a type-erased layer
+//!   so heterogeneous algorithms can sit behind one `dyn` object, answer
+//!   mixed batches, and report [`LcaError::UnsupportedQuery`] on a query
+//!   shape they do not serve.
 
 use lca_graph::VertexId;
 
 use crate::LcaError;
 
-/// A local computation algorithm that defines a subgraph `H ⊆ G` by
-/// answering per-edge membership queries.
+/// A local computation algorithm: query access to one fixed legal solution.
 ///
 /// Implementations must satisfy the LCA contract of Definition 1.4:
 ///
 /// * **Consistency** — for a fixed input graph and seed, the answers to all
-///   possible edge queries describe one subgraph; in particular the answer to
-///   `contains(u, v)` never depends on previous queries, and
-///   `contains(u, v) == contains(v, u)`.
-/// * **Locality** — each query costs a bounded number of oracle probes
-///   (the implementation's documented probe complexity).
+///   possible queries describe one global solution; the answer to a query
+///   never depends on which queries were asked before it. This is also the
+///   license for every parallel path in this workspace: two instances built
+///   from the same `(graph, seed)`, or one shared instance queried from many
+///   threads, return identical answers.
+/// * **Locality** — each query costs a bounded number of oracle probes (the
+///   implementation's documented probe complexity, surfaced as prose via
+///   [`Lca::probe_bound`]).
 ///
-/// The trait is object-safe, so harnesses can treat heterogeneous spanner
-/// LCAs uniformly.
-pub trait EdgeSubgraphLca {
+/// The trait is object-safe: harnesses hold `Box<dyn Lca<Query = …, Answer
+/// = …>>` and treat heterogeneous algorithms uniformly.
+pub trait Lca {
+    /// What a single query looks like (an edge, a vertex, …).
+    type Query;
+    /// What a single answer looks like (membership bit, color, …).
+    type Answer;
+
+    /// Answers one query, consistently with the fixed global solution.
+    ///
+    /// # Errors
+    ///
+    /// [`LcaError`] if the query is malformed for this algorithm/instance
+    /// (out-of-range vertex, non-edge, unsupported query shape).
+    fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError>;
+
+    /// A short human-readable algorithm name for reports
+    /// (e.g. `"three-spanner"`, `"mis"`).
+    fn name(&self) -> &'static str;
+
+    /// The documented per-query probe bound, as prose for reports
+    /// (e.g. `"Õ(n^{3/4})"`).
+    fn probe_bound(&self) -> &'static str {
+        "unspecified"
+    }
+}
+
+impl<L: Lca + ?Sized> Lca for &L {
+    type Query = L::Query;
+    type Answer = L::Answer;
+
+    fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError> {
+        (**self).query(q)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        (**self).probe_bound()
+    }
+}
+
+impl<L: Lca + ?Sized> Lca for Box<L> {
+    type Query = L::Query;
+    type Answer = L::Answer;
+
+    fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError> {
+        (**self).query(q)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        (**self).probe_bound()
+    }
+}
+
+/// A local computation algorithm that defines a subgraph `H ⊆ G` by
+/// answering per-edge membership queries — the spanner instantiation of
+/// [`Lca`].
+///
+/// On top of the core contract, implementations promise symmetry
+/// (`contains(u, v) == contains(v, u)`) and a stretch guarantee for the
+/// subgraph their YES answers describe.
+pub trait EdgeSubgraphLca: Lca<Query = (VertexId, VertexId), Answer = bool> {
     /// Returns whether `{u, v}` belongs to the subgraph.
     ///
     /// # Errors
     ///
     /// [`LcaError::NotAnEdge`] if `{u, v}` is not an edge of the input graph.
-    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError>;
+    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+        self.query((u, v))
+    }
 
     /// An upper bound on the stretch of the subgraph this LCA defines
     /// (used by the verification harness as its search radius).
     fn stretch_bound(&self) -> usize;
+}
 
-    /// A short human-readable name for reports.
+impl<L: EdgeSubgraphLca + ?Sized> EdgeSubgraphLca for &L {
+    fn stretch_bound(&self) -> usize {
+        (**self).stretch_bound()
+    }
+}
+
+impl<L: EdgeSubgraphLca + ?Sized> EdgeSubgraphLca for Box<L> {
+    fn stretch_bound(&self) -> usize {
+        (**self).stretch_bound()
+    }
+}
+
+/// A local computation algorithm that defines a vertex subset `S ⊆ V` by
+/// answering per-vertex membership queries — the classic-LCA instantiation
+/// of [`Lca`] (MIS, vertex cover, matched vertices, a designated color
+/// class, …).
+pub trait VertexSubsetLca: Lca<Query = VertexId, Answer = bool> {
+    /// Returns whether `v` belongs to the subset.
+    ///
+    /// # Errors
+    ///
+    /// [`LcaError::InvalidVertex`] if `v` is out of range for the input
+    /// graph.
+    fn contains_vertex(&self, v: VertexId) -> Result<bool, LcaError> {
+        self.query(v)
+    }
+}
+
+impl<L: VertexSubsetLca + ?Sized> VertexSubsetLca for &L {}
+
+impl<L: VertexSubsetLca + ?Sized> VertexSubsetLca for Box<L> {}
+
+/// The query shapes an LCA may serve, for the type-erased layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Per-edge membership queries ([`EdgeSubgraphLca`]).
+    Edge,
+    /// Per-vertex membership queries ([`VertexSubsetLca`]).
+    Vertex,
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueryKind::Edge => "edge",
+            QueryKind::Vertex => "vertex",
+        })
+    }
+}
+
+/// A type-erased query: what registry-built `dyn` algorithms answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DynQuery {
+    /// "Is `{u, v}` in the subgraph?"
+    Edge(VertexId, VertexId),
+    /// "Is `v` in the subset?"
+    Vertex(VertexId),
+}
+
+impl DynQuery {
+    /// The shape of this query.
+    pub fn kind(self) -> QueryKind {
+        match self {
+            DynQuery::Edge(..) => QueryKind::Edge,
+            DynQuery::Vertex(..) => QueryKind::Vertex,
+        }
+    }
+}
+
+/// Adapts an [`EdgeSubgraphLca`] to the type-erased [`DynQuery`] interface.
+///
+/// Vertex queries are answered with [`LcaError::UnsupportedQuery`].
+#[derive(Debug)]
+pub struct DynEdgeLca<L>(pub L);
+
+impl<L: EdgeSubgraphLca> Lca for DynEdgeLca<L> {
+    type Query = DynQuery;
+    type Answer = bool;
+
+    fn query(&self, q: DynQuery) -> Result<bool, LcaError> {
+        match q {
+            DynQuery::Edge(u, v) => self.0.query((u, v)),
+            DynQuery::Vertex(_) => Err(LcaError::UnsupportedQuery {
+                expected: QueryKind::Edge,
+                got: QueryKind::Vertex,
+            }),
+        }
+    }
+
     fn name(&self) -> &'static str {
-        "edge-subgraph-lca"
+        self.0.name()
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        self.0.probe_bound()
+    }
+}
+
+/// Adapts a [`VertexSubsetLca`] to the type-erased [`DynQuery`] interface.
+///
+/// Edge queries are answered with [`LcaError::UnsupportedQuery`].
+#[derive(Debug)]
+pub struct DynVertexLca<L>(pub L);
+
+impl<L: VertexSubsetLca> Lca for DynVertexLca<L> {
+    type Query = DynQuery;
+    type Answer = bool;
+
+    fn query(&self, q: DynQuery) -> Result<bool, LcaError> {
+        match q {
+            DynQuery::Vertex(v) => self.0.query(v),
+            DynQuery::Edge(..) => Err(LcaError::UnsupportedQuery {
+                expected: QueryKind::Vertex,
+                got: QueryKind::Edge,
+            }),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        self.0.probe_bound()
     }
 }
 
@@ -42,21 +253,87 @@ mod tests {
 
     struct KeepAll;
 
-    impl EdgeSubgraphLca for KeepAll {
-        fn contains(&self, _u: VertexId, _v: VertexId) -> Result<bool, LcaError> {
+    impl Lca for KeepAll {
+        type Query = (VertexId, VertexId);
+        type Answer = bool;
+
+        fn query(&self, _q: (VertexId, VertexId)) -> Result<bool, LcaError> {
             Ok(true)
         }
 
+        fn name(&self) -> &'static str {
+            "keep-all"
+        }
+    }
+
+    impl EdgeSubgraphLca for KeepAll {
         fn stretch_bound(&self) -> usize {
             1
         }
     }
 
+    struct OddVertices;
+
+    impl Lca for OddVertices {
+        type Query = VertexId;
+        type Answer = bool;
+
+        fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+            Ok(v.index() % 2 == 1)
+        }
+
+        fn name(&self) -> &'static str {
+            "odd-vertices"
+        }
+    }
+
+    impl VertexSubsetLca for OddVertices {}
+
     #[test]
-    fn trait_is_object_safe() {
+    fn edge_trait_is_object_safe() {
         let lca: Box<dyn EdgeSubgraphLca> = Box::new(KeepAll);
         assert!(lca.contains(VertexId::new(0), VertexId::new(1)).unwrap());
         assert_eq!(lca.stretch_bound(), 1);
-        assert_eq!(lca.name(), "edge-subgraph-lca");
+        assert_eq!(lca.name(), "keep-all");
+        assert_eq!(lca.probe_bound(), "unspecified");
+    }
+
+    #[test]
+    fn vertex_trait_is_object_safe() {
+        let lca: Box<dyn VertexSubsetLca> = Box::new(OddVertices);
+        assert!(!lca.contains_vertex(VertexId::new(0)).unwrap());
+        assert!(lca.contains_vertex(VertexId::new(3)).unwrap());
+    }
+
+    #[test]
+    fn core_trait_is_object_safe_and_forwards() {
+        let boxed: Box<dyn Lca<Query = (VertexId, VertexId), Answer = bool>> = Box::new(KeepAll);
+        assert!(boxed.query((VertexId::new(4), VertexId::new(5))).unwrap());
+        // &L and Box<L> forward.
+        assert_eq!(boxed.name(), "keep-all");
+    }
+
+    #[test]
+    fn dyn_adapters_route_and_reject() {
+        let edge: Box<dyn Lca<Query = DynQuery, Answer = bool>> = Box::new(DynEdgeLca(KeepAll));
+        let vertex: Box<dyn Lca<Query = DynQuery, Answer = bool>> =
+            Box::new(DynVertexLca(OddVertices));
+        let e = DynQuery::Edge(VertexId::new(0), VertexId::new(1));
+        let v = DynQuery::Vertex(VertexId::new(1));
+        assert!(edge.query(e).unwrap());
+        assert!(vertex.query(v).unwrap());
+        assert!(matches!(
+            edge.query(v),
+            Err(LcaError::UnsupportedQuery {
+                expected: QueryKind::Edge,
+                got: QueryKind::Vertex,
+            })
+        ));
+        assert!(matches!(
+            vertex.query(e),
+            Err(LcaError::UnsupportedQuery { .. })
+        ));
+        assert_eq!(e.kind(), QueryKind::Edge);
+        assert_eq!(v.kind().to_string(), "vertex");
     }
 }

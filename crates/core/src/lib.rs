@@ -1,4 +1,5 @@
-//! Local computation algorithms for graph spanners.
+//! Local computation algorithms for graph spanners — and the unified query
+//! API every LCA in this workspace is served through.
 //!
 //! This crate implements the constructions of *“Local Computation Algorithms
 //! for Spanners”* (Parter, Rubinfeld, Vakilian, Yodpinyanee, 2019): given
@@ -11,6 +12,30 @@
 //! | [`ThreeSpanner`] | 3 | Õ(n^{3/2}) | Õ(n^{3/4}) | §2, Thm 1.1 (r=2) |
 //! | [`FiveSpanner`]  | 5 | Õ(n^{4/3}) | Õ(n^{5/6}) | §3, Thm 1.1 (r=3), Thm 3.5 |
 //! | [`K2Spanner`]    | O(k²) | Õ(n^{1+1/k}) | Õ(∆⁴n^{2/3}) | §4, Thm 1.2 |
+//!
+//! # The query API
+//!
+//! Everything is served through one trait family (module [`lca`][crate::Lca]):
+//! the [`Lca`] core trait is generic over `Query`/`Answer` and carries
+//! [`Lca::name`] and [`Lca::probe_bound`] for reports; [`EdgeSubgraphLca`]
+//! (edge-membership queries + a stretch bound) is the spanner instantiation,
+//! [`VertexSubsetLca`] (vertex-membership queries) the classic-algorithm one
+//! implemented in `lca-classic`. The [`DynQuery`] layer erases the
+//! difference so the registry in the facade crate can hand out any of the
+//! workspace's seven algorithms behind one object type.
+//!
+//! Queries are answered three ways:
+//!
+//! * one at a time — [`EdgeSubgraphLca::contains`] /
+//!   [`VertexSubsetLca::contains_vertex`];
+//! * batched and thread-parallel — [`QueryEngine::query_batch`] shards a
+//!   batch across workers over a shared `Send + Sync` oracle (answers are
+//!   query-order independent by Definition 1.4, so sharding is sound);
+//! * measured — [`measure_queries`] (serial, exact per-query probe costs),
+//!   [`measure_queries_distinct`] (additionally the distinct-probe measure
+//!   via a per-query [`lca_probe::MemoOracle`]), and
+//!   [`QueryEngine::measure_queries`] (parallel, per-shard + aggregate
+//!   [`lca_probe::ProbeCounts`]).
 //!
 //! Every LCA is paired with an independent **global reference construction**
 //! (module [`global`]) computing the same spanner by direct whole-graph
@@ -26,7 +51,7 @@
 //! # Example
 //!
 //! ```
-//! use lca_core::{EdgeSubgraphLca, ThreeSpanner};
+//! use lca_core::{EdgeSubgraphLca, QueryEngine, ThreeSpanner};
 //! use lca_graph::gen::GnpBuilder;
 //! use lca_probe::CountingOracle;
 //! use lca_rand::Seed;
@@ -34,16 +59,32 @@
 //! let graph = GnpBuilder::new(300, 0.2).seed(Seed::new(1)).build();
 //! let oracle = CountingOracle::new(&graph);
 //! let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(42));
+//! // Single query…
 //! let (u, v) = graph.edge_endpoints(0);
 //! let in_spanner = lca.contains(u, v)?;
 //! println!("edge {u}-{v} in spanner: {in_spanner}, probes: {}", oracle.counts());
+//! // …or a parallel batch over all edges.
+//! let queries: Vec<_> = graph.edges().collect();
+//! let answers = QueryEngine::new().query_batch(&lca, &queries);
+//! assert_eq!(answers.len(), graph.edge_count());
 //! # Ok::<(), lca_core::LcaError>(())
 //! ```
+//!
+//! # Migration note (pre-0.2 API)
+//!
+//! `EdgeSubgraphLca` used to be a standalone trait whose implementors
+//! defined `contains`/`name` directly. Those methods now live on the
+//! [`Lca`] supertrait as [`Lca::query`] (with `contains` as a provided
+//! convenience), so existing call sites keep working; implementors provide
+//! `Lca` plus a `stretch_bound`. Constructors are unchanged — or use the
+//! `lca::registry` builder in the facade crate to construct any algorithm
+//! uniformly from `(graph, kind, seed)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod common;
+mod engine;
 mod error;
 mod five;
 pub mod global;
@@ -53,9 +94,14 @@ mod lca;
 mod three;
 pub mod verify;
 
+pub use engine::{EngineRun, QueryEngine, ShardCounts};
 pub use error::LcaError;
 pub use five::{EdgeClass, FiveSpanner, FiveSpannerParams};
-pub use harness::{materialize, measure_queries, SpannerRun};
+pub use harness::{
+    materialize, measure_queries, measure_queries_distinct, DistinctRun, SpannerRun,
+};
 pub use k2::{K2Params, K2Spanner};
-pub use lca::EdgeSubgraphLca;
+pub use lca::{
+    DynEdgeLca, DynQuery, DynVertexLca, EdgeSubgraphLca, Lca, QueryKind, VertexSubsetLca,
+};
 pub use three::{ThreeSpanner, ThreeSpannerParams};

@@ -19,7 +19,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, Seed};
 
 use crate::common::{ceil_pow, ln_n, prefix_centers, scan_new_center};
-use crate::{EdgeSubgraphLca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError};
 
 /// Tuning parameters of the 3-spanner construction.
 ///
@@ -207,17 +207,17 @@ impl<O: Oracle> ThreeSpanner<O> {
     fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
-            return Err(LcaError::InvalidVertex {
-                v,
-                vertex_count: n,
-            });
+            return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
         Ok(())
     }
 }
 
-impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
-    fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
+impl<O: Oracle> Lca for ThreeSpanner<O> {
+    type Query = (VertexId, VertexId);
+    type Answer = bool;
+
+    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
         let o = &self.oracle;
@@ -226,9 +226,7 @@ impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
         let Some(idx_vu) = o.adjacency(v, u) else {
             return Err(LcaError::NotAnEdge { u, v });
         };
-        let idx_uv = o
-            .adjacency(u, v)
-            .ok_or(LcaError::NotAnEdge { u, v })?;
+        let idx_uv = o.adjacency(u, v).ok_or(LcaError::NotAnEdge { u, v })?;
 
         let du = o.degree(u);
         let dv = o.degree(v);
@@ -265,8 +263,7 @@ impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
         }
         let spu = self.s_prime_set(u);
         let spv = self.s_prime_set(v);
-        if (du > p.super_threshold && spu.is_empty())
-            || (dv > p.super_threshold && spv.is_empty())
+        if (du > p.super_threshold && spu.is_empty()) || (dv > p.super_threshold && spv.is_empty())
         {
             return Ok(true);
         }
@@ -292,12 +289,18 @@ impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
         Ok(false)
     }
 
-    fn stretch_bound(&self) -> usize {
-        3
-    }
-
     fn name(&self) -> &'static str {
         "three-spanner"
+    }
+
+    fn probe_bound(&self) -> &'static str {
+        "Õ(n^{3/4})"
+    }
+}
+
+impl<O: Oracle> EdgeSubgraphLca for ThreeSpanner<O> {
+    fn stretch_bound(&self) -> usize {
+        3
     }
 }
 
@@ -356,9 +359,13 @@ mod tests {
     fn non_edge_queries_error() {
         let g = structured::path(5);
         let lca = ThreeSpanner::with_defaults(&g, Seed::new(1));
-        let err = lca.contains(VertexId::new(0), VertexId::new(3)).unwrap_err();
+        let err = lca
+            .contains(VertexId::new(0), VertexId::new(3))
+            .unwrap_err();
         assert!(matches!(err, LcaError::NotAnEdge { .. }));
-        let err = lca.contains(VertexId::new(0), VertexId::new(99)).unwrap_err();
+        let err = lca
+            .contains(VertexId::new(0), VertexId::new(99))
+            .unwrap_err();
         assert!(matches!(err, LcaError::InvalidVertex { .. }));
     }
 
@@ -366,7 +373,10 @@ mod tests {
     fn answers_are_deterministic_and_order_independent() {
         let g = GnpBuilder::new(60, 0.5).seed(Seed::new(3)).build();
         let lca = ThreeSpanner::new(&g, tiny_params(), Seed::new(9));
-        let forward: Vec<bool> = g.edges().map(|(u, v)| lca.contains(u, v).unwrap()).collect();
+        let forward: Vec<bool> = g
+            .edges()
+            .map(|(u, v)| lca.contains(u, v).unwrap())
+            .collect();
         let backward: Vec<bool> = {
             let edges: Vec<_> = g.edges().collect();
             let mut tmp: Vec<(usize, bool)> = edges
@@ -428,16 +438,9 @@ mod tests {
             .edges()
             .filter(|&(u, v)| lca.contains(u, v).unwrap())
             .count();
-        assert!(
-            kept * 2 < g.edge_count(),
-            "kept {kept}/{}",
-            g.edge_count()
-        );
+        assert!(kept * 2 < g.edge_count(), "kept {kept}/{}", g.edge_count());
         // And it is still a 3-spanner.
-        let h = Subgraph::from_edges(
-            &g,
-            g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()),
-        );
+        let h = Subgraph::from_edges(&g, g.edges().filter(|&(u, v)| lca.contains(u, v).unwrap()));
         assert!(h.max_edge_stretch(&g, 4).unwrap() <= 3);
     }
 

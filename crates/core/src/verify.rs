@@ -66,10 +66,7 @@ pub fn assert_query_consistency<L: EdgeSubgraphLca>(
     // Reverse orientation.
     for (i, &(u, v)) in edges.iter().enumerate() {
         let back = lca.contains(v, u)?;
-        assert_eq!(
-            forward[i], back,
-            "orientation-dependent answer on {u}-{v}"
-        );
+        assert_eq!(forward[i], back, "orientation-dependent answer on {u}-{v}");
     }
     // Reverse order re-query.
     for (i, &(u, v)) in edges.iter().enumerate().rev() {

@@ -263,15 +263,9 @@ mod tests {
 
     #[test]
     fn explicit_labels_are_validated() {
-        let err = GraphBuilder::new(2)
-            .labels(vec![5])
-            .build()
-            .unwrap_err();
+        let err = GraphBuilder::new(2).labels(vec![5]).build().unwrap_err();
         assert!(matches!(err, GraphError::InvalidLabels { .. }));
-        let err = GraphBuilder::new(2)
-            .labels(vec![5, 5])
-            .build()
-            .unwrap_err();
+        let err = GraphBuilder::new(2).labels(vec![5, 5]).build().unwrap_err();
         assert!(matches!(err, GraphError::InvalidLabels { .. }));
         let g = GraphBuilder::new(2)
             .edge(0, 1)

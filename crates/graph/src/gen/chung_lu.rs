@@ -183,8 +183,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = ChungLuBuilder::power_law(300, 2.5, 5.0).seed(Seed::new(4)).build();
-        let b = ChungLuBuilder::power_law(300, 2.5, 5.0).seed(Seed::new(4)).build();
+        let a = ChungLuBuilder::power_law(300, 2.5, 5.0)
+            .seed(Seed::new(4))
+            .build();
+        let b = ChungLuBuilder::power_law(300, 2.5, 5.0)
+            .seed(Seed::new(4))
+            .build();
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 

@@ -189,10 +189,7 @@ mod tests {
         let eb: Vec<_> = b.edges().collect();
         assert_eq!(ea, eb);
         let c = GnpBuilder::new(100, 0.1).seed(Seed::new(4)).build();
-        assert_ne!(
-            a.edges().collect::<Vec<_>>(),
-            c.edges().collect::<Vec<_>>()
-        );
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]

@@ -240,13 +240,12 @@ mod tests {
     #[test]
     fn small_world_rewiring_shrinks_diameter() {
         let lattice = SmallWorldBuilder::new(400, 2, 0.0).build();
-        let rewired = SmallWorldBuilder::new(400, 2, 0.2).seed(Seed::new(2)).build();
+        let rewired = SmallWorldBuilder::new(400, 2, 0.2)
+            .seed(Seed::new(2))
+            .build();
         let d0 = analysis::eccentricity(&lattice, crate::VertexId::new(0));
         let d1 = analysis::eccentricity(&rewired, crate::VertexId::new(0));
-        assert!(
-            d1 < d0,
-            "rewiring should shorten paths: {d1} !< {d0}"
-        );
+        assert!(d1 < d0, "rewiring should shorten paths: {d1} !< {d0}");
     }
 
     #[test]

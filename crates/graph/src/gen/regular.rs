@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn degrees_are_exactly_d() {
         for (n, d) in [(20usize, 3usize), (50, 4), (100, 7), (64, 2)] {
-            let g = RegularBuilder::new(n, d).seed(Seed::new(1)).build().unwrap();
+            let g = RegularBuilder::new(n, d)
+                .seed(Seed::new(1))
+                .build()
+                .unwrap();
             assert_eq!(g.vertex_count(), n);
             assert!(
                 g.vertices().all(|v| g.degree(v) == d),
@@ -181,24 +184,39 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = RegularBuilder::new(60, 4).seed(Seed::new(8)).build().unwrap();
-        let b = RegularBuilder::new(60, 4).seed(Seed::new(8)).build().unwrap();
+        let a = RegularBuilder::new(60, 4)
+            .seed(Seed::new(8))
+            .build()
+            .unwrap();
+        let b = RegularBuilder::new(60, 4)
+            .seed(Seed::new(8))
+            .build()
+            .unwrap();
         assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
-        let c = RegularBuilder::new(60, 4).seed(Seed::new(9)).build().unwrap();
+        let c = RegularBuilder::new(60, 4)
+            .seed(Seed::new(9))
+            .build()
+            .unwrap();
         assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
     }
 
     #[test]
     fn near_complete_regular_graph() {
         // d = n - 1 forces the complete graph; the repair loop must converge.
-        let g = RegularBuilder::new(8, 7).seed(Seed::new(2)).build().unwrap();
+        let g = RegularBuilder::new(8, 7)
+            .seed(Seed::new(2))
+            .build()
+            .unwrap();
         assert_eq!(g.edge_count(), 28);
     }
 
     #[test]
     fn random_regular_graphs_are_usually_connected() {
         // d >= 3 random regular graphs are connected w.h.p.
-        let g = RegularBuilder::new(200, 3).seed(Seed::new(4)).build().unwrap();
+        let g = RegularBuilder::new(200, 3)
+            .seed(Seed::new(4))
+            .build()
+            .unwrap();
         assert!(crate::analysis::is_connected(&g));
     }
 }

@@ -1,95 +1,159 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate, driven by a deterministic
+//! `SplitMix64` case stream (no registry access for proptest in this
+//! container). Failure messages carry the case tuple for reproduction.
 
 use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
 use lca_graph::{analysis, io, GraphBuilder, VertexId};
-use lca_rand::Seed;
-use proptest::prelude::*;
+use lca_rand::{Seed, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The two probe views agree: the i-th neighbor of v reports v at the
-    /// index the adjacency probe returns, and degree equals list length.
-    #[test]
-    fn probe_views_are_coherent(n in 2usize..60, p in 0.0f64..0.6, seed in any::<u64>()) {
+fn cases(tag: u64) -> impl Iterator<Item = SplitMix64> {
+    let mut rng = SplitMix64::new(0x6A4A_F000 ^ tag);
+    (0..CASES).map(move |_| SplitMix64::new(rng.next_u64()))
+}
+
+/// The two probe views agree: the i-th neighbor of v reports v at the
+/// index the adjacency probe returns, and degree equals list length.
+#[test]
+fn probe_views_are_coherent() {
+    for mut rng in cases(1) {
+        let n = 2 + rng.next_below(58) as usize;
+        let p = (rng.next_below(60) as f64) / 100.0;
+        let seed = rng.next_u64();
         let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
         for v in g.vertices() {
-            prop_assert_eq!(g.degree(v), g.neighbors(v).len());
+            assert_eq!(g.degree(v), g.neighbors(v).len());
             for (i, &w) in g.neighbors(v).iter().enumerate() {
-                prop_assert_eq!(g.adjacency_index(v, w), Some(i));
+                assert_eq!(
+                    g.adjacency_index(v, w),
+                    Some(i),
+                    "case (n={n}, p={p}, seed={seed})"
+                );
                 // Undirectedness: the reverse arc exists too.
-                prop_assert!(g.adjacency_index(w, v).is_some());
+                assert!(g.adjacency_index(w, v).is_some());
             }
-            prop_assert_eq!(g.neighbor(v, g.degree(v)), None);
+            assert_eq!(g.neighbor(v, g.degree(v)), None);
         }
     }
+}
 
-    /// Handshake lemma and symmetric edge iteration.
-    #[test]
-    fn degree_sum_is_twice_edges(n in 2usize..80, p in 0.0f64..0.5, seed in any::<u64>()) {
-        let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
+/// Handshake lemma and symmetric edge iteration.
+#[test]
+fn degree_sum_is_twice_edges() {
+    for mut rng in cases(2) {
+        let n = 2 + rng.next_below(78) as usize;
+        let p = (rng.next_below(50) as f64) / 100.0;
+        let g = GnpBuilder::new(n, p)
+            .seed(Seed::new(rng.next_u64()))
+            .build();
         let sum: usize = g.vertices().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(sum, 2 * g.edge_count());
+        assert_eq!(sum, 2 * g.edge_count());
         for (u, v) in g.edges() {
-            prop_assert!(u.index() < v.index());
-            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            assert!(u.index() < v.index());
+            assert!(g.has_edge(u, v) && g.has_edge(v, u));
         }
     }
+}
 
-    /// G(n, m) hits its edge count exactly and stays simple.
-    #[test]
-    fn gnm_has_exact_size(n in 3usize..50, frac in 0.0f64..0.9, seed in any::<u64>()) {
+/// G(n, m) hits its edge count exactly and stays simple.
+#[test]
+fn gnm_has_exact_size() {
+    for mut rng in cases(3) {
+        let n = 3 + rng.next_below(47) as usize;
+        let frac = (rng.next_below(90) as f64) / 100.0;
         let max = n * (n - 1) / 2;
         let m = (frac * max as f64) as usize;
-        let g = GnmBuilder::new(n, m).seed(Seed::new(seed)).build();
-        prop_assert_eq!(g.edge_count(), m);
+        let g = GnmBuilder::new(n, m)
+            .seed(Seed::new(rng.next_u64()))
+            .build();
+        assert_eq!(g.edge_count(), m, "case (n={n}, m={m})");
     }
+}
 
-    /// Random regular graphs are exactly regular.
-    #[test]
-    fn regular_graphs_are_regular(n in 6usize..60, d in 1usize..5, seed in any::<u64>()) {
-        prop_assume!(n * d % 2 == 0 && d < n);
-        let g = RegularBuilder::new(n, d).seed(Seed::new(seed)).build().unwrap();
-        prop_assert!(g.vertices().all(|v| g.degree(v) == d));
-    }
-
-    /// Edge-list round-trip is probe-for-probe lossless.
-    #[test]
-    fn io_roundtrip(n in 1usize..40, p in 0.0f64..0.5, seed in any::<u64>()) {
-        let g = GnpBuilder::new(n, p)
+/// Random regular graphs are exactly regular.
+#[test]
+fn regular_graphs_are_regular() {
+    for mut rng in cases(4) {
+        let n = 6 + rng.next_below(54) as usize;
+        let d = 1 + rng.next_below(4) as usize;
+        if !(n * d).is_multiple_of(2) || d >= n {
+            continue;
+        }
+        let seed = rng.next_u64();
+        let g = RegularBuilder::new(n, d)
             .seed(Seed::new(seed))
+            .build()
+            .unwrap();
+        assert!(
+            g.vertices().all(|v| g.degree(v) == d),
+            "case (n={n}, d={d}, seed={seed})"
+        );
+    }
+}
+
+/// Edge-list round-trip is probe-for-probe lossless.
+#[test]
+fn io_roundtrip() {
+    for mut rng in cases(5) {
+        let n = 1 + rng.next_below(39) as usize;
+        let p = (rng.next_below(50) as f64) / 100.0;
+        let g = GnpBuilder::new(n, p)
+            .seed(Seed::new(rng.next_u64()))
             .shuffle_labels(true)
             .build();
         let back = io::roundtrip(&g).unwrap();
-        prop_assert!(io::probe_equivalent(&g, &back));
+        assert!(io::probe_equivalent(&g, &back), "case (n={n}, p={p})");
     }
+}
 
-    /// Component labels agree with pairwise reachability (spot check).
-    #[test]
-    fn components_match_reachability(n in 2usize..40, p in 0.0f64..0.2, seed in any::<u64>()) {
-        let g = GnpBuilder::new(n, p).seed(Seed::new(seed)).build();
+/// Component labels agree with pairwise reachability (spot check).
+#[test]
+fn components_match_reachability() {
+    for mut rng in cases(6) {
+        let n = 2 + rng.next_below(38) as usize;
+        let p = (rng.next_below(20) as f64) / 100.0;
+        let g = GnpBuilder::new(n, p)
+            .seed(Seed::new(rng.next_u64()))
+            .build();
         let (labels, _) = analysis::connected_components(&g);
         let d0 = analysis::bfs_distances(&g, VertexId::new(0));
         for v in g.vertices() {
             let reachable = d0[v.index()] != u32::MAX;
-            prop_assert_eq!(reachable, labels[v.index()] == labels[0]);
+            assert_eq!(reachable, labels[v.index()] == labels[0]);
         }
     }
+}
 
-    /// Builder validation refuses anything non-simple, regardless of input
-    /// order.
-    #[test]
-    fn builder_rejects_duplicates(n in 2usize..20, a in 0usize..20, b in 0usize..20) {
-        prop_assume!(a < n && b < n && a != b);
+/// Builder validation refuses anything non-simple, regardless of input
+/// order.
+#[test]
+fn builder_rejects_duplicates() {
+    for mut rng in cases(7) {
+        let n = 2 + rng.next_below(18) as usize;
+        let a = rng.next_below(20) as usize;
+        let b = rng.next_below(20) as usize;
+        if !(a < n && b < n && a != b) {
+            continue;
+        }
         let r = GraphBuilder::new(n).edge(a, b).edge(b, a).build();
-        prop_assert!(r.is_err());
+        assert!(r.is_err(), "case (n={n}, a={a}, b={b})");
     }
+}
 
-    /// Shuffled adjacency preserves the neighbor multiset.
-    #[test]
-    fn shuffle_preserves_sets(n in 3usize..40, p in 0.1f64..0.6, s1 in any::<u64>(), s2 in any::<u64>()) {
-        let base = GnpBuilder::new(n, p).seed(Seed::new(s1)).shuffle_adjacency(false).build();
-        let edges: Vec<(usize, usize)> = base.edges().map(|(u, v)| (u.index(), v.index())).collect();
+/// Shuffled adjacency preserves the neighbor multiset.
+#[test]
+fn shuffle_preserves_sets() {
+    for mut rng in cases(8) {
+        let n = 3 + rng.next_below(37) as usize;
+        let p = 0.1 + (rng.next_below(50) as f64) / 100.0;
+        let (s1, s2) = (rng.next_u64(), rng.next_u64());
+        let base = GnpBuilder::new(n, p)
+            .seed(Seed::new(s1))
+            .shuffle_adjacency(false)
+            .build();
+        let edges: Vec<(usize, usize)> =
+            base.edges().map(|(u, v)| (u.index(), v.index())).collect();
         let shuffled = GraphBuilder::new(n)
             .edges(edges.iter().copied())
             .shuffle_adjacency(Seed::new(s2))
@@ -100,7 +164,7 @@ proptest! {
             let mut b: Vec<u32> = shuffled.neighbors(v).iter().map(|w| w.raw()).collect();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case (n={n}, p={p}, s1={s1}, s2={s2})");
         }
     }
 }

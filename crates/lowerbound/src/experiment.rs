@@ -172,10 +172,7 @@ mod tests {
     fn tiny_budget_cannot_distinguish() {
         // Budget far below √n ⇒ advantage collapses.
         let o = distinguishing_experiment(102, 3, 4, 8, Seed::new(3));
-        assert!(
-            o.advantage() <= 0.25,
-            "tiny budget should be blind: {o:?}"
-        );
+        assert!(o.advantage() <= 0.25, "tiny budget should be blind: {o:?}");
     }
 
     #[test]

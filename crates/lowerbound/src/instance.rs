@@ -170,8 +170,7 @@ pub fn sample_dminus(n: usize, d: usize, seed: Seed) -> Result<LowerBoundInstanc
             let j = rng.next_below(i as u64 + 1) as usize;
             stubs.swap(i, j);
         }
-        let mut side_pairs: Vec<(u32, u32)> =
-            stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let mut side_pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         repair_matching(&mut side_pairs, &[(0, 1)], &mut rng)?;
         pairs.extend(side_pairs);
     }

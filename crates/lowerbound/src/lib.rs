@@ -30,7 +30,6 @@ mod experiment;
 mod instance;
 
 pub use experiment::{
-    bounded_reachability_accepts, distinguishing_experiment, spanner_keep_rate,
-    ExperimentOutcome,
+    bounded_reachability_accepts, distinguishing_experiment, spanner_keep_rate, ExperimentOutcome,
 };
 pub use instance::{sample_dminus, sample_dplus, LowerBoundInstance};

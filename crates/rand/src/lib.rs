@@ -47,4 +47,4 @@ pub use coin::{Coin, IndexSampler};
 pub use field::{add_mod, mul_mod, pow_mod, MERSENNE_PRIME_61};
 pub use kwise::KWiseHash;
 pub use rank::{Rank, RankAssigner};
-pub use splitmix::{SplitMix64, Seed};
+pub use splitmix::{Seed, SplitMix64};

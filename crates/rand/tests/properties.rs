@@ -1,75 +1,128 @@
-//! Property-based tests for the randomness substrate.
+//! Property-style tests for the randomness substrate, driven by a
+//! deterministic `SplitMix64` case stream (no registry access for proptest
+//! in this container).
 
-use lca_rand::{Coin, IndexSampler, KWiseHash, RankAssigner, Seed};
-use proptest::prelude::*;
+use lca_rand::{Coin, IndexSampler, KWiseHash, RankAssigner, Seed, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Hash values are always field elements and deterministic.
-    #[test]
-    fn hash_is_deterministic_field_element(seed in any::<u64>(), d in 1usize..40, x in any::<u64>()) {
+fn cases(tag: u64) -> impl Iterator<Item = SplitMix64> {
+    let mut rng = SplitMix64::new(0x4A2D_5EED ^ tag);
+    (0..CASES).map(move |_| SplitMix64::new(rng.next_u64()))
+}
+
+/// Hash values are always field elements and deterministic.
+#[test]
+fn hash_is_deterministic_field_element() {
+    for mut rng in cases(1) {
+        let seed = rng.next_u64();
+        let d = 1 + rng.next_below(39) as usize;
+        let x = rng.next_u64();
         let h = KWiseHash::new(Seed::new(seed), d);
         let v = h.hash(x);
-        prop_assert!(v < lca_rand::MERSENNE_PRIME_61);
-        prop_assert_eq!(v, KWiseHash::new(Seed::new(seed), d).hash(x));
-        prop_assert_eq!(h.independence(), d);
+        assert!(v < lca_rand::MERSENNE_PRIME_61);
+        assert_eq!(v, KWiseHash::new(Seed::new(seed), d).hash(x));
+        assert_eq!(h.independence(), d);
     }
+}
 
-    /// `hash_below` respects its bound for arbitrary bounds.
-    #[test]
-    fn hash_below_in_range(seed in any::<u64>(), x in any::<u64>(), bound in 1u64..u64::MAX / 4) {
+/// `hash_below` respects its bound for arbitrary bounds.
+#[test]
+fn hash_below_in_range() {
+    for mut rng in cases(2) {
+        let seed = rng.next_u64();
+        let x = rng.next_u64();
+        let bound = 1 + rng.next_below(u64::MAX / 4);
         let h = KWiseHash::new(Seed::new(seed), 4);
-        prop_assert!(h.hash_below(x, bound) < bound);
+        assert!(
+            h.hash_below(x, bound) < bound,
+            "seed={seed}, x={x}, bound={bound}"
+        );
     }
+}
 
-    /// Coins are monotone in probability for a fixed hash draw: if a flip
-    /// is heads at probability p, it stays heads at any p' ≥ p.
-    #[test]
-    fn coin_monotone_in_probability(seed in any::<u64>(), x in any::<u64>(), p in 0.0f64..1.0, q in 0.0f64..1.0) {
+/// Coins are monotone in probability for a fixed hash draw: if a flip
+/// is heads at probability p, it stays heads at any p' ≥ p.
+#[test]
+fn coin_monotone_in_probability() {
+    for mut rng in cases(3) {
+        let seed = rng.next_u64();
+        let x = rng.next_u64();
+        let p = rng.next_f64();
+        let q = rng.next_f64();
         let (lo, hi) = if p <= q { (p, q) } else { (q, p) };
         let c_lo = Coin::new(Seed::new(seed), lo, 8);
         let c_hi = Coin::new(Seed::new(seed), hi, 8);
         if c_lo.flip(x) {
-            prop_assert!(c_hi.flip(x), "heads at p={lo} but tails at p={hi}");
+            assert!(
+                c_hi.flip(x),
+                "heads at p={lo} but tails at p={hi} (seed={seed}, x={x})"
+            );
         }
     }
+}
 
-    /// Seed derivation separates contexts: distinct tags give distinct
-    /// derived seeds (collision would be a 2^-64 fluke).
-    #[test]
-    fn derive_separates_tags(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
-        prop_assert_ne!(Seed::new(seed).derive(a), Seed::new(seed).derive(b));
+/// Seed derivation separates contexts: distinct tags give distinct
+/// derived seeds (collision would be a 2^-64 fluke).
+#[test]
+fn derive_separates_tags() {
+    for mut rng in cases(4) {
+        let seed = rng.next_u64();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        if a == b {
+            continue;
+        }
+        assert_ne!(Seed::new(seed).derive(a), Seed::new(seed).derive(b));
     }
+}
 
-    /// Ranks are total: distinct labels never compare equal.
-    #[test]
-    fn ranks_are_distinct(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
+/// Ranks are total: distinct labels never compare equal.
+#[test]
+fn ranks_are_distinct() {
+    for mut rng in cases(5) {
+        let seed = rng.next_u64();
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        if a == b {
+            continue;
+        }
         let r = RankAssigner::new(Seed::new(seed), 3, 8, 8);
-        prop_assert_ne!(r.rank(a), r.rank(b));
+        assert_ne!(r.rank(a), r.rank(b), "seed={seed}, a={a}, b={b}");
     }
+}
 
-    /// Index samplers stay within their bound.
-    #[test]
-    fn sampler_in_bounds(seed in any::<u64>(), x in any::<u64>(), bound in 1u64..1_000_000) {
+/// Index samplers stay within their bound.
+#[test]
+fn sampler_in_bounds() {
+    for mut rng in cases(6) {
+        let seed = rng.next_u64();
+        let x = rng.next_u64();
+        let bound = 1 + rng.next_below(1_000_000);
         let s = IndexSampler::new(Seed::new(seed), 8);
         for (j, v) in s.indices(x, 8, bound).enumerate() {
-            prop_assert!(v < bound, "draw {j} out of bounds");
+            assert!(
+                v < bound,
+                "draw {j} out of bounds (seed={seed}, x={x}, bound={bound})"
+            );
         }
     }
+}
 
-    /// Field multiplication is commutative/associative on random triples
-    /// (sanity net over the 128-bit reduction).
-    #[test]
-    fn field_algebra(a in 0u64..lca_rand::MERSENNE_PRIME_61,
-                     b in 0u64..lca_rand::MERSENNE_PRIME_61,
-                     c in 0u64..lca_rand::MERSENNE_PRIME_61) {
-        use lca_rand::{add_mod, mul_mod};
-        prop_assert_eq!(mul_mod(a, b), mul_mod(b, a));
-        prop_assert_eq!(mul_mod(mul_mod(a, b), c), mul_mod(a, mul_mod(b, c)));
-        prop_assert_eq!(mul_mod(a, add_mod(b, c)),
-                        add_mod(mul_mod(a, b), mul_mod(a, c)));
+/// Field multiplication is commutative/associative on random triples
+/// (sanity net over the 128-bit reduction).
+#[test]
+fn field_algebra() {
+    use lca_rand::{add_mod, mul_mod, MERSENNE_PRIME_61};
+    for mut rng in cases(7) {
+        let a = rng.next_below(MERSENNE_PRIME_61);
+        let b = rng.next_below(MERSENNE_PRIME_61);
+        let c = rng.next_below(MERSENNE_PRIME_61);
+        assert_eq!(mul_mod(a, b), mul_mod(b, a));
+        assert_eq!(mul_mod(mul_mod(a, b), c), mul_mod(a, mul_mod(b, c)));
+        assert_eq!(
+            mul_mod(a, add_mod(b, c)),
+            add_mod(mul_mod(a, b), mul_mod(a, c))
+        );
     }
 }

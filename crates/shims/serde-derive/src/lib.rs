@@ -1,0 +1,84 @@
+//! Dependency-free `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Supports exactly the shape the bench row structs use: a non-generic
+//! struct with named fields. Anything else is a compile error by design —
+//! widen it if a new call site needs more.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility, find `struct Name { ... }`.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute payload
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => panic!("derive(Serialize) shim: expected struct name"),
+                }
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    _ => panic!(
+                        "derive(Serialize) shim: only plain non-generic structs \
+                         with named fields are supported"
+                    ),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive(Serialize) shim: no struct found");
+    let body = body.expect("derive(Serialize) shim: no field block found");
+
+    // Collect field names: `[attrs] [pub] ident : Type ,`
+    let mut fields = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    loop {
+        // Skip attributes on the field.
+        while matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            inner.next();
+            inner.next();
+        }
+        let Some(tt) = inner.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("derive(Serialize) shim: expected field identifier");
+        };
+        let id = id.to_string();
+        if id == "pub" {
+            continue;
+        }
+        fields.push(id);
+        // Skip `: Type` up to the next top-level comma.
+        for tt in inner.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+
+    let field_entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_owned(), serde::Serialize::to_json(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> serde::Json {{\n\
+                 serde::Json::Obj(vec![{field_entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) shim: generated impl failed to parse")
+}

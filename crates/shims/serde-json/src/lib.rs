@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_json`: the `to_string` entry point over the
+//! vendored serde shim. See `crates/shims/serde` for scope and caveats.
+
+/// The error type of [`to_string`]. Rendering a [`serde::Json`] tree cannot
+/// actually fail; the `Result` mirrors the real `serde_json` signature so
+/// call sites stay source-compatible.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().render(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_matches_render() {
+        assert_eq!(super::to_string(&42u64).unwrap(), "42");
+        assert_eq!(super::to_string("hi").unwrap(), "\"hi\"");
+    }
+
+    #[test]
+    fn derive_works_on_plain_structs() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            n: usize,
+            label: String,
+            ratio: f64,
+        }
+        let r = Row {
+            n: 7,
+            label: "x".into(),
+            ratio: 0.5,
+        };
+        assert_eq!(
+            super::to_string(&r).unwrap(),
+            r#"{"n":7,"label":"x","ratio":0.5}"#
+        );
+    }
+}

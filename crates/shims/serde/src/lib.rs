@@ -1,0 +1,181 @@
+//! Offline stand-in for `serde`, vendored into the workspace.
+//!
+//! The container building this repo has no access to crates.io, so the real
+//! `serde` cannot be resolved. The bench binaries only need one capability:
+//! turning a flat row struct into a JSON object for `.jsonl` result files.
+//! This crate provides exactly that — a [`Serialize`] trait producing a
+//! [`Json`] value tree, plus a `#[derive(Serialize)]` macro (re-exported from
+//! `serde-derive-shim`) for plain structs with named fields.
+//!
+//! It is *not* serde: no deserialization, no non-self-describing formats, no
+//! enums/generics in derives. If the environment ever gains registry access,
+//! delete `crates/shims/` and point the manifests at the real crates; the
+//! call sites are source-compatible for the subset used here.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; rendered via the shortest round-trip float formatting.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders the value as compact JSON.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *x as i64));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    // JSON has no NaN/inf; mirror serde_json's `null`.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render(out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value — the whole of "serde" this repo needs.
+pub trait Serialize {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Json;
+}
+
+pub use serde_derive_shim::Serialize;
+
+macro_rules! num_impl {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )+};
+}
+
+num_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_containers() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Num(3.0)),
+            ("b".into(), Json::Str("x\"y".into())),
+            ("c".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let mut s = String::new();
+        v.render(&mut s);
+        assert_eq!(s, r#"{"a":3,"b":"x\"y","c":[true,null]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        f64::NAN.to_json().render(&mut s);
+        assert_eq!(s, "null");
+    }
+
+    // The derive macro expands to `serde::`-prefixed paths, so it can only
+    // be exercised from a downstream crate: see the serde_json shim's tests.
+}

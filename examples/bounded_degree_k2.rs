@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release --example bounded_degree_k2`
 
-use lca::core::{K2Params, K2Spanner};
 use lca::core::global::k2_partition;
+use lca::core::{K2Params, K2Spanner};
 use lca::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -39,11 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Verify the global set the answers describe really is a valid round.
-    let scheduled: Vec<VertexId> = graph.vertices().filter(|&v| mis.contains(v)).collect();
+    // The full sweep goes through the QueryEngine: queries are independent
+    // (Definition 1.4), so the engine shards them across threads.
+    let engine = QueryEngine::new();
+    let all_jobs: Vec<VertexId> = graph.vertices().collect();
+    let scheduled: Vec<VertexId> = all_jobs
+        .iter()
+        .zip(engine.query_batch(&mis, &all_jobs))
+        .filter_map(|(&v, in_round)| in_round.unwrap().then_some(v))
+        .collect();
     for &v in &scheduled {
         assert!(graph.neighbors(v).iter().all(|&w| !mis.contains(w)));
     }
-    println!("scheduled {} jobs; independence verified", scheduled.len());
+    println!(
+        "scheduled {} jobs; independence verified ({} engine threads)",
+        scheduled.len(),
+        engine.threads()
+    );
 
     // Pairwise work exchange: maximal matching.
     let mm = MatchingLca::new(&graph, seed);

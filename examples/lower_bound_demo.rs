@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{name}: unbounded tester says x–y {} without the designated edge \
              (truth: {})",
-            if verdict { "stay connected" } else { "disconnect" },
+            if verdict {
+                "stay connected"
+            } else {
+                "disconnect"
+            },
             if inst.connected_without_edge {
                 "connected"
             } else {
@@ -37,7 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The budget sweep: advantage ≈ 0 below the threshold, → 1 above it.
     println!("\nbudget sweep (advantage = |Pr_D+[accept] − Pr_D-[accept]|):");
     let threshold = (n as f64).sqrt().min(n as f64 / d as f64);
-    for budget in [2u64, 5, threshold as u64, 10 * threshold as u64, 1_000, 50_000] {
+    for budget in [
+        2u64,
+        5,
+        threshold as u64,
+        10 * threshold as u64,
+        1_000,
+        50_000,
+    ] {
         let o = distinguishing_experiment(n, d, budget, 16, Seed::new(42));
         println!(
             "  budget {budget:>6}: advantage {:.2}   (threshold min(√n, n/d) ≈ {threshold:.0})",

@@ -1,7 +1,16 @@
-//! Quickstart: query a 3-spanner of a graph you never fully read.
+//! Quickstart: build any LCA through the registry, serve queries through
+//! the engine — over a graph you never fully read.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! Migration note: before the unified API you would construct each
+//! algorithm through its own constructor (`ThreeSpanner::with_defaults`,
+//! `MisLca::new`, …) and loop `contains` by hand. Those constructors still
+//! work, but the registry builds all seven algorithms from one
+//! `(oracle, kind, seed)` shape, and `QueryEngine` batches and parallelizes
+//! the queries for you.
 
+use lca::core::DynQuery;
 use lca::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wrap the graph in a probe-counting oracle — the LCA may only access
     // the graph through Neighbor/Degree/Adjacency probes.
     let oracle = CountingOracle::new(&graph);
-    let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(42));
+    let kind = AlgorithmKind::Spanner(SpannerKind::Three);
+    let lca = LcaBuilder::new(kind).seed(Seed::new(42)).build(&oracle);
+    println!(
+        "algorithm: {} (probe bound {})",
+        lca.name(),
+        lca.probe_bound()
+    );
 
     // Query a handful of edges, as if a distributed application were asking
     // "should I keep this link?" on demand.
@@ -27,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..queries {
         let (u, v) = graph.edge_endpoints(i * 97 % graph.edge_count());
         let scope = oracle.scoped();
-        let in_spanner = lca.contains(u, v)?;
+        let in_spanner = lca.query(DynQuery::Edge(u, v))?;
         kept += usize::from(in_spanner);
         println!(
             "edge {u}-{v}: {}  ({} probes)",
@@ -35,14 +50,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope.cost().total()
         );
     }
-
-    let total = oracle.counts();
     println!("\n{kept}/{queries} sampled edges kept");
+
+    // Under load you would not loop: hand the whole batch to the engine,
+    // which shards it across threads (sound because every answer is a pure
+    // function of (graph, seed, query) — Definition 1.4).
+    let engine = QueryEngine::new();
+    let batch = kind.queries(&graph); // every edge of the graph
+    let answers = engine.query_batch(&lca, &batch);
+    let in_spanner = answers.into_iter().filter(|a| *a == Ok(true)).count();
+    let total = oracle.counts();
     println!(
-        "total probes for {queries} queries: {} — the graph has {} edges; \
-         we read a vanishing fraction of it",
-        total.total(),
-        graph.edge_count()
+        "batched over {} threads: spanner keeps {}/{} edges ({:.1}%)",
+        engine.threads(),
+        in_spanner,
+        graph.edge_count(),
+        100.0 * in_spanner as f64 / graph.edge_count() as f64
     );
+    println!(
+        "total probes: {} ({:.0} per query) — each answer read a vanishing \
+         fraction of the {} adjacency-list entries",
+        total.total(),
+        total.total() as f64 / graph.edge_count() as f64,
+        2 * graph.edge_count()
+    );
+
+    // The same two lines serve any registered algorithm, e.g. a maximal
+    // independent set on the same graph.
+    let mis_kind = AlgorithmKind::Classic(ClassicKind::Mis);
+    let mis = LcaBuilder::new(mis_kind).seed(Seed::new(42)).build(&graph);
+    let members = engine
+        .query_batch(&mis, &mis_kind.queries(&graph))
+        .into_iter()
+        .filter(|a| *a == Ok(true))
+        .count();
+    println!("{}: {members} of {n} vertices are in the set", mis.name());
     Ok(())
 }

@@ -1,16 +1,22 @@
 //! # `lca` — Local Computation Algorithms for Graph Spanners
 //!
-//! Facade crate re-exporting the whole workspace. See the README for the
-//! architecture overview and `DESIGN.md` for the paper-to-code map.
+//! Facade crate re-exporting the whole workspace, plus the [`registry`]
+//! that constructs any of the seven LCAs uniformly from
+//! `(oracle, kind, seed)`. See the README for the architecture overview and
+//! `DESIGN.md` for the paper-to-code map.
 //!
 //! ```
 //! use lca::prelude::*;
+//! use lca::registry::{AlgorithmKind, LcaBuilder, SpannerKind};
 //!
 //! let graph = GnpBuilder::new(200, 0.2).seed(Seed::new(1)).build();
 //! let oracle = CountingOracle::new(&graph);
-//! let lca = ThreeSpanner::with_defaults(&oracle, Seed::new(7));
-//! let (u, v) = graph.edge_endpoints(0);
-//! let _keep = lca.contains(u, v).unwrap();
+//! // Uniform construction through the registry…
+//! let kind = AlgorithmKind::Spanner(SpannerKind::Three);
+//! let lca = LcaBuilder::new(kind).seed(Seed::new(7)).build(&oracle);
+//! // …and batched, thread-parallel serving through the engine.
+//! let answers = QueryEngine::new().query_batch(&lca, &kind.queries(&graph));
+//! assert_eq!(answers.len(), graph.edge_count());
 //! assert!(oracle.counts().total() > 0);
 //! ```
 
@@ -22,14 +28,18 @@ pub use lca_lowerbound as lowerbound;
 pub use lca_probe as probe;
 pub use lca_rand as rand;
 
+pub mod registry;
+
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use lca_core::{
-        EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner,
-        ThreeSpannerParams,
+        DynQuery, EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, Lca,
+        QueryEngine, ThreeSpanner, ThreeSpannerParams, VertexSubsetLca,
     };
-    pub use lca_graph::{Graph, GraphBuilder, VertexId};
     pub use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
-    pub use lca_probe::{CountingOracle, Oracle, ProbeCounts};
+    pub use lca_graph::{Graph, GraphBuilder, VertexId};
+    pub use lca_probe::{CountingOracle, MemoOracle, Oracle, ProbeCounts};
     pub use lca_rand::Seed;
+
+    pub use crate::registry::{AlgorithmKind, ClassicKind, LcaBuilder, LcaConfig, SpannerKind};
 }

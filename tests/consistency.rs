@@ -3,9 +3,7 @@
 //! adjacency orders, and its answers must be independent of query order and
 //! orientation (Definition 1.4).
 
-use lca::core::global::{
-    five_spanner_global, k2_spanner_global, three_spanner_global,
-};
+use lca::core::global::{five_spanner_global, k2_spanner_global, three_spanner_global};
 use lca::core::verify::assert_query_consistency;
 use lca::core::{
     FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, ThreeSpanner, ThreeSpannerParams,

@@ -1,0 +1,132 @@
+//! The consistency contract of Definition 1.4 under concurrency: for every
+//! registered algorithm, answers served through the batched / parallel
+//! `QueryEngine` must be identical to serial one-at-a-time answers on the
+//! same `(graph, seed)` — whether the engine shares one instance across
+//! threads or rebuilds per-shard instances from the seed.
+
+use lca::core::{DynQuery, QueryEngine};
+use lca::prelude::*;
+
+fn test_graph() -> Graph {
+    // Degree-bounded enough that the classic (exponential-in-Δ) LCAs stay
+    // fast, dense enough that spanners exercise their non-trivial paths.
+    RegularBuilder::new(120, 6)
+        .seed(Seed::new(0xE0))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn engine_answers_equal_serial_answers_for_every_algorithm() {
+    let g = test_graph();
+    for kind in AlgorithmKind::all() {
+        let seed = Seed::new(0x1234);
+        let queries = kind.queries(&g);
+
+        // Serial reference: a fresh instance queried one at a time.
+        let serial_algo = LcaBuilder::new(kind).seed(seed).build(&g);
+        let serial: Vec<bool> = queries
+            .iter()
+            .map(|&q| serial_algo.query(q).unwrap())
+            .collect();
+
+        // Shared-instance parallel batch (exercises Sync memo tables).
+        let shared_algo = LcaBuilder::new(kind).seed(seed).build(&g);
+        for threads in [1usize, 2, 4, 8] {
+            let engine = QueryEngine::with_threads(threads);
+            let batched: Vec<bool> = engine
+                .query_batch(&shared_algo, &queries)
+                .into_iter()
+                .map(|a| a.unwrap())
+                .collect();
+            assert_eq!(
+                batched,
+                serial,
+                "{} diverged under shared-instance batching with {threads} threads",
+                kind.name()
+            );
+        }
+
+        // Fresh-instance parallel batch: a *new* instance per engine run
+        // must still agree (no hidden cross-query state).
+        let rebuilt_algo = LcaBuilder::new(kind).seed(seed).build(&g);
+        let rebuilt: Vec<bool> = QueryEngine::new()
+            .query_batch(&rebuilt_algo, &queries)
+            .into_iter()
+            .map(|a| a.unwrap())
+            .collect();
+        assert_eq!(rebuilt, serial, "{} diverged across instances", kind.name());
+    }
+}
+
+#[test]
+fn engine_answers_are_independent_of_query_order() {
+    let g = test_graph();
+    for kind in AlgorithmKind::all() {
+        let algo = LcaBuilder::new(kind).seed(Seed::new(0xABC)).build(&g);
+        let queries = kind.queries(&g);
+        let mut reversed = queries.clone();
+        reversed.reverse();
+        let engine = QueryEngine::with_threads(4);
+        let forward: Vec<bool> = engine
+            .query_batch(&algo, &queries)
+            .into_iter()
+            .map(|a| a.unwrap())
+            .collect();
+        let mut backward: Vec<bool> = engine
+            .query_batch(&algo, &reversed)
+            .into_iter()
+            .map(|a| a.unwrap())
+            .collect();
+        backward.reverse();
+        assert_eq!(
+            forward,
+            backward,
+            "{} is query-order sensitive",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_measurement_equals_serial_measurement_for_every_spanner() {
+    let g = test_graph();
+    for kind in [SpannerKind::Three, SpannerKind::Five, SpannerKind::K2] {
+        let config = LcaConfig::new(AlgorithmKind::Spanner(kind), Seed::new(0xF00));
+
+        let counter = CountingOracle::new(&g);
+        let serial_lca = config.build_spanner(&counter).unwrap();
+        let serial = lca::core::measure_queries(&g, &counter, &serial_lca).unwrap();
+
+        let run = QueryEngine::with_threads(4)
+            .measure_queries(&g, &g, |c| config.build_spanner(c).unwrap())
+            .unwrap();
+
+        assert_eq!(run.algorithm, serial.algorithm);
+        assert_eq!(run.kept.edge_count(), serial.kept.edge_count());
+        for (u, v) in serial.kept.edges() {
+            assert!(run.kept.has_edge(u, v), "{}: lost {u}-{v}", run.algorithm);
+        }
+        assert_eq!(run.total, serial.total, "{}", run.algorithm);
+        assert_eq!(run.per_query_max, serial.per_query_max, "{}", run.algorithm);
+        assert!(!run.per_shard.is_empty());
+    }
+}
+
+#[test]
+fn boxed_dyn_lca_is_usable_as_trait_object() {
+    // Object-safety of the full family, through the registry's box types.
+    let g = test_graph();
+    let (u, v) = g.edge_endpoints(0);
+    let algos: Vec<lca::registry::DynLca> = AlgorithmKind::all()
+        .into_iter()
+        .map(|kind| LcaBuilder::new(kind).seed(Seed::new(1)).build(&g))
+        .collect();
+    for algo in &algos {
+        let q = match AlgorithmKind::from_name(algo.name()).unwrap().query_kind() {
+            lca::core::QueryKind::Edge => DynQuery::Edge(u, v),
+            lca::core::QueryKind::Vertex => DynQuery::Vertex(u),
+        };
+        algo.query(q).unwrap();
+    }
+}

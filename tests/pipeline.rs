@@ -46,7 +46,10 @@ fn full_pipeline_five_spanner() {
 #[test]
 fn k2_pipeline_on_mesh() {
     use lca::core::K2Spanner;
-    let graph = RegularBuilder::new(300, 4).seed(Seed::new(5)).build().unwrap();
+    let graph = RegularBuilder::new(300, 4)
+        .seed(Seed::new(5))
+        .build()
+        .unwrap();
     let counter = CountingOracle::new(&graph);
     let lca = K2Spanner::with_defaults(&counter, 2, Seed::new(6));
     let run = measure_queries(&graph, &counter, &lca).unwrap();

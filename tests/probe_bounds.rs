@@ -57,7 +57,10 @@ fn five_spanner_probes_stay_within_envelope() {
 fn k2_spanner_probes_stay_within_envelope() {
     let n = 400;
     let d = 4;
-    let g = RegularBuilder::new(n, d).seed(Seed::new(5)).build().unwrap();
+    let g = RegularBuilder::new(n, d)
+        .seed(Seed::new(5))
+        .build()
+        .unwrap();
     let counter = CountingOracle::new(&g);
     let lca = K2Spanner::new(
         &counter,

@@ -1,98 +1,144 @@
-//! Property-based tests: the stretch invariants hold unconditionally over
+//! Property-style tests: the stretch invariants hold unconditionally over
 //! random graphs, densities and seeds (thanks to the deterministic
 //! fallbacks documented in DESIGN.md).
+//!
+//! Cases are generated from a fixed master seed with the workspace's own
+//! `SplitMix64` (this container has no registry access for proptest); every
+//! failure message includes the case tuple, so a reproduction is one
+//! hard-coded call away.
 
-use lca::core::global::{
-    five_spanner_global, into_subgraph, three_spanner_global,
-};
+use lca::core::global::{five_spanner_global, into_subgraph, three_spanner_global};
 use lca::core::{FiveSpannerParams, ThreeSpannerParams};
 use lca::prelude::*;
-use proptest::prelude::*;
+use lca::rand::SplitMix64;
 
-fn arbitrary_gnp() -> impl Strategy<Value = Graph> {
-    (20usize..70, 5u32..50, any::<u64>()).prop_map(|(n, p_pct, seed)| {
-        GnpBuilder::new(n, p_pct as f64 / 100.0)
-            .seed(Seed::new(seed))
-            .build()
+const CASES: u64 = 24;
+
+/// Draws `(n, p, seed)` G(n,p) cases from one deterministic stream.
+fn gnp_cases(tag: u64) -> impl Iterator<Item = (usize, f64, u64)> {
+    let mut rng = SplitMix64::new(0x57AE7C4 ^ tag);
+    (0..CASES).map(move |_| {
+        let n = 20 + rng.next_below(50) as usize;
+        let p = 0.05 + (rng.next_below(45) as f64) / 100.0;
+        (n, p, rng.next_u64())
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    GnpBuilder::new(n, p).seed(Seed::new(seed)).build()
+}
 
-    #[test]
-    fn three_spanner_stretch_never_exceeds_three(g in arbitrary_gnp(), seed in any::<u64>()) {
+#[test]
+fn three_spanner_stretch_never_exceeds_three() {
+    for (n, p, seed) in gnp_cases(1) {
+        let g = gnp(n, p, seed);
         let params = ThreeSpannerParams::for_n(g.vertex_count());
         let h = into_subgraph(&g, &three_spanner_global(&g, &params, Seed::new(seed)));
         let stretch = h.max_edge_stretch(&g, 4);
-        prop_assert!(matches!(stretch, Some(s) if s <= 3), "stretch {stretch:?}");
+        assert!(
+            matches!(stretch, Some(s) if s <= 3),
+            "case (n={n}, p={p}, seed={seed}): stretch {stretch:?}"
+        );
     }
+}
 
-    #[test]
-    fn five_spanner_stretch_never_exceeds_five(g in arbitrary_gnp(), seed in any::<u64>()) {
+#[test]
+fn five_spanner_stretch_never_exceeds_five() {
+    for (n, p, seed) in gnp_cases(2) {
+        let g = gnp(n, p, seed);
         let params = FiveSpannerParams::for_n(g.vertex_count());
         let h = into_subgraph(&g, &five_spanner_global(&g, &params, Seed::new(seed)));
         let stretch = h.max_edge_stretch(&g, 6);
-        prop_assert!(matches!(stretch, Some(s) if s <= 5), "stretch {stretch:?}");
+        assert!(
+            matches!(stretch, Some(s) if s <= 5),
+            "case (n={n}, p={p}, seed={seed}): stretch {stretch:?}"
+        );
     }
+}
 
-    #[test]
-    fn spanners_are_subgraphs(g in arbitrary_gnp(), seed in any::<u64>()) {
+#[test]
+fn spanners_are_subgraphs() {
+    for (n, p, seed) in gnp_cases(3) {
+        let g = gnp(n, p, seed);
         let params = ThreeSpannerParams::for_n(g.vertex_count());
         let h = three_spanner_global(&g, &params, Seed::new(seed));
         for &(a, b) in &h {
-            prop_assert!(g.has_edge(VertexId::from(a), VertexId::from(b)));
+            assert!(
+                g.has_edge(VertexId::from(a), VertexId::from(b)),
+                "case (n={n}, p={p}, seed={seed}): non-edge {a}-{b} in spanner"
+            );
         }
     }
+}
 
-    #[test]
-    fn baseline_baswana_sen_stretch(g in arbitrary_gnp(), seed in any::<u64>(), k in 2usize..4) {
+#[test]
+fn baseline_baswana_sen_stretch() {
+    for (i, (n, p, seed)) in gnp_cases(4).enumerate() {
+        let g = gnp(n, p, seed);
+        let k = 2 + i % 2;
         let h = lca::baseline::baswana_sen(&g, k, Seed::new(seed));
         let bound = (2 * k - 1) as u32;
         let stretch = h.max_edge_stretch(&g, bound + 1);
-        prop_assert!(matches!(stretch, Some(s) if s <= bound), "k={k}: {stretch:?}");
+        assert!(
+            matches!(stretch, Some(s) if s <= bound),
+            "case (n={n}, p={p}, seed={seed}, k={k}): {stretch:?}"
+        );
     }
+}
 
-    #[test]
-    fn baseline_greedy_stretch_and_size(g in arbitrary_gnp(), t in 3usize..6) {
+#[test]
+fn baseline_greedy_stretch_and_size() {
+    for (i, (n, p, seed)) in gnp_cases(5).enumerate() {
+        let g = gnp(n, p, seed);
+        let t = 3 + i % 3;
         let h = lca::baseline::greedy_spanner(&g, t);
         let stretch = h.max_edge_stretch(&g, t as u32 + 1);
-        prop_assert!(matches!(stretch, Some(s) if s as usize <= t));
-        prop_assert!(h.edge_count() <= g.edge_count());
+        assert!(
+            matches!(stretch, Some(s) if s as usize <= t),
+            "case (n={n}, p={p}, seed={seed}, t={t}): {stretch:?}"
+        );
+        assert!(h.edge_count() <= g.edge_count());
     }
+}
 
-    #[test]
-    fn tiny_toy_parameters_still_give_valid_three_spanners(
-        g in arbitrary_gnp(),
-        seed in any::<u64>(),
-        low in 1usize..6,
-        super_t in 6usize..14,
-        p_center in 2u32..9,
-    ) {
-        // Arbitrary (even silly) parameter combinations must never break
-        // the stretch guarantee — only the size/probe trade-off.
+#[test]
+fn tiny_toy_parameters_still_give_valid_three_spanners() {
+    // Arbitrary (even silly) parameter combinations must never break the
+    // stretch guarantee — only the size/probe trade-off.
+    let mut rng = SplitMix64::new(0x7075);
+    for (n, p, seed) in gnp_cases(6) {
+        let g = gnp(n, p, seed);
+        let low = 1 + rng.next_below(5) as usize;
+        let super_t = 6 + rng.next_below(8) as usize;
+        let p_center = (2 + rng.next_below(7)) as f64 / 10.0;
         let params = lca::core::ThreeSpannerParams {
             low_threshold: low,
             super_threshold: super_t,
             center_block: low.max(2),
             super_block: super_t,
-            center_prob: p_center as f64 / 10.0,
+            center_prob: p_center,
             super_center_prob: 0.2,
             independence: 8,
         };
         let h = into_subgraph(&g, &three_spanner_global(&g, &params, Seed::new(seed)));
         let stretch = h.max_edge_stretch(&g, 4);
-        prop_assert!(matches!(stretch, Some(s) if s <= 3), "stretch {stretch:?}");
+        assert!(
+            matches!(stretch, Some(s) if s <= 3),
+            "case (n={n}, p={p}, seed={seed}, low={low}, super={super_t}, pc={p_center}): {stretch:?}"
+        );
     }
 }
 
 #[test]
 fn k2_spanner_connectivity_on_bounded_degree_graphs() {
-    // Separate (non-proptest) loop: k² cases are heavier.
+    // Separate smaller loop: k² cases are heavier.
     use lca::core::global::k2_spanner_global;
     use lca::core::K2Params;
     for (s, k) in [(1u64, 2usize), (2, 3)] {
-        let g = RegularBuilder::new(80, 4).seed(Seed::new(s)).build().unwrap();
+        let g = RegularBuilder::new(80, 4)
+            .seed(Seed::new(s))
+            .build()
+            .unwrap();
         let params = K2Params::for_n(80, k);
         let h = into_subgraph(&g, &k2_spanner_global(&g, &params, Seed::new(10 + s)));
         let bound = ((2 * k + 1) * (2 * k + 2)) as u32;
