@@ -1,0 +1,107 @@
+//! Figure F-implicit — the flat-cost claim of the LCA model made visible:
+//! per-query probe counts and latency on implicit G(n, c/n) oracles as n
+//! grows from 10⁴ to 10⁸, with peak RSS alongside. Probes and latency stay
+//! flat in n while a materialized graph would have grown by four orders of
+//! magnitude; resident memory stays bounded because nothing is ever built.
+//!
+//! Run: `cargo run --release -p lca-bench --bin fig_implicit_scaling`
+//! (set `LCA_IMPLICIT_MAX_N` to cap the largest size, e.g. on small hosts)
+
+use std::time::Instant;
+
+use lca::core::QueryEngine;
+use lca::prelude::*;
+use lca_bench::{peak_rss_bytes, record_json, Table};
+
+#[derive(serde::Serialize)]
+struct Row {
+    algorithm: &'static str,
+    n: usize,
+    queries: usize,
+    batch_ms: f64,
+    us_per_query: f64,
+    probe_mean: f64,
+    probe_max: u64,
+    peak_rss_mb: f64,
+}
+
+fn main() {
+    let max_n: usize = std::env::var("LCA_IMPLICIT_MAX_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000_000);
+    let sizes: Vec<usize> = [10_000, 100_000, 1_000_000, 10_000_000, 100_000_000]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let c = 4.0;
+    let seed = Seed::new(0x1F1);
+    let engine = QueryEngine::new();
+    println!(
+        "implicit scaling: G(n, {c}/n), {} engine threads, sizes up to {}",
+        engine.threads(),
+        sizes.last().copied().unwrap_or(0)
+    );
+
+    let mut table = Table::new([
+        "algorithm",
+        "n",
+        "queries",
+        "batch ms",
+        "µs/query",
+        "probes mean",
+        "probes max",
+        "peak RSS MB",
+    ]);
+
+    for &n in &sizes {
+        let oracle = ImplicitGnp::new(n, c, seed.derive(n as u64));
+        for kind in [
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+        ] {
+            let count = 512;
+            let queries = kind.queries_from(&oracle, QuerySource::sample(count, seed.derive(1)));
+            let config = LcaConfig::new(kind, seed.derive(2));
+
+            // Wall-clock of a plain engine batch over one shared instance…
+            let algo = config.build(&oracle);
+            let t = Instant::now();
+            let answers = engine.query_batch(&algo, &queries);
+            let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(answers.iter().all(|a| a.is_ok()), "batch failure at n={n}");
+
+            // …and probe accounting through per-shard counted instances.
+            let run = engine.measure_batch(&queries, &oracle, |counted| config.build(counted));
+
+            let row = Row {
+                algorithm: kind.name(),
+                n,
+                queries: queries.len(),
+                batch_ms,
+                us_per_query: batch_ms * 1e3 / queries.len().max(1) as f64,
+                probe_mean: run.per_query_mean,
+                probe_max: run.per_query_max,
+                peak_rss_mb: peak_rss_bytes().map_or(f64::NAN, |b| b as f64 / (1 << 20) as f64),
+            };
+            record_json("fig_implicit_scaling", &row);
+            table.row([
+                row.algorithm.to_string(),
+                row.n.to_string(),
+                row.queries.to_string(),
+                format!("{:.1}", row.batch_ms),
+                format!("{:.1}", row.us_per_query),
+                format!("{:.1}", row.probe_mean),
+                row.probe_max.to_string(),
+                format!("{:.0}", row.peak_rss_mb),
+            ]);
+        }
+    }
+
+    table.print("Figure F-implicit — flat per-query cost on graphs that are never materialized");
+    println!();
+    println!("(a materialized G(10^8, 4/10^8) needs ≥ 4 GB of CSR + adjacency index;");
+    println!(
+        " peak RSS above is the whole process, oracles included — the input costs 0 bytes/vertex.)"
+    );
+}

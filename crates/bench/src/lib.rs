@@ -124,6 +124,16 @@ pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
     (n * sxy - sx * sy) / (n * sxx - sx * sx)
 }
 
+/// Peak resident set size of this process (Linux `VmHWM`) in bytes, or
+/// `None` where the platform does not expose it. The implicit-oracle
+/// reports print it as the "did we materialize anything?" witness.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// A simple aligned-column table printer.
 #[derive(Debug)]
 pub struct Table {

@@ -204,6 +204,124 @@ impl QueryEngine {
     }
 }
 
+impl QueryEngine {
+    /// Answers an arbitrary query batch with full probe accounting — the
+    /// oracle-generic counterpart of [`QueryEngine::measure_queries`], built
+    /// for inputs that have no [`Graph`] to enumerate (implicit oracles).
+    ///
+    /// `make` builds one LCA instance per shard over that shard's private
+    /// [`CountingOracle`] wrapping `base`; Definition 1.4 consistency makes
+    /// all instances answer identically, and the private counters keep
+    /// `per_query_max` exact under parallelism. Unlike `measure_queries`,
+    /// failures are per-query: each answer carries its own `Result`.
+    pub fn measure_batch<'g, O, Q, F>(&self, queries: &[Q], base: &'g O, make: F) -> MeasuredBatch
+    where
+        O: Oracle + Sync,
+        Q: Clone + Sync,
+        F: for<'c> Fn(&'c CountingOracle<&'g O>) -> Box<dyn Lca<Query = Q, Answer = bool> + 'c>
+            + Sync,
+    {
+        // Resolve the name from a throwaway instance so it is right even
+        // for an empty batch (constructors are probe-free).
+        let algorithm = make(&CountingOracle::new(base)).name();
+        let shard_len = queries.len().div_ceil(self.threads).max(1);
+        let shards: Vec<BatchShard> = std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(shard_len)
+                .enumerate()
+                .map(|(index, chunk)| {
+                    let make = &make;
+                    s.spawn(move || {
+                        let counter = CountingOracle::new(base);
+                        let lca = make(&counter);
+                        let mut answers = Vec::with_capacity(chunk.len());
+                        let mut max = 0u64;
+                        let mut sum = 0u64;
+                        for q in chunk {
+                            let scope = counter.scoped();
+                            answers.push(lca.query(q.clone()));
+                            let cost = scope.cost().total();
+                            max = max.max(cost);
+                            sum += cost;
+                        }
+                        BatchShard {
+                            answers,
+                            probe_sum: sum,
+                            counts: ShardCounts {
+                                shard: index,
+                                queries: chunk.len(),
+                                per_query_max: max,
+                                counts: counter.counts(),
+                            },
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query engine worker panicked"))
+                .collect()
+        });
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut per_shard = Vec::new();
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let mut total = ProbeCounts::default();
+        for shard in shards {
+            max = max.max(shard.counts.per_query_max);
+            sum += shard.probe_sum;
+            total = total + shard.counts.counts;
+            answers.extend(shard.answers);
+            per_shard.push(shard.counts);
+        }
+        MeasuredBatch {
+            algorithm,
+            answers,
+            per_query_max: max,
+            per_query_mean: if queries.is_empty() {
+                0.0
+            } else {
+                sum as f64 / queries.len() as f64
+            },
+            total,
+            per_shard,
+        }
+    }
+}
+
+/// Per-shard outcome inside [`QueryEngine::measure_batch`].
+struct BatchShard {
+    answers: Vec<Result<bool, LcaError>>,
+    probe_sum: u64,
+    counts: ShardCounts,
+}
+
+/// The outcome of a [`QueryEngine::measure_batch`] run: per-query answers
+/// in input order plus per-shard and aggregate probe statistics.
+#[derive(Debug)]
+pub struct MeasuredBatch {
+    /// [`Lca::name`] of the measured algorithm.
+    pub algorithm: &'static str,
+    /// Per-query answers, in input order.
+    pub answers: Vec<Result<bool, LcaError>>,
+    /// Maximum probes spent on a single query, across all shards.
+    pub per_query_max: u64,
+    /// Mean probes per query.
+    pub per_query_mean: f64,
+    /// Aggregate probes across all shards, by kind.
+    pub total: ProbeCounts,
+    /// Per-shard accounting, in shard order.
+    pub per_shard: Vec<ShardCounts>,
+}
+
+impl MeasuredBatch {
+    /// Number of YES answers in the batch.
+    pub fn yes_count(&self) -> usize {
+        self.answers.iter().filter(|a| **a == Ok(true)).count()
+    }
+}
+
 /// Per-shard outcome inside [`QueryEngine::measure_queries`].
 struct ShardRun {
     kept: Vec<(VertexId, VertexId)>,
@@ -369,6 +487,52 @@ mod tests {
         // The name must be real even when no shard ever ran.
         assert_eq!(run.algorithm, "three-spanner");
         assert!(run.keep_ratio(&g).is_nan());
+    }
+
+    #[test]
+    fn measure_batch_matches_serial_on_an_implicit_oracle() {
+        use lca_graph::implicit::{ImplicitGnp, ImplicitOracle};
+        let oracle = ImplicitGnp::new(1_000, 4.0, Seed::new(1));
+        let g = oracle.materialize();
+        let params = ThreeSpannerParams::for_n(1_000);
+        let seed = Seed::new(2);
+        let queries: Vec<_> = g.edges().take(200).collect();
+
+        let serial = ThreeSpanner::new(&oracle, params.clone(), seed);
+        let expect: Vec<_> = queries
+            .iter()
+            .map(|&(u, v)| serial.contains(u, v))
+            .collect();
+
+        for threads in [1usize, 4] {
+            let run = QueryEngine::with_threads(threads).measure_batch(&queries, &oracle, |c| {
+                Box::new(ThreeSpanner::new(c, params.clone(), seed))
+            });
+            assert_eq!(run.algorithm, "three-spanner");
+            assert_eq!(run.answers, expect, "threads={threads}");
+            assert!(run.per_query_max >= 1);
+            let shard_total: u64 = run.per_shard.iter().map(|s| s.counts.total()).sum();
+            assert_eq!(shard_total, run.total.total());
+            assert_eq!(
+                run.yes_count(),
+                expect.iter().filter(|a| **a == Ok(true)).count()
+            );
+        }
+    }
+
+    #[test]
+    fn measure_batch_empty_is_well_formed() {
+        let g = GnpBuilder::new(20, 0.3).seed(Seed::new(1)).build();
+        let run = QueryEngine::new().measure_batch(&[], &g, |c| {
+            Box::new(ThreeSpanner::new(
+                c,
+                ThreeSpannerParams::for_n(20),
+                Seed::new(0),
+            ))
+        });
+        assert_eq!(run.algorithm, "three-spanner");
+        assert!(run.answers.is_empty());
+        assert_eq!(run.per_query_mean, 0.0);
     }
 
     #[test]

@@ -33,9 +33,11 @@
 //!   query-order independent by Definition 1.4, so sharding is sound);
 //! * measured — [`measure_queries`] (serial, exact per-query probe costs),
 //!   [`measure_queries_distinct`] (additionally the distinct-probe measure
-//!   via a per-query [`lca_probe::MemoOracle`]), and
+//!   via a per-query [`lca_probe::MemoOracle`]),
 //!   [`QueryEngine::measure_queries`] (parallel, per-shard + aggregate
-//!   [`lca_probe::ProbeCounts`]).
+//!   [`lca_probe::ProbeCounts`]), and [`QueryEngine::measure_batch`] (the
+//!   oracle-generic variant for inputs with no `Graph` to enumerate —
+//!   implicit oracles served through sampled query batches).
 //!
 //! Every LCA is paired with an independent **global reference construction**
 //! (module [`global`]) computing the same spanner by direct whole-graph
@@ -94,7 +96,7 @@ mod lca;
 mod three;
 pub mod verify;
 
-pub use engine::{EngineRun, QueryEngine, ShardCounts};
+pub use engine::{EngineRun, MeasuredBatch, QueryEngine, ShardCounts};
 pub use error::LcaError;
 pub use five::{EdgeClass, FiveSpanner, FiveSpannerParams};
 pub use harness::{

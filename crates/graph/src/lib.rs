@@ -15,6 +15,11 @@
 //! * [`gen`] — synthetic workload generators: G(n,p), G(n,m), random regular
 //!   (the §6 matching-table model), Chung–Lu power-law, and structured
 //!   families.
+//! * [`Oracle`] — the probe interface itself (re-exported by `lca-probe`,
+//!   which layers the accounting wrappers on top).
+//! * [`implicit`] — generator-backed oracles that serve probes on graphs too
+//!   large to materialize: the same families as [`gen`], recomputed per
+//!   probe from a seed instead of stored.
 //! * [`analysis`] — BFS, truncated distances, connectivity, degree statistics.
 //! * [`Subgraph`] — an edge-subset view used to verify spanner stretch.
 //!
@@ -43,12 +48,15 @@ mod builder;
 mod error;
 pub mod gen;
 mod graph;
+pub mod implicit;
 pub mod io;
+mod oracle;
 mod subgraph;
 mod vertex;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Edge, Edges, Graph, Vertices};
+pub use oracle::Oracle;
 pub use subgraph::Subgraph;
 pub use vertex::VertexId;

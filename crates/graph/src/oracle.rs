@@ -1,6 +1,11 @@
-//! The probe interface.
+//! The probe interface (the paper's adjacency-list oracle `O_G`).
+//!
+//! The trait lives in `lca-graph` — the crate that owns both backing stores
+//! for it: the materialized [`Graph`] and the generator-backed
+//! [`crate::implicit`] oracles. `lca-probe` re-exports it unchanged and
+//! layers the accounting wrappers on top.
 
-use lca_graph::{Graph, VertexId};
+use crate::{Graph, VertexId};
 
 /// Probe access to an input graph (the paper's adjacency-list oracle `O_G`).
 ///
@@ -10,7 +15,11 @@ use lca_graph::{Graph, VertexId};
 /// along with handles; learning a *new* handle always costs a probe).
 ///
 /// Implementations must be deterministic and side-effect-free with respect to
-/// the graph; wrappers add accounting.
+/// the graph; wrappers add accounting. The executable form of the contract is
+/// the conformance suite in `tests/oracle_laws.rs` at the workspace root:
+/// `neighbor(v, i)` is `Some` exactly for `i < degree(v)`, `adjacency` is the
+/// inverse index of `neighbor`, adjacency is symmetric, and the degree sum is
+/// even.
 pub trait Oracle {
     /// Number of vertices `n` (known to the algorithm up front).
     fn vertex_count(&self) -> usize;
@@ -76,7 +85,7 @@ impl<O: Oracle + ?Sized> Oracle for &O {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lca_graph::gen::structured;
+    use crate::gen::structured;
 
     #[test]
     fn graph_implements_oracle() {

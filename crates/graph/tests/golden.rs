@@ -1,0 +1,129 @@
+//! Generator-determinism golden tests: seeded edge-set fingerprints for
+//! every randomized builder and implicit family.
+//!
+//! Generation is a pure function of the seed, threaded through `lca-rand`
+//! (SplitMix64 streams, seed derivation) and — for the geometric-skipping
+//! generators and Chung–Lu weights — `f64` arithmetic including `ln`/`powf`
+//! from the platform libm. These fingerprints pin the exact output so any
+//! drift (a reordered `derive` tag, a changed mixing constant, a libm whose
+//! `powf` rounds differently) is caught by CI instead of silently changing
+//! every downstream experiment. If a change here is *intentional*, update
+//! the constants and say so in the changelog: it invalidates recorded
+//! bench results.
+
+use lca_graph::gen::{ChungLuBuilder, GnmBuilder, GnpBuilder, RegularBuilder};
+use lca_graph::implicit::{ImplicitChungLu, ImplicitGnp, ImplicitOracle, ImplicitRegular};
+use lca_graph::Graph;
+use lca_rand::Seed;
+
+/// Order-sensitive fold of `(n, m, edges…)` through the SplitMix64 mixer.
+fn fingerprint(g: &Graph) -> u64 {
+    let mut h: u64 = 0x243F_6A88_85A3_08D3; // π, nothing up the sleeve
+    let mut absorb = |x: u64| {
+        h = lca_rand::SplitMix64::new(h ^ x).next_u64();
+    };
+    absorb(g.vertex_count() as u64);
+    absorb(g.edge_count() as u64);
+    for (u, v) in g.edges() {
+        absorb(((u.raw() as u64) << 32) | v.raw() as u64);
+    }
+    h
+}
+
+const SEED: u64 = 0xA11CE;
+
+#[test]
+fn gnp_fingerprint_is_stable() {
+    let g = GnpBuilder::new(512, 0.05).seed(Seed::new(SEED)).build();
+    assert_eq!(fingerprint(&g), GOLDEN_GNP, "GnpBuilder output drifted");
+}
+
+#[test]
+fn gnm_fingerprint_is_stable() {
+    let g = GnmBuilder::new(512, 2000).seed(Seed::new(SEED)).build();
+    assert_eq!(fingerprint(&g), GOLDEN_GNM, "GnmBuilder output drifted");
+}
+
+#[test]
+fn regular_fingerprint_is_stable() {
+    let g = RegularBuilder::new(512, 6)
+        .seed(Seed::new(SEED))
+        .build()
+        .unwrap();
+    assert_eq!(
+        fingerprint(&g),
+        GOLDEN_REGULAR,
+        "RegularBuilder output drifted"
+    );
+}
+
+#[test]
+fn chung_lu_fingerprint_is_stable() {
+    let g = ChungLuBuilder::power_law(512, 2.5, 8.0)
+        .seed(Seed::new(SEED))
+        .build();
+    assert_eq!(
+        fingerprint(&g),
+        GOLDEN_CHUNG_LU,
+        "ChungLuBuilder output drifted"
+    );
+}
+
+#[test]
+fn implicit_fingerprints_are_stable() {
+    let g = ImplicitGnp::new(512, 4.0, Seed::new(SEED)).materialize();
+    assert_eq!(fingerprint(&g), GOLDEN_IMPLICIT_GNP, "ImplicitGnp drifted");
+    let g = ImplicitRegular::new(512, 4, Seed::new(SEED)).materialize();
+    assert_eq!(
+        fingerprint(&g),
+        GOLDEN_IMPLICIT_REGULAR,
+        "ImplicitRegular drifted"
+    );
+    let g = ImplicitChungLu::power_law(512, 2.5, 6.0, Seed::new(SEED)).materialize();
+    assert_eq!(
+        fingerprint(&g),
+        GOLDEN_IMPLICIT_CHUNG_LU,
+        "ImplicitChungLu drifted"
+    );
+}
+
+#[test]
+#[ignore = "helper: prints current fingerprints for updating the goldens"]
+fn print_fingerprints() {
+    let gnp = GnpBuilder::new(512, 0.05).seed(Seed::new(SEED)).build();
+    let gnm = GnmBuilder::new(512, 2000).seed(Seed::new(SEED)).build();
+    let reg = RegularBuilder::new(512, 6)
+        .seed(Seed::new(SEED))
+        .build()
+        .unwrap();
+    let cl = ChungLuBuilder::power_law(512, 2.5, 8.0)
+        .seed(Seed::new(SEED))
+        .build();
+    let ignp = ImplicitGnp::new(512, 4.0, Seed::new(SEED)).materialize();
+    let ireg = ImplicitRegular::new(512, 4, Seed::new(SEED)).materialize();
+    let icl = ImplicitChungLu::power_law(512, 2.5, 6.0, Seed::new(SEED)).materialize();
+    println!("const GOLDEN_GNP: u64 = {:#018x};", fingerprint(&gnp));
+    println!("const GOLDEN_GNM: u64 = {:#018x};", fingerprint(&gnm));
+    println!("const GOLDEN_REGULAR: u64 = {:#018x};", fingerprint(&reg));
+    println!("const GOLDEN_CHUNG_LU: u64 = {:#018x};", fingerprint(&cl));
+    println!(
+        "const GOLDEN_IMPLICIT_GNP: u64 = {:#018x};",
+        fingerprint(&ignp)
+    );
+    println!(
+        "const GOLDEN_IMPLICIT_REGULAR: u64 = {:#018x};",
+        fingerprint(&ireg)
+    );
+    println!(
+        "const GOLDEN_IMPLICIT_CHUNG_LU: u64 = {:#018x};",
+        fingerprint(&icl)
+    );
+}
+
+const GOLDEN_GNP: u64 = 0xb158_06b6_6e00_3255;
+const GOLDEN_GNM: u64 = 0x1977_0f86_5ee2_bd0c;
+const GOLDEN_REGULAR: u64 = 0x392b_93cc_3ec8_cd0e;
+const GOLDEN_CHUNG_LU: u64 = 0xe3ef_cc1a_5e2a_c480;
+const GOLDEN_IMPLICIT_GNP: u64 = 0x075e_4f3f_bb2f_7f7a;
+const GOLDEN_IMPLICIT_REGULAR: u64 = 0x5631_5059_81c6_dcbd;
+const GOLDEN_IMPLICIT_CHUNG_LU: u64 = 0x99ae_f65c_8af8_e256;

@@ -11,8 +11,11 @@
 //!   *index* is what makes the single-probe cluster-membership test of
 //!   Idea (I) possible.)
 //!
-//! [`Oracle`] is the probe interface; [`lca_graph::Graph`] implements it directly.
-//! Wrappers layer accounting on top without changing semantics:
+//! [`Oracle`] is the probe interface (defined in `lca-graph`, which owns
+//! both backing stores: the materialized [`lca_graph::Graph`] and the
+//! [`lca_graph::implicit`] generator-backed oracles for graphs too large to
+//! materialize). This crate layers accounting and caching on top without
+//! changing semantics:
 //!
 //! * [`CountingOracle`] — per-kind totals ([`ProbeCounts`]) and a
 //!   [`CountingOracle::scoped`] helper for per-query costs.
@@ -20,6 +23,28 @@
 //!   for the lower-bound experiment's probe-answer histories.
 //! * [`MemoOracle`] — counts only *distinct* probes, modelling an LCA that
 //!   caches oracle answers in its local memory during one query.
+//! * [`CachedOracle`] — a sharded **serving-layer** cache that persists
+//!   across queries.
+//!
+//! # Two caches, two meanings
+//!
+//! [`MemoOracle`] and [`CachedOracle`] look alike and must not be confused:
+//!
+//! * **[`MemoOracle`] is part of the model.** Definition 1.4 gives the LCA
+//!   read-write memory *for the duration of one query*; memoizing within a
+//!   query is what turns the raw probe count into the distinct-probe
+//!   measure, which is why only `MemoOracle` participates in probe
+//!   accounting (`measure_queries_distinct` in `lca-core` installs one
+//!   per query). It must be [`MemoOracle::clear`]ed between queries —
+//!   persisting it would quietly turn the LCA into a global algorithm with
+//!   precomputed state.
+//! * **[`CachedOracle`] is part of the serving stack.** When the input
+//!   oracle is expensive — an implicit generator recomputing adjacency per
+//!   probe, a remote store — the *server* may cache input answers across
+//!   queries, because probes are pure reads and caching cannot change any
+//!   answer. It deliberately never appears in a probe-cost report: it
+//!   reduces the cost of answering probes, not the number of probes the
+//!   algorithm needs.
 //!
 //! # Example
 //!
@@ -38,15 +63,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cached;
 mod counting;
 mod memo;
-mod oracle;
 mod tracing;
 
+pub use cached::{CacheStats, CachedOracle};
 pub use counting::{CountingOracle, ProbeCounts, QueryScope};
 pub use memo::{measure_distinct, MemoOracle};
-pub use oracle::Oracle;
 pub use tracing::{ProbeRecord, TracingOracle};
+
+pub use lca_graph::Oracle;
+
+/// Routes a vertex to one of `len` shards (Fibonacci hashing, so
+/// consecutive vertex ids spread across shards). Shared by the sharded
+/// caches: the same key must route identically in [`MemoOracle`] and
+/// [`CachedOracle`].
+pub(crate) fn shard_index(v: u32, len: usize) -> usize {
+    let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % len
+}
 
 /// The three probe types of the LCA model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -7,6 +7,11 @@ use lca_graph::VertexId;
 
 use crate::{CountingOracle, Oracle, ProbeCounts};
 
+/// Number of memo shards. Power of two; small enough that `clear`/
+/// `distinct_probes` stay cheap, large enough that `query_batch` workers
+/// hammering one shared memo rarely collide on a lock.
+const SHARDS: usize = 8;
+
 /// An [`Oracle`] wrapper that answers repeated probes from a local cache, so
 /// the wrapped counter only sees *distinct* probes.
 ///
@@ -16,8 +21,17 @@ use crate::{CountingOracle, Oracle, ProbeCounts};
 /// the distinct-probe measure; the bench harness reports both.
 ///
 /// Call [`MemoOracle::clear`] between queries: the cache models *per-query*
-/// memory, not a persistent data structure (an LCA must not keep state across
-/// queries).
+/// memory, not a persistent data structure (an LCA must not keep state
+/// across queries — for a cache that deliberately does persist across
+/// queries, at the serving layer rather than inside the model, see
+/// [`crate::CachedOracle`]).
+///
+/// The state is sharded by probed vertex: each shard guards its slice of the
+/// key space with its own mutex, and a probe locks exactly one shard for the
+/// full check-miss-forward-insert sequence. Holding the shard lock across
+/// the inner call keeps the exactly-once guarantee under concurrency (two
+/// racing threads can not both forward the same miss), while distinct
+/// probes land in disjoint shards and proceed in parallel.
 ///
 /// # Example
 ///
@@ -35,7 +49,7 @@ use crate::{CountingOracle, Oracle, ProbeCounts};
 #[derive(Debug)]
 pub struct MemoOracle<O> {
     inner: O,
-    state: Mutex<MemoState>,
+    shards: Vec<Mutex<MemoState>>,
 }
 
 #[derive(Debug, Default)]
@@ -51,20 +65,35 @@ impl<O: Oracle> MemoOracle<O> {
     pub fn new(inner: O) -> Self {
         Self {
             inner,
-            state: Mutex::new(MemoState::default()),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(MemoState::default()))
+                .collect(),
         }
     }
 
     /// Clears the cache (call between queries).
     pub fn clear(&self) {
-        *self.state.lock().expect("memo poisoned") = MemoState::default();
+        for shard in &self.shards {
+            *shard.lock().expect("memo poisoned") = MemoState::default();
+        }
     }
 
     /// Number of distinct probes issued since the last [`clear`].
     ///
+    /// Exact: a probe key is always routed to the same shard, so the shard
+    /// `distinct` sets are disjoint and their sizes add up.
+    ///
     /// [`clear`]: MemoOracle::clear
     pub fn distinct_probes(&self) -> usize {
-        self.state.lock().expect("memo poisoned").distinct.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo poisoned").distinct.len())
+            .sum()
+    }
+
+    /// The shard owning every probe whose first argument is `v`.
+    fn shard(&self, v: u32) -> &Mutex<MemoState> {
+        &self.shards[crate::shard_index(v, self.shards.len())]
     }
 }
 
@@ -74,7 +103,7 @@ impl<O: Oracle> Oracle for MemoOracle<O> {
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        let mut s = self.state.lock().expect("memo poisoned");
+        let mut s = self.shard(v.raw()).lock().expect("memo poisoned");
         if let Some(&d) = s.degree.get(&v.raw()) {
             return d;
         }
@@ -86,7 +115,7 @@ impl<O: Oracle> Oracle for MemoOracle<O> {
 
     fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
         let key = (v.raw(), i as u64);
-        let mut s = self.state.lock().expect("memo poisoned");
+        let mut s = self.shard(v.raw()).lock().expect("memo poisoned");
         if let Some(&w) = s.neighbor.get(&key) {
             return w;
         }
@@ -98,7 +127,7 @@ impl<O: Oracle> Oracle for MemoOracle<O> {
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
         let key = (u.raw(), v.raw());
-        let mut s = self.state.lock().expect("memo poisoned");
+        let mut s = self.shard(u.raw()).lock().expect("memo poisoned");
         if let Some(&p) = s.adjacency.get(&key) {
             return p;
         }
@@ -169,6 +198,19 @@ mod tests {
         assert_eq!(memo.distinct_probes(), 0);
         memo.degree(VertexId::new(1));
         assert_eq!(counted.counts().degree, 2);
+    }
+
+    #[test]
+    fn distinct_count_spans_all_shards() {
+        // Probes over many vertices land in different shards; the distinct
+        // total must still count each exactly once.
+        let g = structured::complete(64);
+        let memo = MemoOracle::new(&g);
+        for v in g.vertices() {
+            memo.degree(v);
+            memo.degree(v);
+        }
+        assert_eq!(memo.distinct_probes(), 64);
     }
 
     #[test]

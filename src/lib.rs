@@ -29,6 +29,7 @@ pub use lca_probe as probe;
 pub use lca_rand as rand;
 
 pub mod registry;
+pub mod source;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -37,9 +38,14 @@ pub mod prelude {
         QueryEngine, ThreeSpanner, ThreeSpannerParams, VertexSubsetLca,
     };
     pub use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
+    pub use lca_graph::implicit::{
+        ImplicitChungLu, ImplicitGnp, ImplicitGrid, ImplicitHypercube, ImplicitOracle,
+        ImplicitRegular, ImplicitTorus,
+    };
     pub use lca_graph::{Graph, GraphBuilder, VertexId};
-    pub use lca_probe::{CountingOracle, MemoOracle, Oracle, ProbeCounts};
+    pub use lca_probe::{CachedOracle, CountingOracle, MemoOracle, Oracle, ProbeCounts};
     pub use lca_rand::Seed;
 
     pub use crate::registry::{AlgorithmKind, ClassicKind, LcaBuilder, LcaConfig, SpannerKind};
+    pub use crate::source::QuerySource;
 }

@@ -28,6 +28,8 @@ use lca_graph::Graph;
 use lca_probe::Oracle;
 use lca_rand::Seed;
 
+use crate::source::QuerySource;
+
 /// The spanner constructions of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpannerKind {
@@ -103,11 +105,22 @@ impl AlgorithmKind {
 
     /// The full query set of this algorithm on `graph`: every edge for
     /// spanners, every vertex for classic LCAs.
+    ///
+    /// Requires a materialized [`Graph`]; to draw queries from *any* oracle
+    /// (in particular an implicit one), use [`AlgorithmKind::queries_from`]
+    /// with a [`QuerySource`].
     pub fn queries(self, graph: &Graph) -> Vec<DynQuery> {
         match self.query_kind() {
             QueryKind::Edge => graph.edges().map(|(u, v)| DynQuery::Edge(u, v)).collect(),
             QueryKind::Vertex => graph.vertices().map(DynQuery::Vertex).collect(),
         }
+    }
+
+    /// The query batch drawn from an arbitrary [`Oracle`] through a
+    /// [`QuerySource`] — the no-`Graph` generalization of
+    /// [`AlgorithmKind::queries`].
+    pub fn queries_from<O: Oracle>(self, oracle: &O, source: QuerySource) -> Vec<DynQuery> {
+        source.queries(self, oracle)
     }
 }
 
@@ -322,6 +335,24 @@ impl LcaBuilder {
         O: Oracle + Clone + Send + Sync + 'o,
     {
         self.config.build_spanner(oracle)
+    }
+
+    /// The query batch for this builder's algorithm, drawn from any oracle
+    /// through a [`QuerySource`] — no materialized `Graph` required.
+    ///
+    /// ```
+    /// use lca::prelude::*;
+    /// use lca::graph::implicit::ImplicitGnp;
+    ///
+    /// let oracle = ImplicitGnp::new(100_000_000, 4.0, Seed::new(1));
+    /// let builder = LcaBuilder::new(AlgorithmKind::Classic(ClassicKind::Mis));
+    /// let queries = builder.queries(&oracle, QuerySource::sample(16, Seed::new(2)));
+    /// let mis = builder.build(&oracle);
+    /// let answers = QueryEngine::new().query_batch(&mis, &queries);
+    /// assert!(answers.iter().all(|a| a.is_ok()));
+    /// ```
+    pub fn queries<O: Oracle>(&self, oracle: &O, source: QuerySource) -> Vec<DynQuery> {
+        source.queries(self.config.kind, oracle)
     }
 }
 

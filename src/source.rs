@@ -1,0 +1,193 @@
+//! Query sources: where a batch of queries comes from.
+//!
+//! Before implicit oracles, every harness derived its query set from a
+//! materialized [`Graph`](lca_graph::Graph) (`graph.edges()`,
+//! `graph.vertices()`). A [`QuerySource`] abstracts that step so a batch can
+//! be drawn from *any* [`Oracle`] — including a generator-backed implicit
+//! one where enumerating all edges is exactly the O(n) sweep the model
+//! forbids. Exhaustive enumeration stays available for materializable
+//! inputs; sampling works at any scale, at O(1) probes per drawn query.
+
+use lca_core::{DynQuery, QueryKind};
+use lca_probe::Oracle;
+use lca_rand::Seed;
+
+use crate::registry::AlgorithmKind;
+
+/// A recipe for producing the query batch of an algorithm over an oracle.
+///
+/// # Example
+///
+/// ```
+/// use lca::prelude::*;
+/// use lca::graph::implicit::ImplicitGnp;
+///
+/// // One billion vertices: no Graph, no problem.
+/// let oracle = ImplicitGnp::new(1_000_000_000, 3.0, Seed::new(1));
+/// let kind = AlgorithmKind::Classic(ClassicKind::Mis);
+/// let queries = QuerySource::sample(64, Seed::new(2)).queries(kind, &oracle);
+/// assert_eq!(queries.len(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuerySource {
+    /// Every query the input supports: all vertices for vertex-subset
+    /// algorithms, all edges for edge-subgraph ones. Edge enumeration scans
+    /// every adjacency list through probes — O(n + Σ deg) — so this is for
+    /// materializable sizes only.
+    Exhaustive,
+    /// `count` queries sampled through O(1) probes each: uniform vertices,
+    /// or edges drawn by picking a uniform vertex and a uniform position in
+    /// its adjacency list (edge-sampling is therefore degree-biased, the
+    /// natural "what will production queries look like" distribution — a
+    /// high-degree endpoint is touched by more edges).
+    Sample {
+        /// Number of queries to draw (with replacement).
+        count: usize,
+        /// Sampling seed, independent of the algorithm seed.
+        seed: Seed,
+    },
+}
+
+impl QuerySource {
+    /// Shorthand for [`QuerySource::Sample`].
+    pub fn sample(count: usize, seed: Seed) -> Self {
+        QuerySource::Sample { count, seed }
+    }
+
+    /// Produces the query batch for `kind` over `oracle`.
+    ///
+    /// Sampled edge queries are normalized to `(min, max)` endpoint order
+    /// and skip isolated vertices by rejection; a pathological input with
+    /// almost no edges may yield fewer than `count` edge queries (the
+    /// rejection budget is `64 × count` attempts, so an empty result on a
+    /// non-degenerate graph indicates a broken oracle, not bad luck).
+    pub fn queries<O: Oracle>(self, kind: AlgorithmKind, oracle: &O) -> Vec<DynQuery> {
+        match (self, kind.query_kind()) {
+            (QuerySource::Exhaustive, QueryKind::Vertex) => (0..oracle.vertex_count())
+                .map(|v| DynQuery::Vertex(lca_graph::VertexId::new(v)))
+                .collect(),
+            (QuerySource::Exhaustive, QueryKind::Edge) => {
+                let mut out = Vec::new();
+                for u in 0..oracle.vertex_count() {
+                    let u = lca_graph::VertexId::new(u);
+                    let mut i = 0;
+                    while let Some(w) = oracle.neighbor(u, i) {
+                        if u < w {
+                            out.push(DynQuery::Edge(u, w));
+                        }
+                        i += 1;
+                    }
+                }
+                out
+            }
+            (QuerySource::Sample { count, seed }, QueryKind::Vertex) => {
+                let n = oracle.vertex_count();
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut rng = seed.derive(0x5153_5243).stream();
+                (0..count)
+                    .map(|_| {
+                        DynQuery::Vertex(
+                            lca_graph::VertexId::new(rng.next_below(n as u64) as usize),
+                        )
+                    })
+                    .collect()
+            }
+            (QuerySource::Sample { count, seed }, QueryKind::Edge) => {
+                let n = oracle.vertex_count();
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut rng = seed.derive(0x5153_5245).stream();
+                let mut out = Vec::with_capacity(count);
+                let mut attempts = 0usize;
+                while out.len() < count && attempts < count.saturating_mul(64) {
+                    attempts += 1;
+                    let v = lca_graph::VertexId::new(rng.next_below(n as u64) as usize);
+                    let d = oracle.degree(v);
+                    if d == 0 {
+                        continue;
+                    }
+                    let i = rng.next_below(d as u64) as usize;
+                    let Some(w) = oracle.neighbor(v, i) else {
+                        continue;
+                    };
+                    let (a, b) = if v < w { (v, w) } else { (w, v) };
+                    out.push(DynQuery::Edge(a, b));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ClassicKind;
+    use crate::registry::SpannerKind;
+    use lca_graph::gen::GnpBuilder;
+    use lca_graph::implicit::{ImplicitGnp, ImplicitOracle};
+
+    #[test]
+    fn exhaustive_matches_graph_enumeration() {
+        let g = GnpBuilder::new(60, 0.2).seed(Seed::new(1)).build();
+        let kind = AlgorithmKind::Spanner(SpannerKind::Three);
+        let from_source: std::collections::HashSet<_> = QuerySource::Exhaustive
+            .queries(kind, &g)
+            .into_iter()
+            .collect();
+        let from_graph: std::collections::HashSet<_> = kind.queries(&g).into_iter().collect();
+        assert_eq!(from_source, from_graph);
+
+        let verts = QuerySource::Exhaustive.queries(AlgorithmKind::Classic(ClassicKind::Mis), &g);
+        assert_eq!(verts.len(), 60);
+    }
+
+    #[test]
+    fn sampled_edges_are_real_edges_of_the_implicit_graph() {
+        let oracle = ImplicitGnp::new(5_000, 4.0, Seed::new(2));
+        let g = oracle.materialize();
+        let queries = QuerySource::sample(100, Seed::new(3))
+            .queries(AlgorithmKind::Spanner(SpannerKind::Three), &oracle);
+        assert_eq!(queries.len(), 100);
+        for q in queries {
+            let DynQuery::Edge(u, v) = q else {
+                panic!("expected edge query")
+            };
+            assert!(u < v, "not normalized");
+            assert!(g.has_edge(u, v), "sampled non-edge {u}-{v}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let oracle = ImplicitGnp::new(10_000, 3.0, Seed::new(4));
+        let kind = AlgorithmKind::Classic(ClassicKind::Mis);
+        let a = QuerySource::sample(50, Seed::new(5)).queries(kind, &oracle);
+        let b = QuerySource::sample(50, Seed::new(5)).queries(kind, &oracle);
+        let c = QuerySource::sample(50, Seed::new(6)).queries(kind, &oracle);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_batches() {
+        let g = lca_graph::GraphBuilder::new(0).build().unwrap();
+        for kind in [
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+        ] {
+            assert!(QuerySource::Exhaustive.queries(kind, &g).is_empty());
+            assert!(QuerySource::sample(10, Seed::new(1))
+                .queries(kind, &g)
+                .is_empty());
+        }
+        // Edgeless but non-empty: edge sampling gives up gracefully.
+        let iso = lca_graph::GraphBuilder::new(5).build().unwrap();
+        let edges = QuerySource::sample(10, Seed::new(1))
+            .queries(AlgorithmKind::Spanner(SpannerKind::Three), &iso);
+        assert!(edges.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Implicit-vs-materialized equivalence: for every implicit family and every
+//! registered algorithm, running against the generator-backed oracle must be
+//! indistinguishable from running against its materialized `Graph` — same
+//! answers *and* same probe transcripts.
+//!
+//! This is the executable form of the tentpole's contract: an implicit
+//! oracle is not "approximately" the graph, it *is* the graph, probe for
+//! probe; only the storage differs. Sizes stay ≤ 4096 so materialization is
+//! cheap.
+
+use lca::core::QueryEngine;
+use lca::prelude::*;
+use lca::probe::TracingOracle;
+
+/// Expands `$body` once per implicit family at test size, with `$oracle`
+/// bound to a concretely-typed oracle (a macro rather than a helper taking
+/// `&dyn ImplicitOracle`, because the registry needs the `Oracle` bound on
+/// the concrete type).
+macro_rules! with_families {
+    ($family:ident, $oracle:ident, $body:block) => {{
+        let seed = Seed::new(0xE0);
+        {
+            let $family = "regular";
+            let $oracle = ImplicitRegular::new(1024, 4, seed);
+            $body
+        }
+        {
+            let $family = "gnp";
+            let $oracle = ImplicitGnp::new(1024, 4.0, seed);
+            $body
+        }
+        {
+            let $family = "chung-lu";
+            let $oracle = ImplicitChungLu::power_law(1024, 2.5, 6.0, seed);
+            $body
+        }
+        {
+            let $family = "grid";
+            let $oracle = ImplicitGrid::new(32, 32);
+            $body
+        }
+        {
+            let $family = "torus";
+            let $oracle = ImplicitTorus::new(32, 32);
+            $body
+        }
+        {
+            let $family = "hypercube";
+            let $oracle = ImplicitHypercube::new(10);
+            $body
+        }
+    }};
+}
+
+#[test]
+fn all_algorithms_answer_identically_on_implicit_and_materialized() {
+    with_families!(family, oracle, {
+        let graph = oracle.materialize();
+        for kind in AlgorithmKind::all() {
+            let algo_seed = Seed::new(0x5EED);
+            // One shared query list for both sides (the classic LCAs
+            // memoize across queries, so a shared order keeps transcripts
+            // comparable; answers are order-independent by Definition 1.4).
+            let queries = kind.queries_from(&oracle, QuerySource::Exhaustive);
+            assert!(
+                !queries.is_empty(),
+                "{family}/{kind}: empty query set would make this test vacuous"
+            );
+
+            let implicit_algo = LcaBuilder::new(kind).seed(algo_seed).build(&oracle);
+            let materialized_algo = LcaBuilder::new(kind).seed(algo_seed).build(&graph);
+
+            let from_implicit = QueryEngine::serial().query_batch(&implicit_algo, &queries);
+            let from_graph = QueryEngine::serial().query_batch(&materialized_algo, &queries);
+            assert_eq!(
+                from_implicit, from_graph,
+                "{family}/{kind}: answers diverged between implicit and materialized"
+            );
+        }
+    });
+}
+
+#[test]
+fn probe_transcripts_match_between_implicit_and_materialized() {
+    with_families!(family, oracle, {
+        let graph = oracle.materialize();
+        for kind in AlgorithmKind::all() {
+            let algo_seed = Seed::new(0x7AC);
+            let queries: Vec<_> = kind
+                .queries_from(&oracle, QuerySource::Exhaustive)
+                .into_iter()
+                .take(300)
+                .collect();
+
+            let implicit_trace = TracingOracle::new(&oracle);
+            let implicit_algo = LcaBuilder::new(kind).seed(algo_seed).build(&implicit_trace);
+            for &q in &queries {
+                implicit_algo.query(q).unwrap();
+            }
+
+            let graph_trace = TracingOracle::new(&graph);
+            let materialized_algo = LcaBuilder::new(kind).seed(algo_seed).build(&graph_trace);
+            for &q in &queries {
+                materialized_algo.query(q).unwrap();
+            }
+
+            let a = implicit_trace.take_trace();
+            let b = graph_trace.take_trace();
+            assert_eq!(
+                a.len(),
+                b.len(),
+                "{family}/{kind}: transcript lengths diverged"
+            );
+            assert_eq!(
+                a,
+                b,
+                "{family}/{kind}: probe transcripts diverged (same length {})",
+                b.len()
+            );
+        }
+    });
+}
+
+#[test]
+fn parallel_engine_agrees_with_serial_on_implicit_oracles() {
+    // The acceptance path: query_batch over an implicit instance, sharded,
+    // must equal the serial answers.
+    let oracle = ImplicitGnp::new(4096, 4.0, Seed::new(0xE6));
+    for kind in [
+        AlgorithmKind::Classic(ClassicKind::Mis),
+        AlgorithmKind::Spanner(SpannerKind::Three),
+    ] {
+        let algo = LcaBuilder::new(kind).seed(Seed::new(9)).build(&oracle);
+        let queries = kind.queries_from(&oracle, QuerySource::sample(500, Seed::new(10)));
+        let serial = QueryEngine::serial().query_batch(&algo, &queries);
+        for threads in [2usize, 4, 8] {
+            let parallel = QueryEngine::with_threads(threads).query_batch(&algo, &queries);
+            assert_eq!(parallel, serial, "{kind} diverged at {threads} threads");
+        }
+    }
+}

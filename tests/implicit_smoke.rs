@@ -1,0 +1,66 @@
+//! Release-mode smoke: serve real query batches on an implicit G(n, c/n)
+//! oracle at n = 10⁸ and assert resident memory stays bounded — the proof
+//! that nothing in the serving path materializes the graph.
+//!
+//! Run explicitly (CI does):
+//! `cargo test --release --test implicit_smoke -- --ignored`
+//!
+//! The test is `#[ignore]`d in the default suite because in a debug build
+//! the per-probe generator arithmetic is ~20× slower and the point of the
+//! test is the memory envelope, not debug-mode throughput.
+
+use lca::core::QueryEngine;
+use lca::prelude::*;
+
+/// Peak resident set size (VmHWM) in bytes, if the platform exposes it.
+/// Mirrors `lca_bench::peak_rss_bytes`; kept local because depending on
+/// `lca-bench` from the facade's tests would create a dev-dependency cycle.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[test]
+#[ignore = "release-mode smoke job; run via: cargo test --release --test implicit_smoke -- --ignored"]
+fn implicit_batches_at_1e8_stay_within_memory_ceiling() {
+    const N: usize = 100_000_000;
+    // A materialized G(n, 4/n) at this n needs ≥ 4 GB for CSR + position
+    // index alone; the ceiling proves we never built one.
+    const RSS_CEILING: u64 = 1 << 30; // 1 GiB
+
+    let oracle = ImplicitGnp::new(N, 4.0, Seed::new(0x10E8));
+    let engine = QueryEngine::new();
+
+    // 1k-query MIS batch.
+    let mis_kind = AlgorithmKind::Classic(ClassicKind::Mis);
+    let mis = LcaBuilder::new(mis_kind).seed(Seed::new(1)).build(&oracle);
+    let mis_queries = mis_kind.queries_from(&oracle, QuerySource::sample(1_000, Seed::new(2)));
+    assert_eq!(mis_queries.len(), 1_000);
+    let answers = engine.query_batch(&mis, &mis_queries);
+    assert!(answers.iter().all(|a| a.is_ok()), "MIS batch had failures");
+    let in_mis = answers.iter().filter(|a| **a == Ok(true)).count();
+    assert!(in_mis > 0, "1000 sampled vertices and none in the MIS");
+
+    // 1k-query spanner batch.
+    let sp_kind = AlgorithmKind::Spanner(SpannerKind::Three);
+    let spanner = LcaBuilder::new(sp_kind).seed(Seed::new(3)).build(&oracle);
+    let sp_queries = sp_kind.queries_from(&oracle, QuerySource::sample(1_000, Seed::new(4)));
+    assert_eq!(sp_queries.len(), 1_000);
+    let answers = engine.query_batch(&spanner, &sp_queries);
+    assert!(
+        answers.iter().all(|a| a.is_ok()),
+        "spanner batch had failures"
+    );
+    // At average degree 4 ≪ √n every edge is low-class: all kept.
+    assert!(answers.iter().all(|a| *a == Ok(true)));
+
+    match peak_rss_bytes() {
+        Some(rss) => assert!(
+            rss < RSS_CEILING,
+            "peak RSS {rss} bytes exceeds the {RSS_CEILING}-byte ceiling — something materialized"
+        ),
+        None => eprintln!("VmHWM unavailable on this platform; RSS ceiling not enforced"),
+    }
+}
