@@ -9,6 +9,14 @@
 //! materialized graph — sampled query batches, measured probes, and peak
 //! RSS as the no-materialization witness.
 //! Run: `cargo run --release -p lca-bench --bin engine_report -- --implicit`
+//!
+//! With `--serve`, an `lca-serve` daemon is spun up in-process on an
+//! ephemeral port and driven end-to-end by the closed-loop load generator
+//! (mixed algorithm traffic over an implicit G(n, c/n) session per kind,
+//! every answer verified against a direct `LcaBuilder` query), then its
+//! `stats` are reported per session. See `docs/PROTOCOL.md` for the wire
+//! format.
+//! Run: `cargo run --release -p lca-bench --bin engine_report -- --serve`
 
 use std::time::Instant;
 
@@ -114,9 +122,132 @@ fn implicit_report() {
     println!("the 10^7-vertex input itself occupies zero bytes beyond its seed.)");
 }
 
+#[derive(serde::Serialize)]
+struct ServeRow {
+    session: String,
+    kind: String,
+    queries: u64,
+    qps: f64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    probes_p50: u64,
+    probes_p99: u64,
+    cache_hit_rate: f64,
+    errors: u64,
+}
+
+/// The `--serve` report: daemon + load generator end-to-end, in-process.
+fn serve_report() {
+    use lca_serve::loadgen::{self, LoadgenConfig};
+    use lca_serve::server::{bind, Server, ServerConfig};
+
+    let listener = bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = Server::new(ServerConfig::default());
+    let serve_loop = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve(listener).expect("serve loop"))
+    };
+
+    let cfg = LoadgenConfig {
+        requests: 4_000,
+        concurrency: 4,
+        kinds: vec![
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Classic(ClassicKind::Matching),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+            AlgorithmKind::Spanner(SpannerKind::Five),
+        ],
+        family: ImplicitFamily::Gnp,
+        n: 1_000_000,
+        seed: 0x11CC,
+        verify: true,
+        ..LoadgenConfig::default()
+    };
+    println!(
+        "serving report: lca-serve @ {addr}, {} requests x {} connections, implicit G(n = {}, c/n), verify on",
+        cfg.requests, cfg.concurrency, cfg.n
+    );
+    let run = loadgen::run(&addr, &cfg).expect("loadgen run");
+    loadgen::send_shutdown(&addr).expect("shutdown");
+    serve_loop.join().expect("drain");
+
+    let r = &run.report;
+    assert_eq!(r.errors, 0, "protocol errors during serve report");
+    assert_eq!(
+        r.mismatches, 0,
+        "served answers diverged from direct queries"
+    );
+    println!(
+        "loadgen: {} ok / {} requests, {:.0} qps, p50 {} µs, p99 {} µs, {} overloaded",
+        r.ok, r.requests, r.qps, r.p50_us, r.p99_us, r.overloaded
+    );
+    record_json("engine_report_serve_load", r);
+
+    let stats = run.server_stats.expect("server stats");
+    let sessions = stats.get("sessions").expect("sessions object");
+    let serde::Json::Obj(entries) = sessions else {
+        panic!("sessions is not an object")
+    };
+    let mut table = Table::new([
+        "session",
+        "kind",
+        "queries",
+        "qps",
+        "p50 µs",
+        "p99 µs",
+        "probes p50",
+        "probes p99",
+        "cache hit rate",
+        "errors",
+    ]);
+    let field = |s: &serde::Json, k: &str| s.get(k).and_then(serde::Json::as_u64).unwrap_or(0);
+    for (name, s) in entries {
+        let row = ServeRow {
+            session: name.clone(),
+            kind: s
+                .get("kind")
+                .and_then(serde::Json::as_str)
+                .unwrap_or("?")
+                .to_owned(),
+            queries: field(s, "queries"),
+            qps: s.get("qps").and_then(serde::Json::as_f64).unwrap_or(0.0),
+            latency_p50_us: field(s, "latency_p50_us"),
+            latency_p99_us: field(s, "latency_p99_us"),
+            probes_p50: field(s, "probes_p50"),
+            probes_p99: field(s, "probes_p99"),
+            cache_hit_rate: s
+                .get("cache_hit_rate")
+                .and_then(serde::Json::as_f64)
+                .unwrap_or(0.0),
+            errors: field(s, "errors"),
+        };
+        table.row([
+            row.session.clone(),
+            row.kind.clone(),
+            row.queries.to_string(),
+            format!("{:.0}", row.qps),
+            row.latency_p50_us.to_string(),
+            row.latency_p99_us.to_string(),
+            row.probes_p50.to_string(),
+            row.probes_p99.to_string(),
+            format!("{:.2}", row.cache_hit_rate),
+            row.errors.to_string(),
+        ]);
+        record_json("engine_report_serve", &row);
+    }
+    table.print("lca-serve end-to-end — per-session stats after the verified load run");
+    println!("\n(every answer was checked against a direct LcaBuilder query; latencies are");
+    println!("service time inside the daemon, the loadgen line above includes the wire.)");
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--implicit") {
         implicit_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--serve") {
+        serve_report();
         return;
     }
     let n = 600;

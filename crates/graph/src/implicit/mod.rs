@@ -111,6 +111,16 @@ impl<O: ImplicitOracle + ?Sized> ImplicitOracle for &O {
     }
 }
 
+impl<O: ImplicitOracle + ?Sized> ImplicitOracle for Box<O> {
+    fn family(&self) -> &'static str {
+        (**self).family()
+    }
+
+    fn materialize(&self) -> Graph {
+        (**self).materialize()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

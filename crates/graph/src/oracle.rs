@@ -60,6 +60,50 @@ impl Oracle for Graph {
     }
 }
 
+impl<O: Oracle + ?Sized> Oracle for Box<O> {
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        (**self).neighbor(v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        (**self).adjacency(u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        (**self).label(v)
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
+    fn vertex_count(&self) -> usize {
+        (**self).vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        (**self).degree(v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        (**self).neighbor(v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        (**self).adjacency(u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        (**self).label(v)
+    }
+}
+
 impl<O: Oracle + ?Sized> Oracle for &O {
     fn vertex_count(&self) -> usize {
         (**self).vertex_count()

@@ -85,6 +85,25 @@ impl CacheStats {
     pub fn hit_rate(&self) -> f64 {
         self.hits as f64 / (self.hits + self.misses) as f64
     }
+
+    /// Total probes that went through the cache (hits + misses).
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    /// Component-wise aggregation, so a serving layer can roll per-session
+    /// cache stats up into a fleet-wide view.
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            entries: self.entries + rhs.entries,
+        }
+    }
 }
 
 impl<O: Oracle> CachedOracle<O> {
@@ -262,6 +281,26 @@ mod tests {
             "capacity exceeded: {}",
             stats.entries
         );
+    }
+
+    #[test]
+    fn stats_aggregate_componentwise() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+        };
+        let b = CacheStats {
+            hits: 7,
+            misses: 9,
+            entries: 4,
+        };
+        let sum = a + b;
+        assert_eq!(sum.hits, 10);
+        assert_eq!(sum.misses, 10);
+        assert_eq!(sum.entries, 6);
+        assert_eq!(sum.requests(), 20);
+        assert_eq!(sum.hit_rate(), 0.5);
     }
 
     #[test]

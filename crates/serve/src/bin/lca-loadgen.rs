@@ -1,0 +1,160 @@
+//! The load generator.
+//!
+//! ```text
+//! lca-loadgen --addr 127.0.0.1:7400 [--requests 1000] [--concurrency 4]
+//!             [--mix mis,spanner3] [--family gnp] [--n 1000000] [--seed 7]
+//!             [--knob C] [--rate QPS] [--verify] [--session PREFIX]
+//!             [--pool N] [--shutdown]
+//! ```
+//!
+//! Drives an `lca-serve` daemon closed-loop (default) or open-loop
+//! (`--rate`), prints the machine-readable [`LoadReport`] as one JSON line,
+//! then the server's `stats` object on a second line. `--verify` recomputes
+//! every answer locally through `LcaBuilder` and counts mismatches;
+//! `--shutdown` drains the daemon afterwards. Exit code is nonzero when
+//! anything went wrong: protocol errors, mismatches, or zero throughput —
+//! which is what the CI smoke step asserts.
+
+use std::process::ExitCode;
+
+use lca::prelude::{AlgorithmKind, ImplicitFamily};
+use lca_serve::loadgen::{run, send_shutdown, LoadReport, LoadgenConfig};
+
+struct Args {
+    addr: String,
+    cfg: LoadgenConfig,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7400".to_owned(),
+        cfg: LoadgenConfig::default(),
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--requests" => {
+                args.cfg.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--concurrency" => {
+                args.cfg.concurrency = value("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--mix" => {
+                let spec = value("--mix")?;
+                let mut kinds = Vec::new();
+                for name in spec.split(',') {
+                    kinds.push(
+                        AlgorithmKind::parse(name.trim())
+                            .ok_or_else(|| format!("--mix: unknown kind {name:?}"))?,
+                    );
+                }
+                if kinds.is_empty() {
+                    return Err("--mix needs at least one kind".to_owned());
+                }
+                args.cfg.kinds = kinds;
+            }
+            "--family" => {
+                let name = value("--family")?;
+                args.cfg.family = ImplicitFamily::parse(&name)
+                    .ok_or_else(|| format!("--family: unknown family {name:?}"))?;
+            }
+            "--n" => args.cfg.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => {
+                args.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--knob" => {
+                args.cfg.knob = Some(
+                    value("--knob")?
+                        .parse()
+                        .map_err(|e| format!("--knob: {e}"))?,
+                )
+            }
+            "--rate" => {
+                args.cfg.rate = Some(
+                    value("--rate")?
+                        .parse()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                )
+            }
+            "--verify" => args.cfg.verify = true,
+            "--session" => args.cfg.session_prefix = value("--session")?,
+            "--pool" => {
+                args.cfg.query_pool = value("--pool")?
+                    .parse()
+                    .map_err(|e| format!("--pool: {e}"))?
+            }
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lca-loadgen --addr host:port [--requests N] [--concurrency C] \
+                     [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] [--rate QPS] \
+                     [--verify] [--session PREFIX] [--pool N] [--shutdown]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn healthy(report: &LoadReport) -> bool {
+    report.ok > 0 && report.qps > 0.0 && report.errors == 0 && report.mismatches == 0
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = run(&args.addr, &args.cfg);
+    if args.shutdown {
+        if let Err(e) = send_shutdown(&args.addr) {
+            eprintln!("shutdown request failed: {e}");
+        }
+    }
+    match outcome {
+        Ok(run) => {
+            // Reports are routinely piped (`| head`, `| jq`): a closed pipe
+            // must not panic the exit-code contract away.
+            use std::io::Write as _;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let report = serde_json::to_string(&run.report).expect("report renders");
+            let _ = writeln!(out, "{report}");
+            if let Some(stats) = &run.server_stats {
+                let mut line = String::new();
+                stats.render(&mut line);
+                let _ = writeln!(out, "{line}");
+            }
+            let _ = out.flush();
+            drop(out);
+            if healthy(&run.report) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "unhealthy run: ok={} errors={} mismatches={} qps={:.1}",
+                    run.report.ok, run.report.errors, run.report.mismatches, run.report.qps
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The serving daemon.
+//!
+//! ```text
+//! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N] [--stdin]
+//! ```
+//!
+//! TCP mode prints one `{"listening": "<addr>"}` line to stdout once bound
+//! (with `--addr host:0` the kernel picks the port — scrape it from that
+//! line), then serves until a `{"op": "shutdown"}` request drains it.
+//! `--stdin` serves requests from stdin to stdout instead — no socket, same
+//! protocol — which is what the docs examples and CI smoke use.
+//!
+//! Protocol reference: `docs/PROTOCOL.md`.
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+
+use lca_serve::server::{bind, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    config: ServerConfig,
+    stdin: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7400".to_owned(),
+        config: ServerConfig::default(),
+        stdin: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.config.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--stdin" => args.stdin = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lca-serve [--addr host:port] [--workers N] [--queue N] [--stdin]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Server::new(args.config);
+    if args.stdin {
+        server.serve_stdio();
+        return ExitCode::SUCCESS;
+    }
+    let listener = match bind(&*args.addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("{{\"listening\":\"{addr}\"}}"),
+        Err(e) => {
+            eprintln!("failed to read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.serve(listener) {
+        eprintln!("serve error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "drained: {} requests served, {} sessions resident",
+        server.global.requests.load(Ordering::Relaxed),
+        server.registry.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! `lca-serve` — a persistent query-serving daemon for local computation
+//! algorithms, plus its load generator.
+//!
+//! The paper's model is an online one: an LCA is a long-lived oracle
+//! answering an adversarial *stream* of queries about one fixed legal
+//! solution, consistently across queries (Rubinfeld et al., ICS 2011; Alon
+//! et al. for the bounded-state serving regime). The rest of the workspace
+//! can *construct* oracles at n = 10⁸ and *batch* queries; this crate is
+//! the process that stays up and serves them:
+//!
+//! * **Protocol** ([`proto`]) — newline-JSON over TCP or stdin; one request
+//!   line in, one response line out. Spec: `docs/PROTOCOL.md`.
+//! * **Sessions** ([`session`]) — lazily built, pinned
+//!   `(kind, family, n, seed)` instances, each owning an algorithm over a
+//!   `CountingOracle → CachedOracle → implicit oracle` stack.
+//! * **Admission** ([`pool`]) — a fixed worker pool behind a bounded queue;
+//!   a full queue answers `overloaded` instead of buffering unboundedly.
+//! * **Metrics** ([`metrics`]) — per-session and global qps, log₂ latency
+//!   and probe histograms (p50/p99), cache hit rates; served by the
+//!   `stats` request.
+//! * **Server** ([`server`]) — the daemon loop with graceful drain.
+//! * **Load generator** ([`loadgen`]) — closed/open-loop driver with a
+//!   machine-readable throughput report and optional answer verification
+//!   against direct [`lca::prelude::LcaBuilder`] queries.
+//!
+//! Binaries: `lca-serve` (the daemon) and `lca-loadgen` (the driver); see
+//! the serving section of `examples/quickstart.rs` for one-liners.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod pool;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+use lca_rand::Seed;
+
+/// The input oracle's seed for a session seed: the two sides of a session
+/// (random input, random algorithm choices) draw from independent derived
+/// streams so neither can correlate with the other.
+pub fn input_seed(seed: u64) -> Seed {
+    Seed::new(seed).derive(0x494E_5055) // "INPU"
+}
+
+/// The algorithm's seed for a session seed — see [`input_seed`].
+pub fn algo_seed(seed: u64) -> Seed {
+    Seed::new(seed).derive(0x414C_474F) // "ALGO"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivations_are_distinct_and_deterministic() {
+        assert_eq!(input_seed(7), input_seed(7));
+        assert_eq!(algo_seed(7), algo_seed(7));
+        assert_ne!(input_seed(7), algo_seed(7));
+        assert_ne!(input_seed(7), input_seed(8));
+    }
+}

@@ -1,0 +1,593 @@
+//! The load generator: drive an `lca-serve` daemon and report throughput.
+//!
+//! Works closed-loop (each of `concurrency` connections keeps exactly one
+//! request in flight — the classic saturation probe) or open-loop
+//! (`rate` targets an offered load in requests/second; a per-connection
+//! reader thread matches responses to requests by `id`, so slow responses
+//! queue instead of slowing the arrival process). Queries are sampled
+//! client-side from the *same* implicit oracle the server builds — the
+//! generator needs only `(family, n, seed)` to produce valid vertex and
+//! edge queries, which is the whole point of implicit inputs.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lca::core::DynQuery;
+use lca::prelude::*;
+use serde::Json;
+
+use crate::proto::QueryPayload;
+use crate::{algo_seed, input_seed};
+
+/// What to throw at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Total requests to send across all connections.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Query mix: round-robin across these kinds (one session per kind).
+    pub kinds: Vec<AlgorithmKind>,
+    /// Input family for every session.
+    pub family: ImplicitFamily,
+    /// Vertex count of every session.
+    pub n: usize,
+    /// Session seed (input and algorithm seeds derive from it).
+    pub seed: u64,
+    /// Family shape knob, forwarded verbatim.
+    pub knob: Option<f64>,
+    /// `Some(rate)` = open loop at `rate` requests/second total;
+    /// `None` = closed loop.
+    pub rate: Option<f64>,
+    /// Recompute every answer locally and count mismatches (the acceptance
+    /// check: served answers must equal direct `LcaBuilder` queries).
+    pub verify: bool,
+    /// Session names are `{prefix}-{kind}`.
+    pub session_prefix: String,
+    /// Distinct queries sampled per kind (requests cycle through them, so
+    /// smaller pools produce hotter, more cacheable traffic).
+    pub query_pool: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            requests: 1_000,
+            concurrency: 4,
+            kinds: vec![AlgorithmKind::Classic(ClassicKind::Mis)],
+            family: ImplicitFamily::Gnp,
+            n: 1_000_000,
+            seed: 7,
+            knob: None,
+            rate: None,
+            verify: false,
+            session_prefix: "loadgen".to_owned(),
+            query_pool: 256,
+        }
+    }
+}
+
+/// The machine-readable throughput report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// Requests answered with an `answer` field.
+    pub ok: u64,
+    /// YES answers among them.
+    pub yes: u64,
+    /// Protocol errors (anything with an `error` field except
+    /// `overloaded`), plus transport failures.
+    pub errors: u64,
+    /// `overloaded` bounces observed (closed loop retries them; open loop
+    /// counts and moves on).
+    pub overloaded: u64,
+    /// Answers that contradicted a direct local computation (only counted
+    /// with [`LoadgenConfig::verify`]).
+    pub mismatches: u64,
+    /// Total probes the server reported across all answers.
+    pub probes: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed_s: f64,
+    /// Answered requests per second.
+    pub qps: f64,
+    /// Median response latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile response latency, microseconds.
+    pub p99_us: u64,
+    /// Mean response latency, microseconds.
+    pub mean_us: f64,
+}
+
+/// A finished run: the report plus the server's own `stats` object,
+/// fetched after the last response.
+#[derive(Debug, Clone)]
+pub struct LoadRun {
+    /// Client-side throughput report.
+    pub report: LoadReport,
+    /// The daemon's `stats` response (`None` if the fetch failed).
+    pub server_stats: Option<Json>,
+}
+
+/// One kind's prepared traffic: session name, request-line prefix with the
+/// full spec, sampled query pool, and (under `verify`) expected answers.
+struct KindPlan {
+    session: String,
+    spec_fields: String,
+    queries: Vec<QueryPayload>,
+    expected: Vec<bool>,
+}
+
+fn payload_json(q: QueryPayload) -> String {
+    match q {
+        QueryPayload::Vertex(v) => format!("{v}"),
+        QueryPayload::Edge(u, v) => format!("[{u},{v}]"),
+    }
+}
+
+fn prepare(cfg: &LoadgenConfig) -> Vec<KindPlan> {
+    let oracle = cfg.family.build_with(cfg.n, input_seed(cfg.seed), cfg.knob);
+    cfg.kinds
+        .iter()
+        .enumerate()
+        .map(|(ki, &kind)| {
+            let sample_seed = Seed::new(cfg.seed).derive2(0x5156_504F_4F4C, ki as u64);
+            let queries: Vec<QueryPayload> =
+                QuerySource::sample(cfg.query_pool.max(1), sample_seed)
+                    .queries(kind, &oracle)
+                    .into_iter()
+                    .map(|q| match q {
+                        DynQuery::Vertex(v) => QueryPayload::Vertex(v.raw() as u64),
+                        DynQuery::Edge(u, v) => QueryPayload::Edge(u.raw() as u64, v.raw() as u64),
+                    })
+                    .collect();
+            let expected = if cfg.verify {
+                let algo = LcaBuilder::new(kind)
+                    .seed(algo_seed(cfg.seed))
+                    .build(&oracle);
+                queries
+                    .iter()
+                    .map(|&q| {
+                        let dyn_q = match q {
+                            QueryPayload::Vertex(v) => {
+                                DynQuery::Vertex(lca_graph::VertexId::new(v as usize))
+                            }
+                            QueryPayload::Edge(u, v) => DynQuery::Edge(
+                                lca_graph::VertexId::new(u as usize),
+                                lca_graph::VertexId::new(v as usize),
+                            ),
+                        };
+                        algo.query(dyn_q).expect("local verification query failed")
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut spec_fields = format!(
+                "\"kind\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{}",
+                kind.name(),
+                cfg.family.name(),
+                cfg.n,
+                cfg.seed
+            );
+            if let Some(knob) = cfg.knob {
+                spec_fields.push_str(&format!(",\"knob\":{knob}"));
+            }
+            KindPlan {
+                session: format!("{}-{}", cfg.session_prefix, kind.name()),
+                spec_fields,
+                queries,
+                expected,
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    yes: u64,
+    errors: u64,
+    overloaded: u64,
+    mismatches: u64,
+    probes: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn merge(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.yes += other.yes;
+        self.errors += other.errors;
+        self.overloaded += other.overloaded;
+        self.mismatches += other.mismatches;
+        self.probes += other.probes;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    /// Classifies one response line; `expected` is the locally recomputed
+    /// answer under `verify`. Returns `true` when the request should be
+    /// retried (closed-loop overload).
+    fn absorb(&mut self, line: &str, expected: Option<bool>, micros: u64) -> bool {
+        let Ok(v) = serde_json::from_str(line) else {
+            self.errors += 1;
+            return false;
+        };
+        if let Some(err) = v.get("error").and_then(Json::as_str) {
+            if err == "overloaded" {
+                self.overloaded += 1;
+                return true;
+            }
+            self.errors += 1;
+            return false;
+        }
+        match v.get("answer").and_then(Json::as_bool) {
+            Some(answer) => {
+                self.ok += 1;
+                self.yes += u64::from(answer);
+                self.probes += v.get("probes").and_then(Json::as_u64).unwrap_or(0);
+                self.latencies_us.push(micros);
+                if let Some(expected) = expected {
+                    if answer != expected {
+                        self.mismatches += 1;
+                    }
+                }
+                false
+            }
+            None => {
+                self.errors += 1;
+                false
+            }
+        }
+    }
+}
+
+fn request_line(plan: &KindPlan, query_idx: usize, id: u64) -> String {
+    // The session name carries the user-supplied --session prefix: render
+    // it through the JSON writer so quotes/backslashes stay well-formed.
+    let mut session = String::new();
+    Json::Str(plan.session.clone()).render(&mut session);
+    format!(
+        "{{\"id\":{id},\"session\":{session},{},\"query\":{}}}",
+        plan.spec_fields,
+        payload_json(plan.queries[query_idx])
+    )
+}
+
+/// The locally recomputed answer for global request `id` — same
+/// [`schedule`] mapping the senders use, so `--verify` can never drift
+/// from the traffic layout.
+fn expected_answer(id: u64, plans: &[KindPlan], verify: bool) -> Option<bool> {
+    if !verify {
+        return None;
+    }
+    let (ki, qi) = schedule(id as usize, plans);
+    Some(plans[ki].expected[qi])
+}
+
+/// `(kind index, query index)` served by global request number `i`.
+fn schedule(i: usize, plans: &[KindPlan]) -> (usize, usize) {
+    let ki = i % plans.len();
+    let qi = (i / plans.len()) % plans[ki].queries.len();
+    (ki, qi)
+}
+
+fn closed_loop_worker(
+    addr: &str,
+    plans: &[KindPlan],
+    cfg: &LoadgenConfig,
+    counter: &AtomicUsize,
+) -> io::Result<Tally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = Tally::default();
+    let mut line = String::new();
+    loop {
+        let i = counter.fetch_add(1, Ordering::Relaxed);
+        if i >= cfg.requests {
+            break;
+        }
+        let (ki, qi) = schedule(i, plans);
+        let request = request_line(&plans[ki], qi, i as u64);
+        let expected = expected_answer(i as u64, plans, cfg.verify);
+        // Closed loop: bounce on overload, back off briefly, retry — every
+        // request eventually lands, which the verification relies on.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let start = Instant::now();
+            writer.write_all(request.as_bytes())?;
+            writer.write_all(b"\n")?;
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                tally.errors += 1;
+                return Ok(tally);
+            }
+            let micros = start.elapsed().as_micros() as u64;
+            let retry = tally.absorb(line.trim(), expected, micros);
+            if !retry {
+                break;
+            }
+            if attempts > 1_000 {
+                tally.errors += 1;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    Ok(tally)
+}
+
+fn open_loop_worker(
+    addr: &str,
+    plans: &[KindPlan],
+    cfg: &LoadgenConfig,
+    counter: &AtomicUsize,
+    gap: Duration,
+) -> io::Result<Tally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let reader_stream = stream.try_clone()?;
+
+    let in_flight: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::new());
+    let sent = AtomicU64::new(0);
+
+    let tally = std::thread::scope(|s| {
+        // Reader: match responses to send times by id, deriving the
+        // expected answer from the same schedule() the sender used.
+        let reader_handle = s.spawn(|| {
+            let mut reader = BufReader::new(reader_stream);
+            let mut tally = Tally::default();
+            let mut line = String::new();
+            let mut received: u64 = 0;
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        let trimmed = line.trim();
+                        let (expected, micros) = match serde_json::from_str(trimmed)
+                            .ok()
+                            .and_then(|v| v.get("id").and_then(Json::as_u64))
+                        {
+                            Some(id) => {
+                                let started = in_flight.lock().expect("poisoned").remove(&id);
+                                (
+                                    expected_answer(id, plans, cfg.verify),
+                                    started.map_or(0, |t| t.elapsed().as_micros() as u64),
+                                )
+                            }
+                            None => (None, 0),
+                        };
+                        tally.absorb(trimmed, expected, micros);
+                        received += 1;
+                        // All sends done and all responses in: stop.
+                        let total = sent.load(Ordering::Acquire);
+                        if total > 0 && received >= total {
+                            break;
+                        }
+                    }
+                }
+            }
+            tally
+        });
+
+        let mut next_send = Instant::now();
+        let mut my_sends: u64 = 0;
+        let mut send_result: io::Result<()> = Ok(());
+        loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= cfg.requests {
+                break;
+            }
+            let (ki, qi) = schedule(i, plans);
+            let request = request_line(&plans[ki], qi, i as u64);
+            let now = Instant::now();
+            if next_send > now {
+                std::thread::sleep(next_send - now);
+            }
+            next_send += gap;
+            in_flight
+                .lock()
+                .expect("poisoned")
+                .insert(i as u64, Instant::now());
+            if let Err(e) = writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+            {
+                send_result = Err(e);
+                break;
+            }
+            my_sends += 1;
+        }
+        // Publish the final send count, then give the reader a bounded
+        // grace period (reads time out against the closed write half).
+        sent.store(my_sends, Ordering::Release);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let tally = reader_handle.join().expect("loadgen reader panicked");
+        send_result.map(|()| tally)
+    })?;
+    Ok(tally)
+}
+
+/// Runs the configured load against a daemon at `addr` and collects the
+/// report plus the server's post-run `stats`.
+///
+/// # Errors
+///
+/// Fails on connection/transport errors; protocol-level failures are
+/// counted in the report instead.
+pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
+    assert!(!cfg.kinds.is_empty(), "need at least one kind in the mix");
+    let plans = prepare(cfg);
+    for plan in &plans {
+        assert!(
+            !plan.queries.is_empty(),
+            "query sampling produced nothing for session {} — degenerate input?",
+            plan.session
+        );
+    }
+    let counter = AtomicUsize::new(0);
+    let start = Instant::now();
+    let gap = cfg
+        .rate
+        .map(|r| Duration::from_secs_f64(cfg.concurrency.max(1) as f64 / r.max(1e-9)));
+    let tallies: Vec<io::Result<Tally>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.concurrency.max(1))
+            .map(|_| {
+                let plans = &plans;
+                let counter = &counter;
+                s.spawn(move || match gap {
+                    None => closed_loop_worker(addr, plans, cfg, counter),
+                    Some(gap) => open_loop_worker(addr, plans, cfg, counter, gap),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let mut total = Tally::default();
+    for tally in tallies {
+        total.merge(tally?);
+    }
+    total.latencies_us.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if total.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * total.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, total.latencies_us.len());
+        total.latencies_us[rank - 1]
+    };
+    let mean_us = if total.latencies_us.is_empty() {
+        0.0
+    } else {
+        total.latencies_us.iter().sum::<u64>() as f64 / total.latencies_us.len() as f64
+    };
+    let report = LoadReport {
+        requests: cfg.requests,
+        ok: total.ok,
+        yes: total.yes,
+        errors: total.errors,
+        overloaded: total.overloaded,
+        mismatches: total.mismatches,
+        probes: total.probes,
+        elapsed_s,
+        qps: if elapsed_s > 0.0 {
+            total.ok as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_us: pct(0.5),
+        p99_us: pct(0.99),
+        mean_us,
+    };
+    let server_stats = fetch_stats(addr).ok();
+    Ok(LoadRun {
+        report,
+        server_stats,
+    })
+}
+
+/// Sends a `stats` request on a fresh connection and parses the reply.
+pub fn fetch_stats(addr: &str) -> io::Result<Json> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"{\"op\":\"stats\"}\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    serde_json::from_str(line.trim())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Sends a `shutdown` request, starting the daemon's graceful drain.
+pub fn send_shutdown(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(b"{\"op\":\"shutdown\"}\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_cycles_kinds_then_queries() {
+        let cfg = LoadgenConfig {
+            n: 2_000,
+            kinds: vec![
+                AlgorithmKind::Classic(ClassicKind::Mis),
+                AlgorithmKind::Spanner(SpannerKind::Three),
+            ],
+            query_pool: 4,
+            ..LoadgenConfig::default()
+        };
+        let plans = prepare(&cfg);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(schedule(0, &plans), (0, 0));
+        assert_eq!(schedule(1, &plans), (1, 0));
+        assert_eq!(schedule(2, &plans), (0, 1));
+        assert_eq!(schedule(9, &plans), (1, 0)); // wrapped: pool of 4
+    }
+
+    #[test]
+    fn prepared_requests_are_valid_protocol_lines() {
+        let cfg = LoadgenConfig {
+            n: 5_000,
+            verify: true,
+            query_pool: 8,
+            kinds: vec![AlgorithmKind::Classic(ClassicKind::Mis)],
+            ..LoadgenConfig::default()
+        };
+        let plans = prepare(&cfg);
+        assert_eq!(plans[0].expected.len(), plans[0].queries.len());
+        let line = request_line(&plans[0], 3, 42);
+        let req = crate::proto::Request::parse(&line).unwrap();
+        let crate::proto::Request::Query {
+            session,
+            spec,
+            queries,
+            id,
+        } = req
+        else {
+            panic!("not a query")
+        };
+        assert_eq!(session, "loadgen-mis");
+        assert_eq!(id, Some(42));
+        assert_eq!(spec.unwrap().n, 5_000);
+        assert_eq!(queries, vec![plans[0].queries[3]]);
+    }
+
+    #[test]
+    fn tally_classifies_responses() {
+        let mut t = Tally::default();
+        assert!(!t.absorb(r#"{"answer":true,"probes":5}"#, Some(true), 10));
+        assert!(!t.absorb(r#"{"answer":false,"probes":2}"#, Some(true), 20));
+        assert!(t.absorb(r#"{"error":"overloaded","message":"x"}"#, None, 0));
+        assert!(!t.absorb(r#"{"error":"bad-query","message":"x"}"#, None, 0));
+        assert!(!t.absorb("garbage", None, 0));
+        assert_eq!(t.ok, 2);
+        assert_eq!(t.yes, 1);
+        assert_eq!(t.mismatches, 1);
+        assert_eq!(t.overloaded, 1);
+        assert_eq!(t.errors, 2);
+        assert_eq!(t.probes, 7);
+        assert_eq!(t.latencies_us, vec![10, 20]);
+    }
+}

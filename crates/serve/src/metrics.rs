@@ -1,0 +1,289 @@
+//! Lock-free serving metrics: latency/probe histograms, per-session and
+//! global counters, and the JSON rendering behind the `stats` request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::Json;
+
+/// A log₂-bucketed histogram over `u64` samples (latencies in µs, probes
+/// per query). Recording is one relaxed atomic increment; quantiles are
+/// read as the upper bound of the covering bucket, so they are exact to
+/// within a factor of two — the right fidelity for a serving dashboard at
+/// zero contention cost.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(value: u64) -> usize {
+        // value 0 → bucket 0; otherwise 1 + ⌊log₂ v⌋ (bucket upper bound 2^i - 1).
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean of recorded samples (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the covering
+    /// bucket; `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Counters for one serving session.
+#[derive(Debug, Default)]
+pub struct SessionMetrics {
+    /// Queries answered (batch requests count each contained query).
+    pub queries: AtomicU64,
+    /// YES answers among them.
+    pub yes: AtomicU64,
+    /// Requests rejected with an error inside the session (bad query
+    /// range/shape).
+    pub errors: AtomicU64,
+    /// Service-time histogram, microseconds per request.
+    pub latency_us: Histogram,
+    /// Probe-cost histogram, probes per request.
+    pub probes: Histogram,
+}
+
+impl SessionMetrics {
+    /// Records one answered request.
+    pub fn record(&self, queries: u64, yes: u64, micros: u64, probes: u64) {
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.yes.fetch_add(yes, Ordering::Relaxed);
+        self.latency_us.record(micros);
+        self.probes.record(probes);
+    }
+
+    /// Records one failed request.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Whole-process counters (everything not attributable to one session).
+#[derive(Debug)]
+pub struct GlobalMetrics {
+    /// Requests parsed off the wire (any op).
+    pub requests: AtomicU64,
+    /// Lines that failed to parse.
+    pub parse_errors: AtomicU64,
+    /// Query requests bounced with `overloaded`.
+    pub overloaded: AtomicU64,
+    /// Connections accepted over TCP.
+    pub connections: AtomicU64,
+    /// Process start, for uptime/qps.
+    pub started: Instant,
+}
+
+impl Default for GlobalMetrics {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+fn num(x: u64) -> Json {
+    Json::Num(x as f64)
+}
+
+/// Renders one session's stats object (the `sessions` map values of the
+/// `stats` response).
+pub fn session_stats_json(
+    metrics: &SessionMetrics,
+    cache: lca_probe::CacheStats,
+    probe_totals: lca_probe::ProbeCounts,
+    uptime_s: f64,
+) -> Json {
+    let queries = metrics.queries.load(Ordering::Relaxed);
+    Json::Obj(vec![
+        ("queries".into(), num(queries)),
+        ("yes".into(), num(metrics.yes.load(Ordering::Relaxed))),
+        ("errors".into(), num(metrics.errors.load(Ordering::Relaxed))),
+        (
+            "qps".into(),
+            Json::Num(if uptime_s > 0.0 {
+                queries as f64 / uptime_s
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "latency_p50_us".into(),
+            num(metrics.latency_us.quantile(0.5)),
+        ),
+        (
+            "latency_p99_us".into(),
+            num(metrics.latency_us.quantile(0.99)),
+        ),
+        (
+            "latency_mean_us".into(),
+            Json::Num(metrics.latency_us.mean()),
+        ),
+        ("probes_p50".into(), num(metrics.probes.quantile(0.5))),
+        ("probes_p99".into(), num(metrics.probes.quantile(0.99))),
+        ("probes_total".into(), num(probe_totals.total())),
+        ("cache_hits".into(), num(cache.hits)),
+        ("cache_misses".into(), num(cache.misses)),
+        ("cache_entries".into(), num(cache.entries as u64)),
+        (
+            "cache_hit_rate".into(),
+            // NaN renders as null; keep 0 for "no traffic yet" instead.
+            Json::Num(if cache.requests() == 0 {
+                0.0
+            } else {
+                cache.hit_rate()
+            }),
+        ),
+    ])
+}
+
+/// Renders the global half of the `stats` response.
+pub fn global_stats_json(global: &GlobalMetrics, queue_len: usize, draining: bool) -> Json {
+    let uptime_s = global.started.elapsed().as_secs_f64();
+    let requests = global.requests.load(Ordering::Relaxed);
+    Json::Obj(vec![
+        ("uptime_s".into(), Json::Num(uptime_s)),
+        ("requests".into(), num(requests)),
+        (
+            "qps".into(),
+            Json::Num(if uptime_s > 0.0 {
+                requests as f64 / uptime_s
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "parse_errors".into(),
+            num(global.parse_errors.load(Ordering::Relaxed)),
+        ),
+        (
+            "overloaded".into(),
+            num(global.overloaded.load(Ordering::Relaxed)),
+        ),
+        (
+            "connections".into(),
+            num(global.connections.load(Ordering::Relaxed)),
+        ),
+        ("queue_len".into(), num(queue_len as u64)),
+        ("draining".into(), Json::Bool(draining)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert!(h.mean() > 0.0);
+        // p50 covers the 4th sample (3) → bucket upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 covers 1000 → upper bound 1023.
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn zero_and_max_bucket_edges() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(1.0), 0);
+        h.record(u64::MAX);
+        // The top bucket's upper bound saturates.
+        assert!(h.quantile(1.0) >= (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn stats_render_without_traffic() {
+        let m = SessionMetrics::default();
+        let json = session_stats_json(
+            &m,
+            lca_probe::CacheStats {
+                hits: 0,
+                misses: 0,
+                entries: 0,
+            },
+            lca_probe::ProbeCounts::default(),
+            0.0,
+        );
+        let mut s = String::new();
+        json.render(&mut s);
+        assert!(s.contains("\"cache_hit_rate\":0"), "{s}");
+        assert!(s.contains("\"qps\":0"), "{s}");
+    }
+}

@@ -1,0 +1,558 @@
+//! The newline-JSON wire protocol.
+//!
+//! One request per line, one response line per request — the full field
+//! reference with `nc` examples lives in `docs/PROTOCOL.md`. This module
+//! owns parsing ([`Request::parse`]) and rendering ([`Response`]); it knows
+//! nothing about sockets or sessions.
+
+use lca::prelude::{AlgorithmKind, ImplicitFamily};
+use serde::Json;
+
+/// A parsed session specification: the four scalars (plus one optional
+/// knob) that pin a served instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Which algorithm answers the session's queries.
+    pub kind: AlgorithmKind,
+    /// Which implicit input family backs the session.
+    pub family: ImplicitFamily,
+    /// Requested vertex count (lattice families round it; see
+    /// [`ImplicitFamily::build_with`]).
+    pub n: usize,
+    /// The session seed; input and algorithm seeds are derived from it (see
+    /// [`crate::input_seed`] / [`crate::algo_seed`]).
+    pub seed: u64,
+    /// Family shape knob (expected degree for `gnp`, degree for `regular`,
+    /// average degree for `chung-lu`).
+    pub knob: Option<f64>,
+}
+
+/// One query payload: a vertex id or a normalized edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPayload {
+    /// A vertex-subset query (`"query": 42`).
+    Vertex(u64),
+    /// An edge-subgraph query (`"query": [3, 17]`).
+    Edge(u64, u64),
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Answer one query (or a batch) within a session.
+    Query {
+        /// Client-chosen session name.
+        session: String,
+        /// Instance spec; required the first time a session name is used,
+        /// validated against the pinned instance afterwards when present.
+        spec: Option<SessionSpec>,
+        /// The queries to answer (singular `query` parses to a 1-batch).
+        queries: Vec<QueryPayload>,
+        /// Echoed verbatim in the response, for request/response matching
+        /// over pipelined connections.
+        id: Option<u64>,
+    },
+    /// Report global and per-session metrics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Begin a graceful drain: stop accepting, finish queued work, exit.
+    Shutdown,
+}
+
+/// Machine-readable error classes of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON or missing/ill-typed fields.
+    BadRequest,
+    /// `kind`/`family` did not parse, or the spec is unusable.
+    UnknownSpec,
+    /// Session name used before being specified.
+    UnknownSession,
+    /// Spec fields contradict the session's pinned instance.
+    SessionMismatch,
+    /// Query out of the instance's vertex range, or wrong shape.
+    BadQuery,
+    /// Admission queue full — retry later.
+    Overloaded,
+    /// The server is draining and no longer accepts queries.
+    Draining,
+    /// The query panicked inside the worker — a server bug, not a client
+    /// one; the session stays usable.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownSpec => "unknown-spec",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::SessionMismatch => "session-mismatch",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A response line, ready to render.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful answer to a 1-query request.
+    Answer {
+        /// Echo of the request `id`, if one was sent.
+        id: Option<u64>,
+        /// The session that answered.
+        session: String,
+        /// The LCA's answer.
+        answer: bool,
+        /// Oracle probes spent on this request (approximate when the same
+        /// session is being queried concurrently).
+        probes: u64,
+        /// Wall-clock service time in microseconds (queue wait excluded).
+        micros: u64,
+    },
+    /// A successful answer to a batch request.
+    Answers {
+        /// Echo of the request `id`, if one was sent.
+        id: Option<u64>,
+        /// The session that answered.
+        session: String,
+        /// Per-query answers, in request order.
+        answers: Vec<bool>,
+        /// Oracle probes spent on this request.
+        probes: u64,
+        /// Wall-clock service time in microseconds.
+        micros: u64,
+    },
+    /// Any failure, including backpressure.
+    Error {
+        /// Echo of the request `id`, if one was parsed.
+        id: Option<u64>,
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Reply to `ping` and `shutdown`.
+    Ok {
+        /// `true` iff this reply acknowledges a shutdown (drain started).
+        draining: bool,
+    },
+    /// Reply to `stats`: a pre-rendered JSON object (built by the metrics
+    /// module, which owns the schema).
+    Stats(Json),
+}
+
+impl Response {
+    /// Renders the response as one compact JSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        let json = match self {
+            Response::Answer {
+                id,
+                session,
+                answer,
+                probes,
+                micros,
+            } => {
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id".to_owned(), Json::Num(*id as f64)));
+                }
+                fields.push(("session".to_owned(), Json::Str(session.clone())));
+                fields.push(("answer".to_owned(), Json::Bool(*answer)));
+                fields.push(("probes".to_owned(), Json::Num(*probes as f64)));
+                fields.push(("micros".to_owned(), Json::Num(*micros as f64)));
+                Json::Obj(fields)
+            }
+            Response::Answers {
+                id,
+                session,
+                answers,
+                probes,
+                micros,
+            } => {
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id".to_owned(), Json::Num(*id as f64)));
+                }
+                fields.push(("session".to_owned(), Json::Str(session.clone())));
+                fields.push((
+                    "answers".to_owned(),
+                    Json::Arr(answers.iter().map(|a| Json::Bool(*a)).collect()),
+                ));
+                fields.push(("probes".to_owned(), Json::Num(*probes as f64)));
+                fields.push(("micros".to_owned(), Json::Num(*micros as f64)));
+                Json::Obj(fields)
+            }
+            Response::Error { id, code, message } => {
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id".to_owned(), Json::Num(*id as f64)));
+                }
+                fields.push(("error".to_owned(), Json::Str(code.as_str().to_owned())));
+                fields.push(("message".to_owned(), Json::Str(message.clone())));
+                Json::Obj(fields)
+            }
+            Response::Ok { draining } => Json::Obj(vec![
+                ("ok".to_owned(), Json::Bool(true)),
+                ("draining".to_owned(), Json::Bool(*draining)),
+            ]),
+            Response::Stats(json) => json.clone(),
+        };
+        let mut out = String::new();
+        json.render(&mut out);
+        out
+    }
+
+    /// Shorthand for an [`ErrorCode::Overloaded`] response.
+    pub fn overloaded(id: Option<u64>) -> Response {
+        Response::Error {
+            id,
+            code: ErrorCode::Overloaded,
+            message: "admission queue full, retry later".to_owned(),
+        }
+    }
+}
+
+/// A parse failure: the error response to send plus nothing else — parsing
+/// never has side effects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Request id, when one could be extracted before the failure.
+    pub id: Option<u64>,
+    /// Error class.
+    pub code: ErrorCode,
+    /// Detail message.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(id: Option<u64>, code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The response line for this failure.
+    pub fn response(&self) -> Response {
+        Response::Error {
+            id: self.id,
+            code: self.code,
+            message: self.message.clone(),
+        }
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// The `op` field selects the request type and defaults to `"query"`.
+    /// A query request needs `session` plus either `query` (one vertex id
+    /// or `[u, v]` edge) or `queries` (an array of those); `kind`, `n` and
+    /// optionally `family`/`seed`/`knob` describe the instance and are
+    /// required the first time a session name is used.
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let v = serde_json::from_str(line)
+            .map_err(|e| ParseError::new(None, ErrorCode::BadRequest, e.to_string()))?;
+        let id = v.get("id").and_then(Json::as_u64);
+        let op = v.get("op").and_then(Json::as_str).unwrap_or("query");
+        match op {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "query" => Self::parse_query(&v, id),
+            other => Err(ParseError::new(
+                id,
+                ErrorCode::BadRequest,
+                format!("unknown op {other:?}"),
+            )),
+        }
+    }
+
+    fn parse_query(v: &Json, id: Option<u64>) -> Result<Request, ParseError> {
+        let session = v
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                ParseError::new(id, ErrorCode::BadRequest, "missing string field `session`")
+            })?
+            .to_owned();
+
+        let spec = Self::parse_spec(v, id)?;
+
+        let mut queries = Vec::new();
+        match (v.get("query"), v.get("queries")) {
+            (Some(q), None) => queries.push(Self::parse_payload(q, id)?),
+            (None, Some(qs)) => {
+                let items = qs.as_array().ok_or_else(|| {
+                    ParseError::new(id, ErrorCode::BadRequest, "`queries` must be an array")
+                })?;
+                if items.is_empty() {
+                    return Err(ParseError::new(
+                        id,
+                        ErrorCode::BadRequest,
+                        "`queries` must not be empty",
+                    ));
+                }
+                for q in items {
+                    queries.push(Self::parse_payload(q, id)?);
+                }
+            }
+            (Some(_), Some(_)) => {
+                return Err(ParseError::new(
+                    id,
+                    ErrorCode::BadRequest,
+                    "send `query` or `queries`, not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ParseError::new(
+                    id,
+                    ErrorCode::BadRequest,
+                    "missing `query` (vertex id or [u, v]) or `queries`",
+                ))
+            }
+        }
+        Ok(Request::Query {
+            session,
+            spec,
+            queries,
+            id,
+        })
+    }
+
+    /// Parses the spec fields if any are present; `kind` + `n` make a spec,
+    /// anything partial (including a stray `family`/`seed`/`knob` without
+    /// them) is an error — a typo would otherwise silently fall back to the
+    /// pinned instance.
+    fn parse_spec(v: &Json, id: Option<u64>) -> Result<Option<SessionSpec>, ParseError> {
+        let kind = v.get("kind").and_then(Json::as_str);
+        let n = v.get("n").and_then(Json::as_u64);
+        let (kind, n) = match (kind, n) {
+            (Some(kind), Some(n)) => (kind, n),
+            (None, None) => {
+                if let Some(stray) = ["family", "seed", "knob"]
+                    .iter()
+                    .find(|k| v.get(k).is_some())
+                {
+                    return Err(ParseError::new(
+                        id,
+                        ErrorCode::BadRequest,
+                        format!("`{stray}` without `kind` and `n` — send the full spec or none"),
+                    ));
+                }
+                return Ok(None);
+            }
+            _ => {
+                return Err(ParseError::new(
+                    id,
+                    ErrorCode::BadRequest,
+                    "a session spec needs both `kind` and `n`",
+                ))
+            }
+        };
+        let kind = AlgorithmKind::parse(kind).ok_or_else(|| {
+            ParseError::new(id, ErrorCode::UnknownSpec, format!("unknown kind {kind:?}"))
+        })?;
+        let family = match v.get("family").and_then(Json::as_str) {
+            None => ImplicitFamily::Gnp,
+            Some(name) => ImplicitFamily::parse(name).ok_or_else(|| {
+                ParseError::new(
+                    id,
+                    ErrorCode::UnknownSpec,
+                    format!("unknown family {name:?}"),
+                )
+            })?,
+        };
+        let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        let knob = v.get("knob").and_then(Json::as_f64);
+        Ok(Some(SessionSpec {
+            kind,
+            family,
+            n: n as usize,
+            seed,
+            knob,
+        }))
+    }
+
+    fn parse_payload(q: &Json, id: Option<u64>) -> Result<QueryPayload, ParseError> {
+        if let Some(v) = q.as_u64() {
+            return Ok(QueryPayload::Vertex(v));
+        }
+        if let Some([a, b]) = q.as_array() {
+            if let (Some(u), Some(w)) = (a.as_u64(), b.as_u64()) {
+                return Ok(QueryPayload::Edge(u, w));
+            }
+        }
+        Err(ParseError::new(
+            id,
+            ErrorCode::BadRequest,
+            "`query` must be a vertex id or a two-element [u, v] array",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca::prelude::{ClassicKind, SpannerKind};
+
+    #[test]
+    fn parses_the_issue_example_shape() {
+        let req = Request::parse(
+            r#"{"session": "s", "kind": "mis", "n": 1000000, "seed": 7, "query": 42}"#,
+        )
+        .unwrap();
+        let Request::Query {
+            session,
+            spec,
+            queries,
+            id,
+        } = req
+        else {
+            panic!("not a query")
+        };
+        assert_eq!(session, "s");
+        assert_eq!(id, None);
+        let spec = spec.unwrap();
+        assert_eq!(spec.kind, AlgorithmKind::Classic(ClassicKind::Mis));
+        assert_eq!(spec.family, ImplicitFamily::Gnp);
+        assert_eq!(spec.n, 1_000_000);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(queries, vec![QueryPayload::Vertex(42)]);
+    }
+
+    #[test]
+    fn parses_edge_queries_batches_and_ids() {
+        let req = Request::parse(
+            r#"{"id": 9, "session": "sp", "kind": "spanner3", "family": "regular",
+                "n": 4096, "knob": 6, "queries": [[1, 2], [3, 4]]}"#,
+        )
+        .unwrap();
+        let Request::Query {
+            spec, queries, id, ..
+        } = req
+        else {
+            panic!("not a query")
+        };
+        assert_eq!(id, Some(9));
+        let spec = spec.unwrap();
+        assert_eq!(spec.kind, AlgorithmKind::Spanner(SpannerKind::Three));
+        assert_eq!(spec.family, ImplicitFamily::Regular);
+        assert_eq!(spec.knob, Some(6.0));
+        assert_eq!(
+            queries,
+            vec![QueryPayload::Edge(1, 2), QueryPayload::Edge(3, 4)]
+        );
+    }
+
+    #[test]
+    fn spec_is_optional_after_first_use() {
+        let req = Request::parse(r#"{"session": "s", "query": 1}"#).unwrap();
+        let Request::Query { spec, .. } = req else {
+            panic!("not a query")
+        };
+        assert_eq!(spec, None);
+    }
+
+    #[test]
+    fn stray_spec_fields_without_kind_and_n_are_rejected() {
+        // A typo'd spec must not silently fall back to the pinned instance.
+        for line in [
+            r#"{"session": "s", "seed": 9, "query": 1}"#,
+            r#"{"session": "s", "family": "gnp", "query": 1}"#,
+            r#"{"session": "s", "knob": 3.5, "query": 1}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn ops_parse() {
+        assert_eq!(
+            Request::parse(r#"{"op": "stats"}"#).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(Request::parse(r#"{"op": "ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            Request::parse(r#"{"op": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn malformed_requests_carry_codes_and_ids() {
+        let cases = [
+            ("not json", ErrorCode::BadRequest),
+            (r#"{"op": "frobnicate"}"#, ErrorCode::BadRequest),
+            (
+                r#"{"session": "s", "kind": "mis", "query": 1}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"session": "s", "kind": "nope", "n": 10, "query": 1}"#,
+                ErrorCode::UnknownSpec,
+            ),
+            (
+                r#"{"session": "s", "kind": "mis", "n": 10, "family": "petersen", "query": 1}"#,
+                ErrorCode::UnknownSpec,
+            ),
+            (
+                r#"{"session": "s", "kind": "mis", "n": 10}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"session": "s", "kind": "mis", "n": 10, "query": [1, 2, 3]}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"session": "s", "kind": "mis", "n": 10, "queries": []}"#,
+                ErrorCode::BadRequest,
+            ),
+        ];
+        for (line, code) in cases {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, code, "{line}");
+        }
+        let err = Request::parse(r#"{"id": 5, "op": "frobnicate"}"#).unwrap_err();
+        assert_eq!(err.id, Some(5));
+        assert!(err.response().render().contains("\"id\":5"));
+    }
+
+    #[test]
+    fn responses_render_the_documented_shapes() {
+        let r = Response::Answer {
+            id: Some(3),
+            session: "s".into(),
+            answer: true,
+            probes: 12,
+            micros: 87,
+        };
+        assert_eq!(
+            r.render(),
+            r#"{"id":3,"session":"s","answer":true,"probes":12,"micros":87}"#
+        );
+        let r = Response::overloaded(None);
+        assert!(r.render().starts_with(r#"{"error":"overloaded""#));
+        let r = Response::Ok { draining: true };
+        assert_eq!(r.render(), r#"{"ok":true,"draining":true}"#);
+        let r = Response::Answers {
+            id: None,
+            session: "s".into(),
+            answers: vec![true, false],
+            probes: 4,
+            micros: 9,
+        };
+        assert_eq!(
+            r.render(),
+            r#"{"session":"s","answers":[true,false],"probes":4,"micros":9}"#
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! The daemon: connection handling, request dispatch, stats, drain.
+//!
+//! Transport is pluggable at the cheapest possible level — a line in, a
+//! line out — so the same [`Server`] serves TCP connections
+//! ([`Server::serve`]) and a stdin/stdout loop ([`Server::serve_stdio`],
+//! what the integration tests and shell examples use). Query work runs on
+//! the bounded [`WorkerPool`]; everything else (ping/stats/shutdown,
+//! parse and session errors, backpressure) is answered inline by the
+//! connection thread.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde::Json;
+
+use crate::metrics::{global_stats_json, session_stats_json, GlobalMetrics};
+use crate::pool::{RejectReason, WorkerPool};
+use crate::proto::{ErrorCode, Request, Response};
+use crate::session::SessionRegistry;
+
+/// Sizing knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads answering queries (default: available parallelism).
+    pub workers: usize,
+    /// Admission-queue bound; one more request than this in flight gets
+    /// `overloaded` (default 1024).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// A shared, locked line sink: workers and the connection thread interleave
+/// whole lines, never bytes.
+pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn write_line(out: &SharedWriter, response: &Response) {
+    let line = response.render();
+    let mut w = out.lock().expect("writer poisoned");
+    // A vanished client is not a server error; drop the response.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+/// The serving daemon: session registry + worker pool + metrics.
+pub struct Server {
+    /// Resident sessions.
+    pub registry: SessionRegistry,
+    /// Whole-process counters.
+    pub global: GlobalMetrics,
+    pool: WorkerPool,
+    draining: AtomicBool,
+}
+
+impl Server {
+    /// Builds a server (spawns its worker pool immediately).
+    pub fn new(config: ServerConfig) -> Arc<Server> {
+        Arc::new(Server {
+            registry: SessionRegistry::new(),
+            global: GlobalMetrics::default(),
+            pool: WorkerPool::new(config.workers, config.queue_capacity),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// `true` once a shutdown request has been accepted.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts the drain without a wire request (used by harnesses).
+    pub fn begin_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// The `stats` response: global counters plus one object per session.
+    pub fn stats_response(&self) -> Response {
+        let sessions = self.registry.snapshot();
+        let session_objs: Vec<(String, Json)> = sessions
+            .iter()
+            .map(|(name, s)| {
+                let mut obj = match session_stats_json(
+                    &s.metrics,
+                    s.cache_stats(),
+                    s.probe_counts(),
+                    s.started.elapsed().as_secs_f64(),
+                ) {
+                    Json::Obj(fields) => fields,
+                    _ => unreachable!("session stats render as an object"),
+                };
+                obj.insert(0, ("kind".into(), Json::Str(s.spec.kind.to_string())));
+                obj.insert(1, ("family".into(), Json::Str(s.spec.family.to_string())));
+                obj.insert(2, ("n".into(), Json::Num(s.vertex_count() as f64)));
+                obj.insert(3, ("seed".into(), Json::Num(s.spec.seed as f64)));
+                (name.clone(), Json::Obj(obj))
+            })
+            .collect();
+        Response::Stats(Json::Obj(vec![
+            (
+                "stats".into(),
+                global_stats_json(&self.global, self.pool.queue_len(), self.draining()),
+            ),
+            ("sessions".into(), Json::Obj(session_objs)),
+        ]))
+    }
+
+    /// Handles one request line: inline responses are written immediately,
+    /// query work is admitted to the pool (whose worker writes the
+    /// response when done).
+    pub fn dispatch(self: &Arc<Self>, line: &str, out: &SharedWriter) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        let request = match Request::parse(line) {
+            Ok(request) => {
+                self.global.requests.fetch_add(1, Ordering::Relaxed);
+                request
+            }
+            Err(e) => {
+                self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
+                write_line(out, &e.response());
+                return;
+            }
+        };
+        match request {
+            Request::Ping => write_line(
+                out,
+                &Response::Ok {
+                    draining: self.draining(),
+                },
+            ),
+            Request::Stats => write_line(out, &self.stats_response()),
+            Request::Shutdown => {
+                self.begin_shutdown();
+                write_line(out, &Response::Ok { draining: true });
+            }
+            Request::Query {
+                session,
+                spec,
+                queries,
+                id,
+            } => {
+                if self.draining() {
+                    write_line(
+                        out,
+                        &Response::Error {
+                            id,
+                            code: ErrorCode::Draining,
+                            message: "server is draining".to_owned(),
+                        },
+                    );
+                    return;
+                }
+                let resolved = match self.registry.resolve(&session, spec) {
+                    Ok(resolved) => resolved,
+                    Err((code, message)) => {
+                        write_line(out, &Response::Error { id, code, message });
+                        return;
+                    }
+                };
+                let job_out = out.clone();
+                let admitted = self.pool.try_execute(move || {
+                    // The pool also catches panics (to keep the worker), but
+                    // catching here too lets the client get a response
+                    // instead of a silent hang on this id.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        resolved.answer(&session, &queries, id)
+                    }))
+                    .unwrap_or_else(|_| Response::Error {
+                        id,
+                        code: ErrorCode::Internal,
+                        message: "query panicked in the worker (server bug)".to_owned(),
+                    });
+                    write_line(&job_out, &response);
+                });
+                match admitted {
+                    Ok(()) => {}
+                    Err(RejectReason::Full) => {
+                        self.global.overloaded.fetch_add(1, Ordering::Relaxed);
+                        write_line(out, &Response::overloaded(id));
+                    }
+                    Err(RejectReason::ShuttingDown) => write_line(
+                        out,
+                        &Response::Error {
+                            id,
+                            code: ErrorCode::Draining,
+                            message: "server is draining".to_owned(),
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Serves TCP connections until a shutdown request lands, then drains
+    /// the pool and joins connection threads.
+    pub fn serve(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.global.connections.fetch_add(1, Ordering::Relaxed);
+                    let server = self.clone();
+                    connections.push(std::thread::spawn(move || {
+                        server.handle_connection(stream);
+                    }));
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: connection threads notice the flag within their read
+        // timeout; admitted queries finish and flush before the pool stops.
+        for handle in connections {
+            let _ = handle.join();
+        }
+        self.pool.shutdown();
+        Ok(())
+    }
+
+    /// Serves newline requests from stdin to stdout until EOF or shutdown,
+    /// then drains (so every admitted response is flushed before return).
+    pub fn serve_stdio(self: &Arc<Self>) {
+        let out: SharedWriter = Arc::new(Mutex::new(Box::new(io::stdout())));
+        let stdin = io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => self.dispatch(&line, &out),
+            }
+            if self.draining() {
+                break;
+            }
+        }
+        self.pool.shutdown();
+    }
+
+    /// Dispatches one raw wire line, answering `bad-request` on non-UTF-8.
+    fn dispatch_raw(self: &Arc<Self>, raw: &[u8], out: &SharedWriter) {
+        match std::str::from_utf8(raw) {
+            Ok(line) => self.dispatch(line, out),
+            Err(_) => {
+                self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    out,
+                    &Response::Error {
+                        id: None,
+                        code: ErrorCode::BadRequest,
+                        message: "request line is not UTF-8".to_owned(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_connection(self: Arc<Self>, stream: TcpStream) {
+        // Responses are single small lines: Nagle would hold each one back
+        // ~40ms against the client's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        // Periodic timeouts let the thread observe the drain flag between
+        // lines without busy-waiting.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let out: SharedWriter = match stream.try_clone() {
+            Ok(w) => Arc::new(Mutex::new(Box::new(w))),
+            Err(_) => return,
+        };
+        let mut stream = stream;
+        let mut buffered = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // A final unterminated line still deserves an answer —
+                    // stdio mode would serve it, TCP must too.
+                    if !buffered.is_empty() {
+                        let raw = std::mem::take(&mut buffered);
+                        self.dispatch_raw(&raw, &out);
+                    }
+                    break;
+                }
+                Ok(k) => {
+                    buffered.extend_from_slice(&chunk[..k]);
+                    while let Some(pos) = buffered.iter().position(|&b| b == b'\n') {
+                        let raw: Vec<u8> = buffered.drain(..=pos).collect();
+                        self.dispatch_raw(&raw, &out);
+                    }
+                    // The timeout branch is not the only place the drain
+                    // flag must be visible: a client streaming lines
+                    // back-to-back would otherwise pin this thread (and
+                    // the serve loop's join) forever.
+                    if self.draining() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.draining() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Binds a listener, resolving `addr` (`host:port`; port 0 picks an
+/// ephemeral port — read it back from `TcpListener::local_addr`).
+pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}

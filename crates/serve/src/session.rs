@@ -1,0 +1,451 @@
+//! Resident serving sessions: one pinned `(kind, family, n, seed)` instance
+//! per client-chosen session name.
+//!
+//! A session owns the full serving stack for one instance:
+//!
+//! ```text
+//! DynLca (built once via LcaBuilder)
+//!   └─ CountingOracle      — session probe totals + per-request deltas
+//!        └─ CachedOracle   — cross-query serving cache (sharded)
+//!             └─ implicit oracle — the input, recomputed per miss
+//! ```
+//!
+//! The cache sits *below* the counter, so `probes` in responses count every
+//! logical probe the algorithm issued while the cache absorbs the cost of
+//! recomputing implicit adjacency — the division of labor documented in
+//! `lca-probe` ("two caches, two meanings").
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use lca::core::{DynQuery, QueryKind};
+use lca::prelude::{CachedOracle, CountingOracle, LcaBuilder, Oracle};
+use lca::registry::DynLca;
+use lca_graph::VertexId;
+
+use crate::metrics::SessionMetrics;
+use crate::proto::{ErrorCode, QueryPayload, Response, SessionSpec};
+use crate::{algo_seed, input_seed};
+
+/// The session's oracle stack (see module docs for the layering).
+pub type OracleStack = CountingOracle<CachedOracle<lca::family::BoxedImplicitOracle>>;
+
+/// A cheap `Clone` handle to the stack, so [`LcaBuilder::build`] can take
+/// the oracle by value and the session can keep reading stats from it.
+#[derive(Clone)]
+pub struct SharedStack(pub Arc<OracleStack>);
+
+impl Oracle for SharedStack {
+    fn vertex_count(&self) -> usize {
+        self.0.vertex_count()
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.0.degree(v)
+    }
+
+    fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
+        self.0.neighbor(v, i)
+    }
+
+    fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        self.0.adjacency(u, v)
+    }
+
+    fn label(&self, v: VertexId) -> u64 {
+        self.0.label(v)
+    }
+}
+
+/// One resident instance: spec, oracle stack, built algorithm, metrics.
+pub struct Session {
+    /// The pinned spec (spec fields in later requests must match).
+    pub spec: SessionSpec,
+    /// When the session was built (for per-session qps).
+    pub started: Instant,
+    /// Serving counters.
+    pub metrics: SessionMetrics,
+    oracle: Arc<OracleStack>,
+    algo: DynLca<'static>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("spec", &self.spec)
+            .field("vertex_count", &self.vertex_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Builds the session's oracle stack and algorithm from its spec.
+    /// Construction is probe-free and cheap (the input is a generator, not
+    /// a graph), so building lazily inside the registry lock is fine.
+    pub fn build(spec: SessionSpec) -> Session {
+        let implicit = spec
+            .family
+            .build_with(spec.n, input_seed(spec.seed), spec.knob);
+        let oracle = Arc::new(CountingOracle::new(CachedOracle::new(implicit)));
+        let algo = LcaBuilder::new(spec.kind)
+            .seed(algo_seed(spec.seed))
+            .build(SharedStack(oracle.clone()));
+        Session {
+            spec,
+            started: Instant::now(),
+            metrics: SessionMetrics::default(),
+            oracle,
+            algo,
+        }
+    }
+
+    /// The instance's actual vertex count (lattice families round the
+    /// requested `n`).
+    pub fn vertex_count(&self) -> usize {
+        self.oracle.vertex_count()
+    }
+
+    /// Serving-cache counters.
+    pub fn cache_stats(&self) -> lca_probe::CacheStats {
+        self.oracle.inner().stats()
+    }
+
+    /// Session probe totals (every logical probe, hits included).
+    pub fn probe_counts(&self) -> lca_probe::ProbeCounts {
+        self.oracle.counts()
+    }
+
+    fn to_dyn(&self, q: QueryPayload) -> Result<DynQuery, String> {
+        let n = self.vertex_count() as u64;
+        let check = |v: u64| -> Result<usize, String> {
+            if v < n {
+                Ok(v as usize)
+            } else {
+                Err(format!("vertex {v} out of range (n = {n})"))
+            }
+        };
+        match (q, self.spec.kind.query_kind()) {
+            (QueryPayload::Vertex(v), QueryKind::Vertex) => {
+                Ok(DynQuery::Vertex(VertexId::new(check(v)?)))
+            }
+            (QueryPayload::Edge(u, v), QueryKind::Edge) => {
+                if u == v {
+                    return Err("self-loop query".to_owned());
+                }
+                Ok(DynQuery::Edge(
+                    VertexId::new(check(u)?),
+                    VertexId::new(check(v)?),
+                ))
+            }
+            (QueryPayload::Vertex(_), QueryKind::Edge) => Err(format!(
+                "{} answers edge queries: send \"query\": [u, v]",
+                self.spec.kind
+            )),
+            (QueryPayload::Edge(..), QueryKind::Vertex) => Err(format!(
+                "{} answers vertex queries: send \"query\": v",
+                self.spec.kind
+            )),
+        }
+    }
+
+    /// Answers one request's queries, recording metrics, and returns the
+    /// wire response.
+    ///
+    /// `probes` is measured as the session counter delta across the call:
+    /// exact under sequential use of a session, approximate when several
+    /// workers answer the same session concurrently (totals stay exact).
+    pub fn answer(
+        self: &Arc<Self>,
+        name: &str,
+        queries: &[QueryPayload],
+        id: Option<u64>,
+    ) -> Response {
+        let scope = self.oracle.scoped();
+        let start = Instant::now();
+        let mut answers = Vec::with_capacity(queries.len());
+        for &q in queries {
+            let dyn_q = match self.to_dyn(q) {
+                Ok(dyn_q) => dyn_q,
+                Err(message) => {
+                    self.metrics.record_error();
+                    return Response::Error {
+                        id,
+                        code: ErrorCode::BadQuery,
+                        message,
+                    };
+                }
+            };
+            match self.algo.query(dyn_q) {
+                Ok(a) => answers.push(a),
+                Err(e) => {
+                    self.metrics.record_error();
+                    return Response::Error {
+                        id,
+                        code: ErrorCode::BadQuery,
+                        message: e.to_string(),
+                    };
+                }
+            }
+        }
+        let micros = start.elapsed().as_micros() as u64;
+        let probes = scope.cost().total();
+        let yes = answers.iter().filter(|a| **a).count() as u64;
+        self.metrics
+            .record(answers.len() as u64, yes, micros, probes);
+        if answers.len() == 1 {
+            Response::Answer {
+                id,
+                session: name.to_owned(),
+                answer: answers[0],
+                probes,
+                micros,
+            }
+        } else {
+            Response::Answers {
+                id,
+                session: name.to_owned(),
+                answers,
+                probes,
+                micros,
+            }
+        }
+    }
+}
+
+/// The session registry: lazily builds and pins instances by name.
+#[derive(Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<String, Arc<Session>>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `name`, building the session on first use.
+    ///
+    /// * name unknown, spec given → build and pin;
+    /// * name known, spec given → spec must equal the pinned one;
+    /// * name known, no spec → the pinned instance;
+    /// * name unknown, no spec → [`ErrorCode::UnknownSession`].
+    pub fn resolve(
+        &self,
+        name: &str,
+        spec: Option<SessionSpec>,
+    ) -> Result<Arc<Session>, (ErrorCode, String)> {
+        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        match (sessions.get(name), spec) {
+            (Some(session), None) => Ok(session.clone()),
+            (Some(session), Some(spec)) => {
+                if session.spec == spec {
+                    Ok(session.clone())
+                } else {
+                    Err((
+                        ErrorCode::SessionMismatch,
+                        format!(
+                            "session {name:?} is pinned to {:?} over {} (n = {}, seed = {}); \
+                             drop the spec fields or pick a new session name",
+                            session.spec.kind,
+                            session.spec.family,
+                            session.spec.n,
+                            session.spec.seed
+                        ),
+                    ))
+                }
+            }
+            (None, Some(spec)) => {
+                let session = Arc::new(Session::build(spec));
+                sessions.insert(name.to_owned(), session.clone());
+                Ok(session)
+            }
+            (None, None) => Err((
+                ErrorCode::UnknownSession,
+                format!("session {name:?} has not been specified yet: send kind/n (and optionally family/seed/knob) with the first query"),
+            )),
+        }
+    }
+
+    /// Snapshot of all sessions, for `stats`.
+    pub fn snapshot(&self) -> Vec<(String, Arc<Session>)> {
+        let sessions = self.sessions.lock().expect("session registry poisoned");
+        let mut all: Vec<_> = sessions
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Number of resident sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .expect("session registry poisoned")
+            .len()
+    }
+
+    /// `true` when no session is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lca::prelude::*;
+
+    fn mis_spec(n: usize, seed: u64) -> SessionSpec {
+        SessionSpec {
+            kind: AlgorithmKind::Classic(ClassicKind::Mis),
+            family: ImplicitFamily::Gnp,
+            n,
+            seed,
+            knob: None,
+        }
+    }
+
+    #[test]
+    fn answers_match_a_directly_built_lca() {
+        let spec = mis_spec(10_000, 7);
+        let session = Arc::new(Session::build(spec.clone()));
+
+        let oracle = spec.family.build_with(spec.n, input_seed(spec.seed), None);
+        let direct = LcaBuilder::new(spec.kind)
+            .seed(algo_seed(spec.seed))
+            .build(&oracle);
+
+        for v in [0u64, 1, 42, 9_999] {
+            let resp = session.answer("s", &[QueryPayload::Vertex(v)], None);
+            let Response::Answer { answer, probes, .. } = resp else {
+                panic!("expected answer, got {resp:?}")
+            };
+            let expect = direct
+                .query(lca::core::DynQuery::Vertex(VertexId::new(v as usize)))
+                .unwrap();
+            assert_eq!(answer, expect, "vertex {v}");
+            assert!(probes > 0);
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_serving_cache() {
+        // Spanners have no cross-query memo, so repeating an edge query
+        // re-issues its probes — which the serving cache must absorb.
+        let spec = SessionSpec {
+            kind: AlgorithmKind::Spanner(SpannerKind::Three),
+            family: ImplicitFamily::Regular,
+            n: 1_000,
+            seed: 1,
+            knob: Some(4.0),
+        };
+        let session = Arc::new(Session::build(spec.clone()));
+        let oracle = spec
+            .family
+            .build_with(spec.n, input_seed(spec.seed), spec.knob);
+        let edge = QuerySource::sample(1, Seed::new(3))
+            .queries(spec.kind, &oracle)
+            .pop()
+            .map(|q| match q {
+                lca::core::DynQuery::Edge(u, v) => {
+                    QueryPayload::Edge(u.raw() as u64, v.raw() as u64)
+                }
+                lca::core::DynQuery::Vertex(_) => unreachable!("spanner queries are edges"),
+            })
+            .unwrap();
+        session.answer("s", &[edge], None);
+        let after_first = session.cache_stats();
+        session.answer("s", &[edge], None);
+        let after_second = session.cache_stats();
+        assert!(
+            after_second.hits > after_first.hits,
+            "first {after_first:?} second {after_second:?}"
+        );
+        // Counter sits above the cache: probes counted both times.
+        let m = &session.metrics;
+        assert_eq!(m.queries.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert!(session.probe_counts().total() > after_second.misses);
+    }
+
+    #[test]
+    fn wrong_shape_and_out_of_range_queries_error() {
+        let session = Arc::new(Session::build(mis_spec(100, 2)));
+        for bad in [QueryPayload::Edge(1, 2), QueryPayload::Vertex(100)] {
+            let resp = session.answer("s", &[bad], Some(4));
+            let Response::Error { code, id, .. } = resp else {
+                panic!("expected error for {bad:?}")
+            };
+            assert_eq!(code, ErrorCode::BadQuery);
+            assert_eq!(id, Some(4));
+        }
+        assert_eq!(
+            session
+                .metrics
+                .errors
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+    }
+
+    #[test]
+    fn registry_pins_and_validates_specs() {
+        let registry = SessionRegistry::new();
+        assert!(registry.is_empty());
+        let err = registry.resolve("s", None).unwrap_err();
+        assert_eq!(err.0, ErrorCode::UnknownSession);
+
+        let spec = mis_spec(500, 3);
+        let a = registry.resolve("s", Some(spec.clone())).unwrap();
+        let b = registry.resolve("s", None).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same pinned instance");
+        let c = registry.resolve("s", Some(spec.clone())).unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "matching spec resolves");
+
+        let err = registry.resolve("s", Some(mis_spec(501, 3))).unwrap_err();
+        assert_eq!(err.0, ErrorCode::SessionMismatch);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.snapshot()[0].0, "s");
+    }
+
+    #[test]
+    fn batch_requests_answer_in_order() {
+        let spec = SessionSpec {
+            kind: AlgorithmKind::Spanner(SpannerKind::Three),
+            family: ImplicitFamily::Regular,
+            n: 2_000,
+            seed: 5,
+            knob: Some(4.0),
+        };
+        let session = Arc::new(Session::build(spec.clone()));
+        // Sample real edges off the same oracle the session built.
+        let oracle = spec
+            .family
+            .build_with(spec.n, input_seed(spec.seed), spec.knob);
+        let queries: Vec<QueryPayload> = QuerySource::sample(8, Seed::new(9))
+            .queries(spec.kind, &oracle)
+            .into_iter()
+            .map(|q| match q {
+                lca::core::DynQuery::Edge(u, v) => {
+                    QueryPayload::Edge(u.raw() as u64, v.raw() as u64)
+                }
+                lca::core::DynQuery::Vertex(v) => QueryPayload::Vertex(v.raw() as u64),
+            })
+            .collect();
+        let resp = session.answer("sp", &queries, Some(1));
+        let Response::Answers { answers, .. } = resp else {
+            panic!("expected batch answers, got {resp:?}")
+        };
+        assert_eq!(answers.len(), 8);
+        // Same answers one at a time.
+        for (q, expect) in queries.iter().zip(&answers) {
+            let resp = session.answer("sp", &[*q], None);
+            let Response::Answer { answer, .. } = resp else {
+                panic!("expected answer")
+            };
+            assert_eq!(answer, *expect);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end daemon tests: spawn the server on an ephemeral port, drive
+//! it over real sockets, and check every answer against a direct
+//! `LcaBuilder` query for the same `(kind, family, n, seed, query)` — the
+//! acceptance criterion of the serving layer.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lca::core::DynQuery;
+use lca::prelude::*;
+use lca_serve::loadgen::{self, LoadgenConfig};
+use lca_serve::server::{bind, Server, ServerConfig};
+use lca_serve::{algo_seed, input_seed};
+use serde::Json;
+
+/// Spawns a daemon on an ephemeral port; returns its address and the
+/// serve-loop handle (joined by sending a shutdown request).
+fn spawn_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>, Arc<Server>) {
+    let listener = bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = Server::new(config);
+    let handle = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            server.serve(listener).expect("serve loop");
+        })
+    };
+    (addr, handle, server)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read");
+        serde_json::from_str(response.trim())
+            .unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+    }
+}
+
+#[test]
+fn hundred_mixed_queries_match_direct_builder_queries() {
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+    });
+    let mut client = Client::connect(&addr);
+
+    let n = 50_000;
+    let seed = 21u64;
+    let family = ImplicitFamily::Gnp;
+    let kinds = [
+        AlgorithmKind::Classic(ClassicKind::Mis),
+        AlgorithmKind::Classic(ClassicKind::Matching),
+        AlgorithmKind::Spanner(SpannerKind::Three),
+        AlgorithmKind::Spanner(SpannerKind::Five),
+    ];
+
+    // Direct instances: same derived seeds the daemon uses.
+    let oracle = family.build(n, input_seed(seed));
+    let direct: Vec<_> = kinds
+        .iter()
+        .map(|&kind| LcaBuilder::new(kind).seed(algo_seed(seed)).build(&oracle))
+        .collect();
+
+    let mut compared = 0;
+    for i in 0..100 {
+        let ki = i % kinds.len();
+        let kind = kinds[ki];
+        let query = QuerySource::sample(1, Seed::new(1000 + i as u64))
+            .queries(kind, &oracle)
+            .pop()
+            .expect("sampled query");
+        let (wire, expect) = match query {
+            DynQuery::Vertex(v) => (
+                format!("{}", v.raw()),
+                direct[ki].query(DynQuery::Vertex(v)).unwrap(),
+            ),
+            DynQuery::Edge(u, v) => (
+                format!("[{},{}]", u.raw(), v.raw()),
+                direct[ki].query(DynQuery::Edge(u, v)).unwrap(),
+            ),
+        };
+        let response = client.roundtrip(&format!(
+            "{{\"id\":{i},\"session\":\"it-{}\",\"kind\":\"{}\",\"family\":\"gnp\",\
+             \"n\":{n},\"seed\":{seed},\"query\":{wire}}}",
+            kind.name(),
+            kind.name()
+        ));
+        assert_eq!(
+            response.get("id").and_then(Json::as_u64),
+            Some(i as u64),
+            "{response:?}"
+        );
+        let answer = response
+            .get("answer")
+            .and_then(Json::as_bool)
+            .unwrap_or_else(|| panic!("no answer in {response:?}"));
+        assert_eq!(answer, expect, "request {i} ({})", kind.name());
+        assert!(response.get("probes").and_then(Json::as_u64).is_some());
+        assert!(response.get("micros").and_then(Json::as_u64).is_some());
+        compared += 1;
+    }
+    assert_eq!(compared, 100);
+
+    // Stats must show traffic and serving-cache hits.
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    let global = stats.get("stats").expect("global stats");
+    assert!(global.get("requests").and_then(Json::as_u64).unwrap() >= 100);
+    let sessions = stats.get("sessions").expect("sessions");
+    let mut cache_hits = 0;
+    for kind in kinds {
+        let s = sessions
+            .get(&format!("it-{}", kind.name()))
+            .unwrap_or_else(|| panic!("session it-{} missing in {stats:?}", kind.name()));
+        assert_eq!(s.get("errors").and_then(Json::as_u64), Some(0));
+        cache_hits += s.get("cache_hits").and_then(Json::as_u64).unwrap();
+    }
+    assert!(cache_hits > 0, "expected serving-cache hits: {stats:?}");
+
+    // Graceful drain.
+    let bye = client.roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+    handle.join().expect("serve loop exits after drain");
+}
+
+#[test]
+fn protocol_errors_are_typed_and_session_pinning_is_enforced() {
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+    });
+    let mut client = Client::connect(&addr);
+
+    // Unknown session (no spec yet).
+    let r = client.roundtrip(r#"{"session":"ghost","query":1}"#);
+    assert_eq!(
+        r.get("error").and_then(Json::as_str),
+        Some("unknown-session")
+    );
+
+    // Create, then contradict the pinned spec.
+    let r = client.roundtrip(r#"{"session":"p","kind":"mis","n":1000,"seed":1,"query":3}"#);
+    assert!(r.get("answer").is_some(), "{r:?}");
+    let r = client.roundtrip(r#"{"session":"p","kind":"mis","n":2000,"seed":1,"query":3}"#);
+    assert_eq!(
+        r.get("error").and_then(Json::as_str),
+        Some("session-mismatch")
+    );
+
+    // Wrong query shape and out-of-range vertex.
+    let r = client.roundtrip(r#"{"session":"p","query":[1,2]}"#);
+    assert_eq!(r.get("error").and_then(Json::as_str), Some("bad-query"));
+    let r = client.roundtrip(r#"{"session":"p","query":999999}"#);
+    assert_eq!(r.get("error").and_then(Json::as_str), Some("bad-query"));
+
+    // Unknown kind/family are typed.
+    let r = client.roundtrip(r#"{"session":"q","kind":"dijkstra","n":10,"query":1}"#);
+    assert_eq!(r.get("error").and_then(Json::as_str), Some("unknown-spec"));
+
+    // Malformed JSON answers instead of hanging up.
+    let r = client.roundtrip("}{nope");
+    assert_eq!(r.get("error").and_then(Json::as_str), Some("bad-request"));
+
+    // Batch queries answer in order.
+    let r = client.roundtrip(r#"{"session":"p","queries":[1,2,3]}"#);
+    let answers = r.get("answers").and_then(Json::as_array).expect("answers");
+    assert_eq!(answers.len(), 3);
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("drain");
+}
+
+#[test]
+fn loadgen_closed_loop_verifies_against_the_daemon() {
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 128,
+    });
+    let cfg = LoadgenConfig {
+        requests: 300,
+        concurrency: 3,
+        kinds: vec![
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+        ],
+        family: ImplicitFamily::Gnp,
+        n: 100_000,
+        seed: 5,
+        verify: true,
+        query_pool: 64,
+        ..LoadgenConfig::default()
+    };
+    let run = loadgen::run(&addr, &cfg).expect("loadgen run");
+    assert_eq!(run.report.ok, 300, "{:?}", run.report);
+    assert_eq!(run.report.errors, 0, "{:?}", run.report);
+    assert_eq!(run.report.mismatches, 0, "{:?}", run.report);
+    assert!(run.report.qps > 0.0);
+    let stats = run.server_stats.expect("stats fetched");
+    let sessions = stats.get("sessions").expect("sessions");
+    let mis = sessions.get("loadgen-mis").expect("mis session");
+    // The pool cycles 64 queries through 150 MIS requests: hits guaranteed.
+    assert!(
+        mis.get("cache_hits").and_then(Json::as_u64).unwrap() > 0
+            || sessions
+                .get("loadgen-three-spanner")
+                .and_then(|s| s.get("cache_hits"))
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0,
+        "{stats:?}"
+    );
+    loadgen::send_shutdown(&addr).expect("shutdown");
+    handle.join().expect("drain");
+}
+
+#[test]
+fn overload_backpressure_answers_instead_of_buffering() {
+    // One worker, queue of one: pipelined requests behind a slow batch must
+    // see `overloaded` rather than unbounded queueing.
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+    });
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Two big MIS batches (several ms each) occupy the worker and the
+    // 1-slot queue; the singles behind them race dispatch (<1 ms) against
+    // the running batch, so at least one must bounce.
+    let batch: Vec<String> = (0..3_000).map(|v| v.to_string()).collect();
+    let spec = "\"session\":\"burst\",\"kind\":\"mis\",\"family\":\"gnp\",\"n\":1000000,\"seed\":2";
+    for id in 0..2 {
+        writer
+            .write_all(
+                format!("{{\"id\":{id},{spec},\"queries\":[{}]}}\n", batch.join(",")).as_bytes(),
+            )
+            .expect("write batch");
+    }
+    let singles = 16;
+    for id in 2..2 + singles {
+        writer
+            .write_all(format!("{{\"id\":{id},{spec},\"query\":{id}}}\n").as_bytes())
+            .expect("write single");
+    }
+
+    let total = 2 + singles;
+    let mut answered = 0;
+    let mut overloaded = 0;
+    let mut line = String::new();
+    for _ in 0..total {
+        line.clear();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        let v: Json = serde_json::from_str(line.trim()).expect("json");
+        match v.get("error").and_then(Json::as_str) {
+            Some("overloaded") => overloaded += 1,
+            Some(other) => panic!("unexpected error {other}: {line}"),
+            None => answered += 1,
+        }
+    }
+    assert_eq!(answered + overloaded, total);
+    assert!(answered > 0, "nothing served");
+    assert!(overloaded > 0, "backpressure never engaged");
+
+    let mut client = Client::connect(&addr);
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("drain");
+}

@@ -1,15 +1,33 @@
-//! Offline stand-in for `serde_json`: the `to_string` entry point over the
-//! vendored serde shim. See `crates/shims/serde` for scope and caveats.
+//! Offline stand-in for `serde_json`: `to_string` over the vendored serde
+//! shim, plus a small recursive-descent parser producing [`serde::Json`]
+//! value trees (the `lca-serve` wire protocol reads requests through it).
+//! See `crates/shims/serde` for scope and caveats.
 
-/// The error type of [`to_string`]. Rendering a [`serde::Json`] tree cannot
-/// actually fail; the `Result` mirrors the real `serde_json` signature so
-/// call sites stay source-compatible.
+/// The error type of this crate: unreachable for [`to_string`] (rendering a
+/// [`serde::Json`] tree cannot fail), and a position + message for
+/// [`from_str`] parse failures.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: &'static str,
+    /// Byte offset of the failure, when the error comes from the parser.
+    pos: Option<usize>,
+}
+
+impl Error {
+    fn parse(msg: &'static str, pos: usize) -> Self {
+        Self {
+            msg,
+            pos: Some(pos),
+        }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json shim error (unreachable)")
+        match self.pos {
+            Some(p) => write!(f, "JSON parse error at byte {p}: {}", self.msg),
+            None => f.write_str(self.msg),
+        }
     }
 }
 
@@ -22,8 +40,231 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Parses one JSON value out of `input` (surrounding whitespace allowed,
+/// trailing garbage rejected).
+///
+/// Unlike the real `serde_json::from_str` this is untyped: it returns the
+/// [`serde::Json`] tree and callers select fields with the shim's accessor
+/// helpers ([`serde::Json::get`], [`serde::Json::as_u64`], …). Numbers are
+/// stored as `f64` — integers are exact up to 2^53, which covers every field
+/// of the serving protocol.
+///
+/// # Errors
+///
+/// Returns an [`Error`] carrying the byte offset of the first malformed
+/// construct.
+pub fn from_str(input: &str) -> Result<serde::Json, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters after value", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting ceiling for the recursive-descent parser; protocol messages are
+/// flat, so anything deeper is garbage, not load.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(msg, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, msg: &'static str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::parse(msg, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<serde::Json, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse("nesting too deep", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(serde::Json::Str(self.string()?)),
+            Some(b't') => {
+                self.eat_literal("true", "expected `true`")?;
+                Ok(serde::Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false", "expected `false`")?;
+                Ok(serde::Json::Bool(false))
+            }
+            Some(b'n') => {
+                self.eat_literal("null", "expected `null`")?;
+                Ok(serde::Json::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<serde::Json, Error> {
+        self.eat(b'{', "expected `{`")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(serde::Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(serde::Json::Obj(fields));
+                }
+                _ => return Err(Error::parse("expected `,` or `}` in object", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<serde::Json, Error> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(serde::Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(serde::Json::Arr(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]` in array", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest plain run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or(Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(Error::parse("malformed \\u escape", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for the
+                            // protocol; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error::parse("unknown escape", self.pos - 1)),
+                    }
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<serde::Json, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII digits are valid UTF-8");
+        let x: f64 = text
+            .parse()
+            .map_err(|_| Error::parse("malformed number", start))?;
+        Ok(serde::Json::Num(x))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use serde::Json;
+
     #[test]
     fn to_string_matches_render() {
         assert_eq!(super::to_string(&42u64).unwrap(), "42");
@@ -47,5 +288,68 @@ mod tests {
             super::to_string(&r).unwrap(),
             r#"{"n":7,"label":"x","ratio":0.5}"#
         );
+    }
+
+    #[test]
+    fn parses_protocol_shaped_requests() {
+        let v = super::from_str(
+            r#" {"session": "s1", "kind": "mis", "n": 1000000, "seed": 7, "query": 42} "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("session").and_then(Json::as_str), Some("s1"));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("mis"));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(1_000_000));
+        assert_eq!(v.get("query").and_then(Json::as_u64), Some(42));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        for text in [
+            r#"{"a":1,"b":[true,false,null],"c":{"d":"x\ny"},"e":-2.5}"#,
+            "[]",
+            "{}",
+            r#""A\t""#,
+            "3.25",
+            "-17",
+            "true",
+            "null",
+        ] {
+            let v = super::from_str(text).unwrap();
+            let mut rendered = String::new();
+            v.render(&mut rendered);
+            // Render → parse is a fixpoint even when the input had escapes.
+            assert_eq!(super::from_str(&rendered).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "tru",
+            "1 2",
+            "\"unterminated",
+            r#""bad \x escape""#,
+            "nul",
+            "--3",
+        ] {
+            assert!(super::from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = super::from_str("[1, ?]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let s = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert!(super::from_str(&s).is_err());
     }
 }

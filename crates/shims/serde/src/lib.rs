@@ -7,8 +7,10 @@
 //! [`Json`] value tree, plus a `#[derive(Serialize)]` macro (re-exported from
 //! `serde-derive-shim`) for plain structs with named fields.
 //!
-//! It is *not* serde: no deserialization, no non-self-describing formats, no
-//! enums/generics in derives. If the environment ever gains registry access,
+//! It is *not* serde: no typed deserialization (the `serde_json` shim parses
+//! into the [`Json`] tree and call sites pick fields out with the accessor
+//! helpers), no non-self-describing formats, no enums/generics in derives.
+//! If the environment ever gains registry access,
 //! delete `crates/shims/` and point the manifests at the real crates; the
 //! call sites are source-compatible for the subset used here.
 
@@ -30,6 +32,57 @@ pub enum Json {
 }
 
 impl Json {
+    /// Object field lookup: the value under `key`, or `None` for missing
+    /// keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a [`Json::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral
+    /// [`Json::Num`] (the shim stores all numbers as `f64`, so integers are
+    /// exact up to 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 9.0e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is a [`Json::Arr`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Renders the value as compact JSON.
     pub fn render(&self, out: &mut String) {
         match self {
@@ -167,6 +220,29 @@ mod tests {
         let mut s = String::new();
         v.render(&mut s);
         assert_eq!(s, r#"{"a":3,"b":"x\"y","c":[true,null]}"#);
+    }
+
+    #[test]
+    fn accessors_select_by_shape() {
+        let v = Json::Obj(vec![
+            ("n".into(), Json::Num(7.0)),
+            ("name".into(), Json::Str("mis".into())),
+            ("flag".into(), Json::Bool(true)),
+            ("q".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("mis"));
+        assert_eq!(v.get("flag").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("q").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("n"), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Str("x".into()).as_f64(), None);
     }
 
     #[test]

@@ -1,7 +1,26 @@
 //! Quickstart: build any LCA through the registry, serve queries through
-//! the engine — over a graph you never fully read.
+//! the engine — over a graph you never fully read — then keep it serving
+//! as a daemon.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! The tour below is the whole API in four steps:
+//!
+//! 1. **Construct** — `LcaBuilder::new(kind).seed(s).build(&oracle)` builds
+//!    any of the seven registered algorithms ([`AlgorithmKind`]) over any
+//!    probe oracle, materialized or implicit.
+//! 2. **Query** — one at a time via `query(DynQuery)`, or batched and
+//!    thread-parallel via [`QueryEngine::query_batch`].
+//! 3. **Scale** — swap the `Graph` for an implicit oracle
+//!    ([`ImplicitGnp`], or any [`lca::family::ImplicitFamily`]) and the same
+//!    two lines serve a billion-vertex input; [`QuerySource`] samples valid
+//!    queries straight off the oracle in O(1) probes each.
+//! 4. **Serve** — `lca-serve` keeps built instances resident behind a
+//!    newline-JSON protocol and `lca-loadgen` drives it; see "Serving as a
+//!    daemon" at the bottom.
+//!
+//! The crate map and query lifecycle are documented in
+//! `docs/ARCHITECTURE.md`; the wire protocol in `docs/PROTOCOL.md`.
 //!
 //! Migration note: before the unified API you would construct each
 //! algorithm through its own constructor (`ThreeSpanner::with_defaults`,
@@ -113,5 +132,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         counted.counts().total(),
         3 * big_n / 1_000_000_000,
     );
+
+    // Serving as a daemon
+    // -------------------
+    // Everything above lives and dies with this process. The `lca-serve`
+    // daemon keeps built instances resident and answers a newline-JSON
+    // protocol over TCP (spec: docs/PROTOCOL.md), with per-session serving
+    // caches, backpressure, and a stats endpoint:
+    //
+    //   cargo run --release -p lca-serve --bin lca-serve -- --addr 127.0.0.1:7400
+    //   printf '%s\n' \
+    //     '{"session":"m","kind":"mis","n":1000000,"seed":7,"query":42}' \
+    //     | nc 127.0.0.1 7400
+    //
+    // …and `lca-loadgen` drives it closed- or open-loop, verifying every
+    // answer against a direct LcaBuilder query:
+    //
+    //   cargo run --release -p lca-serve --bin lca-loadgen -- \
+    //     --addr 127.0.0.1:7400 --requests 1000 --mix mis,spanner3 \
+    //     --n 1000000 --seed 7 --verify --shutdown
+    //
+    // `engine_report --serve` runs that whole loop in one command.
+    println!("\nnext: serve this over TCP — see docs/PROTOCOL.md and `lca-serve`");
     Ok(())
 }

@@ -2,8 +2,10 @@
 //!
 //! Facade crate re-exporting the whole workspace, plus the [`registry`]
 //! that constructs any of the seven LCAs uniformly from
-//! `(oracle, kind, seed)`. See the README for the architecture overview and
-//! `DESIGN.md` for the paper-to-code map.
+//! `(oracle, kind, seed)`, the [`family`] registry naming the implicit
+//! input families, and the [`source`] abstraction for drawing query
+//! batches. See `docs/ARCHITECTURE.md` for the crate map and query
+//! lifecycle, and `docs/PROTOCOL.md` for the `lca-serve` wire format.
 //!
 //! ```
 //! use lca::prelude::*;
@@ -28,6 +30,7 @@ pub use lca_lowerbound as lowerbound;
 pub use lca_probe as probe;
 pub use lca_rand as rand;
 
+pub mod family;
 pub mod registry;
 pub mod source;
 
@@ -42,10 +45,13 @@ pub mod prelude {
         ImplicitChungLu, ImplicitGnp, ImplicitGrid, ImplicitHypercube, ImplicitOracle,
         ImplicitRegular, ImplicitTorus,
     };
-    pub use lca_graph::{Graph, GraphBuilder, VertexId};
-    pub use lca_probe::{CachedOracle, CountingOracle, MemoOracle, Oracle, ProbeCounts};
+    // `Oracle` is defined in `lca-graph` (the crate owning both backing
+    // stores); `lca-probe` re-exports it for the accounting wrappers.
+    pub use lca_graph::{Graph, GraphBuilder, Oracle, VertexId};
+    pub use lca_probe::{CacheStats, CachedOracle, CountingOracle, MemoOracle, ProbeCounts};
     pub use lca_rand::Seed;
 
+    pub use crate::family::{BoxedImplicitOracle, ImplicitFamily};
     pub use crate::registry::{AlgorithmKind, ClassicKind, LcaBuilder, LcaConfig, SpannerKind};
     pub use crate::source::QuerySource;
 }

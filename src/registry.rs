@@ -24,8 +24,9 @@ use lca_core::{
     DynEdgeLca, DynQuery, DynVertexLca, EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params,
     K2Spanner, Lca, QueryKind, ThreeSpanner, ThreeSpannerParams,
 };
-use lca_graph::Graph;
-use lca_probe::Oracle;
+// `Oracle` lives in `lca-graph` since the implicit-oracle work; `lca-probe`
+// re-exports it unchanged for the accounting wrappers.
+use lca_graph::{Graph, Oracle};
 use lca_rand::Seed;
 
 use crate::source::QuerySource;
@@ -93,6 +94,44 @@ impl AlgorithmKind {
     /// Looks an algorithm up by its registered name.
     pub fn from_name(name: &str) -> Option<AlgorithmKind> {
         AlgorithmKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Parses an algorithm name as written by humans and wire protocols:
+    /// the registered [`AlgorithmKind::name`] plus the short aliases below,
+    /// case-insensitively.
+    ///
+    /// | kind | accepted spellings |
+    /// |------|--------------------|
+    /// | 3-spanner | `three-spanner`, `spanner3`, `three` |
+    /// | 5-spanner | `five-spanner`, `spanner5`, `five` |
+    /// | O(k²)-spanner | `k2-spanner`, `spanner-k2`, `k2` |
+    /// | MIS | `mis` |
+    /// | maximal matching | `maximal-matching`, `matching` |
+    /// | vertex cover | `vertex-cover`, `vc` |
+    /// | coloring | `greedy-coloring`, `coloring` |
+    ///
+    /// ```
+    /// use lca::registry::{AlgorithmKind, ClassicKind, SpannerKind};
+    ///
+    /// let mis = AlgorithmKind::parse("mis").unwrap();
+    /// assert_eq!(mis, AlgorithmKind::Classic(ClassicKind::Mis));
+    /// let s3 = AlgorithmKind::parse("Spanner3").unwrap();
+    /// assert_eq!(s3, AlgorithmKind::Spanner(SpannerKind::Three));
+    /// assert!(AlgorithmKind::parse("nope").is_none());
+    /// ```
+    pub fn parse(name: &str) -> Option<AlgorithmKind> {
+        let lower = name.to_ascii_lowercase();
+        let kind = match lower.as_str() {
+            "three-spanner" | "spanner3" | "three" => AlgorithmKind::Spanner(SpannerKind::Three),
+            "five-spanner" | "spanner5" | "five" => AlgorithmKind::Spanner(SpannerKind::Five),
+            "k2-spanner" | "spanner-k2" | "k2" => AlgorithmKind::Spanner(SpannerKind::K2),
+            "mis" => AlgorithmKind::Classic(ClassicKind::Mis),
+            "maximal-matching" | "matching" => AlgorithmKind::Classic(ClassicKind::Matching),
+            "vertex-cover" | "vc" => AlgorithmKind::Classic(ClassicKind::VertexCover),
+            "greedy-coloring" | "coloring" => AlgorithmKind::Classic(ClassicKind::Coloring),
+            _ => return None,
+        };
+        Some(kind)
     }
 
     /// The query shape the algorithm serves.
@@ -373,6 +412,47 @@ mod tests {
             assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(AlgorithmKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn parse_round_trips_every_registered_name() {
+        for kind in AlgorithmKind::all() {
+            // The canonical name parses back to the same kind…
+            assert_eq!(AlgorithmKind::parse(kind.name()), Some(kind));
+            // …case-insensitively…
+            assert_eq!(
+                AlgorithmKind::parse(&kind.name().to_ascii_uppercase()),
+                Some(kind)
+            );
+            // …and a registry build from the parsed kind reports the name
+            // we started from (full round trip through construction).
+            let g = GnpBuilder::new(40, 0.2).seed(Seed::new(11)).build();
+            let algo = LcaBuilder::new(AlgorithmKind::parse(kind.name()).unwrap())
+                .seed(Seed::new(12))
+                .build(&g);
+            assert_eq!(algo.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_protocol_aliases() {
+        for (alias, expect) in [
+            ("spanner3", AlgorithmKind::Spanner(SpannerKind::Three)),
+            ("three", AlgorithmKind::Spanner(SpannerKind::Three)),
+            ("spanner5", AlgorithmKind::Spanner(SpannerKind::Five)),
+            ("five", AlgorithmKind::Spanner(SpannerKind::Five)),
+            ("k2", AlgorithmKind::Spanner(SpannerKind::K2)),
+            ("spanner-k2", AlgorithmKind::Spanner(SpannerKind::K2)),
+            ("mis", AlgorithmKind::Classic(ClassicKind::Mis)),
+            ("matching", AlgorithmKind::Classic(ClassicKind::Matching)),
+            ("vc", AlgorithmKind::Classic(ClassicKind::VertexCover)),
+            ("coloring", AlgorithmKind::Classic(ClassicKind::Coloring)),
+            ("MIS", AlgorithmKind::Classic(ClassicKind::Mis)),
+        ] {
+            assert_eq!(AlgorithmKind::parse(alias), Some(expect), "{alias}");
+        }
+        assert_eq!(AlgorithmKind::parse("spanner"), None);
+        assert_eq!(AlgorithmKind::parse(""), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! inputs; sampling works at any scale, at O(1) probes per drawn query.
 
 use lca_core::{DynQuery, QueryKind};
-use lca_probe::Oracle;
+use lca_graph::Oracle;
 use lca_rand::Seed;
 
 use crate::registry::AlgorithmKind;
