@@ -22,8 +22,94 @@ use std::time::Instant;
 
 use lca::core::DynQuery;
 use lca::prelude::*;
-use lca_bench::{peak_rss_bytes, record_json, Table};
+use lca_bench::{peak_rss_bytes, record_json, write_json, Table};
 use lca_core::{measure_queries_distinct, QueryEngine};
+
+/// One algorithm's row of the machine-readable `BENCH_engine*.json`
+/// trajectory snapshot: throughput, probe/latency percentiles, and the
+/// exhaustion rate under a median probe budget.
+#[derive(serde::Serialize)]
+struct TrajectoryRow {
+    algorithm: String,
+    query_kind: String,
+    queries: usize,
+    qps: f64,
+    probes_p50: u64,
+    probes_p99: u64,
+    latency_p50_us: u64,
+    latency_p99_us: u64,
+    budget_probes: u64,
+    exhaustion_rate: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Trajectory {
+    mode: String,
+    n: usize,
+    rows: Vec<TrajectoryRow>,
+}
+
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Measures one kind's trajectory row in three passes: a serial pass over
+/// one shared instance for serving qps and latency percentiles; a *cold*
+/// probe pass (fresh instance per query, so cross-query memos cannot hide
+/// costs) for the probe percentiles; and a budgeted parallel batch capped
+/// at the cold median for the exhaustion rate.
+fn trajectory_row(
+    config: &LcaConfig,
+    oracle: &(impl Oracle + Clone + Send + Sync),
+    queries: &[DynQuery],
+    engine: &QueryEngine,
+) -> TrajectoryRow {
+    let shared = config.build(oracle);
+    let mut lats: Vec<u64> = Vec::with_capacity(queries.len());
+    let t = Instant::now();
+    for &q in queries {
+        let started = Instant::now();
+        shared.query(q).expect("trajectory query in range");
+        lats.push(started.elapsed().as_micros() as u64);
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    lats.sort_unstable();
+
+    let cold_sample = &queries[..queries.len().min(256)];
+    let mut probes: Vec<u64> = Vec::with_capacity(cold_sample.len());
+    for &q in cold_sample {
+        let cold = config.build(oracle);
+        let ctx = QueryCtx::unlimited();
+        cold.query_ctx(q, &ctx).expect("trajectory query in range");
+        probes.push(ctx.spent());
+    }
+    probes.sort_unstable();
+    let budget_probes = pct(&probes, 0.5).max(1);
+
+    let budgeted = config.build(oracle);
+    let run =
+        engine.query_batch_budgeted(&budgeted, queries, &QueryBudget::max_probes(budget_probes));
+    TrajectoryRow {
+        algorithm: config.kind.name().to_owned(),
+        query_kind: config.kind.query_kind().to_string(),
+        queries: queries.len(),
+        qps: if elapsed > 0.0 {
+            queries.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        probes_p50: pct(&probes, 0.5),
+        probes_p99: pct(&probes, 0.99),
+        latency_p50_us: pct(&lats, 0.5),
+        latency_p99_us: pct(&lats, 0.99),
+        budget_probes,
+        exhaustion_rate: run.exhaustion_rate(),
+    }
+}
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -79,10 +165,12 @@ fn implicit_report() {
         "shards",
         "peak RSS MB",
     ]);
+    let mut trajectory = Vec::new();
     for kind in AlgorithmKind::all() {
         let config = LcaConfig::new(kind, seed);
         let queries: Vec<DynQuery> =
             kind.queries_from(&oracle, QuerySource::sample(512, seed.derive(1)));
+        trajectory.push(trajectory_row(&config, &&oracle, &queries, &engine));
 
         let algo = config.build(&oracle);
         let t = Instant::now();
@@ -117,6 +205,14 @@ fn implicit_report() {
         ]);
         record_json("engine_report_implicit", &row);
     }
+    write_json(
+        "BENCH_engine_implicit",
+        &Trajectory {
+            mode: "implicit".to_owned(),
+            n,
+            rows: trajectory,
+        },
+    );
     table.print("Unified API over an implicit oracle — no graph was materialized");
     println!("\n(queries are sampled through O(1) probes each; RSS is the whole process —");
     println!("the 10^7-vertex input itself occupies zero bytes beyond its seed.)");
@@ -169,8 +265,6 @@ fn serve_report() {
         cfg.requests, cfg.concurrency, cfg.n
     );
     let run = loadgen::run(&addr, &cfg).expect("loadgen run");
-    loadgen::send_shutdown(&addr).expect("shutdown");
-    serve_loop.join().expect("drain");
 
     let r = &run.report;
     assert_eq!(r.errors, 0, "protocol errors during serve report");
@@ -183,6 +277,51 @@ fn serve_report() {
         r.ok, r.requests, r.qps, r.p50_us, r.p99_us, r.overloaded
     );
     record_json("engine_report_serve_load", r);
+
+    // A second, budget-starved pass: fresh sessions under a tight per-query
+    // probe cap, still fully verified (budget trips are tolerated exactly
+    // when a cold local run trips too). This is the tail-latency story of
+    // the budget redesign, recorded in the trajectory snapshot.
+    let budgeted_cfg = LoadgenConfig {
+        max_probes: Some(48),
+        session_prefix: "budgeted".to_owned(),
+        ..cfg.clone()
+    };
+    let budgeted = loadgen::run(&addr, &budgeted_cfg).expect("budgeted loadgen run");
+    let b = &budgeted.report;
+    assert_eq!(b.errors, 0, "protocol errors during budgeted serve report");
+    assert_eq!(b.mismatches, 0, "budgeted answers diverged");
+    println!(
+        "budgeted loadgen (max_probes=48): {} ok, {} budget-exhausted ({:.1}%), {:.0} qps",
+        b.ok,
+        b.budget_exhausted,
+        100.0 * b.budget_exhausted as f64 / b.requests.max(1) as f64,
+        b.qps
+    );
+
+    #[derive(serde::Serialize)]
+    struct ServeTrajectory {
+        mode: String,
+        n: usize,
+        unbudgeted: lca_serve::loadgen::LoadReport,
+        budgeted: lca_serve::loadgen::LoadReport,
+        budget_probes: u64,
+        exhaustion_rate: f64,
+    }
+    write_json(
+        "BENCH_engine_serve",
+        &ServeTrajectory {
+            mode: "serve".to_owned(),
+            n: cfg.n,
+            unbudgeted: r.clone(),
+            budgeted: b.clone(),
+            budget_probes: 48,
+            exhaustion_rate: b.budget_exhausted as f64 / b.requests.max(1) as f64,
+        },
+    );
+
+    loadgen::send_shutdown(&addr).expect("shutdown");
+    serve_loop.join().expect("drain");
 
     let stats = run.server_stats.expect("server stats");
     let sessions = stats.get("sessions").expect("sessions object");
@@ -275,9 +414,11 @@ fn main() {
         "shards",
         "probe bound",
     ]);
+    let mut trajectory = Vec::new();
     for kind in AlgorithmKind::all() {
         let config = LcaConfig::new(kind, seed);
         let queries = kind.queries(&g);
+        trajectory.push(trajectory_row(&config, &&g, &queries, &engine));
 
         // Batched parallel serving through one shared instance.
         let algo = config.build(&g);
@@ -335,6 +476,14 @@ fn main() {
         ]);
         record_json("engine_report", &row);
     }
+    write_json(
+        "BENCH_engine",
+        &Trajectory {
+            mode: "materialized".to_owned(),
+            n,
+            rows: trajectory,
+        },
+    );
     table.print("Unified API — registry construction, engine serving, probe measures");
     println!("\n(distinct = per-query memoized probes, the Definition 1.4 local-memory measure;");
     println!("classic vertex LCAs report batch timing only — their probe costs are exponential-in-Δ envelopes.)");

@@ -196,6 +196,19 @@ impl Table {
     }
 }
 
+/// Overwrites `bench-results/<name>.json` with one JSON document (best
+/// effort) — the machine-readable snapshot a perf trajectory diffs across
+/// PRs, as opposed to the append-only [`record_json`] run logs.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("bench-results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(line) = serde_json::to_string(value) {
+        let _ = std::fs::write(dir.join(format!("{name}.json")), format!("{line}\n"));
+    }
+}
+
 /// Appends a JSON line to `bench-results/<name>.jsonl` (best effort; bench
 /// output must not fail the run).
 pub fn record_json<T: serde::Serialize>(name: &str, value: &T) {

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use lca_core::{Lca, LcaError, VertexSubsetLca};
+use lca_core::{Lca, LcaError, QueryCtx, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -57,9 +57,19 @@ impl<O: Oracle> ColoringLca<O> {
 
     /// The color of `v`, in `0..=deg(v)` (hence `0..=∆`).
     pub fn color_of(&self, v: VertexId) -> u32 {
+        self.color_ctx(&QueryCtx::unlimited(), v)
+            .expect("unlimited queries cannot be interrupted")
+    }
+
+    /// Budgeted color evaluation: probes through the context's budgeted
+    /// oracle; memo entries are only written after a checkpoint, so an
+    /// interrupted query never persists a color derived from refused
+    /// (degenerate) probes.
+    pub(crate) fn color_ctx(&self, ctx: &QueryCtx, v: VertexId) -> Result<u32, LcaError> {
         if let Some(&c) = self.memo.lock().expect("memo poisoned").get(&v.raw()) {
-            return c;
+            return Ok(c);
         }
+        let o = ctx.budgeted(&self.oracle);
         // Iterative DFS over the decreasing-rank dependency DAG; a vertex
         // resolves once every lower-rank neighbor has a color.
         let mut stack = vec![v];
@@ -74,11 +84,11 @@ impl<O: Oracle> ColoringLca<O> {
                 continue;
             }
             let rx = self.rank_of(x);
-            let deg = self.oracle.degree(x);
+            let deg = o.degree(x);
             let mut blocked: Vec<u32> = Vec::new();
             let mut need: Option<VertexId> = None;
             for i in 0..deg {
-                let Some(w) = self.oracle.neighbor(x, i) else {
+                let Some(w) = o.neighbor(x, i) else {
                     break;
                 };
                 if self.rank_of(w) >= rx {
@@ -92,6 +102,8 @@ impl<O: Oracle> ColoringLca<O> {
                     }
                 }
             }
+            // Never memoize past an interruption.
+            ctx.checkpoint()?;
             match need {
                 Some(w) => stack.push(w),
                 None => {
@@ -114,7 +126,7 @@ impl<O: Oracle> ColoringLca<O> {
                 }
             }
         }
-        self.memo.lock().expect("memo poisoned")[&v.raw()]
+        Ok(self.memo.lock().expect("memo poisoned")[&v.raw()])
     }
 }
 
@@ -127,12 +139,12 @@ impl<O: Oracle> Lca for ColoringLca<O> {
     /// greedy-MIS fixed point ("no lower-rank neighbor has color 0"), so
     /// class 0 is itself a maximal independent set; the full color is still
     /// available via [`ColoringLca::color_of`].
-    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+    fn query_ctx(&self, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
             return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
-        Ok(self.color_of(v) == 0)
+        Ok(self.color_ctx(ctx, v)? == 0)
     }
 
     fn name(&self) -> &'static str {

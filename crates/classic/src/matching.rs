@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use lca_core::{Lca, LcaError, VertexSubsetLca};
+use lca_core::{Lca, LcaError, QueryCtx, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -91,9 +91,24 @@ impl<O: Oracle> MatchingLca<O> {
             self.oracle.adjacency(u, v).is_some(),
             "{u}-{v} is not an edge"
         );
+        self.decide_edge(&self.oracle, &QueryCtx::unlimited(), u, v)
+            .expect("unlimited queries cannot be interrupted")
+    }
+
+    /// The greedy fixed-point evaluation over edges, probing through `o`
+    /// and honoring `ctx`. Memo entries are only written after a
+    /// checkpoint, so a budget-interrupted query never persists a decision
+    /// derived from refused (degenerate) probes.
+    fn decide_edge<P: Oracle>(
+        &self,
+        o: &P,
+        ctx: &QueryCtx,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<bool, LcaError> {
         let root = self.key(u, v);
         if let Some(&d) = self.memo.lock().expect("memo poisoned").get(&root) {
-            return d;
+            return Ok(d);
         }
         let mut stack: Vec<(VertexId, VertexId)> = vec![(u, v)];
         while let Some(&(x, y)) = stack.last() {
@@ -106,9 +121,9 @@ impl<O: Oracle> MatchingLca<O> {
             let mut verdict = Some(true);
             let mut need: Option<(VertexId, VertexId)> = None;
             'outer: for &(a, b) in &[(x, y), (y, x)] {
-                let deg = self.oracle.degree(a);
+                let deg = o.degree(a);
                 for i in 0..deg {
-                    let Some(w) = self.oracle.neighbor(a, i) else {
+                    let Some(w) = o.neighbor(a, i) else {
                         break;
                     };
                     if w == b {
@@ -136,6 +151,8 @@ impl<O: Oracle> MatchingLca<O> {
                     }
                 }
             }
+            // Never memoize past an interruption.
+            ctx.checkpoint()?;
             match (verdict, need) {
                 (Some(d), _) => {
                     self.memo.lock().expect("memo poisoned").insert(k, d);
@@ -145,23 +162,34 @@ impl<O: Oracle> MatchingLca<O> {
                 (None, None) => unreachable!("undecided without a dependency"),
             }
         }
-        self.memo.lock().expect("memo poisoned")[&root]
+        Ok(self.memo.lock().expect("memo poisoned")[&root])
     }
 
     /// Whether `v` is an endpoint of some matched edge (deg(v) edge
     /// queries) — the vertex-subset view of the matching, identical to the
     /// Parnas–Ron vertex cover built on it.
     pub fn is_matched(&self, v: VertexId) -> bool {
-        let deg = self.oracle.degree(v);
+        self.matched_ctx(&QueryCtx::unlimited(), v)
+            .expect("unlimited queries cannot be interrupted")
+    }
+
+    /// Budgeted vertex-subset view, shared with
+    /// [`crate::VertexCoverLca`]: walks `v`'s incident edges through the
+    /// context's budgeted oracle.
+    pub(crate) fn matched_ctx(&self, ctx: &QueryCtx, v: VertexId) -> Result<bool, LcaError> {
+        let o = ctx.budgeted(&self.oracle);
+        let deg = o.degree(v);
         for i in 0..deg {
-            let Some(w) = self.oracle.neighbor(v, i) else {
+            let Some(w) = o.neighbor(v, i) else {
                 break;
             };
-            if self.contains(v, w) {
-                return true;
+            if self.decide_edge(&o, ctx, v, w)? {
+                return Ok(true);
             }
         }
-        false
+        // A drained neighbor scan must not read as "unmatched".
+        ctx.checkpoint()?;
+        Ok(false)
     }
 }
 
@@ -169,12 +197,12 @@ impl<O: Oracle> Lca for MatchingLca<O> {
     type Query = VertexId;
     type Answer = bool;
 
-    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+    fn query_ctx(&self, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
             return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
-        Ok(self.is_matched(v))
+        self.matched_ctx(ctx, v)
     }
 
     fn name(&self) -> &'static str {

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use lca_core::{Lca, LcaError, VertexSubsetLca};
+use lca_core::{Lca, LcaError, QueryCtx, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::{KWiseHash, Seed};
@@ -67,8 +67,18 @@ impl<O: Oracle> MisLca<O> {
     ///
     /// Panics if `v` is out of range for the oracle's graph.
     pub fn contains(&self, v: VertexId) -> bool {
+        self.decide(&self.oracle, &QueryCtx::unlimited(), v)
+            .expect("unlimited queries cannot be interrupted")
+    }
+
+    /// The greedy fixed-point evaluation, probing through `o` and honoring
+    /// `ctx`. Memo entries are only written after a checkpoint, so a
+    /// budget-interrupted query never persists a decision derived from
+    /// refused (degenerate) probes — entries written earlier in the walk
+    /// were computed fully within budget and stay valid across queries.
+    fn decide<P: Oracle>(&self, o: &P, ctx: &QueryCtx, v: VertexId) -> Result<bool, LcaError> {
         if let Some(&d) = self.memo.lock().expect("memo poisoned").get(&v.raw()) {
-            return d;
+            return Ok(d);
         }
         // Iterative DFS over the strictly-decreasing-rank dependency DAG.
         let mut stack: Vec<VertexId> = vec![v];
@@ -83,11 +93,11 @@ impl<O: Oracle> MisLca<O> {
                 continue;
             }
             let rx = self.rank_of(x);
-            let deg = self.oracle.degree(x);
+            let deg = o.degree(x);
             let mut verdict = Some(true);
             let mut need: Option<VertexId> = None;
             for i in 0..deg {
-                let Some(w) = self.oracle.neighbor(x, i) else {
+                let Some(w) = o.neighbor(x, i) else {
                     break;
                 };
                 if self.rank_of(w) >= rx {
@@ -106,6 +116,9 @@ impl<O: Oracle> MisLca<O> {
                     }
                 }
             }
+            // All probes behind this verdict were real iff the context has
+            // not tripped; never memoize past an interruption.
+            ctx.checkpoint()?;
             match (verdict, need) {
                 (Some(d), _) => {
                     self.memo.lock().expect("memo poisoned").insert(x.raw(), d);
@@ -115,7 +128,7 @@ impl<O: Oracle> MisLca<O> {
                 (None, None) => unreachable!("undecided without a dependency"),
             }
         }
-        self.memo.lock().expect("memo poisoned")[&v.raw()]
+        Ok(self.memo.lock().expect("memo poisoned")[&v.raw()])
     }
 }
 
@@ -123,12 +136,13 @@ impl<O: Oracle> Lca for MisLca<O> {
     type Query = VertexId;
     type Answer = bool;
 
-    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+    fn query_ctx(&self, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
         let n = self.oracle.vertex_count();
         if v.index() >= n {
             return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
-        Ok(self.contains(v))
+        let o = ctx.budgeted(&self.oracle);
+        self.decide(&o, ctx, v)
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,6 @@
 //! 2-approximate vertex cover from the maximal matching.
 
-use lca_core::{Lca, LcaError, VertexSubsetLca};
+use lca_core::{Lca, LcaError, QueryCtx, VertexSubsetLca};
 use lca_graph::VertexId;
 use lca_probe::Oracle;
 use lca_rand::Seed;
@@ -57,12 +57,12 @@ impl<O: Oracle> Lca for VertexCoverLca<O> {
     type Query = VertexId;
     type Answer = bool;
 
-    fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+    fn query_ctx(&self, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
         let n = self.matching.oracle().vertex_count();
         if v.index() >= n {
             return Err(LcaError::InvalidVertex { v, vertex_count: n });
         }
-        Ok(self.contains(v))
+        self.matching.matched_ctx(ctx, v)
     }
 
     fn name(&self) -> &'static str {

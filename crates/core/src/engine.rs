@@ -21,7 +21,7 @@
 use lca_graph::{Graph, Subgraph, VertexId};
 use lca_probe::{CountingOracle, Oracle, ProbeCounts};
 
-use crate::{EdgeSubgraphLca, Lca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError, QueryBudget};
 
 /// A thread pool policy for answering LCA query batches.
 ///
@@ -108,6 +108,89 @@ impl QueryEngine {
                 .flat_map(|h| h.join().expect("query engine worker panicked"))
                 .collect()
         })
+    }
+
+    /// Answers a batch under a [`QueryBudget`]: every query gets a fresh
+    /// [`QueryCtx`](crate::QueryCtx) with the budget's per-query probe cap
+    /// and cancellation flag, and — unlike per-query minting — one
+    /// *batch-wide* deadline derived from [`QueryBudget::timeout`] at entry,
+    /// so the whole batch must land inside one wall-clock envelope.
+    ///
+    /// Failures stay per-query: a query that trips its context yields its
+    /// own [`LcaError::BudgetExhausted`] (or deadline/cancel sibling) entry
+    /// without disturbing the rest, and the report carries per-shard
+    /// exhaustion statistics so a serving layer can see *where* the budget
+    /// pressure landed.
+    pub fn query_batch_budgeted<L>(
+        &self,
+        lca: &L,
+        queries: &[L::Query],
+        budget: &QueryBudget,
+    ) -> BudgetedBatch<L::Answer>
+    where
+        L: Lca + Sync + ?Sized,
+        L::Query: Clone + Sync,
+        L::Answer: Send,
+    {
+        type Shard<A> = (Vec<Result<A, LcaError>>, ShardBudget);
+        let deadline = budget.timeout.map(|t| std::time::Instant::now() + t);
+        let shard_len = queries.len().div_ceil(self.threads).max(1);
+        let shards: Vec<Shard<L::Answer>> = std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(shard_len)
+                .enumerate()
+                .map(|(index, chunk)| {
+                    s.spawn(move || {
+                        let mut answers = Vec::with_capacity(chunk.len());
+                        let mut exhausted = 0usize;
+                        let mut probes = 0u64;
+                        let mut per_query_max = 0u64;
+                        for q in chunk {
+                            let ctx = budget.ctx_at(deadline);
+                            let answer = lca.query_ctx(q.clone(), &ctx);
+                            if matches!(&answer, Err(e) if e.is_budget()) {
+                                exhausted += 1;
+                            }
+                            let spent = ctx.spent();
+                            probes += spent;
+                            per_query_max = per_query_max.max(spent);
+                            answers.push(answer);
+                        }
+                        (
+                            answers,
+                            ShardBudget {
+                                shard: index,
+                                queries: chunk.len(),
+                                exhausted,
+                                probes,
+                                per_query_max,
+                            },
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query engine worker panicked"))
+                .collect()
+        });
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut per_shard = Vec::new();
+        let mut exhausted = 0usize;
+        let mut probes = 0u64;
+        for (shard_answers, stats) in shards {
+            exhausted += stats.exhausted;
+            probes += stats.probes;
+            answers.extend(shard_answers);
+            per_shard.push(stats);
+        }
+        BudgetedBatch {
+            answers,
+            exhausted,
+            probes,
+            per_shard,
+        }
     }
 
     /// Materializes the subgraph an [`EdgeSubgraphLca`] describes by
@@ -288,6 +371,49 @@ impl QueryEngine {
             per_shard,
         }
     }
+}
+
+/// The outcome of a [`QueryEngine::query_batch_budgeted`] run: per-query
+/// results in input order plus exhaustion accounting.
+#[derive(Debug)]
+pub struct BudgetedBatch<A> {
+    /// Per-query results, in input order; budget trips are per-query
+    /// [`LcaError::is_budget`] errors.
+    pub answers: Vec<Result<A, LcaError>>,
+    /// Queries that tripped their budget (probe cap, deadline, or cancel).
+    pub exhausted: usize,
+    /// Total probes charged across the batch (context meters, exact).
+    pub probes: u64,
+    /// Per-shard accounting, in shard order.
+    pub per_shard: Vec<ShardBudget>,
+}
+
+impl<A> BudgetedBatch<A> {
+    /// Fraction of queries that tripped their budget (`0.0` for an empty
+    /// batch).
+    pub fn exhaustion_rate(&self) -> f64 {
+        if self.answers.is_empty() {
+            0.0
+        } else {
+            self.exhausted as f64 / self.answers.len() as f64
+        }
+    }
+}
+
+/// Budget accounting for one shard of a
+/// [`QueryEngine::query_batch_budgeted`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardBudget {
+    /// Shard index (shards partition the batch contiguously).
+    pub shard: usize,
+    /// Queries this shard answered.
+    pub queries: usize,
+    /// Queries that tripped their budget within the shard.
+    pub exhausted: usize,
+    /// Probes charged by the shard's query contexts.
+    pub probes: u64,
+    /// Maximum probes charged to a single query within the shard.
+    pub per_query_max: u64,
 }
 
 /// Per-shard outcome inside [`QueryEngine::measure_batch`].
@@ -533,6 +659,58 @@ mod tests {
         assert_eq!(run.algorithm, "three-spanner");
         assert!(run.answers.is_empty());
         assert_eq!(run.per_query_mean, 0.0);
+    }
+
+    #[test]
+    fn budgeted_batch_reports_per_shard_exhaustion() {
+        let g = GnpBuilder::new(120, 0.3).seed(Seed::new(9)).build();
+        let lca = ThreeSpanner::new(&g, ThreeSpannerParams::for_n(120), Seed::new(10));
+        let queries: Vec<_> = g.edges().collect();
+
+        // Unlimited budget: identical to query_batch, zero exhaustion.
+        let plain = QueryEngine::with_threads(3).query_batch(&lca, &queries);
+        let run = QueryEngine::with_threads(3).query_batch_budgeted(
+            &lca,
+            &queries,
+            &crate::QueryBudget::unlimited(),
+        );
+        assert_eq!(run.answers, plain);
+        assert_eq!(run.exhausted, 0);
+        assert_eq!(run.exhaustion_rate(), 0.0);
+        assert!(run.probes > 0);
+        let shard_probes: u64 = run.per_shard.iter().map(|s| s.probes).sum();
+        assert_eq!(shard_probes, run.probes);
+        let shard_queries: usize = run.per_shard.iter().map(|s| s.queries).sum();
+        assert_eq!(shard_queries, queries.len());
+
+        // A 1-probe budget trips every query (edge checks alone cost more).
+        let starved = QueryEngine::with_threads(3).query_batch_budgeted(
+            &lca,
+            &queries,
+            &crate::QueryBudget::max_probes(1),
+        );
+        assert_eq!(starved.exhausted, queries.len());
+        assert_eq!(starved.exhaustion_rate(), 1.0);
+        assert!(starved
+            .answers
+            .iter()
+            .all(|a| matches!(a, Err(LcaError::BudgetExhausted { spent: 1, limit: 1 }))));
+        let shard_exhausted: usize = starved.per_shard.iter().map(|s| s.exhausted).sum();
+        assert_eq!(shard_exhausted, queries.len());
+
+        // A mid-range budget splits the batch deterministically.
+        let max = run.per_shard.iter().map(|s| s.per_query_max).max().unwrap();
+        let mid = QueryEngine::with_threads(3).query_batch_budgeted(
+            &lca,
+            &queries,
+            &crate::QueryBudget::max_probes(max / 2),
+        );
+        for (budgeted, unlimited) in mid.answers.iter().zip(&plain) {
+            match budgeted {
+                Ok(a) => assert_eq!(Ok(*a), *unlimited),
+                Err(e) => assert!(e.is_budget()),
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,43 @@ pub enum LcaError {
         /// The query shape it received.
         got: QueryKind,
     },
+    /// The query hit its [`QueryCtx`](crate::QueryCtx) probe budget: the
+    /// probe that would have exceeded `limit` was refused and the query was
+    /// abandoned cleanly (no partial state was persisted). A clean partial
+    /// failure, not a bug — retry with a larger budget or accept the miss.
+    BudgetExhausted {
+        /// Probes actually spent (equals `limit` by construction).
+        spent: u64,
+        /// The probe budget that was in effect.
+        limit: u64,
+    },
+    /// The query ran past its [`QueryCtx`](crate::QueryCtx) wall-clock
+    /// deadline.
+    DeadlineExceeded {
+        /// Probes spent before the deadline was observed.
+        spent: u64,
+    },
+    /// The query's [`QueryCtx`](crate::QueryCtx) cancellation flag was set.
+    Cancelled {
+        /// Probes spent before cancellation was observed.
+        spent: u64,
+    },
+}
+
+impl LcaError {
+    /// Whether this error is a budget-family interruption
+    /// ([`LcaError::BudgetExhausted`], [`LcaError::DeadlineExceeded`] or
+    /// [`LcaError::Cancelled`]) — a property of the query's resource
+    /// envelope rather than of the query itself, so retrying with a looser
+    /// [`QueryCtx`](crate::QueryCtx) can succeed.
+    pub fn is_budget(&self) -> bool {
+        matches!(
+            self,
+            LcaError::BudgetExhausted { .. }
+                | LcaError::DeadlineExceeded { .. }
+                | LcaError::Cancelled { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for LcaError {
@@ -44,6 +81,15 @@ impl std::fmt::Display for LcaError {
             }
             LcaError::UnsupportedQuery { expected, got } => {
                 write!(f, "algorithm answers {expected} queries, got a {got} query")
+            }
+            LcaError::BudgetExhausted { spent, limit } => {
+                write!(f, "probe budget exhausted: spent {spent} of {limit}")
+            }
+            LcaError::DeadlineExceeded { spent } => {
+                write!(f, "query deadline exceeded after {spent} probes")
+            }
+            LcaError::Cancelled { spent } => {
+                write!(f, "query cancelled after {spent} probes")
             }
         }
     }
@@ -64,5 +110,26 @@ mod tests {
         assert!(format!("{e}").contains("not an edge"));
         fn assert_err<E: std::error::Error + Send + Sync>(_: &E) {}
         assert_err(&e);
+    }
+
+    #[test]
+    fn budget_family_errors_are_typed_and_classified() {
+        let b = LcaError::BudgetExhausted {
+            spent: 10,
+            limit: 10,
+        };
+        let d = LcaError::DeadlineExceeded { spent: 3 };
+        let c = LcaError::Cancelled { spent: 0 };
+        for e in [b, d, c] {
+            assert!(e.is_budget(), "{e}");
+        }
+        assert!(!LcaError::NotAnEdge {
+            u: VertexId::new(0),
+            v: VertexId::new(1),
+        }
+        .is_budget());
+        assert!(format!("{b}").contains("spent 10 of 10"));
+        assert!(format!("{d}").contains("deadline"));
+        assert!(format!("{c}").contains("cancelled"));
     }
 }

@@ -22,7 +22,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, IndexSampler, Seed};
 
 use crate::common::{ceil_pow, edge_key, ln_n, prefix_centers, scan_new_center};
-use crate::{EdgeSubgraphLca, Lca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError, QueryCtx};
 
 /// Tuning parameters of the 5-spanner construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -190,10 +190,11 @@ impl<O: Oracle> FiveSpanner<O> {
         self.super_coin.flip(label)
     }
 
-    /// `S(w)`: bucket centers among the first ∆_med neighbors of `w`.
-    fn s_set(&self, w: VertexId) -> Vec<VertexId> {
+    /// `S(w)`: bucket centers among the first ∆_med neighbors of `w`,
+    /// probed through `o` (the caller's budgeted per-query view).
+    fn s_set<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
         prefix_centers(
-            &self.oracle,
+            o,
             &self.center_coin,
             w,
             self.params.med_block,
@@ -202,32 +203,28 @@ impl<O: Oracle> FiveSpanner<O> {
     }
 
     /// `S'(w)`: super-centers among the first ∆_super neighbors of `w`.
-    fn sp_set(&self, w: VertexId) -> Vec<VertexId> {
-        prefix_centers(
-            &self.oracle,
-            &self.super_coin,
-            w,
-            self.params.super_block,
-            None,
-        )
+    fn sp_set<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(o, &self.super_coin, w, self.params.super_block, None)
     }
 
     /// `Reps(w)`: draw `reps_count` pseudorandom positions within the first
     /// `min(∆_med, deg w)` entries of `Γ(w)` and keep the super-high hits
     /// (Section 3, the representative method). Costs O(reps_count) probes.
     pub fn reps(&self, w: VertexId) -> Vec<VertexId> {
-        let deg = self.oracle.degree(w);
+        self.reps_in(&self.oracle, w)
+    }
+
+    fn reps_in<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
+        let deg = o.degree(w);
         if deg == 0 {
             return Vec::new();
         }
         let bound = deg.min(self.params.med_block) as u64;
         let mut out: Vec<VertexId> = Vec::new();
         for j in 0..self.params.reps_count {
-            let idx = self
-                .rep_sampler
-                .index(self.oracle.label(w), j as u64, bound);
-            if let Some(x) = self.oracle.neighbor(w, idx as usize) {
-                if self.oracle.degree(x) > self.params.super_threshold && !out.contains(&x) {
+            let idx = self.rep_sampler.index(o.label(w), j as u64, bound);
+            if let Some(x) = o.neighbor(w, idx as usize) {
+                if o.degree(x) > self.params.super_threshold && !out.contains(&x) {
                     out.push(x);
                 }
             }
@@ -236,10 +233,10 @@ impl<O: Oracle> FiveSpanner<O> {
     }
 
     /// `RS(w) = ∪_{x ∈ Reps(w)} S'(x)`: the radius-2 center set of `w`.
-    fn rs_set(&self, w: VertexId) -> Vec<VertexId> {
+    fn rs_set<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
         let mut out: Vec<VertexId> = Vec::new();
-        for x in self.reps(w) {
-            for s in self.sp_set(x) {
+        for x in self.reps_in(o, w) {
+            for s in self.sp_set(o, x) {
                 if !out.contains(&s) {
                     out.push(s);
                 }
@@ -251,14 +248,18 @@ impl<O: Oracle> FiveSpanner<O> {
     /// Deserted test (Definition 3.1): at least half of the first
     /// `min(∆_med, deg w)` neighbors have degree ≤ ∆_super.
     pub fn is_deserted(&self, w: VertexId) -> bool {
+        self.deserted_in(&self.oracle, w)
+    }
+
+    fn deserted_in<P: Oracle>(&self, o: &P, w: VertexId) -> bool {
         let mut scanned = 0usize;
         let mut small = 0usize;
         for i in 0..self.params.med_block {
-            let Some(x) = self.oracle.neighbor(w, i) else {
+            let Some(x) = o.neighbor(w, i) else {
                 break;
             };
             scanned += 1;
-            if self.oracle.degree(x) <= self.params.super_threshold {
+            if o.degree(x) <= self.params.super_threshold {
                 small += 1;
             }
         }
@@ -267,56 +268,79 @@ impl<O: Oracle> FiveSpanner<O> {
 
     /// Enumerates the cluster `C(s) = {s} ∪ {w : s ∈ S(w)}` of a sampled
     /// center `s`, sorted by label (the consistent bucket-partition order).
-    fn cluster_of(&self, s: VertexId) -> Vec<VertexId> {
+    fn cluster_of<P: Oracle>(&self, o: &P, s: VertexId) -> Vec<VertexId> {
         let mut members = vec![s];
-        let deg = self.oracle.degree(s);
+        let deg = o.degree(s);
         for i in 0..deg {
-            let Some(w) = self.oracle.neighbor(s, i) else {
+            let Some(w) = o.neighbor(s, i) else {
                 break;
             };
-            if matches!(self.oracle.adjacency(w, s), Some(idx) if idx < self.params.med_block) {
+            if matches!(o.adjacency(w, s), Some(idx) if idx < self.params.med_block) {
                 members.push(w);
             }
         }
-        members.sort_by_key(|&w| self.oracle.label(w));
+        members.sort_by_key(|&w| o.label(w));
         members.dedup();
         members
     }
 
     /// The bucket of `member` within the (label-sorted) cluster: consecutive
-    /// chunks of size ∆_med.
-    fn bucket_of<'m>(&self, cluster: &'m [VertexId], member: VertexId) -> &'m [VertexId] {
-        let pos = cluster
-            .iter()
-            .position(|&w| w == member)
-            .expect("member must belong to its own cluster");
+    /// chunks of size ∆_med. `None` means `member` is missing from its own
+    /// cluster — impossible from genuine probes, so callers treat it as
+    /// proof the budget tripped mid-enumeration.
+    fn bucket_of<'m>(&self, cluster: &'m [VertexId], member: VertexId) -> Option<&'m [VertexId]> {
+        let pos = cluster.iter().position(|&w| w == member)?;
         let b = self.params.med_block.max(1);
         let start = (pos / b) * b;
-        &cluster[start..cluster.len().min(start + b)]
+        Some(&cluster[start..cluster.len().min(start + b)])
     }
 
     /// Bucket rule (B): is `(u, v)` the minimum-ID valid edge between the
     /// buckets of `u` and `v` for some center pair `s ∈ S(u)`, `t ∈ S(v)`,
     /// `s ≠ t`?
-    fn bucket_rule(&self, u: VertexId, v: VertexId, su: &[VertexId], sv: &[VertexId]) -> bool {
+    fn bucket_rule<P: Oracle>(
+        &self,
+        o: &P,
+        ctx: &QueryCtx,
+        u: VertexId,
+        v: VertexId,
+        su: &[VertexId],
+        sv: &[VertexId],
+    ) -> bool {
         if su.is_empty() || sv.is_empty() {
             return false;
         }
-        let o = &self.oracle;
         let med = self.params.med_threshold;
         let target = edge_key(o.label(u), o.label(v));
         let mut deg_cache: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         let mut deg_of =
             |w: VertexId| -> usize { *deg_cache.entry(w.raw()).or_insert_with(|| o.degree(w)) };
+        // A member missing from its own cluster is impossible from genuine
+        // probes: allow it only when the budget tripped (the query is about
+        // to fail its checkpoint) — a violation on the unbudgeted path is a
+        // real bug and must stay loud.
+        let degenerate = |missing: VertexId| -> bool {
+            assert!(
+                ctx.interrupted(),
+                "{missing} must belong to its own cluster"
+            );
+            false
+        };
         for &s in su {
-            let cs = self.cluster_of(s);
-            let bu = self.bucket_of(&cs, u).to_vec();
+            let cs = self.cluster_of(o, s);
+            let Some(bu) = self.bucket_of(&cs, u) else {
+                return degenerate(u);
+            };
+            let bu = bu.to_vec();
             for &t in sv {
                 if s == t {
                     continue;
                 }
-                let ct = self.cluster_of(t);
-                let bv = self.bucket_of(&ct, v).to_vec();
+                let ct = self.cluster_of(o, t);
+                let Some(bv) = self.bucket_of(&ct, v) else {
+                    return degenerate(v);
+                };
+                let bv = bv.to_vec();
                 let mut best: Option<(u64, u64)> = None;
                 for &a in &bu {
                     // Candidates are cluster *members* (s ∈ S(a) must hold so
@@ -348,11 +372,16 @@ impl<O: Oracle> FiveSpanner<O> {
     /// Representative rule (B) from scanner `w`: does the endpoint at
     /// position `other_idx` introduce a center of `rs_other` through some
     /// earlier mid-degree neighbor's representatives?
-    fn rep_scan(&self, w: VertexId, other_idx: usize, rs_other: &[VertexId]) -> bool {
+    fn rep_scan<P: Oracle>(
+        &self,
+        o: &P,
+        w: VertexId,
+        other_idx: usize,
+        rs_other: &[VertexId],
+    ) -> bool {
         if rs_other.is_empty() {
             return false;
         }
-        let o = &self.oracle;
         let mut covered = vec![false; rs_other.len()];
         let mut remaining = rs_other.len();
         for i in 0..other_idx {
@@ -362,7 +391,7 @@ impl<O: Oracle> FiveSpanner<O> {
             if !self.is_mid(o.degree(x)) {
                 continue;
             }
-            let reps_x = self.reps(x);
+            let reps_x = self.reps_in(o, x);
             for (ci, &s) in rs_other.iter().enumerate() {
                 if covered[ci] {
                     continue;
@@ -412,14 +441,17 @@ impl<O: Oracle> FiveSpanner<O> {
     }
 }
 
-impl<O: Oracle> Lca for FiveSpanner<O> {
-    type Query = (VertexId, VertexId);
-    type Answer = bool;
-
-    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
-        self.check_vertex(u)?;
-        self.check_vertex(v)?;
-        let o = &self.oracle;
+impl<O: Oracle> FiveSpanner<O> {
+    /// The Section 3 decision rules, probing exclusively through `o`. When
+    /// `o` is a tripped budgeted view the answer may be garbage — callers
+    /// must [`QueryCtx::checkpoint`] before trusting it.
+    fn decide<P: Oracle>(
+        &self,
+        o: &P,
+        ctx: &QueryCtx,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<bool, LcaError> {
         let p = &self.params;
         let Some(idx_vu) = o.adjacency(v, u) else {
             return Err(LcaError::NotAnEdge { u, v });
@@ -456,8 +488,8 @@ impl<O: Oracle> Lca for FiveSpanner<O> {
 
         // Super machinery: fallbacks and block scans (3-stretch detours for
         // any edge whose endpoint is super-high; harmless otherwise).
-        let spu = self.sp_set(u);
-        let spv = self.sp_set(v);
+        let spu = self.sp_set(o, u);
+        let spv = self.sp_set(o, v);
         if (du > p.super_threshold && spu.is_empty()) || (dv > p.super_threshold && spv.is_empty())
         {
             return Ok(true);
@@ -475,45 +507,60 @@ impl<O: Oracle> Lca for FiveSpanner<O> {
         }
 
         // Representative star edges (rule A): mid vertex → its reps.
-        if self.is_mid(dv) && self.reps(v).contains(&u) {
+        if self.is_mid(dv) && self.reps_in(o, v).contains(&u) {
             return Ok(true);
         }
-        if self.is_mid(du) && self.reps(u).contains(&v) {
+        if self.is_mid(du) && self.reps_in(o, u).contains(&v) {
             return Ok(true);
         }
 
         if du >= p.med_threshold && dv >= p.med_threshold {
             // Representative machinery applies when both endpoints are mid.
             if self.is_mid(du) && self.is_mid(dv) {
-                let rs_u = self.rs_set(u);
-                let rs_v = self.rs_set(v);
-                let des_u = self.is_deserted(u);
-                let des_v = self.is_deserted(v);
+                let rs_u = self.rs_set(o, u);
+                let rs_v = self.rs_set(o, v);
+                let des_u = self.deserted_in(o, u);
+                let des_v = self.deserted_in(o, v);
                 // Deterministic fallbacks (DESIGN.md deviation #2): a crowded
                 // vertex without a radius-2 center keeps its mid edges; a
                 // deserted pair without bucket centers keeps the edge.
                 if (!des_u && rs_u.is_empty()) || (!des_v && rs_v.is_empty()) {
                     return Ok(true);
                 }
-                if des_u && des_v && (self.s_set(u).is_empty() || self.s_set(v).is_empty()) {
+                if des_u && des_v && (self.s_set(o, u).is_empty() || self.s_set(o, v).is_empty()) {
                     return Ok(true);
                 }
-                if self.rep_scan(u, idx_uv, &rs_v) {
+                if self.rep_scan(o, u, idx_uv, &rs_v) {
                     return Ok(true);
                 }
-                if self.rep_scan(v, idx_vu, &rs_u) {
+                if self.rep_scan(o, v, idx_vu, &rs_u) {
                     return Ok(true);
                 }
             }
             // Bucket rule (B): both endpoints of degree ≥ ∆_med.
-            let su = self.s_set(u);
-            let sv = self.s_set(v);
-            if self.bucket_rule(u, v, &su, &sv) {
+            let su = self.s_set(o, u);
+            let sv = self.s_set(o, v);
+            if self.bucket_rule(o, ctx, u, v, &su, &sv) {
                 return Ok(true);
             }
         }
 
         Ok(false)
+    }
+}
+
+impl<O: Oracle> Lca for FiveSpanner<O> {
+    type Query = (VertexId, VertexId);
+    type Answer = bool;
+
+    fn query_ctx(&self, (u, v): (VertexId, VertexId), ctx: &QueryCtx) -> Result<bool, LcaError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let o = ctx.budgeted(&self.oracle);
+        let answer = self.decide(&o, ctx, u, v);
+        // A tripped budget outranks whatever the drained probes produced.
+        ctx.checkpoint()?;
+        answer
     }
 
     fn name(&self) -> &'static str {

@@ -34,15 +34,25 @@ impl ClusterInfo {
 impl<O: Oracle> K2Spanner<O> {
     /// Children of `x` in its Voronoi tree, in adjacency-list order
     /// (Table 5: O(∆²L) probes).
-    pub(crate) fn tree_children(&self, ctx: &Ctx, x: VertexId) -> Rc<Vec<VertexId>> {
+    pub(crate) fn tree_children(&self, ctx: &Ctx<'_>, x: VertexId) -> Rc<Vec<VertexId>> {
         if let Some(c) = ctx.children.borrow().get(&x.raw()) {
             return Rc::clone(c);
         }
-        let o = self.oracle();
+        let o = self.o(ctx);
         let st = self.status(ctx, x);
-        let cx = st
-            .center()
-            .expect("children only defined for dense vertices");
+        let Some(cx) = st.center() else {
+            // Children are only requested for dense vertices; a tripped
+            // budget can degenerate a status to sparse mid-walk, and the
+            // query is about to fail its checkpoint — report no children.
+            // On the unbudgeted path this is a real bug and must stay loud.
+            assert!(
+                ctx.interrupted(),
+                "children only defined for dense vertices"
+            );
+            let rc = Rc::new(Vec::new());
+            ctx.children.borrow_mut().insert(x.raw(), Rc::clone(&rc));
+            return rc;
+        };
         let mut kids = Vec::new();
         let deg = o.degree(x);
         for i in 0..deg {
@@ -61,7 +71,7 @@ impl<O: Oracle> K2Spanner<O> {
 
     /// Subtree size of `x` capped at `L`: `Some(size)` for light vertices,
     /// `None` for heavy ones (Definition 4.7; Table 5: O(∆²L²) probes).
-    pub(crate) fn subtree_size(&self, ctx: &Ctx, x: VertexId) -> Option<usize> {
+    pub(crate) fn subtree_size(&self, ctx: &Ctx<'_>, x: VertexId) -> Option<usize> {
         if let Some(&s) = ctx.subtree.borrow().get(&x.raw()) {
             return s;
         }
@@ -85,7 +95,7 @@ impl<O: Oracle> K2Spanner<O> {
     }
 
     /// All vertices of the (light) subtree rooted at `x`.
-    fn collect_subtree(&self, ctx: &Ctx, x: VertexId) -> Vec<VertexId> {
+    fn collect_subtree(&self, ctx: &Ctx<'_>, x: VertexId) -> Vec<VertexId> {
         let mut out = Vec::new();
         let mut stack = vec![x];
         while let Some(y) = stack.pop() {
@@ -97,7 +107,7 @@ impl<O: Oracle> K2Spanner<O> {
 
     /// The cluster containing dense vertex `x` (Section 4.3.2 rules (a)–(c);
     /// Table 5: O(∆³L²) probes).
-    pub(crate) fn cluster(&self, ctx: &Ctx, x: VertexId) -> Rc<ClusterInfo> {
+    pub(crate) fn cluster(&self, ctx: &Ctx<'_>, x: VertexId) -> Rc<ClusterInfo> {
         if let Some(c) = ctx.clusters.borrow().get(&x.raw()) {
             return Rc::clone(c);
         }
@@ -145,10 +155,21 @@ impl<O: Oracle> K2Spanner<O> {
             if !cur.is_empty() {
                 groups.push(cur);
             }
+            // Within budget the group containing `below` always exists; a
+            // tripped budget can degenerate the children enumeration, in
+            // which case the query fails its checkpoint anyway — fall back
+            // to a singleton. On the unbudgeted path a missing group is a
+            // real bug and must stay loud.
             let group = groups
                 .into_iter()
                 .find(|g| g.contains(&below))
-                .expect("the subtree containing x must be in some group");
+                .unwrap_or_else(|| {
+                    assert!(
+                        ctx.interrupted(),
+                        "the subtree containing x must be in some group"
+                    );
+                    vec![x]
+                });
             group
                 .into_iter()
                 .flat_map(|w| self.collect_subtree(ctx, w))
@@ -171,11 +192,11 @@ impl<O: Oracle> K2Spanner<O> {
 
     /// `c(∂A)`: centers of the (dense) neighbors of cluster `A`, excluding
     /// `A`'s own cell (Table 5: O(∆²L²) probes). Memoized by cluster id.
-    pub(crate) fn boundary(&self, ctx: &Ctx, a: &ClusterInfo) -> Rc<HashSet<u32>> {
+    pub(crate) fn boundary(&self, ctx: &Ctx<'_>, a: &ClusterInfo) -> Rc<HashSet<u32>> {
         if let Some(b) = ctx.boundaries.borrow().get(&a.id()) {
             return Rc::clone(b);
         }
-        let o = self.oracle();
+        let o = self.o(ctx);
         let mut out: HashSet<u32> = HashSet::new();
         for &m in &a.members {
             let deg = o.degree(m);
@@ -198,10 +219,11 @@ impl<O: Oracle> K2Spanner<O> {
     /// Minimum-label-ID edge in `E(A, B)` (endpoints returned A-side first).
     fn min_edge_between(
         &self,
+        ctx: &Ctx<'_>,
         a: &ClusterInfo,
         b_set: &HashSet<u32>,
     ) -> Option<(VertexId, VertexId)> {
-        let o = self.oracle();
+        let o = self.o(ctx);
         let mut best: Option<((u64, u64), (VertexId, VertexId))> = None;
         for &m in &a.members {
             let deg = o.degree(m);
@@ -223,11 +245,11 @@ impl<O: Oracle> K2Spanner<O> {
     /// Minimum-label-ID edge in `E(A, Vor(cell))` for a foreign cell.
     fn min_edge_to_cell(
         &self,
-        ctx: &Ctx,
+        ctx: &Ctx<'_>,
         a: &ClusterInfo,
         cell: VertexId,
     ) -> Option<(VertexId, VertexId)> {
-        let o = self.oracle();
+        let o = self.o(ctx);
         let mut best: Option<((u64, u64), (VertexId, VertexId))> = None;
         for &m in &a.members {
             let deg = o.degree(m);
@@ -248,7 +270,7 @@ impl<O: Oracle> K2Spanner<O> {
 
     /// Marked cells adjacent to cluster `a` (from its boundary), plus its
     /// own cell when marked — the rule (2) emptiness test set.
-    fn marked_adjacent(&self, ctx: &Ctx, a: &ClusterInfo) -> Vec<u32> {
+    fn marked_adjacent(&self, ctx: &Ctx<'_>, a: &ClusterInfo) -> Vec<u32> {
         let mut out: Vec<u32> = self
             .boundary(ctx, a)
             .iter()
@@ -270,7 +292,7 @@ impl<O: Oracle> K2Spanner<O> {
     /// justified by some marked cluster that `to` participates in?
     fn rule3(
         &self,
-        ctx: &Ctx,
+        ctx: &Ctx<'_>,
         from: &ClusterInfo,
         to: &ClusterInfo,
         edge: (VertexId, VertexId),
@@ -320,7 +342,7 @@ fn same_edge(a: (VertexId, VertexId), b: (VertexId, VertexId)) -> bool {
 /// `H^(B)_dense` (rules (1)–(3) of Figure 10).
 pub(crate) fn dense_contains<O: Oracle>(
     lca: &K2Spanner<O>,
-    ctx: &Ctx,
+    ctx: &Ctx<'_>,
     u: VertexId,
     v: VertexId,
     _su: &VertexStatus,
@@ -334,7 +356,7 @@ pub(crate) fn dense_contains<O: Oracle>(
     // Rule (1): a marked cluster connects to each adjacent cluster via the
     // minimum-ID edge.
     if a_marked || b_marked {
-        if let Some(e) = lca.min_edge_between(&a, &b.member_set) {
+        if let Some(e) = lca.min_edge_between(ctx, &a, &b.member_set) {
             if same_edge(e, (u, v)) {
                 return true;
             }

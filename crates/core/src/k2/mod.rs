@@ -33,7 +33,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, RankAssigner, Seed};
 
 use crate::common::{ceil_pow, ln_n};
-use crate::{EdgeSubgraphLca, Lca, LcaError};
+use crate::{BudgetedOracle, EdgeSubgraphLca, Lca, LcaError, QueryCtx};
 
 /// Tuning parameters of the O(k²)-spanner construction.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,11 +99,16 @@ impl K2Params {
 }
 
 /// Shared per-query scratch: memoized center searches, subtree sizes,
-/// children lists and clusters. Purely a probe-saving device — every cached
-/// value is a deterministic function of `(graph, seed)`, so caching cannot
-/// change any answer.
+/// children lists and clusters — plus the query's budget, so every probe
+/// of the walk charges one [`QueryCtx`] meter. The memos are purely a
+/// probe-saving device — every cached value is a deterministic function of
+/// `(graph, seed)`, so caching cannot change any answer — and the scratch
+/// is discarded with the query, so a budget-interrupted walk never leaks
+/// partial state into later queries.
 #[derive(Default)]
-pub(crate) struct Ctx {
+pub(crate) struct Ctx<'q> {
+    /// The query's execution context; `None` on legacy/diagnostic paths.
+    pub(crate) budget: Option<&'q QueryCtx>,
     pub(crate) status: RefCell<HashMap<u32, Rc<VertexStatus>>>,
     /// `Some(size)` for light vertices, `None` for heavy ones.
     pub(crate) subtree: RefCell<HashMap<u32, Option<usize>>>,
@@ -111,6 +116,22 @@ pub(crate) struct Ctx {
     pub(crate) clusters: RefCell<HashMap<u32, Rc<dense::ClusterInfo>>>,
     /// `c(∂A)` per cluster id.
     pub(crate) boundaries: RefCell<HashMap<u32, Rc<HashSet<u32>>>>,
+}
+
+impl<'q> Ctx<'q> {
+    /// A scratch charging every probe to `budget`.
+    pub(crate) fn budgeted(budget: &'q QueryCtx) -> Ctx<'q> {
+        Ctx {
+            budget: Some(budget),
+            ..Ctx::default()
+        }
+    }
+
+    /// Whether the query's budget has tripped — the only condition under
+    /// which the dense machinery's invariants may degenerate.
+    pub(crate) fn interrupted(&self) -> bool {
+        self.budget.is_some_and(QueryCtx::interrupted)
+    }
 }
 
 /// LCA for O(k²)-spanners with Õ(n^{1+1/k}) edges (Theorem 1.2).
@@ -171,6 +192,12 @@ impl<O: Oracle> K2Spanner<O> {
         &self.oracle
     }
 
+    /// The probe view for this scratch: budget-charging when the scratch
+    /// carries a query context, transparent otherwise.
+    pub(crate) fn o<'a>(&'a self, ctx: &Ctx<'a>) -> BudgetedOracle<'a, O> {
+        BudgetedOracle::maybe(&self.oracle, ctx.budget)
+    }
+
     pub(crate) fn mark_coin(&self) -> &Coin {
         &self.mark_coin
     }
@@ -189,12 +216,12 @@ impl<O: Oracle> K2Spanner<O> {
     }
 
     /// The sparse/dense status of a vertex (memoized per context).
-    pub(crate) fn status(&self, ctx: &Ctx, v: VertexId) -> Rc<VertexStatus> {
+    pub(crate) fn status(&self, ctx: &Ctx<'_>, v: VertexId) -> Rc<VertexStatus> {
         if let Some(st) = ctx.status.borrow().get(&v.raw()) {
             return Rc::clone(st);
         }
         let st = Rc::new(center_search(
-            &self.oracle,
+            &self.o(ctx),
             v,
             self.params.k,
             &self.center_coin,
@@ -260,24 +287,32 @@ impl<O: Oracle> Lca for K2Spanner<O> {
     type Query = (VertexId, VertexId);
     type Answer = bool;
 
-    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
+    fn query_ctx(&self, (u, v): (VertexId, VertexId), qctx: &QueryCtx) -> Result<bool, LcaError> {
         self.check_vertex(u)?;
         self.check_vertex(v)?;
-        if self.oracle.adjacency(u, v).is_none() || self.oracle.adjacency(v, u).is_none() {
+        let ctx = Ctx::budgeted(qctx);
+        let o = self.o(&ctx);
+        if o.adjacency(u, v).is_none() || o.adjacency(v, u).is_none() {
+            // A refused adjacency probe must not masquerade as NotAnEdge.
+            qctx.checkpoint()?;
             return Err(LcaError::NotAnEdge { u, v });
         }
-        let ctx = Ctx::default();
         let su = self.status(&ctx, u);
         let sv = self.status(&ctx, v);
-        if su.is_sparse() || sv.is_sparse() {
-            return Ok(sparse::sparse_contains(self, &ctx, u, v));
-        }
-        let (cu, cv) = (su.center().expect("dense"), sv.center().expect("dense"));
-        if cu == cv {
-            // Same cell: only Voronoi tree edges (H^(I)) survive.
-            return Ok(su.parent() == Some(v) || sv.parent() == Some(u));
-        }
-        Ok(dense::dense_contains(self, &ctx, u, v, &su, &sv))
+        let answer = if su.is_sparse() || sv.is_sparse() {
+            sparse::sparse_contains(self, &ctx, u, v)
+        } else {
+            let (cu, cv) = (su.center().expect("dense"), sv.center().expect("dense"));
+            if cu == cv {
+                // Same cell: only Voronoi tree edges (H^(I)) survive.
+                su.parent() == Some(v) || sv.parent() == Some(u)
+            } else {
+                dense::dense_contains(self, &ctx, u, v, &su, &sv)
+            }
+        };
+        // A tripped budget outranks whatever the drained walk produced.
+        qctx.checkpoint()?;
+        Ok(answer)
     }
 
     fn name(&self) -> &'static str {

@@ -18,7 +18,7 @@ use super::{Ctx, K2Spanner};
 /// Whether the sparse-side edge `(u, v)` is kept by H_sparse.
 pub(crate) fn sparse_contains<O: Oracle>(
     lca: &K2Spanner<O>,
-    ctx: &Ctx,
+    ctx: &Ctx<'_>,
     u: VertexId,
     v: VertexId,
 ) -> bool {
@@ -41,15 +41,15 @@ pub(crate) fn sparse_contains<O: Oracle>(
 }
 
 /// Whether the edge `(x, w)` belongs to `G_sparse` (≥ 1 sparse endpoint).
-fn edge_in_sparse<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx, x: VertexId, w: VertexId) -> bool {
+fn edge_in_sparse<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx<'_>, x: VertexId, w: VertexId) -> bool {
     lca.status(ctx, x).is_sparse() || lca.status(ctx, w).is_sparse()
 }
 
 /// Gathers the union of radius-k balls around the sources in `G_sparse`,
 /// building a [`LocalGraph`] whose per-vertex adjacency preserves the
 /// original list order (filtered to sparse edges within the ball).
-fn gather_balls<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx, sources: &[VertexId]) -> LocalGraph {
-    let o = lca.oracle();
+fn gather_balls<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx<'_>, sources: &[VertexId]) -> LocalGraph {
+    let o = lca.o(ctx);
     let k = lca.params().k;
     // BFS in G_sparse, multi-source with per-source distance budget k:
     // run one BFS per source into a shared discovered map keeping the

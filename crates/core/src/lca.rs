@@ -21,7 +21,7 @@
 
 use lca_graph::VertexId;
 
-use crate::LcaError;
+use crate::{LcaError, QueryCtx};
 
 /// A local computation algorithm: query access to one fixed legal solution.
 ///
@@ -45,13 +45,38 @@ pub trait Lca {
     /// What a single answer looks like (membership bit, color, …).
     type Answer;
 
-    /// Answers one query, consistently with the fixed global solution.
+    /// Answers one query under an explicit per-query execution context —
+    /// the required method of the trait. The context carries the probe
+    /// budget, wall-clock deadline, cancellation flag, and the unified
+    /// probe meter ([`QueryCtx::spent`]); implementations charge every
+    /// oracle probe against it (via [`QueryCtx::budgeted`]) and surface
+    /// interruptions as typed budget errors instead of hanging.
+    ///
+    /// An unlimited context ([`QueryCtx::unlimited`]) must reproduce the
+    /// same answers and probe transcripts as a plain [`Lca::query`].
+    ///
+    /// # Errors
+    ///
+    /// [`LcaError`] if the query is malformed for this algorithm/instance
+    /// (out-of-range vertex, non-edge, unsupported query shape), or a
+    /// budget-family error ([`LcaError::is_budget`]) when the context
+    /// tripped: [`LcaError::BudgetExhausted`],
+    /// [`LcaError::DeadlineExceeded`], [`LcaError::Cancelled`].
+    fn query_ctx(&self, q: Self::Query, ctx: &QueryCtx) -> Result<Self::Answer, LcaError>;
+
+    /// Answers one query with no budget, consistently with the fixed
+    /// global solution (shorthand for [`Lca::query_ctx`] with
+    /// [`QueryCtx::unlimited`]; wrappers like
+    /// [`WithBudget`](crate::WithBudget) override this to install a
+    /// default budget).
     ///
     /// # Errors
     ///
     /// [`LcaError`] if the query is malformed for this algorithm/instance
     /// (out-of-range vertex, non-edge, unsupported query shape).
-    fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError>;
+    fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError> {
+        self.query_ctx(q, &QueryCtx::unlimited())
+    }
 
     /// A short human-readable algorithm name for reports
     /// (e.g. `"three-spanner"`, `"mis"`).
@@ -67,6 +92,10 @@ pub trait Lca {
 impl<L: Lca + ?Sized> Lca for &L {
     type Query = L::Query;
     type Answer = L::Answer;
+
+    fn query_ctx(&self, q: Self::Query, ctx: &QueryCtx) -> Result<Self::Answer, LcaError> {
+        (**self).query_ctx(q, ctx)
+    }
 
     fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError> {
         (**self).query(q)
@@ -84,6 +113,10 @@ impl<L: Lca + ?Sized> Lca for &L {
 impl<L: Lca + ?Sized> Lca for Box<L> {
     type Query = L::Query;
     type Answer = L::Answer;
+
+    fn query_ctx(&self, q: Self::Query, ctx: &QueryCtx) -> Result<Self::Answer, LcaError> {
+        (**self).query_ctx(q, ctx)
+    }
 
     fn query(&self, q: Self::Query) -> Result<Self::Answer, LcaError> {
         (**self).query(q)
@@ -113,6 +146,15 @@ pub trait EdgeSubgraphLca: Lca<Query = (VertexId, VertexId), Answer = bool> {
     /// [`LcaError::NotAnEdge`] if `{u, v}` is not an edge of the input graph.
     fn contains(&self, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
         self.query((u, v))
+    }
+
+    /// Budgeted form of [`EdgeSubgraphLca::contains`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Lca::query_ctx`].
+    fn contains_ctx(&self, u: VertexId, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
+        self.query_ctx((u, v), ctx)
     }
 
     /// An upper bound on the stretch of the subgraph this LCA defines
@@ -145,6 +187,15 @@ pub trait VertexSubsetLca: Lca<Query = VertexId, Answer = bool> {
     /// graph.
     fn contains_vertex(&self, v: VertexId) -> Result<bool, LcaError> {
         self.query(v)
+    }
+
+    /// Budgeted form of [`VertexSubsetLca::contains_vertex`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Lca::query_ctx`].
+    fn contains_vertex_ctx(&self, v: VertexId, ctx: &QueryCtx) -> Result<bool, LcaError> {
+        self.query_ctx(v, ctx)
     }
 }
 
@@ -199,6 +250,16 @@ impl<L: EdgeSubgraphLca> Lca for DynEdgeLca<L> {
     type Query = DynQuery;
     type Answer = bool;
 
+    fn query_ctx(&self, q: DynQuery, ctx: &QueryCtx) -> Result<bool, LcaError> {
+        match q {
+            DynQuery::Edge(u, v) => self.0.query_ctx((u, v), ctx),
+            DynQuery::Vertex(_) => Err(LcaError::UnsupportedQuery {
+                expected: QueryKind::Edge,
+                got: QueryKind::Vertex,
+            }),
+        }
+    }
+
     fn query(&self, q: DynQuery) -> Result<bool, LcaError> {
         match q {
             DynQuery::Edge(u, v) => self.0.query((u, v)),
@@ -227,6 +288,16 @@ pub struct DynVertexLca<L>(pub L);
 impl<L: VertexSubsetLca> Lca for DynVertexLca<L> {
     type Query = DynQuery;
     type Answer = bool;
+
+    fn query_ctx(&self, q: DynQuery, ctx: &QueryCtx) -> Result<bool, LcaError> {
+        match q {
+            DynQuery::Vertex(v) => self.0.query_ctx(v, ctx),
+            DynQuery::Edge(..) => Err(LcaError::UnsupportedQuery {
+                expected: QueryKind::Vertex,
+                got: QueryKind::Edge,
+            }),
+        }
+    }
 
     fn query(&self, q: DynQuery) -> Result<bool, LcaError> {
         match q {
@@ -257,7 +328,7 @@ mod tests {
         type Query = (VertexId, VertexId);
         type Answer = bool;
 
-        fn query(&self, _q: (VertexId, VertexId)) -> Result<bool, LcaError> {
+        fn query_ctx(&self, _q: (VertexId, VertexId), _ctx: &QueryCtx) -> Result<bool, LcaError> {
             Ok(true)
         }
 
@@ -278,7 +349,7 @@ mod tests {
         type Query = VertexId;
         type Answer = bool;
 
-        fn query(&self, v: VertexId) -> Result<bool, LcaError> {
+        fn query_ctx(&self, v: VertexId, _ctx: &QueryCtx) -> Result<bool, LcaError> {
             Ok(v.index() % 2 == 1)
         }
 

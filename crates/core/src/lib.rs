@@ -72,13 +72,30 @@
 //! # Ok::<(), lca_core::LcaError>(())
 //! ```
 //!
+//! # Budgeted queries
+//!
+//! Every query runs under a [`QueryCtx`] — probe budget, wall-clock
+//! deadline, cancellation flag, and the unified per-query probe meter
+//! ([`QueryCtx::spent`]). [`Lca::query_ctx`] is the required trait method;
+//! [`Lca::query`] is the unlimited shorthand. A query that would exceed its
+//! budget returns [`LcaError::BudgetExhausted`] — a typed clean partial
+//! failure, never a hang or a panic — and the unlimited path reproduces
+//! pre-budget answers and probe transcripts bit-for-bit. Budgets surface at
+//! every layer: per-batch via [`QueryEngine::query_batch_budgeted`] (with
+//! per-shard exhaustion stats), per-instance via the facade builder's
+//! default [`QueryBudget`], and per-request via the `lca-serve` wire
+//! protocol's `max_probes`/`deadline_ms` fields.
+//!
 //! # Migration note (pre-0.2 API)
 //!
 //! `EdgeSubgraphLca` used to be a standalone trait whose implementors
 //! defined `contains`/`name` directly. Those methods now live on the
 //! [`Lca`] supertrait as [`Lca::query`] (with `contains` as a provided
 //! convenience), so existing call sites keep working; implementors provide
-//! `Lca` plus a `stretch_bound`. Constructors are unchanged — or use the
+//! `Lca` plus a `stretch_bound`. Since the budget redesign the required
+//! method is [`Lca::query_ctx`]; a pre-budget `fn query` implementation
+//! becomes `fn query_ctx(&self, q, ctx)` that charges its probes via
+//! [`QueryCtx::budgeted`]. Constructors are unchanged — or use the
 //! `lca::registry` builder in the facade crate to construct any algorithm
 //! uniformly from `(graph, kind, seed)`.
 
@@ -86,6 +103,7 @@
 #![warn(missing_docs)]
 
 mod common;
+mod ctx;
 mod engine;
 mod error;
 mod five;
@@ -96,7 +114,8 @@ mod lca;
 mod three;
 pub mod verify;
 
-pub use engine::{EngineRun, MeasuredBatch, QueryEngine, ShardCounts};
+pub use ctx::{BudgetedOracle, QueryBudget, QueryCtx, WithBudget, POLL_STRIDE};
+pub use engine::{BudgetedBatch, EngineRun, MeasuredBatch, QueryEngine, ShardBudget, ShardCounts};
 pub use error::LcaError;
 pub use five::{EdgeClass, FiveSpanner, FiveSpannerParams};
 pub use harness::{

@@ -19,7 +19,7 @@ use lca_probe::Oracle;
 use lca_rand::{Coin, Seed};
 
 use crate::common::{ceil_pow, ln_n, prefix_centers, scan_new_center};
-use crate::{EdgeSubgraphLca, Lca, LcaError};
+use crate::{EdgeSubgraphLca, Lca, LcaError, QueryCtx};
 
 /// Tuning parameters of the 3-spanner construction.
 ///
@@ -153,55 +153,42 @@ impl<O: Oracle> ThreeSpanner<O> {
         }
     }
 
-    /// `S(w)`: sampled centers among the first `center_block` neighbors.
-    fn s_set(&self, w: VertexId) -> Vec<VertexId> {
-        prefix_centers(
-            &self.oracle,
-            &self.center_coin,
-            w,
-            self.params.center_block,
-            None,
-        )
+    /// `S(w)`: sampled centers among the first `center_block` neighbors,
+    /// probed through `o` (the caller's budgeted per-query view).
+    fn s_set<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(o, &self.center_coin, w, self.params.center_block, None)
     }
 
     /// `S'(w)`: sampled super-centers among the first `super_block` neighbors.
-    fn s_prime_set(&self, w: VertexId) -> Vec<VertexId> {
-        prefix_centers(
-            &self.oracle,
-            &self.super_coin,
-            w,
-            self.params.super_block,
-            None,
-        )
+    fn s_prime_set<P: Oracle>(&self, o: &P, w: VertexId) -> Vec<VertexId> {
+        prefix_centers(o, &self.super_coin, w, self.params.super_block, None)
     }
 
     /// The E_high scan from scanner `w` (Section 2.2): does the endpoint at
     /// position `other_idx` of `Γ(w)` introduce a center of `s_other` not
     /// seen earlier in the list?
-    fn high_scan(&self, w: VertexId, other_idx: usize, s_other: &[VertexId]) -> bool {
-        scan_new_center(
-            &self.oracle,
-            w,
-            0,
-            other_idx,
-            s_other,
-            self.params.center_block,
-        )
+    fn high_scan<P: Oracle>(
+        &self,
+        o: &P,
+        w: VertexId,
+        other_idx: usize,
+        s_other: &[VertexId],
+    ) -> bool {
+        scan_new_center(o, w, 0, other_idx, s_other, self.params.center_block)
     }
 
     /// The E_super block scan from scanner `w` (Section 2.3): restricted to
     /// the block of `Γ(w)` containing position `other_idx`.
-    fn super_scan(&self, w: VertexId, other_idx: usize, sp_other: &[VertexId]) -> bool {
+    fn super_scan<P: Oracle>(
+        &self,
+        o: &P,
+        w: VertexId,
+        other_idx: usize,
+        sp_other: &[VertexId],
+    ) -> bool {
         let block = self.params.super_block.max(1);
         let start = (other_idx / block) * block;
-        scan_new_center(
-            &self.oracle,
-            w,
-            start,
-            other_idx,
-            sp_other,
-            self.params.super_block,
-        )
+        scan_new_center(o, w, start, other_idx, sp_other, self.params.super_block)
     }
 
     fn check_vertex(&self, v: VertexId) -> Result<(), LcaError> {
@@ -211,16 +198,11 @@ impl<O: Oracle> ThreeSpanner<O> {
         }
         Ok(())
     }
-}
 
-impl<O: Oracle> Lca for ThreeSpanner<O> {
-    type Query = (VertexId, VertexId);
-    type Answer = bool;
-
-    fn query(&self, (u, v): (VertexId, VertexId)) -> Result<bool, LcaError> {
-        self.check_vertex(u)?;
-        self.check_vertex(v)?;
-        let o = &self.oracle;
+    /// The Section 2 decision rules, probing exclusively through `o`. When
+    /// `o` is a tripped budgeted view the answer may be garbage — callers
+    /// must [`QueryCtx::checkpoint`] before trusting it.
+    fn decide<P: Oracle>(&self, o: &P, u: VertexId, v: VertexId) -> Result<bool, LcaError> {
         let p = &self.params;
         // Position of u in Γ(v) and of v in Γ(u); also the edge check.
         let Some(idx_vu) = o.adjacency(v, u) else {
@@ -254,15 +236,15 @@ impl<O: Oracle> Lca for ThreeSpanner<O> {
         // Multiple-center sets of both endpoints, plus deterministic
         // fallbacks: a high-degree vertex whose sampled set is empty keeps
         // all of its edges (DESIGN.md deviation #2).
-        let su = self.s_set(u);
-        let sv = self.s_set(v);
+        let su = self.s_set(o, u);
+        let sv = self.s_set(o, v);
         if su.is_empty() || sv.is_empty() {
             // du, dv > low_threshold here, so both sets should be non-empty
             // w.h.p.; an empty set triggers the fallback.
             return Ok(true);
         }
-        let spu = self.s_prime_set(u);
-        let spv = self.s_prime_set(v);
+        let spu = self.s_prime_set(o, u);
+        let spv = self.s_prime_set(o, v);
         if (du > p.super_threshold && spu.is_empty()) || (dv > p.super_threshold && spv.is_empty())
         {
             return Ok(true);
@@ -270,23 +252,39 @@ impl<O: Oracle> Lca for ThreeSpanner<O> {
 
         // E_high scans: any endpoint with degree in (T_low, T_super] scans
         // its full neighbor list for newly-introduced centers.
-        if dv <= p.super_threshold && self.high_scan(v, idx_vu, &su) {
+        if dv <= p.super_threshold && self.high_scan(o, v, idx_vu, &su) {
             return Ok(true);
         }
-        if du <= p.super_threshold && self.high_scan(u, idx_uv, &sv) {
+        if du <= p.super_threshold && self.high_scan(o, u, idx_uv, &sv) {
             return Ok(true);
         }
 
         // E_super block scans: every vertex keeps one edge per newly-seen
         // super-center within each block of its neighbor list.
-        if self.super_scan(v, idx_vu, &spu) {
+        if self.super_scan(o, v, idx_vu, &spu) {
             return Ok(true);
         }
-        if self.super_scan(u, idx_uv, &spv) {
+        if self.super_scan(o, u, idx_uv, &spv) {
             return Ok(true);
         }
 
         Ok(false)
+    }
+}
+
+impl<O: Oracle> Lca for ThreeSpanner<O> {
+    type Query = (VertexId, VertexId);
+    type Answer = bool;
+
+    fn query_ctx(&self, (u, v): (VertexId, VertexId), ctx: &QueryCtx) -> Result<bool, LcaError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let o = ctx.budgeted(&self.oracle);
+        let answer = self.decide(&o, u, v);
+        // A tripped budget outranks whatever the drained probes produced
+        // (including a spurious NotAnEdge from a refused adjacency probe).
+        ctx.checkpoint()?;
+        answer
     }
 
     fn name(&self) -> &'static str {

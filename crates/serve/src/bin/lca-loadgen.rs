@@ -3,8 +3,8 @@
 //! ```text
 //! lca-loadgen --addr 127.0.0.1:7400 [--requests 1000] [--concurrency 4]
 //!             [--mix mis,spanner3] [--family gnp] [--n 1000000] [--seed 7]
-//!             [--knob C] [--rate QPS] [--verify] [--session PREFIX]
-//!             [--pool N] [--shutdown]
+//!             [--knob C] [--rate QPS] [--max-probes P] [--verify]
+//!             [--session PREFIX] [--pool N] [--shutdown]
 //! ```
 //!
 //! Drives an `lca-serve` daemon closed-loop (default) or open-loop
@@ -86,6 +86,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--rate: {e}"))?,
                 )
             }
+            "--max-probes" => {
+                args.cfg.max_probes = Some(
+                    value("--max-probes")?
+                        .parse()
+                        .map_err(|e| format!("--max-probes: {e}"))?,
+                )
+            }
             "--verify" => args.cfg.verify = true,
             "--session" => args.cfg.session_prefix = value("--session")?,
             "--pool" => {
@@ -98,7 +105,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: lca-loadgen --addr host:port [--requests N] [--concurrency C] \
                      [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] [--rate QPS] \
-                     [--verify] [--session PREFIX] [--pool N] [--shutdown]"
+                     [--max-probes P] [--verify] [--session PREFIX] [--pool N] [--shutdown]"
                         .to_owned(),
                 )
             }

@@ -1,8 +1,13 @@
 //! The serving daemon.
 //!
 //! ```text
-//! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N] [--stdin]
+//! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N]
+//!           [--max-probes P] [--deadline-ms MS] [--stdin]
 //! ```
+//!
+//! `--max-probes`/`--deadline-ms` install a server-side default query
+//! budget; requests carrying their own `max_probes`/`deadline_ms` fields
+//! override it field-by-field.
 //!
 //! TCP mode prints one `{"listening": "<addr>"}` line to stdout once bound
 //! (with `--addr host:0` the kernel picks the port — scrape it from that
@@ -44,10 +49,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
+            "--max-probes" => {
+                args.config.default_budget.max_probes = Some(
+                    value("--max-probes")?
+                        .parse()
+                        .map_err(|e| format!("--max-probes: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.config.default_budget.timeout = Some(std::time::Duration::from_millis(ms));
+            }
             "--stdin" => args.stdin = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: lca-serve [--addr host:port] [--workers N] [--queue N] [--stdin]"
+                    "usage: lca-serve [--addr host:port] [--workers N] [--queue N] \
+                     [--max-probes P] [--deadline-ms MS] [--stdin]"
                         .to_owned(),
                 )
             }

@@ -15,6 +15,12 @@
 //!   `CountingOracle → CachedOracle → implicit oracle` stack.
 //! * **Admission** ([`pool`]) — a fixed worker pool behind a bounded queue;
 //!   a full queue answers `overloaded` instead of buffering unboundedly.
+//! * **Budgets** — requests carry `max_probes`/`deadline_ms`; every query
+//!   runs in a `QueryCtx` enforcing them, over-budget queries fail with the
+//!   typed `budget-exhausted` code (never hang a worker), and `stats`
+//!   reports exhaustion counters plus a budget-utilization histogram.
+//!   Operators can install server-wide defaults
+//!   (`lca-serve --max-probes/--deadline-ms`).
 //! * **Metrics** ([`metrics`]) — per-session and global qps, log₂ latency
 //!   and probe histograms (p50/p99), cache hit rates; served by the
 //!   `stats` request.

@@ -20,6 +20,34 @@ use lca::core::DynQuery;
 use lca::prelude::*;
 use serde::Json;
 
+/// What `--verify` expects for one query under the configured budget.
+///
+/// Soundness of the budget half: the server's classic-LCA sessions memoize
+/// decisions across queries, and memo warmth only ever *reduces* a query's
+/// probe spend, so a cold (fresh-instance) local run upper-bounds the
+/// server's spend for the same query at any point in the traffic. Hence,
+/// when the client configures `--max-probes` (request fields override any
+/// server-side default, so the effective probe budget is known):
+///
+/// * cold run fits the budget ⇒ the server can never exhaust on this
+///   query — a `budget-exhausted` response is a mismatch
+///   (`may_exhaust == false`);
+/// * cold run trips ⇒ the server may either exhaust (cold memo) or answer
+///   (warm memo); an answer must still equal `answer`.
+///
+/// Without a client-side `--max-probes`, a `budget-exhausted` response can
+/// only come from a server-side default (`lca-serve --max-probes`) the
+/// generator cannot model, so it is tolerated (`may_exhaust == true`).
+/// `deadline-exceeded` is tolerated unconditionally — wall-clock trips are
+/// inherently nondeterministic.
+#[derive(Debug, Clone, Copy)]
+struct Expected {
+    /// The unbudgeted answer (what any successful response must equal).
+    answer: bool,
+    /// Whether a `budget-exhausted` response is acceptable for this query.
+    may_exhaust: bool,
+}
+
 use crate::proto::QueryPayload;
 use crate::{algo_seed, input_seed};
 
@@ -43,6 +71,9 @@ pub struct LoadgenConfig {
     /// `Some(rate)` = open loop at `rate` requests/second total;
     /// `None` = closed loop.
     pub rate: Option<f64>,
+    /// Per-query probe budget sent with every request (`max_probes` wire
+    /// field); budget trips are counted, not treated as errors.
+    pub max_probes: Option<u64>,
     /// Recompute every answer locally and count mismatches (the acceptance
     /// check: served answers must equal direct `LcaBuilder` queries).
     pub verify: bool,
@@ -64,6 +95,7 @@ impl Default for LoadgenConfig {
             seed: 7,
             knob: None,
             rate: None,
+            max_probes: None,
             verify: false,
             session_prefix: "loadgen".to_owned(),
             query_pool: 256,
@@ -86,6 +118,9 @@ pub struct LoadReport {
     /// `overloaded` bounces observed (closed loop retries them; open loop
     /// counts and moves on).
     pub overloaded: u64,
+    /// `budget-exhausted`/`deadline-exceeded` responses — accepted
+    /// budgeted misses, not errors (never retried).
+    pub budget_exhausted: u64,
     /// Answers that contradicted a direct local computation (only counted
     /// with [`LoadgenConfig::verify`]).
     pub mismatches: u64,
@@ -119,7 +154,7 @@ struct KindPlan {
     session: String,
     spec_fields: String,
     queries: Vec<QueryPayload>,
-    expected: Vec<bool>,
+    expected: Vec<Expected>,
 }
 
 fn payload_json(q: QueryPayload) -> String {
@@ -161,7 +196,35 @@ fn prepare(cfg: &LoadgenConfig) -> Vec<KindPlan> {
                                 lca_graph::VertexId::new(v as usize),
                             ),
                         };
-                        algo.query(dyn_q).expect("local verification query failed")
+                        let answer = algo.query(dyn_q).expect("local verification query failed");
+                        let may_exhaust = match cfg.max_probes {
+                            // No client budget: only a server-side default
+                            // could trip, which we cannot model — tolerate.
+                            None => true,
+                            Some(limit) => {
+                                // Cold run: a fresh instance per query, so
+                                // memo warmth cannot hide exhaustion the
+                                // server could still hit (see [`Expected`]).
+                                let cold = LcaBuilder::new(kind)
+                                    .seed(algo_seed(cfg.seed))
+                                    .build(&oracle);
+                                let ctx = QueryCtx::new(Some(limit), None, None);
+                                match cold.query_ctx(dyn_q, &ctx) {
+                                    Ok(a) => {
+                                        assert_eq!(a, answer, "budgeted local answer diverged");
+                                        false
+                                    }
+                                    Err(e) if e.is_budget() => true,
+                                    Err(e) => {
+                                        panic!("local budgeted verification failed: {e}")
+                                    }
+                                }
+                            }
+                        };
+                        Expected {
+                            answer,
+                            may_exhaust,
+                        }
                     })
                     .collect()
             } else {
@@ -193,6 +256,7 @@ struct Tally {
     yes: u64,
     errors: u64,
     overloaded: u64,
+    budget_exhausted: u64,
     mismatches: u64,
     probes: u64,
     latencies_us: Vec<u64>,
@@ -204,15 +268,16 @@ impl Tally {
         self.yes += other.yes;
         self.errors += other.errors;
         self.overloaded += other.overloaded;
+        self.budget_exhausted += other.budget_exhausted;
         self.mismatches += other.mismatches;
         self.probes += other.probes;
         self.latencies_us.extend(other.latencies_us);
     }
 
     /// Classifies one response line; `expected` is the locally recomputed
-    /// answer under `verify`. Returns `true` when the request should be
+    /// outcome under `verify`. Returns `true` when the request should be
     /// retried (closed-loop overload).
-    fn absorb(&mut self, line: &str, expected: Option<bool>, micros: u64) -> bool {
+    fn absorb(&mut self, line: &str, expected: Option<Expected>, micros: u64) -> bool {
         let Ok(v) = serde_json::from_str(line) else {
             self.errors += 1;
             return false;
@@ -221,6 +286,21 @@ impl Tally {
             if err == "overloaded" {
                 self.overloaded += 1;
                 return true;
+            }
+            if err == "deadline-exceeded" {
+                // Wall-clock trips are nondeterministic: count, never judge.
+                self.budget_exhausted += 1;
+                return false;
+            }
+            if err == "budget-exhausted" {
+                self.budget_exhausted += 1;
+                // Deterministic tolerance: a trip is only legal when the
+                // cold local run exceeds the client's budget too (or no
+                // client budget was configured — see [`Expected`]).
+                if matches!(expected, Some(e) if !e.may_exhaust) {
+                    self.mismatches += 1;
+                }
+                return false;
             }
             self.errors += 1;
             return false;
@@ -232,7 +312,7 @@ impl Tally {
                 self.probes += v.get("probes").and_then(Json::as_u64).unwrap_or(0);
                 self.latencies_us.push(micros);
                 if let Some(expected) = expected {
-                    if answer != expected {
+                    if answer != expected.answer {
                         self.mismatches += 1;
                     }
                 }
@@ -246,22 +326,26 @@ impl Tally {
     }
 }
 
-fn request_line(plan: &KindPlan, query_idx: usize, id: u64) -> String {
+fn request_line(plan: &KindPlan, query_idx: usize, id: u64, max_probes: Option<u64>) -> String {
     // The session name carries the user-supplied --session prefix: render
     // it through the JSON writer so quotes/backslashes stay well-formed.
     let mut session = String::new();
     Json::Str(plan.session.clone()).render(&mut session);
+    let budget = match max_probes {
+        Some(n) => format!(",\"max_probes\":{n}"),
+        None => String::new(),
+    };
     format!(
-        "{{\"id\":{id},\"session\":{session},{},\"query\":{}}}",
+        "{{\"id\":{id},\"session\":{session},{}{budget},\"query\":{}}}",
         plan.spec_fields,
         payload_json(plan.queries[query_idx])
     )
 }
 
-/// The locally recomputed answer for global request `id` — same
+/// The locally recomputed outcome for global request `id` — same
 /// [`schedule`] mapping the senders use, so `--verify` can never drift
 /// from the traffic layout.
-fn expected_answer(id: u64, plans: &[KindPlan], verify: bool) -> Option<bool> {
+fn expected_answer(id: u64, plans: &[KindPlan], verify: bool) -> Option<Expected> {
     if !verify {
         return None;
     }
@@ -294,7 +378,7 @@ fn closed_loop_worker(
             break;
         }
         let (ki, qi) = schedule(i, plans);
-        let request = request_line(&plans[ki], qi, i as u64);
+        let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
         let expected = expected_answer(i as u64, plans, cfg.verify);
         // Closed loop: bounce on overload, back off briefly, retry — every
         // request eventually lands, which the verification relies on.
@@ -388,7 +472,7 @@ fn open_loop_worker(
                 break;
             }
             let (ki, qi) = schedule(i, plans);
-            let request = request_line(&plans[ki], qi, i as u64);
+            let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
             let now = Instant::now();
             if next_send > now {
                 std::thread::sleep(next_send - now);
@@ -481,6 +565,7 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
         yes: total.yes,
         errors: total.errors,
         overloaded: total.overloaded,
+        budget_exhausted: total.budget_exhausted,
         mismatches: total.mismatches,
         probes: total.probes,
         elapsed_s,
@@ -557,17 +642,21 @@ mod tests {
         };
         let plans = prepare(&cfg);
         assert_eq!(plans[0].expected.len(), plans[0].queries.len());
-        let line = request_line(&plans[0], 3, 42);
+        assert!(plans[0].expected.iter().all(|e| e.may_exhaust));
+        let line = request_line(&plans[0], 3, 42, Some(500));
         let req = crate::proto::Request::parse(&line).unwrap();
         let crate::proto::Request::Query {
             session,
             spec,
             queries,
             id,
+            max_probes,
+            ..
         } = req
         else {
             panic!("not a query")
         };
+        assert_eq!(max_probes, Some(500));
         assert_eq!(session, "loadgen-mis");
         assert_eq!(id, Some(42));
         assert_eq!(spec.unwrap().n, 5_000);
@@ -576,9 +665,13 @@ mod tests {
 
     #[test]
     fn tally_classifies_responses() {
+        let expect_true = Some(Expected {
+            answer: true,
+            may_exhaust: false,
+        });
         let mut t = Tally::default();
-        assert!(!t.absorb(r#"{"answer":true,"probes":5}"#, Some(true), 10));
-        assert!(!t.absorb(r#"{"answer":false,"probes":2}"#, Some(true), 20));
+        assert!(!t.absorb(r#"{"answer":true,"probes":5}"#, expect_true, 10));
+        assert!(!t.absorb(r#"{"answer":false,"probes":2}"#, expect_true, 20));
         assert!(t.absorb(r#"{"error":"overloaded","message":"x"}"#, None, 0));
         assert!(!t.absorb(r#"{"error":"bad-query","message":"x"}"#, None, 0));
         assert!(!t.absorb("garbage", None, 0));
@@ -589,5 +682,35 @@ mod tests {
         assert_eq!(t.errors, 2);
         assert_eq!(t.probes, 7);
         assert_eq!(t.latencies_us, vec![10, 20]);
+    }
+
+    #[test]
+    fn tally_tolerates_budget_trips_deterministically() {
+        let mut t = Tally::default();
+        // Cold local run also exhausts (or no client budget): trip accepted.
+        let over = Some(Expected {
+            answer: true,
+            may_exhaust: true,
+        });
+        assert!(!t.absorb(r#"{"error":"budget-exhausted","message":"x"}"#, over, 0));
+        assert_eq!(t.budget_exhausted, 1);
+        assert_eq!(t.mismatches, 0);
+        // Warm server memo answered instead: the answer must still match.
+        assert!(!t.absorb(r#"{"answer":true,"probes":1}"#, over, 5));
+        assert_eq!(t.mismatches, 0);
+        // Cold local run fits the client's budget: a probe trip is a
+        // mismatch…
+        let within = Some(Expected {
+            answer: false,
+            may_exhaust: false,
+        });
+        assert!(!t.absorb(r#"{"error":"budget-exhausted","message":"x"}"#, within, 0));
+        assert_eq!(t.budget_exhausted, 2);
+        assert_eq!(t.mismatches, 1);
+        // …but a deadline trip never is — wall clocks are not replayable.
+        assert!(!t.absorb(r#"{"error":"deadline-exceeded","message":"x"}"#, within, 0));
+        assert_eq!(t.budget_exhausted, 3);
+        assert_eq!(t.mismatches, 1);
+        assert_eq!(t.errors, 0);
     }
 }

@@ -96,10 +96,22 @@ pub struct SessionMetrics {
     /// Requests rejected with an error inside the session (bad query
     /// range/shape).
     pub errors: AtomicU64,
+    /// Requests failed because a query tripped its probe budget or
+    /// deadline (counted separately from `errors`: a budget trip is an
+    /// accepted serving outcome, not a client mistake).
+    pub budget_exhausted: AtomicU64,
     /// Service-time histogram, microseconds per request.
     pub latency_us: Histogram,
     /// Probe-cost histogram, probes per request.
     pub probes: Histogram,
+    /// Probe-budget utilization histogram: per *successful* budgeted
+    /// query, `100 · spent / max_probes` — the headroom signal (a p99
+    /// pinned at the bucket covering 100 means the budget is tight).
+    /// Exhausted queries are counted in `budget_exhausted` instead, so the
+    /// two read together: utilization says how close survivors run to the
+    /// cap, the counter says how many did not survive. Empty while no
+    /// request carries a probe budget.
+    pub budget_utilization: Histogram,
 }
 
 impl SessionMetrics {
@@ -115,6 +127,17 @@ impl SessionMetrics {
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Records one request failed on a tripped budget/deadline.
+    pub fn record_budget_exhausted(&self) {
+        self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how much of its probe budget one successful query used, in
+    /// percent.
+    pub fn record_budget_utilization(&self, percent: u64) {
+        self.budget_utilization.record(percent);
+    }
 }
 
 /// Whole-process counters (everything not attributable to one session).
@@ -126,6 +149,8 @@ pub struct GlobalMetrics {
     pub parse_errors: AtomicU64,
     /// Query requests bounced with `overloaded`.
     pub overloaded: AtomicU64,
+    /// Query requests failed on a tripped probe budget or deadline.
+    pub budget_exhausted: AtomicU64,
     /// Connections accepted over TCP.
     pub connections: AtomicU64,
     /// Process start, for uptime/qps.
@@ -138,6 +163,7 @@ impl Default for GlobalMetrics {
             requests: AtomicU64::new(0),
             parse_errors: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -184,6 +210,22 @@ pub fn session_stats_json(
         ("probes_p50".into(), num(metrics.probes.quantile(0.5))),
         ("probes_p99".into(), num(metrics.probes.quantile(0.99))),
         ("probes_total".into(), num(probe_totals.total())),
+        (
+            "budget_exhausted".into(),
+            num(metrics.budget_exhausted.load(Ordering::Relaxed)),
+        ),
+        (
+            "budget_utilization_pct_p50".into(),
+            num(metrics.budget_utilization.quantile(0.5)),
+        ),
+        (
+            "budget_utilization_pct_p99".into(),
+            num(metrics.budget_utilization.quantile(0.99)),
+        ),
+        (
+            "budgeted_queries".into(),
+            num(metrics.budget_utilization.count()),
+        ),
         ("cache_hits".into(), num(cache.hits)),
         ("cache_misses".into(), num(cache.misses)),
         ("cache_entries".into(), num(cache.entries as u64)),
@@ -221,6 +263,10 @@ pub fn global_stats_json(global: &GlobalMetrics, queue_len: usize, draining: boo
         (
             "overloaded".into(),
             num(global.overloaded.load(Ordering::Relaxed)),
+        ),
+        (
+            "budget_exhausted".into(),
+            num(global.budget_exhausted.load(Ordering::Relaxed)),
         ),
         (
             "connections".into(),

@@ -51,6 +51,13 @@ pub enum Request {
         /// Echoed verbatim in the response, for request/response matching
         /// over pipelined connections.
         id: Option<u64>,
+        /// Per-query probe budget: a query that would exceed it fails the
+        /// request with [`ErrorCode::BudgetExhausted`] instead of running
+        /// long.
+        max_probes: Option<u64>,
+        /// Wall-clock allowance for the whole request, in milliseconds;
+        /// overruns fail with [`ErrorCode::DeadlineExceeded`].
+        deadline_ms: Option<u64>,
     },
     /// Report global and per-session metrics.
     Stats,
@@ -80,6 +87,12 @@ pub enum ErrorCode {
     /// The query panicked inside the worker — a server bug, not a client
     /// one; the session stays usable.
     Internal,
+    /// A query exceeded the request's `max_probes` budget. A clean partial
+    /// failure: the session stays consistent and the same query succeeds
+    /// under a larger budget.
+    BudgetExhausted,
+    /// The request ran past its `deadline_ms` allowance.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -94,6 +107,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Draining => "draining",
             ErrorCode::Internal => "internal",
+            ErrorCode::BudgetExhausted => "budget-exhausted",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         }
     }
 }
@@ -319,11 +334,15 @@ impl Request {
                 ))
             }
         }
+        let max_probes = v.get("max_probes").and_then(Json::as_u64);
+        let deadline_ms = v.get("deadline_ms").and_then(Json::as_u64);
         Ok(Request::Query {
             session,
             spec,
             queries,
             id,
+            max_probes,
+            deadline_ms,
         })
     }
 
@@ -414,11 +433,15 @@ mod tests {
             spec,
             queries,
             id,
+            max_probes,
+            deadline_ms,
         } = req
         else {
             panic!("not a query")
         };
         assert_eq!(session, "s");
+        assert_eq!(max_probes, None);
+        assert_eq!(deadline_ms, None);
         assert_eq!(id, None);
         let spec = spec.unwrap();
         assert_eq!(spec.kind, AlgorithmKind::Classic(ClassicKind::Mis));
@@ -450,6 +473,27 @@ mod tests {
             queries,
             vec![QueryPayload::Edge(1, 2), QueryPayload::Edge(3, 4)]
         );
+    }
+
+    #[test]
+    fn budget_fields_parse_and_codes_render() {
+        let req = Request::parse(
+            r#"{"session": "s", "kind": "mis", "n": 100, "max_probes": 64,
+                "deadline_ms": 250, "query": 1}"#,
+        )
+        .unwrap();
+        let Request::Query {
+            max_probes,
+            deadline_ms,
+            ..
+        } = req
+        else {
+            panic!("not a query")
+        };
+        assert_eq!(max_probes, Some(64));
+        assert_eq!(deadline_ms, Some(250));
+        assert_eq!(ErrorCode::BudgetExhausted.as_str(), "budget-exhausted");
+        assert_eq!(ErrorCode::DeadlineExceeded.as_str(), "deadline-exceeded");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use lca::prelude::QueryBudget;
 use serde::Json;
 
 use crate::metrics::{global_stats_json, session_stats_json, GlobalMetrics};
@@ -29,6 +30,11 @@ pub struct ServerConfig {
     /// Admission-queue bound; one more request than this in flight gets
     /// `overloaded` (default 1024).
     pub queue_capacity: usize,
+    /// Server-side default budget applied to query requests that do not
+    /// carry their own `max_probes`/`deadline_ms` (request fields win
+    /// field-by-field). Unlimited by default — operators cap tail latency
+    /// with `lca-serve --max-probes`/`--deadline-ms`.
+    pub default_budget: QueryBudget,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +44,7 @@ impl Default for ServerConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
             queue_capacity: 1024,
+            default_budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -62,6 +69,7 @@ pub struct Server {
     pub global: GlobalMetrics,
     pool: WorkerPool,
     draining: AtomicBool,
+    default_budget: QueryBudget,
 }
 
 impl Server {
@@ -72,6 +80,7 @@ impl Server {
             global: GlobalMetrics::default(),
             pool: WorkerPool::new(config.workers, config.queue_capacity),
             draining: AtomicBool::new(false),
+            default_budget: config.default_budget,
         })
     }
 
@@ -152,6 +161,8 @@ impl Server {
                 spec,
                 queries,
                 id,
+                max_probes,
+                deadline_ms,
             } => {
                 if self.draining() {
                     write_line(
@@ -171,19 +182,43 @@ impl Server {
                         return;
                     }
                 };
+                let budget = QueryBudget {
+                    max_probes: max_probes.or(self.default_budget.max_probes),
+                    timeout: deadline_ms
+                        .map(Duration::from_millis)
+                        .or(self.default_budget.timeout),
+                    cancel: None,
+                };
+                // The deadline clock starts now — at admission — so time
+                // spent waiting in the queue counts against the request's
+                // allowance (the documented whole-request contract).
+                let deadline = budget.timeout.map(|t| std::time::Instant::now() + t);
                 let job_out = out.clone();
+                let server = self.clone();
                 let admitted = self.pool.try_execute(move || {
                     // The pool also catches panics (to keep the worker), but
                     // catching here too lets the client get a response
                     // instead of a silent hang on this id.
                     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        resolved.answer(&session, &queries, id)
+                        resolved.answer(&session, &queries, id, &budget, deadline)
                     }))
                     .unwrap_or_else(|_| Response::Error {
                         id,
                         code: ErrorCode::Internal,
                         message: "query panicked in the worker (server bug)".to_owned(),
                     });
+                    if matches!(
+                        &response,
+                        Response::Error {
+                            code: ErrorCode::BudgetExhausted | ErrorCode::DeadlineExceeded,
+                            ..
+                        }
+                    ) {
+                        server
+                            .global
+                            .budget_exhausted
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     write_line(&job_out, &response);
                 });
                 match admitted {

@@ -10,17 +10,21 @@
 //!             └─ implicit oracle — the input, recomputed per miss
 //! ```
 //!
-//! The cache sits *below* the counter, so `probes` in responses count every
-//! logical probe the algorithm issued while the cache absorbs the cost of
+//! The cache sits *below* the session counter, which keeps session probe
+//! *totals*; per-request `probes` come from the per-query `QueryCtx`
+//! meters (exact under concurrency), while the cache absorbs the cost of
 //! recomputing implicit adjacency — the division of labor documented in
-//! `lca-probe` ("two caches, two meanings").
+//! `lca-probe` ("two caches, two meanings"). The same contexts enforce the
+//! request's `max_probes`/`deadline_ms` budget; a tripped query fails the
+//! request with `budget-exhausted` (or `deadline-exceeded`) and bumps the
+//! session's `budget_exhausted` counter and utilization histogram.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lca::core::{DynQuery, QueryKind};
-use lca::prelude::{CachedOracle, CountingOracle, LcaBuilder, Oracle};
+use lca::prelude::{CachedOracle, CountingOracle, LcaBuilder, LcaError, Oracle, QueryBudget};
 use lca::registry::DynLca;
 use lca_graph::VertexId;
 
@@ -149,21 +153,30 @@ impl Session {
         }
     }
 
-    /// Answers one request's queries, recording metrics, and returns the
-    /// wire response.
+    /// Answers one request's queries under its [`QueryBudget`], recording
+    /// metrics, and returns the wire response.
     ///
-    /// `probes` is measured as the session counter delta across the call:
-    /// exact under sequential use of a session, approximate when several
-    /// workers answer the same session concurrently (totals stay exact).
+    /// Every query runs in a fresh `QueryCtx` carrying the request's
+    /// `max_probes`; the request's `deadline_ms` becomes one shared
+    /// deadline across the whole batch. Pass the pre-resolved `deadline`
+    /// from the moment the request was *admitted*, so queue wait counts
+    /// against the allowance (the server does); `None` falls back to
+    /// deriving it from the budget's timeout at entry. `probes` in the
+    /// response is the sum of the contexts' meters — exact per request
+    /// even when several workers answer the same session concurrently
+    /// (the meter sits above the shared session counter).
     pub fn answer(
         self: &Arc<Self>,
         name: &str,
         queries: &[QueryPayload],
         id: Option<u64>,
+        budget: &QueryBudget,
+        deadline: Option<Instant>,
     ) -> Response {
-        let scope = self.oracle.scoped();
+        let deadline = deadline.or_else(|| budget.timeout.map(|t| Instant::now() + t));
         let start = Instant::now();
         let mut answers = Vec::with_capacity(queries.len());
+        let mut probes = 0u64;
         for &q in queries {
             let dyn_q = match self.to_dyn(q) {
                 Ok(dyn_q) => dyn_q,
@@ -176,8 +189,32 @@ impl Session {
                     };
                 }
             };
-            match self.algo.query(dyn_q) {
-                Ok(a) => answers.push(a),
+            let ctx = budget.ctx_at(deadline);
+            let outcome = self.algo.query_ctx(dyn_q, &ctx);
+            probes += ctx.spent();
+            match outcome {
+                Ok(a) => {
+                    // Utilization is a headroom signal over *successful*
+                    // budgeted queries (trips have their own counter; a
+                    // failed query's partial spend would skew the p50).
+                    if let Some(limit) = budget.max_probes {
+                        self.metrics
+                            .record_budget_utilization(ctx.spent() * 100 / limit.max(1));
+                    }
+                    answers.push(a)
+                }
+                Err(e) if e.is_budget() => {
+                    self.metrics.record_budget_exhausted();
+                    let code = match e {
+                        LcaError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
+                        _ => ErrorCode::BudgetExhausted,
+                    };
+                    return Response::Error {
+                        id,
+                        code,
+                        message: e.to_string(),
+                    };
+                }
                 Err(e) => {
                     self.metrics.record_error();
                     return Response::Error {
@@ -189,7 +226,6 @@ impl Session {
             }
         }
         let micros = start.elapsed().as_micros() as u64;
-        let probes = scope.cost().total();
         let yes = answers.iter().filter(|a| **a).count() as u64;
         self.metrics
             .record(answers.len() as u64, yes, micros, probes);
@@ -319,7 +355,13 @@ mod tests {
             .build(&oracle);
 
         for v in [0u64, 1, 42, 9_999] {
-            let resp = session.answer("s", &[QueryPayload::Vertex(v)], None);
+            let resp = session.answer(
+                "s",
+                &[QueryPayload::Vertex(v)],
+                None,
+                &QueryBudget::unlimited(),
+                None,
+            );
             let Response::Answer { answer, probes, .. } = resp else {
                 panic!("expected answer, got {resp:?}")
             };
@@ -356,9 +398,9 @@ mod tests {
                 lca::core::DynQuery::Vertex(_) => unreachable!("spanner queries are edges"),
             })
             .unwrap();
-        session.answer("s", &[edge], None);
+        session.answer("s", &[edge], None, &QueryBudget::unlimited(), None);
         let after_first = session.cache_stats();
-        session.answer("s", &[edge], None);
+        session.answer("s", &[edge], None, &QueryBudget::unlimited(), None);
         let after_second = session.cache_stats();
         assert!(
             after_second.hits > after_first.hits,
@@ -374,7 +416,7 @@ mod tests {
     fn wrong_shape_and_out_of_range_queries_error() {
         let session = Arc::new(Session::build(mis_spec(100, 2)));
         for bad in [QueryPayload::Edge(1, 2), QueryPayload::Vertex(100)] {
-            let resp = session.answer("s", &[bad], Some(4));
+            let resp = session.answer("s", &[bad], Some(4), &QueryBudget::unlimited(), None);
             let Response::Error { code, id, .. } = resp else {
                 panic!("expected error for {bad:?}")
             };
@@ -434,14 +476,14 @@ mod tests {
                 lca::core::DynQuery::Vertex(v) => QueryPayload::Vertex(v.raw() as u64),
             })
             .collect();
-        let resp = session.answer("sp", &queries, Some(1));
+        let resp = session.answer("sp", &queries, Some(1), &QueryBudget::unlimited(), None);
         let Response::Answers { answers, .. } = resp else {
             panic!("expected batch answers, got {resp:?}")
         };
         assert_eq!(answers.len(), 8);
         // Same answers one at a time.
         for (q, expect) in queries.iter().zip(&answers) {
-            let resp = session.answer("sp", &[*q], None);
+            let resp = session.answer("sp", &[*q], None, &QueryBudget::unlimited(), None);
             let Response::Answer { answer, .. } = resp else {
                 panic!("expected answer")
             };

@@ -62,6 +62,7 @@ fn hundred_mixed_queries_match_direct_builder_queries() {
     let (addr, handle, _server) = spawn_server(ServerConfig {
         workers: 2,
         queue_capacity: 64,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(&addr);
 
@@ -148,6 +149,7 @@ fn protocol_errors_are_typed_and_session_pinning_is_enforced() {
     let (addr, handle, _server) = spawn_server(ServerConfig {
         workers: 1,
         queue_capacity: 16,
+        ..ServerConfig::default()
     });
     let mut client = Client::connect(&addr);
 
@@ -195,6 +197,7 @@ fn loadgen_closed_loop_verifies_against_the_daemon() {
     let (addr, handle, _server) = spawn_server(ServerConfig {
         workers: 2,
         queue_capacity: 128,
+        ..ServerConfig::default()
     });
     let cfg = LoadgenConfig {
         requests: 300,
@@ -234,12 +237,87 @@ fn loadgen_closed_loop_verifies_against_the_daemon() {
 }
 
 #[test]
+fn budget_exhaustion_is_typed_deterministic_and_counted() {
+    let (addr, handle, server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+    let spec = "\"session\":\"b\",\"kind\":\"mis\",\"family\":\"gnp\",\"n\":100000,\"seed\":9";
+
+    // Measure one query's real cost via the response's ctx-metered probes.
+    let r = client.roundtrip(&format!("{{{spec},\"query\":12345}}"));
+    let answer = r.get("answer").and_then(Json::as_bool).expect("answer");
+    let probes = r.get("probes").and_then(Json::as_u64).expect("probes");
+
+    // Fresh session, same instance: a 1-probe budget must trip (a fresh MIS
+    // walk costs at least one degree probe), typed on the wire.
+    let spec2 = "\"session\":\"b2\",\"kind\":\"mis\",\"family\":\"gnp\",\"n\":100000,\"seed\":9";
+    let r = client.roundtrip(&format!("{{{spec2},\"max_probes\":1,\"query\":12345}}"));
+    assert_eq!(
+        r.get("error").and_then(Json::as_str),
+        Some("budget-exhausted"),
+        "{r:?}"
+    );
+    assert!(r
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("spent 1 of 1"));
+
+    // An exact budget on a third fresh session succeeds with the same
+    // answer and the same meter reading — exhaustion is deterministic.
+    let spec3 = "\"session\":\"b3\",\"kind\":\"mis\",\"family\":\"gnp\",\"n\":100000,\"seed\":9";
+    let r = client.roundtrip(&format!(
+        "{{{spec3},\"max_probes\":{probes},\"query\":12345}}"
+    ));
+    assert_eq!(r.get("answer").and_then(Json::as_bool), Some(answer));
+    assert_eq!(r.get("probes").and_then(Json::as_u64), Some(probes));
+
+    // The memoized session answers the same query within any budget now.
+    let r = client.roundtrip(r#"{"session":"b","max_probes":1,"query":12345}"#);
+    assert_eq!(r.get("answer").and_then(Json::as_bool), Some(answer));
+
+    // Stats carry the exhaustion counters and the utilization histogram.
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    let global = stats.get("stats").expect("global");
+    assert_eq!(
+        global.get("budget_exhausted").and_then(Json::as_u64),
+        Some(1)
+    );
+    let b2 = stats.get("sessions").and_then(|s| s.get("b2")).expect("b2");
+    assert_eq!(b2.get("budget_exhausted").and_then(Json::as_u64), Some(1));
+    assert_eq!(b2.get("errors").and_then(Json::as_u64), Some(0));
+    let b3 = stats.get("sessions").and_then(|s| s.get("b3")).expect("b3");
+    assert_eq!(b3.get("budgeted_queries").and_then(Json::as_u64), Some(1));
+    // Exact budget ⇒ 100% utilization lands in the covering log₂ bucket.
+    assert!(
+        b3.get("budget_utilization_pct_p50")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 100
+    );
+    assert_eq!(
+        server
+            .global
+            .budget_exhausted
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("drain");
+}
+
+#[test]
 fn overload_backpressure_answers_instead_of_buffering() {
     // One worker, queue of one: pipelined requests behind a slow batch must
     // see `overloaded` rather than unbounded queueing.
     let (addr, handle, _server) = spawn_server(ServerConfig {
         workers: 1,
         queue_capacity: 1,
+        ..ServerConfig::default()
     });
     let stream = TcpStream::connect(&addr).expect("connect");
     stream.set_nodelay(true).ok();

@@ -15,7 +15,10 @@
 //!    ([`ImplicitGnp`], or any [`lca::family::ImplicitFamily`]) and the same
 //!    two lines serve a billion-vertex input; [`QuerySource`] samples valid
 //!    queries straight off the oracle in O(1) probes each.
-//! 4. **Serve** — `lca-serve` keeps built instances resident behind a
+//! 4. **Budget** — give any query a [`QueryCtx`] (probe cap, deadline,
+//!    cancellation) and over-budget queries fail *typed* instead of
+//!    running long; see "Budgeted queries" below.
+//! 5. **Serve** — `lca-serve` keeps built instances resident behind a
 //!    newline-JSON protocol and `lca-loadgen` drives it; see "Serving as a
 //!    daemon" at the bottom.
 //!
@@ -132,6 +135,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         counted.counts().total(),
         3 * big_n / 1_000_000_000,
     );
+
+    // Budgeted queries
+    // ----------------
+    // The paper's headline guarantee is a *per-query* probe bound; the
+    // QueryCtx makes it enforceable. Give a query an explicit context and
+    // the probe that would exceed the budget is refused: the query returns
+    // a typed `LcaError::BudgetExhausted` instead of running long — the
+    // tail-latency contract a serve worker relies on.
+    let ctx = QueryCtx::unlimited();
+    let q = queries[0];
+    big_mis.query_ctx(q, &ctx)?;
+    let cost = ctx.spent(); // the unified per-query meter
+    let starved = QueryCtx::with_probe_limit(cost.saturating_sub(1).max(1));
+    match builder.build(&oracle).query_ctx(q, &starved) {
+        Err(LcaError::BudgetExhausted { spent, limit }) => {
+            println!("budget {limit}: refused after {spent} probes (typed, no hang)")
+        }
+        other => println!("within budget: {other:?}"),
+    }
+    // Budgets compose at every layer: per-instance defaults
+    // (`LcaBuilder::max_probes` — plain `query()` calls inherit them),
+    // per-batch (`QueryEngine::query_batch_budgeted`, with per-shard
+    // exhaustion stats), and per-request on the wire (`max_probes` /
+    // `deadline_ms` fields, `budget-exhausted` error code).
+    let capped =
+        engine.query_batch_budgeted(&big_mis, &queries, &QueryBudget::max_probes(cost.max(1)));
+    println!(
+        "budgeted batch: {}/{} answered, {} exhausted ({:.0}% — each retryable with a larger budget)",
+        capped.answers.iter().filter(|a| a.is_ok()).count(),
+        capped.answers.len(),
+        capped.exhausted,
+        100.0 * capped.exhaustion_rate()
+    );
+    //
+    // Migration note: `Lca::query_ctx(q, &ctx)` is the required method now;
+    // `query(q)` remains as the unlimited shorthand, so pre-budget call
+    // sites compile and behave identically (same answers, same probe
+    // transcripts). Implementors of the old `fn query` provide
+    // `fn query_ctx` instead and charge probes via `ctx.budgeted(&oracle)`.
 
     // Serving as a daemon
     // -------------------

@@ -38,7 +38,8 @@ pub mod source;
 pub mod prelude {
     pub use lca_core::{
         DynQuery, EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params, K2Spanner, Lca,
-        QueryEngine, ThreeSpanner, ThreeSpannerParams, VertexSubsetLca,
+        LcaError, QueryBudget, QueryCtx, QueryEngine, ThreeSpanner, ThreeSpannerParams,
+        VertexSubsetLca, WithBudget,
     };
     pub use lca_graph::gen::{GnmBuilder, GnpBuilder, RegularBuilder};
     pub use lca_graph::implicit::{

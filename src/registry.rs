@@ -22,7 +22,7 @@
 use lca_classic::{ColoringLca, MatchingLca, MisLca, VertexCoverLca};
 use lca_core::{
     DynEdgeLca, DynQuery, DynVertexLca, EdgeSubgraphLca, FiveSpanner, FiveSpannerParams, K2Params,
-    K2Spanner, Lca, QueryKind, ThreeSpanner, ThreeSpannerParams,
+    K2Spanner, Lca, QueryBudget, QueryKind, ThreeSpanner, ThreeSpannerParams, WithBudget,
 };
 // `Oracle` lives in `lca-graph` since the implicit-oracle work; `lca-probe`
 // re-exports it unchanged for the accounting wrappers.
@@ -195,6 +195,10 @@ pub struct LcaConfig {
     /// Override for the O(k²)-spanner parameters (takes precedence over
     /// [`LcaConfig::k`]).
     pub k2: Option<K2Params>,
+    /// Default per-query budget of the built instance (unlimited by
+    /// default). Plain `query()` calls run under it; an explicit
+    /// `query_ctx` context always wins.
+    pub budget: QueryBudget,
 }
 
 impl LcaConfig {
@@ -207,6 +211,7 @@ impl LcaConfig {
             three: None,
             five: None,
             k2: None,
+            budget: QueryBudget::unlimited(),
         }
     }
 
@@ -235,6 +240,18 @@ impl LcaConfig {
     /// required by the vertex-cover construction and trivially satisfied by
     /// references.
     pub fn build<'o, O>(&self, oracle: O) -> DynLca<'o>
+    where
+        O: Oracle + Clone + Send + Sync + 'o,
+    {
+        let algo = self.build_raw(oracle);
+        if self.budget.is_unlimited() {
+            algo
+        } else {
+            Box::new(WithBudget::new(algo, self.budget.clone()))
+        }
+    }
+
+    fn build_raw<'o, O>(&self, oracle: O) -> DynLca<'o>
     where
         O: Oracle + Clone + Send + Sync + 'o,
     {
@@ -277,24 +294,23 @@ impl LcaConfig {
         O: Oracle + Clone + Send + Sync + 'o,
     {
         let n = oracle.vertex_count();
-        match self.kind {
-            AlgorithmKind::Spanner(SpannerKind::Three) => Some(Box::new(ThreeSpanner::new(
-                oracle,
-                self.three_params(n),
-                self.seed,
-            ))),
-            AlgorithmKind::Spanner(SpannerKind::Five) => Some(Box::new(FiveSpanner::new(
-                oracle,
-                self.five_params(n),
-                self.seed,
-            ))),
-            AlgorithmKind::Spanner(SpannerKind::K2) => Some(Box::new(K2Spanner::new(
-                oracle,
-                self.k2_params(n),
-                self.seed,
-            ))),
-            AlgorithmKind::Classic(_) => None,
-        }
+        let spanner: DynSpanner<'o> = match self.kind {
+            AlgorithmKind::Spanner(SpannerKind::Three) => {
+                Box::new(ThreeSpanner::new(oracle, self.three_params(n), self.seed))
+            }
+            AlgorithmKind::Spanner(SpannerKind::Five) => {
+                Box::new(FiveSpanner::new(oracle, self.five_params(n), self.seed))
+            }
+            AlgorithmKind::Spanner(SpannerKind::K2) => {
+                Box::new(K2Spanner::new(oracle, self.k2_params(n), self.seed))
+            }
+            AlgorithmKind::Classic(_) => return None,
+        };
+        Some(if self.budget.is_unlimited() {
+            spanner
+        } else {
+            Box::new(WithBudget::new(spanner, self.budget.clone()))
+        })
     }
 }
 
@@ -351,6 +367,27 @@ impl LcaBuilder {
     /// Overrides the O(k²)-spanner parameters.
     pub fn k2_params(mut self, p: K2Params) -> Self {
         self.config.k2 = Some(p);
+        self
+    }
+
+    /// Caps every plain `query()` of the built instance at `n` probes —
+    /// over-budget queries return
+    /// [`LcaError::BudgetExhausted`](lca_core::LcaError::BudgetExhausted)
+    /// instead of running long. Explicit `query_ctx` contexts still win.
+    pub fn max_probes(mut self, n: u64) -> Self {
+        self.config.budget.max_probes = Some(n);
+        self
+    }
+
+    /// Adds a per-query wall-clock allowance to the default budget.
+    pub fn query_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.config.budget.timeout = Some(timeout);
+        self
+    }
+
+    /// Replaces the whole default [`QueryBudget`].
+    pub fn budget(mut self, budget: QueryBudget) -> Self {
+        self.config.budget = budget;
         self
     }
 

@@ -1,0 +1,281 @@
+//! Acceptance tests for the budgeted-query redesign.
+//!
+//! The contract, at every layer: a query that would exceed its probe
+//! budget returns `LcaError::BudgetExhausted` — typed, never a hang or a
+//! panic — and an unlimited `QueryCtx` reproduces the pre-budget answers
+//! and probe counts bit-for-bit. All seven registered algorithms are
+//! exercised; exhaustion thresholds are checked *exactly* (budget = cost
+//! succeeds, budget = cost − 1 trips).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lca::prelude::*;
+
+fn graph() -> Graph {
+    GnpBuilder::new(256, 0.08).seed(Seed::new(41)).build()
+}
+
+/// One in-range query per kind (the first edge / the first vertex).
+fn probe_queries(g: &Graph, kind: AlgorithmKind) -> Vec<DynQuery> {
+    LcaBuilder::new(kind)
+        .queries(g, QuerySource::sample(24, Seed::new(7)))
+        .into_iter()
+        .collect()
+}
+
+#[test]
+fn unlimited_ctx_reproduces_answers_and_probe_totals_bit_for_bit() {
+    let g = graph();
+    for kind in AlgorithmKind::all() {
+        let queries = probe_queries(&g, kind);
+
+        // Legacy path: plain query() over a counting oracle.
+        let counter = CountingOracle::new(&g);
+        let plain = LcaBuilder::new(kind).seed(Seed::new(3)).build(&counter);
+        let legacy: Vec<_> = queries.iter().map(|&q| plain.query(q)).collect();
+        let legacy_probes = counter.counts();
+
+        // Budgeted path with an unlimited ctx: fresh instance, same seed.
+        let counter2 = CountingOracle::new(&g);
+        let budgeted = LcaBuilder::new(kind).seed(Seed::new(3)).build(&counter2);
+        let mut ctx_spent = 0u64;
+        let via_ctx: Vec<_> = queries
+            .iter()
+            .map(|&q| {
+                let ctx = QueryCtx::unlimited();
+                let a = budgeted.query_ctx(q, &ctx);
+                ctx_spent += ctx.spent();
+                a
+            })
+            .collect();
+
+        assert_eq!(via_ctx, legacy, "{kind}: answers diverged");
+        // Same probe transcript length through the oracle stack…
+        assert_eq!(
+            counter2.counts(),
+            legacy_probes,
+            "{kind}: probe totals diverged"
+        );
+        // …and the ctx meter agrees with the oracle-level counter exactly:
+        // one shared meter, charged once per probe at the top of the stack.
+        assert_eq!(
+            ctx_spent,
+            legacy_probes.total(),
+            "{kind}: ctx meter disagrees with CountingOracle"
+        );
+    }
+}
+
+#[test]
+fn exhaustion_threshold_is_exact_for_every_kind() {
+    let g = graph();
+    for kind in AlgorithmKind::all() {
+        let q = probe_queries(&g, kind)[0];
+
+        // Cost of a cold query, measured by the ctx meter.
+        let cold = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+        let ctx = QueryCtx::unlimited();
+        let answer = cold.query_ctx(q, &ctx).expect("in-range query");
+        let cost = ctx.spent();
+        assert!(cost >= 1, "{kind}: queries must probe");
+
+        // Budget = cost: a fresh instance answers identically and spends
+        // exactly the same probes.
+        let exact = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+        let ctx = QueryCtx::with_probe_limit(cost);
+        assert_eq!(exact.query_ctx(q, &ctx), Ok(answer), "{kind}");
+        assert_eq!(ctx.spent(), cost, "{kind}");
+
+        // Budget = cost − 1: a fresh instance trips, typed, with the spent
+        // meter pinned at the limit.
+        let starved = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+        let ctx = QueryCtx::with_probe_limit(cost - 1);
+        assert_eq!(
+            starved.query_ctx(q, &ctx),
+            Err(LcaError::BudgetExhausted {
+                spent: cost - 1,
+                limit: cost - 1,
+            }),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn exhausted_queries_never_poison_classic_memos() {
+    // Run a query under a starving budget, then the same query unlimited:
+    // the answer must equal a never-starved instance's answer (partial
+    // walks must not persist wrong decisions in the cross-query memo).
+    let g = graph();
+    for kind in [
+        AlgorithmKind::Classic(ClassicKind::Mis),
+        AlgorithmKind::Classic(ClassicKind::Matching),
+        AlgorithmKind::Classic(ClassicKind::VertexCover),
+        AlgorithmKind::Classic(ClassicKind::Coloring),
+    ] {
+        let queries = probe_queries(&g, kind);
+        let fresh = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+        let reference: Vec<_> = queries.iter().map(|&q| fresh.query(q).unwrap()).collect();
+
+        let stressed = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+        for limit in [1u64, 2, 3, 5, 8] {
+            for &q in &queries {
+                let ctx = QueryCtx::with_probe_limit(limit);
+                match stressed.query_ctx(q, &ctx) {
+                    Ok(_) | Err(LcaError::BudgetExhausted { .. }) => {}
+                    Err(e) => panic!("{kind}: unexpected error {e}"),
+                }
+            }
+        }
+        let after: Vec<_> = queries
+            .iter()
+            .map(|&q| stressed.query(q).unwrap())
+            .collect();
+        assert_eq!(after, reference, "{kind}: memo poisoned by starved walks");
+    }
+}
+
+#[test]
+fn budget_surfaces_through_engine_batches() {
+    let g = graph();
+    let kind = AlgorithmKind::Spanner(SpannerKind::Five);
+    let algo = LcaBuilder::new(kind).seed(Seed::new(5)).build(&g);
+    let queries = kind.queries(&g);
+    let engine = QueryEngine::with_threads(3);
+
+    let unlimited = engine.query_batch_budgeted(&algo, &queries, &QueryBudget::unlimited());
+    assert_eq!(unlimited.exhausted, 0);
+    assert_eq!(unlimited.answers, engine.query_batch(&algo, &queries));
+
+    let cap = unlimited
+        .per_shard
+        .iter()
+        .map(|s| s.per_query_max)
+        .max()
+        .unwrap()
+        / 2;
+    let capped = engine.query_batch_budgeted(&algo, &queries, &QueryBudget::max_probes(cap));
+    assert!(capped.exhausted > 0, "cap {cap} starved nothing");
+    assert!(capped.exhausted < queries.len(), "cap {cap} starved all");
+    assert!((0.0..=1.0).contains(&capped.exhaustion_rate()));
+    // Per-query: either the unlimited answer or a typed budget error.
+    for (got, want) in capped.answers.iter().zip(&unlimited.answers) {
+        match got {
+            Ok(a) => assert_eq!(Ok(*a), *want),
+            Err(e) => assert!(e.is_budget(), "unexpected error {e}"),
+        }
+    }
+    let shard_exhausted: usize = capped.per_shard.iter().map(|s| s.exhausted).sum();
+    assert_eq!(shard_exhausted, capped.exhausted);
+}
+
+#[test]
+fn builder_default_budget_governs_plain_queries_only() {
+    let g = graph();
+    let kind = AlgorithmKind::Spanner(SpannerKind::Three);
+    let q = probe_queries(&g, kind)[0];
+
+    let capped = LcaBuilder::new(kind)
+        .seed(Seed::new(3))
+        .max_probes(1)
+        .build(&g);
+    // Plain query(): the configured default budget applies.
+    assert!(matches!(
+        capped.query(q),
+        Err(LcaError::BudgetExhausted { limit: 1, .. })
+    ));
+    // An explicit context always wins over the default.
+    let ctx = QueryCtx::unlimited();
+    let answer = capped.query_ctx(q, &ctx).expect("unlimited ctx wins");
+    let unbudgeted = LcaBuilder::new(kind).seed(Seed::new(3)).build(&g);
+    assert_eq!(unbudgeted.query(q), Ok(answer));
+
+    // The spanner-typed builder path carries the default too.
+    let spanner = LcaBuilder::new(kind)
+        .seed(Seed::new(3))
+        .max_probes(1)
+        .build_spanner(&g)
+        .expect("spanner kind");
+    let (u, v) = g.edge_endpoints(0);
+    assert!(matches!(
+        spanner.contains(u, v),
+        Err(LcaError::BudgetExhausted { .. })
+    ));
+    assert_eq!(spanner.stretch_bound(), 3);
+}
+
+#[test]
+fn budget_sweep_never_panics_and_stays_consistent() {
+    // Hammer every algorithm with a Fibonacci ladder of budgets: each
+    // outcome must be the true answer or a typed budget error — never a
+    // panic, never a wrong answer. K2 runs with a small center constant so
+    // multi-vertex Voronoi cells exercise the dense machinery's
+    // degenerate-status paths.
+    let g = GnpBuilder::new(128, 0.12).seed(Seed::new(77)).build();
+    for kind in AlgorithmKind::all() {
+        let mut builder = LcaBuilder::new(kind).seed(Seed::new(6));
+        if kind == AlgorithmKind::Spanner(SpannerKind::K2) {
+            builder = builder.k2_params(K2Params::with_center_constant(128, 2, 3.0));
+        }
+        let reference = builder.build(&g);
+        let queries = probe_queries(&g, kind);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|&q| reference.query(q).unwrap())
+            .collect();
+
+        let stressed = builder.build(&g);
+        for (qi, &q) in queries.iter().enumerate() {
+            let mut budget = 1u64;
+            let mut prev = 1u64;
+            loop {
+                let ctx = QueryCtx::with_probe_limit(budget);
+                match stressed.query_ctx(q, &ctx) {
+                    Ok(a) => {
+                        assert_eq!(a, expected[qi], "{kind}: wrong answer at budget {budget}");
+                        break;
+                    }
+                    Err(e) if e.is_budget() => {
+                        assert!(ctx.spent() <= budget, "{kind}: meter overran its limit");
+                    }
+                    Err(e) => panic!("{kind}: unexpected error {e} at budget {budget}"),
+                }
+                let next = budget + prev;
+                prev = budget;
+                budget = next;
+                assert!(budget < 1 << 40, "{kind}: query never fit any budget");
+            }
+        }
+    }
+}
+
+#[test]
+fn deadlines_and_cancellation_interrupt_with_typed_errors() {
+    let g = graph();
+    let kind = AlgorithmKind::Spanner(SpannerKind::Five);
+    let algo = LcaBuilder::new(kind).seed(Seed::new(5)).build(&g);
+    let q = probe_queries(&g, kind)[0];
+
+    // A deadline in the past trips on the first probe.
+    let ctx = QueryCtx::new(None, Some(Instant::now() - Duration::from_millis(1)), None);
+    assert!(matches!(
+        algo.query_ctx(q, &ctx),
+        Err(LcaError::DeadlineExceeded { .. })
+    ));
+
+    // A pre-set cancellation flag trips before any probe lands.
+    let flag = Arc::new(AtomicBool::new(true));
+    let ctx = QueryBudget::unlimited().with_cancel(flag).ctx();
+    assert!(matches!(
+        algo.query_ctx(q, &ctx),
+        Err(LcaError::Cancelled { .. })
+    ));
+
+    // A generous deadline does not disturb the answer.
+    let ctx = QueryBudget::unlimited()
+        .with_timeout(Duration::from_secs(60))
+        .ctx();
+    assert!(algo.query_ctx(q, &ctx).is_ok());
+}

@@ -1,0 +1,124 @@
+//! Probe-count golden regression test.
+//!
+//! Answer regressions are caught by the equivalence suites; this file
+//! catches *probe-complexity* regressions the same way: seeded expected
+//! probe counts for every registered algorithm over two implicit input
+//! families at n = 1024. A change in any constant means a change in probe
+//! behavior — either an intended algorithmic change (rerun the updater
+//! below and commit the new table with an explanation) or a regression.
+//!
+//! The measurement doubles as the unified-meter law: for each query, the
+//! `QueryCtx` meter must agree exactly with a `CountingOracle` wrapped
+//! around the same stack — one probe, one charge, at the top of the
+//! decorator stack.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! cargo test --test probe_golden -- --ignored --nocapture print_probe_fingerprints
+//! ```
+
+use lca::prelude::*;
+
+const N: usize = 1024;
+const QUERIES: usize = 64;
+
+/// The two input families of the golden table (default knobs).
+fn families() -> [ImplicitFamily; 2] {
+    [ImplicitFamily::Gnp, ImplicitFamily::Regular]
+}
+
+/// `(algorithm, family, total probes, max probes over the batch)` for the
+/// seeded 64-query batch below. Regenerate with `print_probe_fingerprints`.
+const GOLDEN: &[(&str, &str, u64, u64)] = &[
+    ("three-spanner", "implicit-gnp", 256, 4),
+    ("three-spanner", "implicit-regular", 256, 4),
+    ("five-spanner", "implicit-gnp", 256, 4),
+    ("five-spanner", "implicit-regular", 256, 4),
+    ("k2-spanner", "implicit-gnp", 1740, 84),
+    ("k2-spanner", "implicit-regular", 4075, 146),
+    ("mis", "implicit-gnp", 1133, 133),
+    ("mis", "implicit-regular", 3240, 609),
+    ("maximal-matching", "implicit-gnp", 4048, 314),
+    ("maximal-matching", "implicit-regular", 10981, 944),
+    ("vertex-cover", "implicit-gnp", 4048, 314),
+    ("vertex-cover", "implicit-regular", 10981, 944),
+    ("greedy-coloring", "implicit-gnp", 3657, 698),
+    ("greedy-coloring", "implicit-regular", 9331, 2517),
+];
+
+/// Measures one `(kind, family)` cell: total and max probes over the
+/// seeded query batch, asserting meter/counter agreement along the way.
+fn measure(kind: AlgorithmKind, family: ImplicitFamily) -> (u64, u64) {
+    let oracle = family.build(N, Seed::new(0x90_1D));
+    let counter = CountingOracle::new(&oracle);
+    let algo = LcaBuilder::new(kind)
+        .seed(Seed::new(0xA1_60))
+        .build(&counter);
+    let queries =
+        LcaBuilder::new(kind).queries(&oracle, QuerySource::sample(QUERIES, Seed::new(0x5A)));
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for q in queries {
+        let before = counter.counts().total();
+        let ctx = QueryCtx::unlimited();
+        algo.query_ctx(q, &ctx)
+            .expect("golden queries are in range");
+        let counted = counter.counts().total() - before;
+        assert_eq!(
+            ctx.spent(),
+            counted,
+            "{kind} over {family}: ctx meter disagrees with CountingOracle"
+        );
+        total += counted;
+        max = max.max(counted);
+    }
+    (total, max)
+}
+
+#[test]
+fn probe_counts_match_golden_table() {
+    let mut missing = Vec::new();
+    for kind in AlgorithmKind::all() {
+        for family in families() {
+            let (total, max) = measure(kind, family);
+            match GOLDEN
+                .iter()
+                .find(|(k, f, _, _)| *k == kind.name() && *f == family.name())
+            {
+                Some(&(_, _, want_total, want_max)) => {
+                    assert_eq!(
+                        (total, max),
+                        (want_total, want_max),
+                        "probe fingerprint drifted for {} over {} — if intended, rerun \
+                         `cargo test --test probe_golden -- --ignored --nocapture \
+                         print_probe_fingerprints` and update GOLDEN",
+                        kind.name(),
+                        family.name()
+                    );
+                }
+                None => missing.push((kind.name(), family.name())),
+            }
+        }
+    }
+    assert!(missing.is_empty(), "GOLDEN lacks entries for {missing:?}");
+    assert_eq!(GOLDEN.len(), AlgorithmKind::all().len() * families().len());
+}
+
+/// The updater: prints the GOLDEN table ready to paste.
+#[test]
+#[ignore = "updater helper — run with --ignored --nocapture to regenerate GOLDEN"]
+fn print_probe_fingerprints() {
+    println!("const GOLDEN: &[(&str, &str, u64, u64)] = &[");
+    for kind in AlgorithmKind::all() {
+        for family in families() {
+            let (total, max) = measure(kind, family);
+            println!(
+                "    (\"{}\", \"{}\", {total}, {max}),",
+                kind.name(),
+                family.name()
+            );
+        }
+    }
+    println!("];");
+}
