@@ -233,10 +233,14 @@ struct ServeRow {
 }
 
 /// The `--serve` report: daemon + load generator end-to-end, in-process.
+/// Three passes — unbudgeted, budget-starved, and many-connection fan-in
+/// (the C10k witness) — all fully verified.
 fn serve_report() {
     use lca_serve::loadgen::{self, LoadgenConfig};
     use lca_serve::server::{bind, Server, ServerConfig};
 
+    // The fan-in pass holds >2000 sockets (both ends in-process).
+    lca_serve::raise_fd_limit(8192).expect("raise fd limit");
     let listener = bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr").to_string();
     let server = Server::new(ServerConfig::default());
@@ -299,6 +303,40 @@ fn serve_report() {
         b.qps
     );
 
+    // Third pass: the many-connection fan-in scenario. 1000 sockets held
+    // open simultaneously against the default-size worker pool, one
+    // in-flight request per socket, every answer verified — the C10k
+    // claim measured rather than asserted (`connections_open` is sampled
+    // from the server's stats while all sockets are open).
+    let fan_cfg = LoadgenConfig {
+        requests: 4_000,
+        concurrency: 4,
+        connections: 1_000,
+        session_prefix: "fanin".to_owned(),
+        max_probes: None,
+        ..cfg.clone()
+    };
+    let fan = loadgen::run(&addr, &fan_cfg).expect("fan-in loadgen run");
+    let f = &fan.report;
+    assert_eq!(f.errors, 0, "protocol errors during fan-in serve report");
+    assert_eq!(f.mismatches, 0, "fan-in answers diverged");
+    let connections_open_at_peak = fan
+        .server_stats
+        .as_ref()
+        .and_then(|s| s.get("stats"))
+        .and_then(|g| g.get("connections_open"))
+        .and_then(serde::Json::as_u64)
+        .unwrap_or(0);
+    assert!(
+        connections_open_at_peak >= fan_cfg.connections as u64,
+        "held {connections_open_at_peak} connections, wanted ≥ {}",
+        fan_cfg.connections
+    );
+    println!(
+        "fan-in loadgen ({} connections): {} ok, {:.0} qps, p99 {} µs, {} open at stats time",
+        f.connections, f.ok, f.qps, f.p99_us, connections_open_at_peak
+    );
+
     #[derive(serde::Serialize)]
     struct ServeTrajectory {
         mode: String,
@@ -307,6 +345,9 @@ fn serve_report() {
         budgeted: lca_serve::loadgen::LoadReport,
         budget_probes: u64,
         exhaustion_rate: f64,
+        fan_in: lca_serve::loadgen::LoadReport,
+        fan_in_connections: usize,
+        connections_open_at_peak: u64,
     }
     write_json(
         "BENCH_engine_serve",
@@ -317,6 +358,9 @@ fn serve_report() {
             budgeted: b.clone(),
             budget_probes: 48,
             exhaustion_rate: b.budget_exhausted as f64 / b.requests.max(1) as f64,
+            fan_in: f.clone(),
+            fan_in_connections: fan_cfg.connections,
+            connections_open_at_peak,
         },
     );
 

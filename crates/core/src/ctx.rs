@@ -10,8 +10,11 @@
 //! * a **probe budget** — the query may issue at most `max_probes` oracle
 //!   probes; the probe that would exceed the budget is *refused* and the
 //!   query fails with [`LcaError::BudgetExhausted`];
-//! * a **wall-clock deadline** — polled every [`POLL_STRIDE`] probes (and on
-//!   the first), failing with [`LcaError::DeadlineExceeded`];
+//! * a **wall-clock deadline** — polled on the first probe and then every
+//!   `poll_stride` probes (default [`POLL_STRIDE`]; adapt it to the
+//!   oracle's probe cost with [`QueryCtx::with_poll_stride`] — between
+//!   polls the deadline is invisible, see the [`POLL_STRIDE`] docs for the
+//!   blind-spot analysis), failing with [`LcaError::DeadlineExceeded`];
 //! * a **cancellation flag** — an [`AtomicBool`] a caller may flip from
 //!   another thread, failing the query with [`LcaError::Cancelled`];
 //! * the **meter** — one shared per-query probe counter. Every probe an
@@ -83,10 +86,30 @@ const INTERRUPT_BUDGET: u8 = 1;
 const INTERRUPT_DEADLINE: u8 = 2;
 const INTERRUPT_CANCELLED: u8 = 3;
 
-/// How often (in probes) the deadline and cancellation flag are polled:
-/// on the first probe and then every 64th. Polling costs an `Instant::now`,
-/// so it is amortized; a query that issues no probes (pure memo hits) is
-/// never interrupted mid-flight, which is fine — it is also never slow.
+/// The *default* deadline/cancellation poll stride (in probes): polls
+/// happen on the first probe and then every `stride`-th. Polling costs an
+/// `Instant::now`, so it is amortized; a query that issues no probes (pure
+/// memo hits) is never interrupted mid-flight, which is fine — it is also
+/// never slow.
+///
+/// This constant is the stride for [`lca_graph::ProbeCost::Memory`]-class
+/// oracles. Each [`QueryCtx`] carries its own stride
+/// ([`QueryCtx::with_poll_stride`]), which callers that know their oracle
+/// derive from its probe-cost hint:
+/// `ctx.with_poll_stride(oracle.probe_cost_hint().poll_stride())` — 64 for
+/// in-memory probes, 16 for generator-recomputed (implicit) probes, 1 for
+/// remote stores. The serving daemon does this per session.
+///
+/// # The sub-stride blind spot
+///
+/// Between polls the deadline is *invisible*: a query that issues fewer
+/// than `stride` probes after its last poll can overshoot its deadline by
+/// up to `stride − 1` probes' worth of wall-clock. With the default stride
+/// of 64 and nanosecond in-memory probes that overshoot is microseconds —
+/// harmless; with millisecond remote probes it would be ~63 ms per miss,
+/// which is why expensive oracles must lower the stride (to 1, every probe
+/// pays a clock read, and the blind spot vanishes). The probe *budget* has
+/// no such blind spot — it is charged on every probe regardless of stride.
 pub const POLL_STRIDE: u64 = 64;
 
 /// The per-query execution context: budget limits plus the shared probe
@@ -102,6 +125,8 @@ pub struct QueryCtx {
     limit: u64,
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    /// Deadline/cancel poll stride (≥ 1); see [`POLL_STRIDE`].
+    poll_stride: u64,
     spent: AtomicU64,
     interrupt: AtomicU8,
 }
@@ -130,9 +155,30 @@ impl QueryCtx {
             limit: max_probes.unwrap_or(u64::MAX),
             deadline,
             cancel,
+            poll_stride: POLL_STRIDE,
             spent: AtomicU64::new(0),
             interrupt: AtomicU8::new(INTERRUPT_NONE),
         }
+    }
+
+    /// Sets the deadline/cancellation poll stride (clamped to ≥ 1) and
+    /// returns the context — builder-style, applied before the query runs.
+    ///
+    /// Derive the stride from the input oracle's probe-cost hint when you
+    /// have the oracle in hand:
+    /// `ctx.with_poll_stride(oracle.probe_cost_hint().poll_stride())`.
+    /// Cheap in-memory probes afford a long stride (the default
+    /// [`POLL_STRIDE`]); expensive probes need a short one or deadlines
+    /// develop a blind spot of up to `stride − 1` probes (see the
+    /// [`POLL_STRIDE`] docs).
+    pub fn with_poll_stride(mut self, stride: u64) -> QueryCtx {
+        self.poll_stride = stride.max(1);
+        self
+    }
+
+    /// The deadline/cancellation poll stride in effect.
+    pub fn poll_stride(&self) -> u64 {
+        self.poll_stride
     }
 
     /// Wraps an oracle in the per-query budgeted view; every probe through
@@ -160,7 +206,7 @@ impl QueryCtx {
             self.interrupt.store(INTERRUPT_BUDGET, Ordering::Relaxed);
             return false;
         }
-        if (spent == 1 || spent.is_multiple_of(POLL_STRIDE)) && !self.poll() {
+        if (spent == 1 || spent.is_multiple_of(self.poll_stride)) && !self.poll() {
             self.spent.fetch_sub(1, Ordering::Relaxed);
             return false;
         }
@@ -387,6 +433,10 @@ impl<O: Oracle> Oracle for BudgetedOracle<'_, O> {
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
+
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.inner.probe_cost_hint()
+    }
 }
 
 /// An [`Lca`] wrapper installing a default [`QueryBudget`]: plain
@@ -547,6 +597,74 @@ mod tests {
         assert_eq!(ctx.probe_limit(), Some(7));
         let b = QueryBudget::unlimited().with_cancel(Arc::new(AtomicBool::new(false)));
         assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn poll_stride_adapts_to_probe_cost_hints() {
+        use lca_graph::implicit::ImplicitGnp;
+        use lca_graph::ProbeCost;
+        // The hint classes map to their documented strides…
+        assert_eq!(ProbeCost::Memory.poll_stride(), POLL_STRIDE);
+        assert_eq!(ProbeCost::Compute.poll_stride(), 16);
+        assert_eq!(ProbeCost::Remote.poll_stride(), 1);
+        // …materialized graphs are Memory-class, implicit oracles Compute-,
+        // and wrappers forward the inner hint.
+        let g = structured::path(8);
+        assert_eq!(g.probe_cost_hint(), ProbeCost::Memory);
+        let implicit = ImplicitGnp::new(1000, 3.0, lca_rand::Seed::new(1));
+        assert_eq!(implicit.probe_cost_hint(), ProbeCost::Compute);
+        let ctx = QueryCtx::unlimited();
+        assert_eq!(
+            ctx.budgeted(&implicit).probe_cost_hint(),
+            ProbeCost::Compute
+        );
+        assert_eq!(ctx.poll_stride(), POLL_STRIDE);
+        let ctx = ctx.with_poll_stride(implicit.probe_cost_hint().poll_stride());
+        assert_eq!(ctx.poll_stride(), 16);
+        // Stride 0 clamps to 1 instead of dividing by zero in charge().
+        assert_eq!(QueryCtx::unlimited().with_poll_stride(0).poll_stride(), 1);
+    }
+
+    #[test]
+    fn short_stride_closes_the_deadline_blind_spot() {
+        let g = structured::star(64);
+        // The first probe polls while the deadline is still comfortably
+        // ahead (200 ms — wide enough that scheduler preemption between
+        // construction and the probe cannot expire it first); the sleep
+        // then expires it, and the stride decides which later probe
+        // notices: every one (stride 1) or only the 64th (default).
+        let mk = |stride: u64| {
+            QueryCtx::new(
+                None,
+                Some(Instant::now() + Duration::from_millis(200)),
+                None,
+            )
+            .with_poll_stride(stride)
+        };
+        let ctx = mk(1);
+        let o = ctx.budgeted(&g);
+        assert_eq!(o.degree(VertexId::new(0)), 63); // first probe: deadline still ahead
+        std::thread::sleep(Duration::from_millis(250));
+        // Stride 1: the very next probe observes the expired deadline.
+        assert_eq!(o.degree(VertexId::new(0)), 0);
+        assert!(matches!(
+            ctx.checkpoint(),
+            Err(LcaError::DeadlineExceeded { .. })
+        ));
+        // Default stride: probes 2..63 fall in the blind spot and still
+        // answer; the 64th polls and trips.
+        let ctx = mk(POLL_STRIDE);
+        let o = ctx.budgeted(&g);
+        assert_eq!(o.degree(VertexId::new(0)), 63);
+        std::thread::sleep(Duration::from_millis(250));
+        for _ in 1..POLL_STRIDE - 1 {
+            assert_eq!(o.degree(VertexId::new(0)), 63, "blind-spot probe answers");
+        }
+        assert_eq!(o.degree(VertexId::new(0)), 0, "stride boundary polls");
+        assert!(matches!(
+            ctx.checkpoint(),
+            Err(LcaError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -131,6 +131,9 @@ impl Oracle for ImplicitChungLu {
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
     }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
+    }
 }
 
 impl ImplicitOracle for ImplicitChungLu {

@@ -77,6 +77,9 @@ impl Oracle for ImplicitGrid {
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
     }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
+    }
 }
 
 impl ImplicitOracle for ImplicitGrid {
@@ -138,6 +141,9 @@ impl Oracle for ImplicitTorus {
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
     }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
+    }
 }
 
 impl ImplicitOracle for ImplicitTorus {
@@ -198,6 +204,9 @@ impl Oracle for ImplicitHypercube {
 
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
+    }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
     }
 }
 

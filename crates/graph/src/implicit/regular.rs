@@ -82,6 +82,9 @@ impl Oracle for ImplicitRegular {
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
     }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
+    }
 }
 
 impl ImplicitOracle for ImplicitRegular {

@@ -110,6 +110,9 @@ impl Oracle for ImplicitGnp {
     fn label(&self, v: VertexId) -> u64 {
         v.index() as u64
     }
+    fn probe_cost_hint(&self) -> crate::ProbeCost {
+        crate::ProbeCost::Compute
+    }
 }
 
 impl ImplicitOracle for ImplicitGnp {

@@ -57,6 +57,6 @@ mod vertex;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{Edge, Edges, Graph, Vertices};
-pub use oracle::Oracle;
+pub use oracle::{Oracle, ProbeCost};
 pub use subgraph::Subgraph;
 pub use vertex::VertexId;

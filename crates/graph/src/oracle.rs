@@ -7,6 +7,44 @@
 
 use crate::{Graph, VertexId};
 
+/// A coarse classification of how expensive **one probe** is to answer —
+/// the per-oracle cost hint budget enforcement adapts to.
+///
+/// The LCA model counts probes; wall-clock enforcement (deadlines,
+/// cancellation) has to *poll* a clock between probes, and how often it can
+/// afford to poll depends on what a probe costs. An in-memory CSR lookup is
+/// nanoseconds — polling every probe would dominate the query — while a
+/// probe against a remote store is milliseconds, where skipping 63 polls
+/// means a deadline can overshoot by 63 round trips. [`ProbeCost::poll_stride`]
+/// turns the class into the deadline-poll stride `lca-core`'s `QueryCtx`
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProbeCost {
+    /// A probe is a memory lookup (materialized [`Graph`], warmed cache):
+    /// nanoseconds, poll rarely.
+    Memory,
+    /// A probe recomputes its answer (the implicit generator oracles:
+    /// Feistel walks, hash coins): sub-microsecond but not free, poll more
+    /// often.
+    Compute,
+    /// A probe leaves the process (remote stores, disk): poll every probe —
+    /// each one is worth a clock read.
+    Remote,
+}
+
+impl ProbeCost {
+    /// The deadline/cancellation poll stride this cost class affords: how
+    /// many probes may pass between `Instant::now()` polls without the
+    /// polling overhead (Memory) or the blind spot (Remote) dominating.
+    pub fn poll_stride(self) -> u64 {
+        match self {
+            ProbeCost::Memory => 64,
+            ProbeCost::Compute => 16,
+            ProbeCost::Remote => 1,
+        }
+    }
+}
+
 /// Probe access to an input graph (the paper's adjacency-list oracle `O_G`).
 ///
 /// Everything an LCA may learn about the graph flows through these three
@@ -36,6 +74,16 @@ pub trait Oracle {
 
     /// The label `ID(v)` (free: labels travel with handles in this model).
     fn label(&self, v: VertexId) -> u64;
+
+    /// How expensive one probe is to answer (see [`ProbeCost`]). The
+    /// default is [`ProbeCost::Memory`]; generator-backed oracles override
+    /// with [`ProbeCost::Compute`], remote stores with
+    /// [`ProbeCost::Remote`]. Wrappers forward their inner oracle's hint
+    /// (a cache may *reduce* the effective cost, but a miss still pays the
+    /// inner price, so forwarding is the conservative choice).
+    fn probe_cost_hint(&self) -> ProbeCost {
+        ProbeCost::Memory
+    }
 }
 
 impl Oracle for Graph {
@@ -80,6 +128,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
     fn label(&self, v: VertexId) -> u64 {
         (**self).label(v)
     }
+
+    fn probe_cost_hint(&self) -> ProbeCost {
+        (**self).probe_cost_hint()
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
@@ -102,6 +154,10 @@ impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
     fn label(&self, v: VertexId) -> u64 {
         (**self).label(v)
     }
+
+    fn probe_cost_hint(&self) -> ProbeCost {
+        (**self).probe_cost_hint()
+    }
 }
 
 impl<O: Oracle + ?Sized> Oracle for &O {
@@ -123,6 +179,10 @@ impl<O: Oracle + ?Sized> Oracle for &O {
 
     fn label(&self, v: VertexId) -> u64 {
         (**self).label(v)
+    }
+
+    fn probe_cost_hint(&self) -> ProbeCost {
+        (**self).probe_cost_hint()
     }
 }
 

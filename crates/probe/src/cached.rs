@@ -224,6 +224,10 @@ impl<O: Oracle> Oracle for CachedOracle<O> {
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
+
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.inner.probe_cost_hint()
+    }
 }
 
 #[cfg(test)]

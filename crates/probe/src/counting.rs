@@ -163,6 +163,9 @@ impl<O: Oracle> Oracle for CountingOracle<O> {
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.inner.probe_cost_hint()
+    }
 }
 
 /// A per-query measurement scope produced by [`CountingOracle::scoped`].

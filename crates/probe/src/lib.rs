@@ -73,15 +73,35 @@ pub use counting::{CountingOracle, ProbeCounts, QueryScope};
 pub use memo::{measure_distinct, MemoOracle};
 pub use tracing::{ProbeRecord, TracingOracle};
 
-pub use lca_graph::Oracle;
+pub use lca_graph::{Oracle, ProbeCost};
 
-/// Routes a vertex to one of `len` shards (Fibonacci hashing, so
-/// consecutive vertex ids spread across shards). Shared by the sharded
-/// caches: the same key must route identically in [`MemoOracle`] and
-/// [`CachedOracle`].
+/// Routes a 64-bit key to one of `len` shards (Fibonacci hashing: the
+/// golden-ratio multiply spreads consecutive keys across shards while
+/// staying a pure function of the key). This is **the** workspace shard
+/// router — [`MemoOracle`], [`CachedOracle`], and the serve layer's session
+/// registry all route through it, so a key lands on the same shard index
+/// no matter which layer asks.
+pub fn shard_for_key(key: u64, len: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % len.max(1)
+}
+
+/// Routes a string key (e.g. a serving-session name) to one of `len`
+/// shards: an FNV-1a fold of the bytes, then the same Fibonacci multiply as
+/// [`shard_for_key`].
+pub fn shard_for_str(key: &str, len: usize) -> usize {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    shard_for_key(h, len)
+}
+
+/// Routes a vertex to one of `len` shards — the [`shard_for_key`]
+/// specialization the sharded caches use.
 pub(crate) fn shard_index(v: u32, len: usize) -> usize {
-    let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    (h >> 32) as usize % len
+    shard_for_key(v as u64, len)
 }
 
 /// The three probe types of the LCA model.

@@ -141,6 +141,9 @@ impl<O: Oracle> Oracle for MemoOracle<O> {
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.inner.probe_cost_hint()
+    }
 }
 
 /// Convenience: measure the distinct-probe cost of one closure against a

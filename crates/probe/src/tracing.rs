@@ -116,6 +116,9 @@ impl<O: Oracle> Oracle for TracingOracle<O> {
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.inner.probe_cost_hint()
+    }
 }
 
 #[cfg(test)]

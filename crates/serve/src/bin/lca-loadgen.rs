@@ -2,13 +2,18 @@
 //!
 //! ```text
 //! lca-loadgen --addr 127.0.0.1:7400 [--requests 1000] [--concurrency 4]
-//!             [--mix mis,spanner3] [--family gnp] [--n 1000000] [--seed 7]
-//!             [--knob C] [--rate QPS] [--max-probes P] [--verify]
-//!             [--session PREFIX] [--pool N] [--shutdown]
+//!             [--connections C] [--mix mis,spanner3] [--family gnp]
+//!             [--n 1000000] [--seed 7] [--knob C] [--rate QPS]
+//!             [--max-probes P] [--verify] [--session PREFIX] [--pool N]
+//!             [--shutdown]
 //! ```
 //!
-//! Drives an `lca-serve` daemon closed-loop (default) or open-loop
-//! (`--rate`), prints the machine-readable [`LoadReport`] as one JSON line,
+//! Drives an `lca-serve` daemon closed-loop (default), open-loop
+//! (`--rate`), or in high-fan-in mode (`--connections C`: C sockets held
+//! open simultaneously across the `--concurrency` sender threads, one
+//! in-flight request per socket — the C10k probe; the process raises its
+//! own fd soft limit to fit). Prints the machine-readable [`LoadReport`]
+//! as one JSON line,
 //! then the server's `stats` object on a second line. `--verify` recomputes
 //! every answer locally through `LcaBuilder` and counts mismatches;
 //! `--shutdown` drains the daemon afterwards. Exit code is nonzero when
@@ -46,6 +51,11 @@ fn parse_args() -> Result<Args, String> {
                 args.cfg.concurrency = value("--concurrency")?
                     .parse()
                     .map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--connections" => {
+                args.cfg.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
             }
             "--mix" => {
                 let spec = value("--mix")?;
@@ -104,8 +114,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: lca-loadgen --addr host:port [--requests N] [--concurrency C] \
-                     [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] [--rate QPS] \
-                     [--max-probes P] [--verify] [--session PREFIX] [--pool N] [--shutdown]"
+                     [--connections C] [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] \
+                     [--rate QPS] [--max-probes P] [--verify] [--session PREFIX] [--pool N] \
+                     [--shutdown]"
                         .to_owned(),
                 )
             }
@@ -127,6 +138,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.cfg.connections > 0 {
+        // Fan-in mode needs its sockets to fit under the fd soft limit;
+        // each connection costs two fds (the stream plus its try_clone
+        // writer dup).
+        if let Err(e) = lca_serve::raise_fd_limit(2 * args.cfg.connections as u64 + 128) {
+            eprintln!("warning: could not raise fd limit: {e}");
+        }
+    }
     let outcome = run(&args.addr, &args.cfg);
     if args.shutdown {
         if let Err(e) = send_shutdown(&args.addr) {

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N]
-//!           [--max-probes P] [--deadline-ms MS] [--stdin]
+//!           [--max-probes P] [--deadline-ms MS] [--max-connections C]
+//!           [--backend epoll|sweep] [--stdin]
 //! ```
 //!
 //! `--max-probes`/`--deadline-ms` install a server-side default query
 //! budget; requests carrying their own `max_probes`/`deadline_ms` fields
 //! override it field-by-field.
+//!
+//! TCP connections are served by a single-threaded event-driven reactor
+//! (no per-connection threads); `--max-connections` (default 10240) sizes
+//! the process's fd soft limit accordingly, and `--backend` forces a
+//! readiness backend (default: epoll on Linux, the portable sweep
+//! elsewhere).
 //!
 //! TCP mode prints one `{"listening": "<addr>"}` line to stdout once bound
 //! (with `--addr host:0` the kernel picks the port — scrape it from that
@@ -26,6 +33,7 @@ struct Args {
     addr: String,
     config: ServerConfig,
     stdin: bool,
+    max_connections: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7400".to_owned(),
         config: ServerConfig::default(),
         stdin: false,
+        max_connections: 10_240,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -62,11 +71,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 args.config.default_budget.timeout = Some(std::time::Duration::from_millis(ms));
             }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--backend" => {
+                let backend = value("--backend")?;
+                if backend != "epoll" && backend != "sweep" {
+                    return Err(format!("--backend must be epoll or sweep, got {backend:?}"));
+                }
+                // The reactor's poller reads this env var at startup.
+                std::env::set_var("LCA_SERVE_BACKEND", backend);
+            }
             "--stdin" => args.stdin = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lca-serve [--addr host:port] [--workers N] [--queue N] \
-                     [--max-probes P] [--deadline-ms MS] [--stdin]"
+                     [--max-probes P] [--deadline-ms MS] [--max-connections C] \
+                     [--backend epoll|sweep] [--stdin]"
                         .to_owned(),
                 )
             }
@@ -88,6 +111,11 @@ fn main() -> ExitCode {
     if args.stdin {
         server.serve_stdio();
         return ExitCode::SUCCESS;
+    }
+    // Thousands of open sockets need fds: grow the soft limit toward the
+    // target before binding (best-effort — the hard limit caps it).
+    if let Err(e) = lca_serve::raise_fd_limit(args.max_connections + 128) {
+        eprintln!("warning: could not raise fd limit: {e}");
     }
     let listener = match bind(&*args.addr) {
         Ok(listener) => listener,

@@ -1,13 +1,26 @@
 //! The load generator: drive an `lca-serve` daemon and report throughput.
 //!
-//! Works closed-loop (each of `concurrency` connections keeps exactly one
-//! request in flight — the classic saturation probe) or open-loop
-//! (`rate` targets an offered load in requests/second; a per-connection
-//! reader thread matches responses to requests by `id`, so slow responses
-//! queue instead of slowing the arrival process). Queries are sampled
-//! client-side from the *same* implicit oracle the server builds — the
-//! generator needs only `(family, n, seed)` to produce valid vertex and
-//! edge queries, which is the whole point of implicit inputs.
+//! Three traffic shapes:
+//!
+//! * **Closed loop** (default): each of `concurrency` connections keeps
+//!   exactly one request in flight — the classic saturation probe.
+//! * **Open loop** (`rate`): targets an offered load in requests/second; a
+//!   per-connection reader thread matches responses to requests by `id`,
+//!   so slow responses queue instead of slowing the arrival process.
+//! * **Fan-in** (`connections > 0`): the high-fan-in C10k probe. A few
+//!   sender threads hold *many* sockets open at once (one in-flight
+//!   request per socket, sends issued across a thread's whole socket set
+//!   before any response is awaited, optional `rate` pacing), so a
+//!   thousand simultaneous open connections hit a daemon whose worker
+//!   pool is a handful of threads — exactly the shape the event-driven
+//!   reactor exists for. The server's `stats` are fetched *while every
+//!   socket is still open*, so the report's `connections_open` witnesses
+//!   the simultaneity instead of asserting it.
+//!
+//! Queries are sampled client-side from the *same* implicit oracle the
+//! server builds — the generator needs only `(family, n, seed)` to produce
+//! valid vertex and edge queries, which is the whole point of implicit
+//! inputs.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
@@ -56,8 +69,14 @@ use crate::{algo_seed, input_seed};
 pub struct LoadgenConfig {
     /// Total requests to send across all connections.
     pub requests: usize,
-    /// Concurrent connections.
+    /// Worker threads (and, when [`LoadgenConfig::connections`] is 0, the
+    /// connection count: one connection per thread).
     pub concurrency: usize,
+    /// Fan-in mode when nonzero: this many simultaneously open sockets
+    /// spread across the `concurrency` sender threads, one in-flight
+    /// request per socket. `0` keeps the classic one-connection-per-thread
+    /// loops.
+    pub connections: usize,
     /// Query mix: round-robin across these kinds (one session per kind).
     pub kinds: Vec<AlgorithmKind>,
     /// Input family for every session.
@@ -89,6 +108,7 @@ impl Default for LoadgenConfig {
         Self {
             requests: 1_000,
             concurrency: 4,
+            connections: 0,
             kinds: vec![AlgorithmKind::Classic(ClassicKind::Mis)],
             family: ImplicitFamily::Gnp,
             n: 1_000_000,
@@ -108,6 +128,9 @@ impl Default for LoadgenConfig {
 pub struct LoadReport {
     /// Requests attempted.
     pub requests: usize,
+    /// Sockets the generator held open simultaneously (fan-in mode; the
+    /// thread count in the classic loops).
+    pub connections: usize,
     /// Requests answered with an `answer` field.
     pub ok: u64,
     /// YES answers among them.
@@ -408,6 +431,161 @@ fn closed_loop_worker(
     Ok(tally)
 }
 
+/// One fan-in socket: a blocking client stream with at most one request in
+/// flight.
+struct FanSock {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// `(global request id, send time, attempts)` of the in-flight request.
+    in_flight: Option<(u64, Instant, u32)>,
+    dead: bool,
+}
+
+/// The fan-in sender: `sockets` simultaneously open connections driven by
+/// one thread. Each round issues a send on every idle socket *before*
+/// awaiting any response (open within the round), then collects one
+/// response per busy socket; `overloaded` bounces are retried on the same
+/// socket. Socket-level failures are counted, never returned — the worker
+/// must always reach the two barriers (`done`: all requests finished,
+/// sockets still open, the window where the caller snapshots server stats;
+/// `release`: sockets may now close).
+#[allow(clippy::too_many_arguments)]
+fn fan_in_worker(
+    addr: &str,
+    plans: &[KindPlan],
+    cfg: &LoadgenConfig,
+    counter: &AtomicUsize,
+    sockets: usize,
+    gap: Option<Duration>,
+    done: &std::sync::Barrier,
+    release: &std::sync::Barrier,
+) -> io::Result<Tally> {
+    let mut socks: Vec<FanSock> = Vec::with_capacity(sockets);
+    let mut connect_err = None;
+    for _ in 0..sockets {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                match stream.try_clone() {
+                    Ok(writer) => socks.push(FanSock {
+                        writer,
+                        reader: BufReader::new(stream),
+                        in_flight: None,
+                        dead: false,
+                    }),
+                    Err(e) => {
+                        connect_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            Err(e) => {
+                connect_err = Some(e);
+                break;
+            }
+        }
+    }
+
+    let mut tally = Tally::default();
+    let mut next_send = Instant::now();
+    if connect_err.is_none() {
+        loop {
+            let mut live = false;
+            // Send phase: one request onto every idle, live socket.
+            for sock in socks.iter_mut().filter(|s| !s.dead) {
+                live = true;
+                if sock.in_flight.is_some() {
+                    continue;
+                }
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.requests {
+                    continue;
+                }
+                if let Some(gap) = gap {
+                    let now = Instant::now();
+                    if next_send > now {
+                        std::thread::sleep(next_send - now);
+                    }
+                    next_send += gap;
+                }
+                let (ki, qi) = schedule(i, plans);
+                let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
+                if sock
+                    .writer
+                    .write_all(request.as_bytes())
+                    .and_then(|()| sock.writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    tally.errors += 1;
+                    sock.dead = true;
+                    continue;
+                }
+                sock.in_flight = Some((i as u64, Instant::now(), 1));
+            }
+            // Read phase: one response from every busy socket.
+            let mut line = String::new();
+            for sock in socks.iter_mut().filter(|s| !s.dead) {
+                let Some((id, started, attempts)) = sock.in_flight else {
+                    continue;
+                };
+                line.clear();
+                match sock.reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => {
+                        tally.errors += 1;
+                        sock.dead = true;
+                        sock.in_flight = None;
+                        continue;
+                    }
+                    Ok(_) => {}
+                }
+                let micros = started.elapsed().as_micros() as u64;
+                let expected = expected_answer(id, plans, cfg.verify);
+                let retry = tally.absorb(line.trim(), expected, micros);
+                if !retry {
+                    sock.in_flight = None;
+                    continue;
+                }
+                // Overloaded: resend the same id on the same socket after a
+                // short backoff, like the closed loop.
+                if attempts > 1_000 {
+                    tally.errors += 1;
+                    sock.in_flight = None;
+                    continue;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+                let (ki, qi) = schedule(id as usize, plans);
+                let request = request_line(&plans[ki], qi, id, cfg.max_probes);
+                if sock
+                    .writer
+                    .write_all(request.as_bytes())
+                    .and_then(|()| sock.writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    tally.errors += 1;
+                    sock.dead = true;
+                    sock.in_flight = None;
+                    continue;
+                }
+                sock.in_flight = Some((id, Instant::now(), attempts + 1));
+            }
+            let idle = socks.iter().all(|s| s.dead || s.in_flight.is_none());
+            if !live || (idle && counter.load(Ordering::Relaxed) >= cfg.requests) {
+                break;
+            }
+        }
+    }
+
+    // Hold every socket open across the stats window, then release.
+    done.wait();
+    release.wait();
+    drop(socks);
+    match connect_err {
+        Some(e) => Err(e),
+        None => Ok(tally),
+    }
+}
+
 fn open_loop_worker(
     addr: &str,
     plans: &[KindPlan],
@@ -521,25 +699,56 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
     }
     let counter = AtomicUsize::new(0);
     let start = Instant::now();
-    let gap = cfg
-        .rate
-        .map(|r| Duration::from_secs_f64(cfg.concurrency.max(1) as f64 / r.max(1e-9)));
-    let tallies: Vec<io::Result<Tally>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..cfg.concurrency.max(1))
-            .map(|_| {
-                let plans = &plans;
-                let counter = &counter;
-                s.spawn(move || match gap {
-                    None => closed_loop_worker(addr, plans, cfg, counter),
-                    Some(gap) => open_loop_worker(addr, plans, cfg, counter, gap),
+    // Fan-in mode captures server stats *while* every socket is still
+    // open (between the two barriers); the classic loops fetch them after.
+    let mut mid_run_stats: Option<Json> = None;
+    let tallies: Vec<io::Result<Tally>> = if cfg.connections > 0 {
+        let threads = cfg.concurrency.clamp(1, cfg.connections);
+        let gap = cfg
+            .rate
+            .map(|r| Duration::from_secs_f64(threads as f64 / r.max(1e-9)));
+        let done = std::sync::Barrier::new(threads + 1);
+        let release = std::sync::Barrier::new(threads + 1);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let sockets =
+                        cfg.connections / threads + usize::from(t < cfg.connections % threads);
+                    let (plans, counter, done, release) = (&plans, &counter, &done, &release);
+                    s.spawn(move || {
+                        fan_in_worker(addr, plans, cfg, counter, sockets, gap, done, release)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen worker panicked"))
-            .collect()
-    });
+                .collect();
+            done.wait();
+            mid_run_stats = fetch_stats(addr).ok();
+            release.wait();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen worker panicked"))
+                .collect()
+        })
+    } else {
+        let gap = cfg
+            .rate
+            .map(|r| Duration::from_secs_f64(cfg.concurrency.max(1) as f64 / r.max(1e-9)));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.concurrency.max(1))
+                .map(|_| {
+                    let plans = &plans;
+                    let counter = &counter;
+                    s.spawn(move || match gap {
+                        None => closed_loop_worker(addr, plans, cfg, counter),
+                        Some(gap) => open_loop_worker(addr, plans, cfg, counter, gap),
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen worker panicked"))
+                .collect()
+        })
+    };
     let elapsed_s = start.elapsed().as_secs_f64();
     let mut total = Tally::default();
     for tally in tallies {
@@ -561,6 +770,11 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
     };
     let report = LoadReport {
         requests: cfg.requests,
+        connections: if cfg.connections > 0 {
+            cfg.connections
+        } else {
+            cfg.concurrency.max(1)
+        },
         ok: total.ok,
         yes: total.yes,
         errors: total.errors,
@@ -578,7 +792,10 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
         p99_us: pct(0.99),
         mean_us,
     };
-    let server_stats = fetch_stats(addr).ok();
+    let server_stats = match mid_run_stats {
+        Some(stats) => Some(stats),
+        None => fetch_stats(addr).ok(),
+    };
     Ok(LoadRun {
         report,
         server_stats,

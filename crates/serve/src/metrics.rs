@@ -151,8 +151,15 @@ pub struct GlobalMetrics {
     pub overloaded: AtomicU64,
     /// Query requests failed on a tripped probe budget or deadline.
     pub budget_exhausted: AtomicU64,
-    /// Connections accepted over TCP.
+    /// Connections accepted over TCP since the process started.
     pub connections: AtomicU64,
+    /// Connections currently open (a gauge: the reactor increments on
+    /// accept and decrements on close — the C10k witness in `stats`).
+    pub connections_open: AtomicU64,
+    /// Times the reactor was woken by a worker completion (the wake-pipe
+    /// side of the readiness loop; a coarse proxy for response batching —
+    /// fewer wakeups per response means better batching).
+    pub reactor_wakeups: AtomicU64,
     /// Process start, for uptime/qps.
     pub started: Instant,
 }
@@ -165,6 +172,8 @@ impl Default for GlobalMetrics {
             overloaded: AtomicU64::new(0),
             budget_exhausted: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -241,8 +250,29 @@ pub fn session_stats_json(
     ])
 }
 
+/// The non-atomic half of the global `stats` object: values the server
+/// snapshots at render time (queue depth, drain flag, the registry-shard
+/// rollup and the fleet-wide cache rollup built with `CacheStats + CacheStats`).
+#[derive(Debug, Clone)]
+pub struct GlobalSnapshot {
+    /// Jobs waiting in the worker pool's admission queue.
+    pub queue_len: usize,
+    /// Whether a drain has begun.
+    pub draining: bool,
+    /// Resident sessions across all registry shards.
+    pub sessions: usize,
+    /// Number of registry shards.
+    pub registry_shards: usize,
+    /// Per-shard resolve-hit counts (a resolve that found a pinned
+    /// session), in shard order — skew here means hot session names, not
+    /// lock contention (shards lock independently).
+    pub registry_shard_hits: Vec<u64>,
+    /// All sessions' serving-cache stats rolled up via `CacheStats::add`.
+    pub cache_total: lca_probe::CacheStats,
+}
+
 /// Renders the global half of the `stats` response.
-pub fn global_stats_json(global: &GlobalMetrics, queue_len: usize, draining: bool) -> Json {
+pub fn global_stats_json(global: &GlobalMetrics, snap: &GlobalSnapshot) -> Json {
     let uptime_s = global.started.elapsed().as_secs_f64();
     let requests = global.requests.load(Ordering::Relaxed);
     Json::Obj(vec![
@@ -272,8 +302,32 @@ pub fn global_stats_json(global: &GlobalMetrics, queue_len: usize, draining: boo
             "connections".into(),
             num(global.connections.load(Ordering::Relaxed)),
         ),
-        ("queue_len".into(), num(queue_len as u64)),
-        ("draining".into(), Json::Bool(draining)),
+        (
+            "connections_open".into(),
+            num(global.connections_open.load(Ordering::Relaxed)),
+        ),
+        (
+            "reactor_wakeups".into(),
+            num(global.reactor_wakeups.load(Ordering::Relaxed)),
+        ),
+        ("queue_len".into(), num(snap.queue_len as u64)),
+        ("sessions".into(), num(snap.sessions as u64)),
+        ("registry_shards".into(), num(snap.registry_shards as u64)),
+        (
+            "registry_shard_hits".into(),
+            Json::Arr(snap.registry_shard_hits.iter().map(|&h| num(h)).collect()),
+        ),
+        ("cache_hits_total".into(), num(snap.cache_total.hits)),
+        ("cache_misses_total".into(), num(snap.cache_total.misses)),
+        (
+            "cache_hit_rate_total".into(),
+            Json::Num(if snap.cache_total.requests() == 0 {
+                0.0
+            } else {
+                snap.cache_total.hit_rate()
+            }),
+        ),
+        ("draining".into(), Json::Bool(snap.draining)),
     ])
 }
 

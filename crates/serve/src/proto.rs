@@ -571,6 +571,111 @@ mod tests {
     }
 
     #[test]
+    fn stats_response_round_trips_through_the_wire_format() {
+        use crate::metrics::{
+            global_stats_json, session_stats_json, GlobalMetrics, GlobalSnapshot, SessionMetrics,
+        };
+        use std::sync::atomic::Ordering;
+
+        // Build a stats response exactly the way the server does, render it
+        // to one wire line, parse that line back, and check every new
+        // field survives the round trip with its value intact.
+        let global = GlobalMetrics::default();
+        global.requests.store(42, Ordering::Relaxed);
+        global.connections.store(1200, Ordering::Relaxed);
+        global.connections_open.store(1024, Ordering::Relaxed);
+        global.reactor_wakeups.store(77, Ordering::Relaxed);
+        let snap = GlobalSnapshot {
+            queue_len: 3,
+            draining: false,
+            sessions: 2,
+            registry_shards: 4,
+            registry_shard_hits: vec![5, 0, 9, 1],
+            cache_total: lca_probe::CacheStats {
+                hits: 30,
+                misses: 10,
+                entries: 10,
+            },
+        };
+        let session = SessionMetrics::default();
+        session.record(10, 4, 250, 99);
+        let response = Response::Stats(Json::Obj(vec![
+            ("stats".into(), global_stats_json(&global, &snap)),
+            (
+                "sessions".into(),
+                Json::Obj(vec![(
+                    "s".into(),
+                    session_stats_json(
+                        &session,
+                        snap.cache_total,
+                        lca_probe::ProbeCounts::default(),
+                        1.0,
+                    ),
+                )]),
+            ),
+        ]));
+        let line = response.render();
+        let parsed = serde_json::from_str(&line).expect("stats line parses");
+        let g = parsed.get("stats").expect("global object");
+        assert_eq!(g.get("requests").and_then(Json::as_u64), Some(42));
+        assert_eq!(g.get("connections").and_then(Json::as_u64), Some(1200));
+        assert_eq!(g.get("connections_open").and_then(Json::as_u64), Some(1024));
+        assert_eq!(g.get("reactor_wakeups").and_then(Json::as_u64), Some(77));
+        assert_eq!(g.get("queue_len").and_then(Json::as_u64), Some(3));
+        assert_eq!(g.get("sessions").and_then(Json::as_u64), Some(2));
+        assert_eq!(g.get("registry_shards").and_then(Json::as_u64), Some(4));
+        let hits = g
+            .get("registry_shard_hits")
+            .and_then(Json::as_array)
+            .expect("shard hit array");
+        let hits: Vec<u64> = hits.iter().map(|h| h.as_u64().unwrap()).collect();
+        assert_eq!(hits, vec![5, 0, 9, 1]);
+        assert_eq!(g.get("cache_hits_total").and_then(Json::as_u64), Some(30));
+        assert_eq!(g.get("cache_misses_total").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            g.get("cache_hit_rate_total").and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert_eq!(g.get("draining").and_then(Json::as_bool), Some(false));
+        let s = parsed.get("sessions").and_then(|s| s.get("s")).expect("s");
+        assert_eq!(s.get("queries").and_then(Json::as_u64), Some(10));
+        assert_eq!(s.get("cache_hits").and_then(Json::as_u64), Some(30));
+    }
+
+    #[test]
+    fn empty_global_snapshot_renders_zero_rollups() {
+        use crate::metrics::{global_stats_json, GlobalMetrics, GlobalSnapshot};
+        let json = global_stats_json(
+            &GlobalMetrics::default(),
+            &GlobalSnapshot {
+                queue_len: 0,
+                draining: true,
+                sessions: 0,
+                registry_shards: 16,
+                registry_shard_hits: vec![0; 16],
+                cache_total: lca_probe::CacheStats {
+                    hits: 0,
+                    misses: 0,
+                    entries: 0,
+                },
+            },
+        );
+        let mut line = String::new();
+        json.render(&mut line);
+        let parsed = serde_json::from_str(&line).expect("parses");
+        // No traffic: the hit rate must render 0, not NaN/null.
+        assert_eq!(
+            parsed.get("cache_hit_rate_total").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(parsed.get("draining").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("connections_open").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
     fn responses_render_the_documented_shapes() {
         let r = Response::Answer {
             id: Some(3),

@@ -1,0 +1,507 @@
+//! The event-driven front end: one thread, every connection.
+//!
+//! The reactor multiplexes thousands of nonblocking `TcpStream`s over the
+//! readiness loop in [`crate::sys`] (epoll on Linux, a portable sweep
+//! elsewhere). Each connection is a small state machine owning its read
+//! buffer (incremental newline framing), its write buffer (responses wait
+//! here, never on a worker), and a count of in-flight pool jobs. The
+//! worker pool stays the execution tier: the reactor admits query work via
+//! [`crate::server::Server::handle_line`], and workers hand finished
+//! responses back through the [`Completions`] queue plus a wake pipe —
+//! the only two points where the two tiers touch.
+//!
+//! ```text
+//!  sockets ──readiness──► reactor ──framing──► dispatch ──admit──► pool
+//!     ▲                      ▲                (inline ops answered     │
+//!     │                      │                 straight to write buf)  │
+//!     └──────write bufs──────┴──── completion queue + wake pipe ◄─────┘
+//! ```
+//!
+//! Invariants the tests lean on:
+//!
+//! * **No worker ever blocks on a socket.** Delivery is a queue push plus
+//!   a wake; a stalled client just grows its own write buffer (bounded —
+//!   past [`MAX_WRITE_BUFFER`] the connection is dropped).
+//! * **One response per request line**, whether inline or deferred, until
+//!   the peer goes away.
+//! * **Drain flushes.** After a shutdown request the reactor stops
+//!   accepting, keeps servicing readiness until every admitted job has
+//!   delivered and every write buffer is empty, then closes and returns.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::proto::Response;
+use crate::server::{LineOutcome, Server};
+use crate::sys::{Event, Poller, Waker};
+
+/// Registration token of the listener (connection tokens never reach it:
+/// they encode a slab index in the low 32 bits and a generation above).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// A connection whose write buffer exceeds this is not reading its
+/// responses; it is dropped rather than allowed to hold server memory
+/// hostage (the bounded-everything rule, applied to the write side).
+const MAX_WRITE_BUFFER: usize = 16 << 20;
+
+/// A single request line longer than this is answered with nothing and the
+/// connection dropped — no legitimate request is 16 MiB.
+const MAX_LINE: usize = 16 << 20;
+
+/// How long one `wait` may block: the upper bound on drain-progress and
+/// lost-wake recovery latency, not on response latency (completions wake
+/// the poller immediately).
+const WAIT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How long a drain keeps waiting for stalled connections to accept their
+/// pending responses. A client that reads gets every byte well inside
+/// this; one that has stopped reading (or silently vanished — a TCP
+/// half-open never becomes writable) would otherwise pin the drain loop
+/// forever. Past the grace period its connection is dropped so shutdown
+/// always terminates, matching the old thread-per-connection front end's
+/// bounded drain.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Worker→reactor handoff: finished responses parked until the reactor
+/// flushes them into per-connection write buffers.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<(u64, Response)>>,
+    waker: Waker,
+}
+
+impl Completions {
+    /// Parks a finished response for `token`'s connection and wakes the
+    /// reactor. Called from pool workers; never blocks on I/O.
+    fn push(&self, token: u64, response: Response) {
+        self.queue
+            .lock()
+            .expect("completion queue poisoned")
+            .push((token, response));
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<(u64, Response)> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+}
+
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet framed into a complete line.
+    read_buf: Vec<u8>,
+    /// Rendered responses awaiting socket space.
+    write_buf: VecDeque<u8>,
+    /// Pool jobs admitted for this connection whose responses have not yet
+    /// been delivered to `write_buf`.
+    pending: usize,
+    /// The peer half-closed its write side (EOF seen); we still flush what
+    /// we owe, then close.
+    peer_closed: bool,
+    /// Whether the poller currently watches this fd for write readiness.
+    want_write: bool,
+}
+
+struct Slot {
+    gen: u32,
+    conn: Option<Conn>,
+}
+
+fn token_of(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+fn split_token(token: u64) -> (usize, u32) {
+    ((token & u32::MAX as u64) as usize, (token >> 32) as u32)
+}
+
+/// The reactor; see the module docs. Constructed and run by
+/// [`Server::serve`].
+pub(crate) struct Reactor {
+    server: Arc<Server>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    completions: Arc<Completions>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Pool jobs admitted and not yet completed, across all connections
+    /// (including ones whose connection died while the job ran).
+    in_flight: usize,
+    /// Open connections (slab occupancy).
+    open: usize,
+    /// When the drain began (first loop iteration that observed the flag);
+    /// stalled connections are force-closed [`DRAIN_GRACE`] after this.
+    drain_started: Option<std::time::Instant>,
+}
+
+impl Reactor {
+    /// Runs the serve loop to drain completion. The listener is consumed;
+    /// the pool is left running (the caller shuts it down).
+    pub(crate) fn run(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, false)?;
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: poller.waker(),
+        });
+        let mut reactor = Reactor {
+            server,
+            poller,
+            listener: Some(listener),
+            completions,
+            slots: Vec::new(),
+            free: Vec::new(),
+            in_flight: 0,
+            open: 0,
+            drain_started: None,
+        };
+        let result = reactor.event_loop();
+        // Whatever remains (error paths): close sockets before returning so
+        // clients see EOF rather than a dead peer.
+        for idx in 0..reactor.slots.len() {
+            reactor.close_conn(idx);
+        }
+        result
+    }
+
+    fn event_loop(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let woken = self.poller.wait(&mut events, WAIT_TIMEOUT)?;
+            if woken {
+                self.server
+                    .global
+                    .reactor_wakeups
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            // Deliver finished responses first so this iteration's write
+            // readiness can flush them immediately.
+            self.deliver_completions();
+            // `events` is a local buffer, disjoint from `self`, so the
+            // loop body can mutate the reactor freely.
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    if ev.readable {
+                        self.accept_ready();
+                    }
+                } else {
+                    self.conn_ready(ev);
+                }
+            }
+            if self.server.draining() {
+                self.stop_accepting();
+                let drain_started = *self
+                    .drain_started
+                    .get_or_insert_with(std::time::Instant::now);
+                // Close every connection that owes nothing; past the grace
+                // period, also ones whose responses are all *delivered*
+                // but sit unread in the write buffer (a peer that stopped
+                // reading, or a half-open that will never become writable,
+                // must not pin the drain forever). A connection still
+                // waiting on an in-flight job is never abandoned — its
+                // job finishes, delivery flushes what the socket accepts,
+                // and the next iteration applies this same rule. Exit once
+                // all are gone and no admitted job is still running.
+                let grace_expired = drain_started.elapsed() >= DRAIN_GRACE;
+                for idx in 0..self.slots.len() {
+                    let done = matches!(
+                        &self.slots[idx].conn,
+                        Some(c) if c.pending == 0 && (grace_expired || c.write_buf.is_empty())
+                    );
+                    if done {
+                        self.close_conn(idx);
+                    }
+                }
+                if self.open == 0 && self.in_flight == 0 {
+                    self.deliver_completions(); // nothing lands: queue is empty once in_flight is 0
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd(), LISTENER_TOKEN);
+            // Dropping closes the socket: new connects are refused, which
+            // is the drain contract.
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.server.draining() {
+                        continue; // accepted in the race window: just close
+                    }
+                    self.register_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transient accept failures (EMFILE, aborted handshake):
+                    // yield briefly so a level-triggered listener event
+                    // cannot spin the loop hot, then let the next readiness
+                    // retry.
+                    std::thread::sleep(Duration::from_millis(1));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn register_conn(&mut self, stream: TcpStream) {
+        // Responses are single small lines: Nagle would hold each one back
+        // ~40ms against the client's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot { gen: 0, conn: None });
+                self.slots.len() - 1
+            }
+        };
+        let token = token_of(idx, self.slots[idx].gen);
+        if self
+            .poller
+            .register(stream.as_raw_fd(), token, false)
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx].conn = Some(Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: VecDeque::new(),
+            pending: 0,
+            peer_closed: false,
+            want_write: false,
+        });
+        self.open += 1;
+        self.server
+            .global
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.server
+            .global
+            .connections_open
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let token = token_of(idx, self.slots[idx].gen);
+        let Some(conn) = self.slots[idx].conn.take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd(), token);
+        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
+        self.free.push(idx);
+        self.open -= 1;
+        self.server
+            .global
+            .connections_open
+            .fetch_sub(1, Ordering::Relaxed);
+        // `conn.stream` drops here, closing the socket. Any still-running
+        // job for this connection delivers into the completion queue and is
+        // discarded there (stale generation).
+    }
+
+    /// Looks up a live connection by token, ignoring stale generations
+    /// (a completion racing a close).
+    fn live(&self, token: u64) -> Option<usize> {
+        let (idx, gen) = split_token(token);
+        match self.slots.get(idx) {
+            Some(slot) if slot.gen == gen && slot.conn.is_some() => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        for (token, response) in self.completions.drain() {
+            self.in_flight -= 1;
+            if let Some(idx) = self.live(token) {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                conn.pending -= 1;
+                push_response(&mut conn.write_buf, &response);
+                self.flush_conn(idx);
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, ev: Event) {
+        let Some(idx) = self.live(ev.token) else {
+            return;
+        };
+        if ev.readable {
+            self.read_ready(idx);
+        }
+        if ev.writable && self.slots[idx].conn.is_some() {
+            self.flush_conn(idx);
+        }
+    }
+
+    /// Reads whatever the socket has, frames complete lines, dispatches
+    /// each. EOF with a final unterminated line still dispatches it —
+    /// stdio mode would serve it, TCP must too.
+    fn read_ready(&mut self, idx: usize) {
+        let token = token_of(idx, self.slots[idx].gen);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    if !conn.read_buf.is_empty() {
+                        let line = std::mem::take(&mut conn.read_buf);
+                        self.dispatch_line(idx, token, &line);
+                    }
+                    break;
+                }
+                Ok(k) => {
+                    conn.read_buf.extend_from_slice(&chunk[..k]);
+                    if conn.read_buf.len() > MAX_LINE {
+                        self.close_conn(idx);
+                        return;
+                    }
+                    // Frame and dispatch every complete line we now hold.
+                    loop {
+                        let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                        let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
+                            break;
+                        };
+                        let line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+                        self.dispatch_line(idx, token, &line);
+                        if self.slots[idx].conn.is_none() {
+                            return; // dispatch closed the connection
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        // EOF: the peer cannot send more requests. Close as soon as every
+        // owed response has flushed (checked again on each completion).
+        self.maybe_close_finished(idx);
+    }
+
+    fn dispatch_line(&mut self, idx: usize, token: u64, raw: &[u8]) {
+        let completions = self.completions.clone();
+        let outcome = self
+            .server
+            .clone()
+            .handle_raw_line(raw, move |response| completions.push(token, response));
+        match outcome {
+            LineOutcome::Inline(response) => {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                push_response(&mut conn.write_buf, &response);
+                self.flush_conn(idx);
+            }
+            LineOutcome::Deferred => {
+                self.in_flight += 1;
+                self.slots[idx].conn.as_mut().expect("live conn").pending += 1;
+            }
+            LineOutcome::Ignored => {}
+        }
+    }
+
+    /// Writes as much of the connection's buffer as the socket accepts,
+    /// maintains write-readiness interest, enforces the buffer cap, and
+    /// closes once a finished connection owes nothing.
+    fn flush_conn(&mut self, idx: usize) {
+        let gen = self.slots[idx].gen;
+        let mut close = false;
+        let mut interest = None;
+        let Some(conn) = self.slots[idx].conn.as_mut() else {
+            return;
+        };
+        while !conn.write_buf.is_empty() {
+            let (head, _) = conn.write_buf.as_slices();
+            match conn.stream.write(head) {
+                Ok(0) => {
+                    close = true;
+                    break;
+                }
+                Ok(k) => {
+                    conn.write_buf.drain(..k);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+        }
+        if conn.write_buf.len() > MAX_WRITE_BUFFER {
+            // The peer has stopped reading; it forfeits the connection.
+            close = true;
+        }
+        if !close {
+            let needs_write = !conn.write_buf.is_empty();
+            if needs_write != conn.want_write {
+                conn.want_write = needs_write;
+                interest = Some((conn.stream.as_raw_fd(), needs_write));
+            }
+        }
+        if close {
+            self.close_conn(idx);
+            return;
+        }
+        if let Some((fd, needs_write)) = interest {
+            let _ = self
+                .poller
+                .set_writable(fd, token_of(idx, gen), needs_write);
+        }
+        self.maybe_close_finished(idx);
+    }
+
+    /// Closes a connection whose peer is gone and which owes nothing more.
+    fn maybe_close_finished(&mut self, idx: usize) {
+        let done = matches!(
+            &self.slots[idx].conn,
+            Some(c) if c.peer_closed && c.pending == 0 && c.write_buf.is_empty()
+        );
+        if done {
+            self.close_conn(idx);
+        }
+    }
+}
+
+fn push_response(buf: &mut VecDeque<u8>, response: &Response) {
+    buf.extend(response.render().into_bytes());
+    buf.push_back(b'\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip_and_generations_differ() {
+        for (idx, gen) in [(0usize, 0u32), (7, 3), (u32::MAX as usize, u32::MAX)] {
+            let t = token_of(idx, gen);
+            assert_eq!(split_token(t), (idx, gen));
+            assert_ne!(t, LISTENER_TOKEN);
+        }
+        assert_ne!(token_of(5, 1), token_of(5, 2), "reuse is distinguishable");
+    }
+}

@@ -1,15 +1,24 @@
-//! The daemon: connection handling, request dispatch, stats, drain.
+//! The daemon: request dispatch, stats, drain — transport-agnostic.
 //!
-//! Transport is pluggable at the cheapest possible level — a line in, a
-//! line out — so the same [`Server`] serves TCP connections
-//! ([`Server::serve`]) and a stdin/stdout loop ([`Server::serve_stdio`],
-//! what the integration tests and shell examples use). Query work runs on
-//! the bounded [`WorkerPool`]; everything else (ping/stats/shutdown,
-//! parse and session errors, backpressure) is answered inline by the
-//! connection thread.
+//! Two transports share this module's dispatch core:
+//!
+//! * **TCP** ([`Server::serve`]) — the event-driven reactor in
+//!   [`crate::reactor`]: one thread multiplexes every connection through a
+//!   readiness loop (epoll on Linux, a portable sweep elsewhere; see
+//!   [`crate::sys`]), and the bounded [`WorkerPool`] executes queries.
+//!   Workers never touch sockets — they hand finished responses back to
+//!   the reactor through its completion queue + wake pipe, so a stalled
+//!   client can never block a worker.
+//! * **stdio** ([`Server::serve_stdio`]) — a plain line loop, what the
+//!   integration tests and shell examples use.
+//!
+//! Dispatch itself ([`Server::handle_line`]) is sink-based: inline
+//! responses (ping/stats/shutdown, parse and session errors, backpressure)
+//! are returned to the caller, query work is admitted to the pool with a
+//! `deliver` callback the worker invokes when the response is ready.
 
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{self, Write};
+use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -17,7 +26,7 @@ use std::time::Duration;
 use lca::prelude::QueryBudget;
 use serde::Json;
 
-use crate::metrics::{global_stats_json, session_stats_json, GlobalMetrics};
+use crate::metrics::{global_stats_json, session_stats_json, GlobalMetrics, GlobalSnapshot};
 use crate::pool::{RejectReason, WorkerPool};
 use crate::proto::{ErrorCode, Request, Response};
 use crate::session::SessionRegistry;
@@ -49,7 +58,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// A shared, locked line sink: workers and the connection thread interleave
+/// A shared, locked line sink: the stdio loop and its workers interleave
 /// whole lines, never bytes.
 pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
@@ -61,13 +70,26 @@ fn write_line(out: &SharedWriter, response: &Response) {
     let _ = w.flush();
 }
 
+/// What one request line turned into — the reactor and stdio loops route
+/// responses differently depending on which.
+pub(crate) enum LineOutcome {
+    /// Answered synchronously; the caller owns delivery.
+    Inline(Response),
+    /// Admitted to the worker pool; the `deliver` callback passed to
+    /// [`Server::handle_line`] fires with the response when a worker
+    /// finishes (exactly once).
+    Deferred,
+    /// An empty line: no response owed.
+    Ignored,
+}
+
 /// The serving daemon: session registry + worker pool + metrics.
 pub struct Server {
-    /// Resident sessions.
+    /// Resident sessions (sharded by name).
     pub registry: SessionRegistry,
     /// Whole-process counters.
     pub global: GlobalMetrics,
-    pool: WorkerPool,
+    pub(crate) pool: WorkerPool,
     draining: AtomicBool,
     default_budget: QueryBudget,
 }
@@ -95,14 +117,23 @@ impl Server {
     }
 
     /// The `stats` response: global counters plus one object per session.
+    /// The global half carries the shard and cache rollups
+    /// ([`GlobalSnapshot`], summed with `CacheStats::add` across sessions).
     pub fn stats_response(&self) -> Response {
         let sessions = self.registry.snapshot();
+        let mut cache_total = lca_probe::CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
         let session_objs: Vec<(String, Json)> = sessions
             .iter()
             .map(|(name, s)| {
+                let cache = s.cache_stats();
+                cache_total = cache_total + cache;
                 let mut obj = match session_stats_json(
                     &s.metrics,
-                    s.cache_stats(),
+                    cache,
                     s.probe_counts(),
                     s.started.elapsed().as_secs_f64(),
                 ) {
@@ -116,22 +147,53 @@ impl Server {
                 (name.clone(), Json::Obj(obj))
             })
             .collect();
+        let snap = GlobalSnapshot {
+            queue_len: self.pool.queue_len(),
+            draining: self.draining(),
+            sessions: sessions.len(),
+            registry_shards: self.registry.shard_count(),
+            registry_shard_hits: self.registry.shard_hits(),
+            cache_total,
+        };
         Response::Stats(Json::Obj(vec![
-            (
-                "stats".into(),
-                global_stats_json(&self.global, self.pool.queue_len(), self.draining()),
-            ),
+            ("stats".into(), global_stats_json(&self.global, &snap)),
             ("sessions".into(), Json::Obj(session_objs)),
         ]))
     }
 
-    /// Handles one request line: inline responses are written immediately,
-    /// query work is admitted to the pool (whose worker writes the
-    /// response when done).
-    pub fn dispatch(self: &Arc<Self>, line: &str, out: &SharedWriter) {
+    /// Handles one raw wire line: non-UTF-8 is answered `bad-request`
+    /// without reaching the parser.
+    pub(crate) fn handle_raw_line(
+        self: &Arc<Self>,
+        raw: &[u8],
+        deliver: impl FnOnce(Response) + Send + 'static,
+    ) -> LineOutcome {
+        match std::str::from_utf8(raw) {
+            Ok(line) => self.handle_line(line, deliver),
+            Err(_) => {
+                self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
+                LineOutcome::Inline(Response::Error {
+                    id: None,
+                    code: ErrorCode::BadRequest,
+                    message: "request line is not UTF-8".to_owned(),
+                })
+            }
+        }
+    }
+
+    /// Handles one request line. Control requests, errors, and
+    /// backpressure are answered in the return value; query work is
+    /// admitted to the pool and `deliver` fires from a worker with the
+    /// response ([`LineOutcome::Deferred`] — exactly one call, even if the
+    /// query panics).
+    pub(crate) fn handle_line(
+        self: &Arc<Self>,
+        line: &str,
+        deliver: impl FnOnce(Response) + Send + 'static,
+    ) -> LineOutcome {
         let line = line.trim();
         if line.is_empty() {
-            return;
+            return LineOutcome::Ignored;
         }
         let request = match Request::parse(line) {
             Ok(request) => {
@@ -140,21 +202,17 @@ impl Server {
             }
             Err(e) => {
                 self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
-                write_line(out, &e.response());
-                return;
+                return LineOutcome::Inline(e.response());
             }
         };
         match request {
-            Request::Ping => write_line(
-                out,
-                &Response::Ok {
-                    draining: self.draining(),
-                },
-            ),
-            Request::Stats => write_line(out, &self.stats_response()),
+            Request::Ping => LineOutcome::Inline(Response::Ok {
+                draining: self.draining(),
+            }),
+            Request::Stats => LineOutcome::Inline(self.stats_response()),
             Request::Shutdown => {
                 self.begin_shutdown();
-                write_line(out, &Response::Ok { draining: true });
+                LineOutcome::Inline(Response::Ok { draining: true })
             }
             Request::Query {
                 session,
@@ -165,21 +223,16 @@ impl Server {
                 deadline_ms,
             } => {
                 if self.draining() {
-                    write_line(
-                        out,
-                        &Response::Error {
-                            id,
-                            code: ErrorCode::Draining,
-                            message: "server is draining".to_owned(),
-                        },
-                    );
-                    return;
+                    return LineOutcome::Inline(Response::Error {
+                        id,
+                        code: ErrorCode::Draining,
+                        message: "server is draining".to_owned(),
+                    });
                 }
                 let resolved = match self.registry.resolve(&session, spec) {
                     Ok(resolved) => resolved,
                     Err((code, message)) => {
-                        write_line(out, &Response::Error { id, code, message });
-                        return;
+                        return LineOutcome::Inline(Response::Error { id, code, message })
                     }
                 };
                 let budget = QueryBudget {
@@ -193,7 +246,6 @@ impl Server {
                 // spent waiting in the queue counts against the request's
                 // allowance (the documented whole-request contract).
                 let deadline = budget.timeout.map(|t| std::time::Instant::now() + t);
-                let job_out = out.clone();
                 let server = self.clone();
                 let admitted = self.pool.try_execute(move || {
                     // The pool also catches panics (to keep the worker), but
@@ -219,55 +271,47 @@ impl Server {
                             .budget_exhausted
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    write_line(&job_out, &response);
+                    deliver(response);
                 });
                 match admitted {
-                    Ok(()) => {}
+                    Ok(()) => LineOutcome::Deferred,
                     Err(RejectReason::Full) => {
                         self.global.overloaded.fetch_add(1, Ordering::Relaxed);
-                        write_line(out, &Response::overloaded(id));
+                        LineOutcome::Inline(Response::overloaded(id))
                     }
-                    Err(RejectReason::ShuttingDown) => write_line(
-                        out,
-                        &Response::Error {
-                            id,
-                            code: ErrorCode::Draining,
-                            message: "server is draining".to_owned(),
-                        },
-                    ),
+                    Err(RejectReason::ShuttingDown) => LineOutcome::Inline(Response::Error {
+                        id,
+                        code: ErrorCode::Draining,
+                        message: "server is draining".to_owned(),
+                    }),
                 }
             }
         }
     }
 
-    /// Serves TCP connections until a shutdown request lands, then drains
-    /// the pool and joins connection threads.
+    /// Handles one request line against a [`SharedWriter`] (the stdio
+    /// transport): inline responses are written immediately, deferred ones
+    /// when their worker finishes.
+    pub fn dispatch(self: &Arc<Self>, line: &str, out: &SharedWriter) {
+        let deferred_out = out.clone();
+        if let LineOutcome::Inline(response) =
+            self.handle_line(line, move |response| write_line(&deferred_out, &response))
+        {
+            write_line(out, &response);
+        }
+    }
+
+    /// Serves TCP connections on the event-driven reactor until a shutdown
+    /// request lands, then drains: accepting stops, admitted queries
+    /// finish, every connection's pending responses are flushed, the pool
+    /// joins.
+    ///
+    /// One reactor thread owns every socket; N pool workers own every
+    /// query. No per-connection threads exist at any load.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
-        listener.set_nonblocking(true)?;
-        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !self.draining() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    self.global.connections.fetch_add(1, Ordering::Relaxed);
-                    let server = self.clone();
-                    connections.push(std::thread::spawn(move || {
-                        server.handle_connection(stream);
-                    }));
-                    connections.retain(|h| !h.is_finished());
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        // Drain: connection threads notice the flag within their read
-        // timeout; admitted queries finish and flush before the pool stops.
-        for handle in connections {
-            let _ = handle.join();
-        }
+        let result = crate::reactor::Reactor::run(self.clone(), listener);
         self.pool.shutdown();
-        Ok(())
+        result
     }
 
     /// Serves newline requests from stdin to stdout until EOF or shutdown,
@@ -287,76 +331,6 @@ impl Server {
             }
         }
         self.pool.shutdown();
-    }
-
-    /// Dispatches one raw wire line, answering `bad-request` on non-UTF-8.
-    fn dispatch_raw(self: &Arc<Self>, raw: &[u8], out: &SharedWriter) {
-        match std::str::from_utf8(raw) {
-            Ok(line) => self.dispatch(line, out),
-            Err(_) => {
-                self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
-                write_line(
-                    out,
-                    &Response::Error {
-                        id: None,
-                        code: ErrorCode::BadRequest,
-                        message: "request line is not UTF-8".to_owned(),
-                    },
-                );
-            }
-        }
-    }
-
-    fn handle_connection(self: Arc<Self>, stream: TcpStream) {
-        // Responses are single small lines: Nagle would hold each one back
-        // ~40ms against the client's delayed ACK.
-        let _ = stream.set_nodelay(true);
-        // Periodic timeouts let the thread observe the drain flag between
-        // lines without busy-waiting.
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let out: SharedWriter = match stream.try_clone() {
-            Ok(w) => Arc::new(Mutex::new(Box::new(w))),
-            Err(_) => return,
-        };
-        let mut stream = stream;
-        let mut buffered = Vec::new();
-        let mut chunk = [0u8; 4096];
-        loop {
-            match stream.read(&mut chunk) {
-                Ok(0) => {
-                    // A final unterminated line still deserves an answer —
-                    // stdio mode would serve it, TCP must too.
-                    if !buffered.is_empty() {
-                        let raw = std::mem::take(&mut buffered);
-                        self.dispatch_raw(&raw, &out);
-                    }
-                    break;
-                }
-                Ok(k) => {
-                    buffered.extend_from_slice(&chunk[..k]);
-                    while let Some(pos) = buffered.iter().position(|&b| b == b'\n') {
-                        let raw: Vec<u8> = buffered.drain(..=pos).collect();
-                        self.dispatch_raw(&raw, &out);
-                    }
-                    // The timeout branch is not the only place the drain
-                    // flag must be visible: a client streaming lines
-                    // back-to-back would otherwise pin this thread (and
-                    // the serve loop's join) forever.
-                    if self.draining() {
-                        break;
-                    }
-                }
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    if self.draining() {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
     }
 }
 

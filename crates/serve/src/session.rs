@@ -60,6 +60,10 @@ impl Oracle for SharedStack {
     fn label(&self, v: VertexId) -> u64 {
         self.0.label(v)
     }
+
+    fn probe_cost_hint(&self) -> lca_graph::ProbeCost {
+        self.0.probe_cost_hint()
+    }
 }
 
 /// One resident instance: spec, oracle stack, built algorithm, metrics.
@@ -72,6 +76,9 @@ pub struct Session {
     pub metrics: SessionMetrics,
     oracle: Arc<OracleStack>,
     algo: DynLca<'static>,
+    /// Deadline-poll stride derived from the oracle stack's probe-cost
+    /// hint at build time (implicit oracles are `Compute`-class → 16).
+    poll_stride: u64,
 }
 
 impl std::fmt::Debug for Session {
@@ -95,12 +102,14 @@ impl Session {
         let algo = LcaBuilder::new(spec.kind)
             .seed(algo_seed(spec.seed))
             .build(SharedStack(oracle.clone()));
+        let poll_stride = oracle.probe_cost_hint().poll_stride();
         Session {
             spec,
             started: Instant::now(),
             metrics: SessionMetrics::default(),
             oracle,
             algo,
+            poll_stride,
         }
     }
 
@@ -189,7 +198,7 @@ impl Session {
                     };
                 }
             };
-            let ctx = budget.ctx_at(deadline);
+            let ctx = budget.ctx_at(deadline).with_poll_stride(self.poll_stride);
             let outcome = self.algo.query_ctx(dyn_q, &ctx);
             probes += ctx.spent();
             match outcome {
@@ -249,16 +258,70 @@ impl Session {
     }
 }
 
-/// The session registry: lazily builds and pins instances by name.
+/// Default number of registry shards — matches the serving cache's shard
+/// count, and like it is a concurrency knob, not a capacity one.
+const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
+/// One registry shard: its slice of the name space plus a resolve-hit
+/// counter (how many resolves found an already-pinned session here).
 #[derive(Default)]
-pub struct SessionRegistry {
+struct RegistryShard {
     sessions: Mutex<HashMap<String, Arc<Session>>>,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+/// The session registry: lazily builds and pins instances by name.
+///
+/// Sharded with the workspace's Fibonacci-hash router
+/// ([`lca_probe::shard_for_str`]) so concurrent resolves of *different*
+/// sessions never serialize on one lock — the same routing scheme the
+/// probe caches use for vertices, applied to session names. Each shard is
+/// an independent `Mutex<HashMap>`; a resolve locks exactly one shard, and
+/// `stats` rolls shard counters up the same way `CacheStats::add` rolls up
+/// session cache stats.
+pub struct SessionRegistry {
+    shards: Vec<RegistryShard>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SessionRegistry {
-    /// An empty registry.
+    /// An empty registry with the default shard count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(DEFAULT_REGISTRY_SHARDS)
+    }
+
+    /// An empty registry over `shards` independent locks (clamped to ≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| RegistryShard::default())
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `name` routes to (exposed so tests and dashboards
+    /// can reason about placement).
+    pub fn shard_of(&self, name: &str) -> usize {
+        lca_probe::shard_for_str(name, self.shards.len())
+    }
+
+    /// Per-shard resolve-hit counts (resolves that found a pinned
+    /// session), in shard order.
+    pub fn shard_hits(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(std::sync::atomic::Ordering::Relaxed))
+            .collect()
     }
 
     /// Resolves `name`, building the session on first use.
@@ -267,16 +330,27 @@ impl SessionRegistry {
     /// * name known, spec given → spec must equal the pinned one;
     /// * name known, no spec → the pinned instance;
     /// * name unknown, no spec → [`ErrorCode::UnknownSession`].
+    ///
+    /// Locks only the shard `name` routes to; building happens inside that
+    /// shard's lock (construction is probe-free and cheap — see
+    /// [`Session::build`]) so two racing first-queries for one name pin
+    /// exactly one instance, while sessions on other shards stay
+    /// uncontended.
     pub fn resolve(
         &self,
         name: &str,
         spec: Option<SessionSpec>,
     ) -> Result<Arc<Session>, (ErrorCode, String)> {
-        let mut sessions = self.sessions.lock().expect("session registry poisoned");
+        let shard = &self.shards[self.shard_of(name)];
+        let mut sessions = shard.sessions.lock().expect("session registry poisoned");
         match (sessions.get(name), spec) {
-            (Some(session), None) => Ok(session.clone()),
+            (Some(session), None) => {
+                shard.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(session.clone())
+            }
             (Some(session), Some(spec)) => {
                 if session.spec == spec {
+                    shard.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     Ok(session.clone())
                 } else {
                     Err((
@@ -304,28 +378,48 @@ impl SessionRegistry {
         }
     }
 
-    /// Snapshot of all sessions, for `stats`.
+    /// Snapshot of all sessions, for `stats` (locks shards one at a time,
+    /// never all at once).
     pub fn snapshot(&self) -> Vec<(String, Arc<Session>)> {
-        let sessions = self.sessions.lock().expect("session registry poisoned");
-        let mut all: Vec<_> = sessions
+        let mut all: Vec<_> = self
+            .shards
             .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
+            .flat_map(|shard| {
+                let sessions = shard.sessions.lock().expect("session registry poisoned");
+                sessions
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         all.sort_by(|a, b| a.0.cmp(&b.0));
         all
     }
 
-    /// Number of resident sessions.
+    /// Number of resident sessions (summed across shards).
     pub fn len(&self) -> usize {
-        self.sessions
-            .lock()
-            .expect("session registry poisoned")
-            .len()
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .sessions
+                    .lock()
+                    .expect("session registry poisoned")
+                    .len()
+            })
+            .sum()
     }
 
     /// `true` when no session is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Test hook: holds shard `i`'s lock, so tests can prove resolves on
+    /// *other* shards do not serialize behind it.
+    #[cfg(test)]
+    fn lock_shard(&self, i: usize) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Session>>> {
+        self.shards[i].sessions.lock().expect("poisoned")
     }
 }
 
@@ -450,6 +544,80 @@ mod tests {
         assert_eq!(err.0, ErrorCode::SessionMismatch);
         assert_eq!(registry.len(), 1);
         assert_eq!(registry.snapshot()[0].0, "s");
+    }
+
+    #[test]
+    fn registry_shards_route_deterministically_and_count_hits() {
+        let registry = SessionRegistry::with_shards(8);
+        assert_eq!(registry.shard_count(), 8);
+        let spec = mis_spec(200, 1);
+        registry.resolve("a", Some(spec.clone())).unwrap();
+        assert_eq!(registry.shard_hits().iter().sum::<u64>(), 0, "build ≠ hit");
+        registry.resolve("a", None).unwrap();
+        registry.resolve("a", Some(spec)).unwrap();
+        let hits = registry.shard_hits();
+        assert_eq!(hits.len(), 8);
+        assert_eq!(hits.iter().sum::<u64>(), 2);
+        assert_eq!(hits[registry.shard_of("a")], 2);
+        // Routing agrees with the workspace router and is name-stable.
+        assert_eq!(registry.shard_of("a"), lca_probe::shard_for_str("a", 8));
+    }
+
+    #[test]
+    fn disjoint_sessions_see_no_cross_shard_serialization() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+
+        // 8 threads resolving 8 sessions pinned to 8 *distinct* shards,
+        // while the main thread sits on a ninth shard's lock the whole
+        // time. If resolves serialized on anything global, they would
+        // block behind that held lock; instead all 8 must finish while it
+        // is still held.
+        let registry = Arc::new(SessionRegistry::with_shards(64));
+        let mut names: Vec<String> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        let mut i = 0u64;
+        while names.len() < 9 {
+            let candidate = format!("s{i}");
+            if used.insert(registry.shard_of(&candidate)) {
+                names.push(candidate);
+            }
+            i += 1;
+        }
+        let blocked_shard = registry.shard_of(&names[8]);
+        let guard = registry.lock_shard(blocked_shard);
+
+        let done = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = names[..8]
+            .iter()
+            .cloned()
+            .map(|name| {
+                let registry = registry.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    registry.resolve(&name, Some(mis_spec(200, 4))).unwrap();
+                    for _ in 0..50 {
+                        registry.resolve(&name, None).unwrap();
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        // All 8 finish while the ninth shard's lock is held.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while done.load(Ordering::SeqCst) < 8 {
+            assert!(
+                Instant::now() < deadline,
+                "disjoint-shard resolves serialized behind a held shard lock"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(guard);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.shard_hits().iter().sum::<u64>(), 8 * 50);
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! The thin OS-readiness layer under the reactor: epoll on Linux, a
+//! poll-with-timeout sweep everywhere else — both behind one [`Poller`]
+//! facade so `reactor.rs` contains zero platform code.
+//!
+//! This is the only module in the workspace allowed to use `unsafe`: the
+//! Linux backend declares the four epoll syscalls (plus `prlimit64` for
+//! [`raise_fd_limit`]) as `extern "C"` against the libc the Rust standard
+//! library already links — no external crate, no new dependency. Every
+//! unsafe block wraps exactly one syscall on file descriptors this module
+//! owns or borrows for the duration of the call.
+//!
+//! Two backends:
+//!
+//! * **Epoll** (`linux`): level-triggered `epoll_wait` over the registered
+//!   descriptors, plus a self-wake socketpair (`UnixStream::pair`) so
+//!   worker threads can interrupt a blocked wait when a completed query's
+//!   response is ready to flush.
+//! * **Sweep** (portable fallback, also selectable on Linux with
+//!   `LCA_SERVE_BACKEND=sweep`): no kernel readiness at all — `wait`
+//!   parks on a condvar for a few milliseconds (or until a waker fires)
+//!   and then reports *every* registered token as maybe-ready; the
+//!   reactor's nonblocking reads/writes turn "maybe" into fact. This is a
+//!   poll-with-timeout over the fd set: strictly more wakeups than epoll,
+//!   but std-only, portable, and with identical observable semantics —
+//!   the integration suite runs against both.
+
+#![allow(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::fd::RawFd;
+
+/// One readiness event: the token the fd was registered under, plus what
+/// it is ready for. The sweep backend reports both flags set (the reactor
+/// must treat readiness as a hint, never a guarantee — true for epoll
+/// level-triggered semantics too).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen registration token.
+    pub token: u64,
+    /// Reading (or accepting) would make progress.
+    pub readable: bool,
+    /// Writing would make progress.
+    pub writable: bool,
+}
+
+/// A cheap, clonable handle that interrupts a concurrent [`Poller::wait`].
+/// Worker threads hold one; waking an idle poller is one `write(2)` (epoll
+/// backend) or one condvar notify (sweep backend).
+#[derive(Clone)]
+pub struct Waker(WakerInner);
+
+#[derive(Clone)]
+enum WakerInner {
+    #[cfg(all(unix, target_os = "linux"))]
+    Pipe(Arc<std::os::unix::net::UnixStream>),
+    Sweep(Arc<SweepShared>),
+}
+
+impl Waker {
+    /// Interrupts the poller's current (or next) wait. Idempotent and
+    /// lock-light; safe to call from any thread, any number of times.
+    pub fn wake(&self) {
+        match &self.0 {
+            #[cfg(all(unix, target_os = "linux"))]
+            WakerInner::Pipe(tx) => {
+                use std::io::Write as _;
+                // A full pipe means a wake is already pending — exactly the
+                // state we want, so WouldBlock (and any other error: the
+                // reactor is gone) is ignored.
+                let _ = (&**tx).write(&[1u8]);
+            }
+            WakerInner::Sweep(shared) => {
+                *shared.woken.lock().expect("sweep waker poisoned") = true;
+                shared.cv.notify_all();
+            }
+        }
+    }
+}
+
+struct SweepShared {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// The readiness facade the reactor runs on. Construct with
+/// [`Poller::new`]; backend choice is automatic (epoll on Linux, sweep
+/// elsewhere) unless `LCA_SERVE_BACKEND=sweep|epoll` overrides it.
+pub enum Poller {
+    /// Linux epoll backend.
+    #[cfg(all(unix, target_os = "linux"))]
+    Epoll(EpollPoller),
+    /// Portable poll-with-timeout sweep backend.
+    Sweep(SweepPoller),
+}
+
+impl Poller {
+    /// Builds the platform's preferred backend (see env override above).
+    pub fn new() -> io::Result<Poller> {
+        let forced = std::env::var("LCA_SERVE_BACKEND").ok();
+        match forced.as_deref() {
+            Some("sweep") => return Ok(Poller::Sweep(SweepPoller::new())),
+            Some("epoll") => {
+                // Forcing epoll must fail loudly where it does not exist —
+                // a silent sweep fallback would hand an operator (or a
+                // backend-comparison test) the wrong backend.
+                #[cfg(all(unix, target_os = "linux"))]
+                return Ok(Poller::Epoll(EpollPoller::new()?));
+                #[cfg(not(all(unix, target_os = "linux")))]
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "LCA_SERVE_BACKEND=epoll is unavailable on this platform (use sweep)",
+                ));
+            }
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("LCA_SERVE_BACKEND must be epoll or sweep, got {other:?}"),
+                ))
+            }
+            None => {}
+        }
+        #[cfg(all(unix, target_os = "linux"))]
+        {
+            Ok(Poller::Epoll(EpollPoller::new()?))
+        }
+        #[cfg(not(all(unix, target_os = "linux")))]
+        {
+            Ok(Poller::Sweep(SweepPoller::new()))
+        }
+    }
+
+    /// The backend's name, for logs and stats.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(_) => "epoll",
+            Poller::Sweep(_) => "sweep",
+        }
+    }
+
+    /// A waker for this poller.
+    pub fn waker(&self) -> Waker {
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(p) => Waker(WakerInner::Pipe(p.wake_tx.clone())),
+            Poller::Sweep(p) => Waker(WakerInner::Sweep(p.shared.clone())),
+        }
+    }
+
+    /// Registers `fd` under `token`, with write-readiness interest iff
+    /// `writable` (read interest is always on).
+    pub fn register(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(p) => p.ctl(ffi::EPOLL_CTL_ADD, fd, token, writable),
+            Poller::Sweep(p) => {
+                p.tokens.insert(token);
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates the write-interest of an already-registered fd.
+    pub fn set_writable(&mut self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(p) => p.ctl(ffi::EPOLL_CTL_MOD, fd, token, writable),
+            Poller::Sweep(_) => Ok(()),
+        }
+    }
+
+    /// Removes an fd (by its registration token) from the interest set.
+    pub fn deregister(&mut self, fd: RawFd, token: u64) -> io::Result<()> {
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(p) => p.ctl(ffi::EPOLL_CTL_DEL, fd, token, false),
+            Poller::Sweep(p) => {
+                p.tokens.remove(&token);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until readiness, a wake, or `timeout`; fills `events`
+    /// (cleared first). Returns `true` iff a [`Waker`] fired during the
+    /// wait — the reactor's signal to drain its completion queue.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<bool> {
+        events.clear();
+        match self {
+            #[cfg(all(unix, target_os = "linux"))]
+            Poller::Epoll(p) => p.wait(events, timeout),
+            Poller::Sweep(p) => p.wait(events, timeout),
+        }
+    }
+}
+
+/// The portable backend: a registered-token set plus a condvar nap. Every
+/// wait reports every token as maybe-ready, so the reactor's nonblocking
+/// syscalls do the actual readiness discovery. See the module docs for the
+/// trade-off.
+pub struct SweepPoller {
+    tokens: BTreeSet<u64>,
+    shared: Arc<SweepShared>,
+    /// Upper bound on one nap; keeps worst-case response latency bounded
+    /// even if a waker is lost.
+    stride: Duration,
+}
+
+impl SweepPoller {
+    fn new() -> SweepPoller {
+        SweepPoller {
+            tokens: BTreeSet::new(),
+            shared: Arc::new(SweepShared {
+                woken: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+            stride: Duration::from_millis(4),
+        }
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<bool> {
+        let nap = timeout.min(self.stride);
+        let woken = {
+            let guard = self.shared.woken.lock().expect("sweep poisoned");
+            let (mut guard, _) = self
+                .shared
+                .cv
+                .wait_timeout_while(guard, nap, |woken| !*woken)
+                .expect("sweep poisoned");
+            std::mem::take(&mut *guard)
+        };
+        events.extend(self.tokens.iter().map(|&token| Event {
+            token,
+            readable: true,
+            writable: true,
+        }));
+        Ok(woken)
+    }
+}
+
+/// Raises the process's soft `RLIMIT_NOFILE` toward `target` (capped at
+/// the hard limit) and returns the resulting soft limit. A no-op
+/// returning `target` on non-Linux platforms. High-fan-in harnesses (the
+/// 1000-connection tests, `engine_report --serve`, `lca-loadgen
+/// --connections`) call this so "thousands of sockets" does not die on the
+/// default 1024-fd soft limit.
+pub fn raise_fd_limit(target: u64) -> io::Result<u64> {
+    #[cfg(all(unix, target_os = "linux"))]
+    {
+        let mut cur = ffi::Rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: prlimit64(0, …) reads this process's limit into the
+        // struct we own; no pointers outlive the call.
+        let rc = unsafe { ffi::prlimit64(0, ffi::RLIMIT_NOFILE, std::ptr::null(), &mut cur) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if cur.rlim_cur >= target {
+            return Ok(cur.rlim_cur);
+        }
+        let want = ffi::Rlimit {
+            rlim_cur: target.min(cur.rlim_max),
+            rlim_max: cur.rlim_max,
+        };
+        // SAFETY: same as above; the new-limit struct is ours and outlives
+        // the call.
+        let rc = unsafe { ffi::prlimit64(0, ffi::RLIMIT_NOFILE, &want, std::ptr::null_mut()) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(want.rlim_cur)
+    }
+    #[cfg(not(all(unix, target_os = "linux")))]
+    {
+        Ok(target)
+    }
+}
+
+#[cfg(all(unix, target_os = "linux"))]
+pub use epoll::EpollPoller;
+
+#[cfg(all(unix, target_os = "linux"))]
+mod ffi {
+    use std::os::raw::{c_int, c_long};
+
+    // The kernel packs epoll_event on x86-64 (and x86) only.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn prlimit64(
+            pid: c_long,
+            resource: c_int,
+            new_limit: *const Rlimit,
+            old_limit: *mut Rlimit,
+        ) -> c_int;
+    }
+}
+
+#[cfg(all(unix, target_os = "linux"))]
+mod epoll {
+    use super::ffi;
+    use super::Event;
+    use std::io::{self, Read as _};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Token the wake socketpair's read end is registered under; fds never
+    /// collide with it because the reactor's tokens are small integers.
+    const WAKE_TOKEN: u64 = u64::MAX;
+
+    /// The Linux readiness backend: one level-triggered epoll instance
+    /// plus the self-wake socketpair.
+    pub struct EpollPoller {
+        epfd: RawFd,
+        buf: Vec<ffi::EpollEvent>,
+        wake_rx: UnixStream,
+        pub(super) wake_tx: Arc<UnixStream>,
+    }
+
+    impl EpollPoller {
+        pub(super) fn new() -> io::Result<EpollPoller> {
+            // SAFETY: plain syscall; we own the returned fd for life.
+            let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let (wake_rx, wake_tx) = match UnixStream::pair() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // SAFETY: closing the epoll fd we just created.
+                    unsafe { ffi::close(epfd) };
+                    return Err(e);
+                }
+            };
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            let mut poller = EpollPoller {
+                epfd,
+                buf: vec![ffi::EpollEvent { events: 0, data: 0 }; 1024],
+                wake_rx,
+                wake_tx: Arc::new(wake_tx),
+            };
+            poller.ctl(
+                ffi::EPOLL_CTL_ADD,
+                poller.wake_rx.as_raw_fd(),
+                WAKE_TOKEN,
+                false,
+            )?;
+            Ok(poller)
+        }
+
+        pub(super) fn ctl(
+            &mut self,
+            op: i32,
+            fd: RawFd,
+            token: u64,
+            writable: bool,
+        ) -> io::Result<()> {
+            let mut ev = ffi::EpollEvent {
+                events: ffi::EPOLLIN | ffi::EPOLLRDHUP | if writable { ffi::EPOLLOUT } else { 0 },
+                data: token,
+            };
+            // SAFETY: `ev` lives across the call; the kernel copies it.
+            let rc = unsafe { ffi::epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Duration,
+        ) -> io::Result<bool> {
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            // SAFETY: `buf` outlives the call and maxevents matches its
+            // length; the kernel writes at most that many entries.
+            let n = unsafe {
+                ffi::epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, ms)
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(false);
+                }
+                return Err(e);
+            }
+            let mut woken = false;
+            for raw in &self.buf[..n as usize] {
+                let (token, bits) = (raw.data, raw.events);
+                if token == WAKE_TOKEN {
+                    woken = true;
+                    // Drain every pending wake byte so the next write
+                    // re-arms readability.
+                    let mut sink = [0u8; 64];
+                    while matches!((&self.wake_rx).read(&mut sink), Ok(k) if k > 0) {}
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    // Errors/hangups surface as readable: the next read
+                    // returns 0 or the real error and the reactor closes.
+                    readable: bits
+                        & (ffi::EPOLLIN | ffi::EPOLLRDHUP | ffi::EPOLLERR | ffi::EPOLLHUP)
+                        != 0,
+                    writable: bits & (ffi::EPOLLOUT | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+                });
+            }
+            Ok(woken)
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd we created; the UnixStreams
+            // close themselves.
+            unsafe { ffi::close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn backend_selection_and_waker() {
+        let mut poller = Poller::new().expect("poller");
+        #[cfg(target_os = "linux")]
+        assert_eq!(poller.backend(), "epoll");
+        let waker = poller.waker();
+        // A wake fired before the wait must be observed by the wait.
+        waker.wake();
+        let mut events = Vec::new();
+        let woken = poller
+            .wait(&mut events, Duration::from_millis(50))
+            .expect("wait");
+        assert!(woken, "pre-armed wake was lost");
+        // And a wait with nothing pending times out quietly.
+        let woken = poller
+            .wait(&mut events, Duration::from_millis(5))
+            .expect("wait");
+        assert!(!woken);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn readiness_on_a_real_socket() {
+        let mut poller = Poller::new().expect("poller");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(listener.as_raw_fd(), 7, false)
+            .expect("register");
+
+        let mut events = Vec::new();
+        // Nothing pending yet (sweep backend will report the token anyway —
+        // the accept below disambiguates, as in the real reactor).
+        let _ = poller.wait(&mut events, Duration::from_millis(1));
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            poller
+                .wait(&mut events, Duration::from_millis(20))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                match listener.accept() {
+                    Ok((stream, _)) => break stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) => panic!("accept: {e}"),
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no readiness event");
+        };
+
+        // Data readiness on the accepted stream.
+        accepted.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(accepted.as_raw_fd(), 9, false)
+            .expect("register conn");
+        client.write_all(b"hi").expect("write");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Duration::from_millis(20))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 9 && e.readable) {
+                let mut buf = [0u8; 8];
+                if let Ok(2) = (&accepted).read(&mut buf) {
+                    break;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "no data readiness");
+        }
+        poller
+            .deregister(accepted.as_raw_fd(), 9)
+            .expect("deregister");
+        drop(client);
+    }
+
+    #[test]
+    fn fd_limit_raise_is_monotone() {
+        let before = raise_fd_limit(256).expect("query limit");
+        assert!(before >= 256);
+        let after = raise_fd_limit(before).expect("idempotent");
+        assert!(after >= before);
+    }
+}

@@ -1,0 +1,322 @@
+//! Reactor-specific stress and drain tests: thousands of simultaneous
+//! connections on one reactor thread, slow readers that must never block a
+//! worker, and the drain-flushes-everything guarantee.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lca_serve::server::{bind, Server, ServerConfig};
+use serde::Json;
+
+fn spawn_server(config: ServerConfig) -> (String, std::thread::JoinHandle<()>, Arc<Server>) {
+    let listener = bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = Server::new(config);
+    let handle = {
+        let server = server.clone();
+        std::thread::spawn(move || {
+            server.serve(listener).expect("serve loop");
+        })
+    };
+    (addr, handle, server)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read");
+    serde_json::from_str(response.trim())
+        .unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// The C10k acceptance check: ≥ 1000 connections simultaneously open
+/// against a default-sized worker pool, every one of them served, with the
+/// server's own `connections_open` gauge as the witness — no
+/// per-connection threads exist to make this cheap, only reactor state.
+#[test]
+fn thousand_connections_held_open_and_served() {
+    lca_serve::raise_fd_limit(8192).expect("fd limit");
+    let (addr, handle, server) = spawn_server(ServerConfig::default());
+
+    const CONNS: usize = 1_000;
+    let spec = "\"kind\":\"mis\",\"family\":\"gnp\",\"n\":100000,\"seed\":3";
+    let mut open: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let (mut stream, mut reader) = connect(&addr);
+        // One real query per connection, answered before the next connect —
+        // the reactor is accepting, framing, dispatching, and flushing
+        // across an ever-growing fd set.
+        let response = roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!(
+                "{{\"id\":{i},\"session\":\"c10k\",{spec},\"query\":{}}}",
+                i % 100_000
+            ),
+        );
+        assert!(
+            response.get("answer").is_some(),
+            "connection {i}: {response:?}"
+        );
+        open.push((stream, reader));
+    }
+
+    // All 1000 still open: the server's gauge must say so.
+    let (mut stream, mut reader) = connect(&addr);
+    let stats = roundtrip(&mut stream, &mut reader, r#"{"op":"stats"}"#);
+    let gauge = stats
+        .get("stats")
+        .and_then(|g| g.get("connections_open"))
+        .and_then(Json::as_u64)
+        .expect("connections_open in stats");
+    assert!(
+        gauge >= CONNS as u64,
+        "expected ≥ {CONNS} simultaneously open connections, gauge says {gauge}"
+    );
+    let total = stats
+        .get("stats")
+        .and_then(|g| g.get("connections"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(total >= gauge);
+
+    // Every connection still answers after the peak.
+    for (i, (stream, reader)) in open.iter_mut().enumerate().step_by(97) {
+        let response = roundtrip(
+            stream,
+            reader,
+            &format!("{{\"session\":\"c10k\",\"query\":{i}}}"),
+        );
+        assert!(response.get("answer").is_some(), "{response:?}");
+    }
+
+    roundtrip(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    drop(open);
+    handle.join().expect("drain");
+    assert_eq!(
+        server
+            .global
+            .connections_open
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0,
+        "every close must decrement the gauge"
+    );
+}
+
+/// 256 connections send real query batches and then stop reading. Workers
+/// must keep answering other traffic at full speed — responses to stalled
+/// clients park in reactor write buffers, never on a worker thread — and
+/// every stalled response must still be delivered once the client reads.
+#[test]
+fn slow_readers_do_not_block_workers() {
+    lca_serve::raise_fd_limit(4096).expect("fd limit");
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 2048,
+        ..ServerConfig::default()
+    });
+
+    const SLOW: usize = 256;
+    let spec = "\"kind\":\"mis\",\"family\":\"gnp\",\"n\":2000,\"seed\":5";
+    let batch: Vec<String> = (0..200).map(|v| (v % 2000).to_string()).collect();
+    let mut stalled: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::with_capacity(SLOW);
+    for i in 0..SLOW {
+        let (mut stream, reader) = connect(&addr);
+        stream
+            .write_all(
+                format!(
+                    "{{\"id\":{i},\"session\":\"slow\",{spec},\"queries\":[{}]}}\n",
+                    batch.join(",")
+                )
+                .as_bytes(),
+            )
+            .expect("write batch");
+        // …and deliberately do not read the response.
+        stalled.push((stream, reader));
+    }
+
+    // A live client must be served promptly while 256 responses are parked
+    // for readers that never drain them.
+    let (mut stream, mut reader) = connect(&addr);
+    let started = Instant::now();
+    for i in 0..32 {
+        let response = roundtrip(
+            &mut stream,
+            &mut reader,
+            &format!("{{\"session\":\"live\",{spec},\"query\":{i}}}"),
+        );
+        assert!(response.get("answer").is_some(), "{response:?}");
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "live traffic starved behind stalled readers: {:?}",
+        started.elapsed()
+    );
+
+    // The stalled clients finally read: every parked response arrives.
+    for (i, (_stream, reader)) in stalled.iter_mut().enumerate() {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("stalled read");
+        let response: Json = serde_json::from_str(line.trim()).expect("json");
+        assert_eq!(
+            response.get("id").and_then(Json::as_u64),
+            Some(i as u64),
+            "stalled connection {i} got {line:?}"
+        );
+        assert!(
+            response.get("answers").is_some() || response.get("error").is_some(),
+            "{line:?}"
+        );
+    }
+
+    roundtrip(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+    drop(stalled);
+    handle.join().expect("drain");
+}
+
+/// The graceful-drain regression test: a query admitted *before* shutdown
+/// whose response is produced *during* the drain must still be flushed to
+/// its connection before the server exits.
+#[test]
+fn drain_flushes_responses_queued_at_shutdown_time() {
+    let (addr, handle, server) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    });
+
+    // A slow request: a large cold batch against a million-vertex session
+    // occupies the single worker for a while.
+    let (mut slow_stream, mut slow_reader) = connect(&addr);
+    let batch: Vec<String> = (0..3_000).map(|v| v.to_string()).collect();
+    slow_stream
+        .write_all(
+            format!(
+                "{{\"id\":1,\"session\":\"d\",\"kind\":\"mis\",\"family\":\"gnp\",\
+                 \"n\":1000000,\"seed\":2,\"queries\":[{}]}}\n",
+                batch.join(",")
+            )
+            .as_bytes(),
+        )
+        .expect("write slow batch");
+
+    // Give the reactor time to admit it to the pool, then shut down from a
+    // second connection while the worker is still computing.
+    std::thread::sleep(Duration::from_millis(100));
+    let (mut ctl_stream, mut ctl_reader) = connect(&addr);
+    let bye = roundtrip(&mut ctl_stream, &mut ctl_reader, r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+    assert!(server.draining());
+
+    // The drain must deliver the in-flight batch's response…
+    let mut line = String::new();
+    slow_reader.read_line(&mut line).expect("drain delivery");
+    let response: Json = serde_json::from_str(line.trim()).expect("json");
+    assert_eq!(response.get("id").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        response
+            .get("answers")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(3_000),
+        "queued response lost in drain: {line:?}"
+    );
+
+    // …then close the connection (EOF, not a hang) and exit the loop.
+    line.clear();
+    assert_eq!(slow_reader.read_line(&mut line).expect("eof"), 0);
+    handle.join().expect("serve loop exits after drain");
+}
+
+/// A drain must terminate even when a client has stopped reading entirely:
+/// enough unread response bytes to overflow the kernel buffers park in the
+/// reactor's write buffer, the socket never drains, and the drain's grace
+/// period — not the client — decides when the server gets to exit.
+#[test]
+fn drain_terminates_despite_a_fully_stalled_reader() {
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+
+    // ~9 MB of responses (30 batches × 50k answers) that the client will
+    // never read: far beyond what the kernel socket buffers can absorb,
+    // so most of it is still parked in the reactor when the drain starts.
+    let (mut stalled, _stalled_reader) = connect(&addr);
+    let batch: Vec<String> = (0..50_000).map(|v| (v % 1_000).to_string()).collect();
+    let spec = "\"kind\":\"mis\",\"family\":\"gnp\",\"n\":1000,\"seed\":9";
+    for id in 0..30 {
+        stalled
+            .write_all(
+                format!(
+                    "{{\"id\":{id},\"session\":\"stall\",{spec},\"queries\":[{}]}}\n",
+                    batch.join(",")
+                )
+                .as_bytes(),
+            )
+            .expect("write batch");
+    }
+
+    // Let the worker finish the batches, then drain. The stalled reader
+    // would pin the old exit condition forever; the grace period must cut
+    // it loose and let serve() return.
+    let (mut ctl_stream, mut ctl_reader) = connect(&addr);
+    let bye = roundtrip(&mut ctl_stream, &mut ctl_reader, r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+
+    let started = Instant::now();
+    handle
+        .join()
+        .expect("serve loop exits despite stalled reader");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "drain took {:?} — stalled reader pinned it",
+        started.elapsed()
+    );
+}
+
+/// Queries arriving *after* the drain began get the typed `draining` error
+/// (unchanged from the thread-per-connection front end). The shutdown and
+/// the follow-up query are pipelined in one write so both lines reach the
+/// reactor before the drain can close the connection.
+#[test]
+fn queries_after_drain_are_refused_typed() {
+    let (addr, handle, _server) = spawn_server(ServerConfig::default());
+    let (mut stream, mut reader) = connect(&addr);
+    let first = roundtrip(
+        &mut stream,
+        &mut reader,
+        r#"{"session":"x","kind":"mis","n":1000,"seed":1,"query":7}"#,
+    );
+    assert!(first.get("answer").is_some());
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n{\"session\":\"x\",\"query\":8}\n")
+        .expect("pipelined write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("shutdown ack");
+    let ack: Json = serde_json::from_str(line.trim()).expect("json");
+    assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true));
+    line.clear();
+    reader.read_line(&mut line).expect("refusal");
+    let refused: Json = serde_json::from_str(line.trim()).expect("json");
+    assert_eq!(
+        refused.get("error").and_then(Json::as_str),
+        Some("draining"),
+        "{refused:?}"
+    );
+    drop((stream, reader));
+    handle.join().expect("drain");
+}

@@ -1,0 +1,64 @@
+//! Runs the reactor end-to-end on the portable sweep backend (the
+//! poll-with-timeout fallback used where epoll is absent), proving the two
+//! readiness backends are behaviorally interchangeable. Lives in its own
+//! integration binary because the backend is selected process-wide via
+//! `LCA_SERVE_BACKEND`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lca_serve::server::{bind, Server, ServerConfig};
+use serde::Json;
+
+#[test]
+fn sweep_backend_serves_queries_and_drains() {
+    std::env::set_var("LCA_SERVE_BACKEND", "sweep");
+
+    let listener = bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = Server::new(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let handle = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve(listener).expect("serve"))
+    };
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut roundtrip = |line: &str| -> Json {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        serde_json::from_str(response.trim()).expect("json")
+    };
+
+    // Real queries, batches, stats, and a drain — the full protocol walk.
+    let r = roundtrip(r#"{"session":"s","kind":"mis","n":10000,"seed":4,"query":11}"#);
+    assert!(r.get("answer").is_some(), "{r:?}");
+    let r = roundtrip(r#"{"session":"s","queries":[1,2,3,4]}"#);
+    assert_eq!(
+        r.get("answers").and_then(Json::as_array).map(<[Json]>::len),
+        Some(4),
+        "{r:?}"
+    );
+    let stats = roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|g| g.get("connections_open"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    let bye = roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+    handle.join().expect("drain");
+}

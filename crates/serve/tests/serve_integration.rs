@@ -237,6 +237,50 @@ fn loadgen_closed_loop_verifies_against_the_daemon() {
 }
 
 #[test]
+fn loadgen_fan_in_verifies_and_witnesses_simultaneous_connections() {
+    lca_serve::raise_fd_limit(2048).expect("fd limit");
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 1024,
+        ..ServerConfig::default()
+    });
+    let cfg = LoadgenConfig {
+        requests: 600,
+        concurrency: 3,
+        connections: 300,
+        kinds: vec![
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+        ],
+        family: ImplicitFamily::Gnp,
+        n: 50_000,
+        seed: 11,
+        verify: true,
+        query_pool: 64,
+        ..LoadgenConfig::default()
+    };
+    let run = loadgen::run(&addr, &cfg).expect("fan-in run");
+    assert_eq!(run.report.ok, 600, "{:?}", run.report);
+    assert_eq!(run.report.errors, 0, "{:?}", run.report);
+    assert_eq!(run.report.mismatches, 0, "{:?}", run.report);
+    assert_eq!(run.report.connections, 300);
+    // Stats were snapshotted while every socket was still open: the gauge
+    // is the witness (+1 for the stats connection itself is possible).
+    let stats = run.server_stats.expect("mid-run stats");
+    let open = stats
+        .get("stats")
+        .and_then(|g| g.get("connections_open"))
+        .and_then(Json::as_u64)
+        .expect("connections_open");
+    assert!(
+        open >= 300,
+        "expected ≥ 300 open connections at stats time, saw {open}"
+    );
+    loadgen::send_shutdown(&addr).expect("shutdown");
+    handle.join().expect("drain");
+}
+
+#[test]
 fn budget_exhaustion_is_typed_deterministic_and_counted() {
     let (addr, handle, server) = spawn_server(ServerConfig {
         workers: 2,

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Trajectory gate: diff fresh BENCH_engine*.json snapshots against the
+committed ones and fail on significant performance regressions.
+
+Usage:
+    trajectory_gate.py COMMITTED_DIR FRESH_DIR [--threshold 0.30]
+                       [--files BENCH_engine.json BENCH_engine_serve.json]
+
+The committed snapshots under bench-results/ are the performance
+trajectory of the repo (qps, latency percentiles, probe percentiles,
+exhaustion rates, one file per engine_report mode). This gate re-runs the
+report in CI and compares metric-by-metric:
+
+* qps-like metrics (higher is better) fail when the fresh value drops by
+  more than the gate's threshold relative to the committed one;
+* latency/probe percentiles (lower is better) fail when the fresh value
+  grows by more than the threshold;
+* tiny absolute values are exempt via per-metric noise floors (a p50 going
+  from 3 µs to 5 µs is scheduler noise, not a regression);
+* probe percentiles are deterministic for a fixed seed, so they gate at
+  the tight --threshold — any drift there is an algorithmic change, which
+  should be an intentional snapshot update, not an accident;
+* qps and latency are wall-clock metrics: the committed snapshot was
+  measured on whatever machine regenerated it last, and CI hardware
+  differs, so they gate at --noisy-threshold (default: 2x --threshold).
+  Set --noisy-threshold equal to --threshold when comparing runs from the
+  same machine.
+
+Improvements never fail the gate. To accept an intentional regression,
+regenerate the snapshots (cargo run --release -p lca-bench --bin
+engine_report [-- --serve|--implicit]) and commit the new files.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# metric name -> (direction, absolute noise floor on the *change*, class)
+#   direction "up"    = higher is better (regression when it drops)
+#   direction "down"  = lower is better (regression when it grows)
+#   class "wallclock" = machine-dependent, gated at --noisy-threshold
+#   class "exact"     = deterministic for a fixed seed, gated at --threshold
+METRICS = {
+    "qps": ("up", 0.0, "wallclock"),
+    "latency_p50_us": ("down", 100.0, "wallclock"),
+    "latency_p99_us": ("down", 250.0, "wallclock"),
+    "p50_us": ("down", 100.0, "wallclock"),
+    "p99_us": ("down", 250.0, "wallclock"),
+    "mean_us": ("down", 100.0, "wallclock"),
+    "probes_p50": ("down", 4.0, "exact"),
+    "probes_p99": ("down", 8.0, "exact"),
+}
+
+
+def leaf_metrics(committed, fresh, path=""):
+    """Yield (path, key, committed_value, fresh_value) for every numeric
+    leaf present in both trees, matching list entries of objects by their
+    "algorithm" field when available (row order may change)."""
+    if isinstance(committed, dict) and isinstance(fresh, dict):
+        for key, value in committed.items():
+            if key in fresh:
+                yield from leaf_metrics(value, fresh[key], f"{path}.{key}" if path else key)
+    elif isinstance(committed, list) and isinstance(fresh, list):
+        by_algo = committed and all(
+            isinstance(row, dict) and "algorithm" in row for row in committed
+        )
+        if by_algo:
+            fresh_rows = {
+                row.get("algorithm"): row for row in fresh if isinstance(row, dict)
+            }
+            for row in committed:
+                match = fresh_rows.get(row["algorithm"])
+                if match is not None:
+                    yield from leaf_metrics(row, match, f"{path}[{row['algorithm']}]")
+        else:
+            for i, (a, b) in enumerate(zip(committed, fresh)):
+                yield from leaf_metrics(a, b, f"{path}[{i}]")
+    elif isinstance(committed, (int, float)) and isinstance(fresh, (int, float)):
+        key = path.split(".")[-1].split("[")[0]
+        yield (path, key, float(committed), float(fresh))
+
+
+def gate_file(name, committed_dir, fresh_dir, threshold, noisy_threshold):
+    """Returns (checked, regressions) for one snapshot file."""
+    with open(os.path.join(committed_dir, name)) as f:
+        committed = json.load(f)
+    with open(os.path.join(fresh_dir, name)) as f:
+        fresh = json.load(f)
+    checked, regressions = 0, []
+    for path, key, old, new in leaf_metrics(committed, fresh):
+        if key not in METRICS:
+            continue
+        direction, floor, metric_class = METRICS[key]
+        gate = threshold if metric_class == "exact" else noisy_threshold
+        checked += 1
+        if old <= 0:
+            continue
+        delta = (old - new) if direction == "up" else (new - old)
+        rel = delta / old
+        if rel > gate and delta > floor:
+            arrow = "dropped" if direction == "up" else "grew"
+            regressions.append(
+                f"{name}:{path}: {key} {arrow} {old:.1f} -> {new:.1f} "
+                f"({rel * 100.0:+.1f}% past the {gate * 100.0:.0f}% gate)"
+            )
+    return checked, regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed_dir", help="directory with the committed snapshots")
+    parser.add_argument("fresh_dir", help="directory with freshly generated snapshots")
+    parser.add_argument("--threshold", type=float, default=0.30)
+    parser.add_argument(
+        "--noisy-threshold",
+        type=float,
+        default=None,
+        help="gate for machine-dependent (qps/latency) metrics; "
+        "default 2x --threshold — see the module docstring",
+    )
+    parser.add_argument(
+        "--files",
+        nargs="*",
+        default=None,
+        help="snapshot files to gate (default: every BENCH_engine*.json present in both dirs)",
+    )
+    args = parser.parse_args()
+    noisy_threshold = (
+        args.noisy_threshold if args.noisy_threshold is not None else 2.0 * args.threshold
+    )
+
+    files = args.files
+    if files is None:
+        files = sorted(
+            name
+            for name in os.listdir(args.committed_dir)
+            if name.startswith("BENCH_engine") and name.endswith(".json")
+            and os.path.exists(os.path.join(args.fresh_dir, name))
+        )
+    if not files:
+        print("trajectory gate: no snapshot files to compare", file=sys.stderr)
+        return 1
+
+    total_checked, total_regressions = 0, []
+    for name in files:
+        checked, regressions = gate_file(
+            name, args.committed_dir, args.fresh_dir, args.threshold, noisy_threshold
+        )
+        print(f"trajectory gate: {name}: {checked} metrics checked, "
+              f"{len(regressions)} regressions")
+        total_checked += checked
+        total_regressions.extend(regressions)
+
+    if total_checked == 0:
+        print("trajectory gate: no gated metrics found — snapshot schema drifted?",
+              file=sys.stderr)
+        return 1
+    for line in total_regressions:
+        print(f"REGRESSION {line}", file=sys.stderr)
+    if total_regressions:
+        print(
+            f"trajectory gate: FAILED ({len(total_regressions)} regressions over "
+            f"{total_checked} metrics). Intentional? Regenerate and commit the snapshots.",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"trajectory gate: ok ({total_checked} metrics; exact within "
+        f"{args.threshold * 100.0:.0f}%, wall-clock within {noisy_threshold * 100.0:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

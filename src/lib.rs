@@ -48,7 +48,7 @@ pub mod prelude {
     };
     // `Oracle` is defined in `lca-graph` (the crate owning both backing
     // stores); `lca-probe` re-exports it for the accounting wrappers.
-    pub use lca_graph::{Graph, GraphBuilder, Oracle, VertexId};
+    pub use lca_graph::{Graph, GraphBuilder, Oracle, ProbeCost, VertexId};
     pub use lca_probe::{CacheStats, CachedOracle, CountingOracle, MemoOracle, ProbeCounts};
     pub use lca_rand::Seed;
 
