@@ -17,6 +17,14 @@
 //! `stats` are reported per session. See `docs/PROTOCOL.md` for the wire
 //! format.
 //! Run: `cargo run --release -p lca-bench --bin engine_report -- --serve`
+//!
+//! With `--fleet`, two backends plus the `lca-gateway` HTTP front end run
+//! in-process and the same verified mixed load is driven twice — once
+//! directly at a backend over raw TCP, once through the gateway over
+//! HTTP — so the snapshot records fleet qps/latency *and* the gateway's
+//! overhead against the direct path, plus the per-shard routing
+//! histogram. See the fleet-topology section of `docs/ARCHITECTURE.md`.
+//! Run: `cargo run --release -p lca-bench --bin engine_report -- --fleet`
 
 use std::time::Instant;
 
@@ -424,6 +432,167 @@ fn serve_report() {
     println!("service time inside the daemon, the loadgen line above includes the wire.)");
 }
 
+/// The `--fleet` report: two backends + the HTTP gateway, in-process.
+/// The same 4k-request verified mixed load runs twice — direct raw-TCP
+/// against one backend, then through the gateway — yielding the HTTP
+/// tier's qps/latency, its overhead vs the direct path, and the
+/// per-shard routing histogram from the fleet stats rollup.
+fn fleet_report() {
+    use lca_fleet::{Fleet, Gateway, GatewayConfig};
+    use lca_serve::loadgen::{self, LoadgenConfig};
+    use lca_serve::server::{bind, Server, ServerConfig};
+
+    lca_serve::raise_fd_limit(8192).expect("raise fd limit");
+
+    // Two backends, one gateway, all in-process on ephemeral ports.
+    let mut backends = Vec::new();
+    for id in ["b0", "b1"] {
+        let listener = bind("127.0.0.1:0").expect("bind backend");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let server = Server::new(ServerConfig {
+            backend_id: id.to_owned(),
+            ..ServerConfig::default()
+        });
+        let handle = {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve(listener).expect("backend serve loop"))
+        };
+        backends.push((addr, handle));
+    }
+    let backend_addrs: Vec<String> = backends.iter().map(|(a, _)| a.clone()).collect();
+    let gw_listener = bind("127.0.0.1:0").expect("bind gateway");
+    let gw_addr = gw_listener.local_addr().expect("local addr").to_string();
+    let gateway = Gateway::new(Fleet::new(backend_addrs.clone()), GatewayConfig::default());
+    let gw_loop = {
+        let gateway = gateway.clone();
+        std::thread::spawn(move || gateway.serve(gw_listener).expect("gateway serve loop"))
+    };
+
+    let cfg = LoadgenConfig {
+        requests: 4_000,
+        concurrency: 4,
+        kinds: vec![
+            AlgorithmKind::Classic(ClassicKind::Mis),
+            AlgorithmKind::Classic(ClassicKind::Matching),
+            AlgorithmKind::Spanner(SpannerKind::Three),
+            AlgorithmKind::Spanner(SpannerKind::Five),
+        ],
+        family: ImplicitFamily::Gnp,
+        n: 1_000_000,
+        seed: 0x11CC,
+        verify: true,
+        ..LoadgenConfig::default()
+    };
+    println!(
+        "fleet report: 2 x lca-serve + lca-gateway @ {gw_addr}, {} requests x {} connections, implicit G(n = {}, c/n), verify on",
+        cfg.requests, cfg.concurrency, cfg.n
+    );
+
+    // Baseline: the same load straight at one backend over raw TCP.
+    let direct_cfg = LoadgenConfig {
+        session_prefix: "direct".to_owned(),
+        ..cfg.clone()
+    };
+    let direct = loadgen::run(&backends[0].0, &direct_cfg).expect("direct loadgen run");
+    let d = &direct.report;
+    assert_eq!(d.errors, 0, "protocol errors during direct pass");
+    assert_eq!(d.mismatches, 0, "direct answers diverged");
+    println!(
+        "direct TCP:   {} ok / {} requests, {:.0} qps, p50 {} µs, p99 {} µs",
+        d.ok, d.requests, d.qps, d.p50_us, d.p99_us
+    );
+
+    // The fleet pass: identical load through the HTTP gateway, every
+    // answer still verified against a direct LcaBuilder query (the
+    // gateway forwards backend response lines verbatim, so the loadgen's
+    // verification machinery needs no changes).
+    // Prefix chosen so the four session names split 2/2 across the two
+    // shards under `shard_for_str` — the histogram below then witnesses
+    // genuinely multi-backend routing, not a lucky single-shard run.
+    let fleet_cfg = LoadgenConfig {
+        http: true,
+        session_prefix: "fleets".to_owned(),
+        ..cfg.clone()
+    };
+    let fleet = loadgen::run(&gw_addr, &fleet_cfg).expect("fleet loadgen run");
+    let f = &fleet.report;
+    assert_eq!(f.errors, 0, "protocol errors during fleet pass");
+    assert_eq!(f.mismatches, 0, "fleet answers diverged");
+    println!(
+        "via gateway:  {} ok / {} requests, {:.0} qps, p50 {} µs, p99 {} µs, {} overloaded",
+        f.ok, f.requests, f.qps, f.p50_us, f.p99_us, f.overloaded
+    );
+
+    // Per-shard routing histogram from the fleet rollup: every query the
+    // gateway saw must be routed somewhere, and with 4+ sessions both
+    // shards must see traffic.
+    let stats = loadgen::fetch_stats_http(&gw_addr).expect("fleet stats");
+    let rollup = stats.get("fleet").expect("fleet rollup");
+    let routed: Vec<u64> = rollup
+        .get("routed")
+        .and_then(serde::Json::as_array)
+        .expect("routed histogram")
+        .iter()
+        .map(|x| x.as_u64().unwrap())
+        .collect();
+    let routed_total: u64 = routed.iter().sum();
+    assert!(
+        routed_total >= cfg.requests as u64,
+        "every gateway query is routed: {routed:?}"
+    );
+    assert!(
+        routed.iter().all(|&r| r > 0),
+        "both shards see traffic: {routed:?}"
+    );
+    assert_eq!(
+        rollup.get("backends_up").and_then(serde::Json::as_u64),
+        Some(2),
+        "both backends report stats"
+    );
+    let overhead_p50 = f.p50_us as i64 - d.p50_us as i64;
+    let overhead_p99 = f.p99_us as i64 - d.p99_us as i64;
+    println!(
+        "routing: {routed:?} ({routed_total} routed), gateway overhead p50 {overhead_p50:+} µs, p99 {overhead_p99:+} µs, qps ratio {:.2}",
+        f.qps / d.qps.max(1.0)
+    );
+
+    #[derive(serde::Serialize)]
+    struct FleetTrajectory {
+        mode: String,
+        n: usize,
+        backends: usize,
+        direct: lca_serve::loadgen::LoadReport,
+        gateway: lca_serve::loadgen::LoadReport,
+        routed: Vec<u64>,
+        gateway_overhead_p50_us: i64,
+        gateway_overhead_p99_us: i64,
+        qps_ratio: f64,
+    }
+    write_json(
+        "BENCH_engine_fleet",
+        &FleetTrajectory {
+            mode: "fleet".to_owned(),
+            n: cfg.n,
+            backends: backends.len(),
+            direct: d.clone(),
+            gateway: f.clone(),
+            routed,
+            gateway_overhead_p50_us: overhead_p50,
+            gateway_overhead_p99_us: overhead_p99,
+            qps_ratio: f.qps / d.qps.max(1.0),
+        },
+    );
+
+    loadgen::send_shutdown_http(&gw_addr).expect("gateway shutdown");
+    gw_loop.join().expect("gateway drains");
+    for (addr, handle) in backends {
+        loadgen::send_shutdown(&addr).expect("backend shutdown");
+        handle.join().expect("backend drains");
+    }
+    println!("\n(the gateway pass went client → HTTP gateway → routed backend and back;");
+    println!("the direct pass skipped the middle hop — the deltas above are the HTTP tier.)");
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--implicit") {
         implicit_report();
@@ -431,6 +600,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--serve") {
         serve_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--fleet") {
+        fleet_report();
         return;
     }
     let n = 600;

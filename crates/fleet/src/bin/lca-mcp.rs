@@ -1,0 +1,74 @@
+//! `lca-mcp` — the MCP stdio adapter over a fleet of `lca-serve`
+//! backends.
+//!
+//! ```text
+//! lca-mcp --backends 127.0.0.1:7400,127.0.0.1:7401
+//! ```
+//!
+//! Speaks newline-delimited JSON-RPC 2.0 on stdin/stdout (the MCP stdio
+//! transport) and exposes the `lca_query` and `lca_stats` tools; see
+//! `docs/PROTOCOL.md` for the tool schemas. All routing and replication
+//! behavior is identical to `lca-gateway` — both sit on the same fleet
+//! router.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use lca_fleet::{mcp, Fleet};
+
+fn parse_backends() -> Result<Vec<String>, String> {
+    let mut backends = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--backends" => {
+                let list = it.next().ok_or("--backends needs a value")?;
+                backends = list
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--help" | "-h" => {
+                return Err("usage: lca-mcp --backends host:port[,host:port…]".to_owned())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if backends.is_empty() {
+        return Err("--backends is required (comma-separated host:port list)".to_owned());
+    }
+    Ok(backends)
+}
+
+fn main() -> ExitCode {
+    let backends = match parse_backends() {
+        Ok(backends) => backends,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fleet = Fleet::new(backends);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if let Some(response) = mcp::handle_message(&fleet, &line) {
+                    let mut out = stdout.lock();
+                    if writeln!(out, "{response}")
+                        .and_then(|()| out.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

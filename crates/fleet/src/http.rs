@@ -1,0 +1,197 @@
+//! Minimal std-only HTTP/1.1 framing for the gateway.
+//!
+//! The gateway terminates a deliberately small slice of HTTP: request
+//! line + headers + `Content-Length` body in, status line + JSON body
+//! out, keep-alive by default. No chunked transfer, no trailers, no
+//! `Expect: continue` — every client the fleet serves (the load
+//! generator, `curl`, an MCP host's HTTP bridge, a CI python script)
+//! speaks this subset. Parsing is incremental: bytes accumulate in the
+//! connection's read buffer and [`try_parse`] either produces one
+//! complete request (plus how many bytes it consumed), asks for more
+//! bytes, or rejects the connection.
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path only; the gateway routes on exact
+    /// paths and ignores any query string).
+    pub path: String,
+    /// The request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+/// What one [`try_parse`] attempt produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The buffer does not yet hold a complete request — read more bytes.
+    Incomplete,
+    /// One complete request, and the number of buffer bytes it consumed
+    /// (drain them before the next attempt).
+    Request(HttpRequest, usize),
+    /// The bytes are not a well-formed request within this module's
+    /// limits; answer 400 and drop the connection.
+    Error(&'static str),
+}
+
+/// Largest accepted request-line + header block.
+pub const MAX_HEAD: usize = 64 << 10;
+/// Largest accepted request body — matches the serve protocol's own
+/// line cap (no legitimate query request is this large).
+pub const MAX_BODY: usize = 16 << 20;
+
+/// Attempts to frame one request off the front of `buf`.
+pub fn try_parse(buf: &[u8]) -> ParseOutcome {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return ParseOutcome::Error("header block exceeds 64 KiB");
+        }
+        return ParseOutcome::Incomplete;
+    };
+    if head_end > MAX_HEAD {
+        return ParseOutcome::Error("header block exceeds 64 KiB");
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+        return ParseOutcome::Error("header block is not UTF-8");
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Error("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ParseOutcome::Error("only HTTP/1.x is served");
+    }
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return ParseOutcome::Error("malformed header line");
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => content_length = n,
+                Ok(_) => return ParseOutcome::Error("body exceeds 16 MiB"),
+                Err(_) => return ParseOutcome::Error("unparseable content-length"),
+            }
+        }
+        if name.trim().eq_ignore_ascii_case("transfer-encoding") {
+            return ParseOutcome::Error("chunked transfer encoding is not served");
+        }
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return ParseOutcome::Incomplete;
+    }
+    // Strip any query string: routing is on exact paths.
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    ParseOutcome::Request(
+        HttpRequest {
+            method: method.to_owned(),
+            path,
+            body: buf[body_start..body_start + content_length].to_vec(),
+        },
+        body_start + content_length,
+    )
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Renders one keep-alive HTTP/1.1 response with a JSON body.
+pub fn render_response(status: u16, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body_and_reports_consumption() {
+        let raw = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyNEXT";
+        let ParseOutcome::Request(req, consumed) = try_parse(raw) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/query");
+        assert_eq!(req.body, b"body");
+        assert_eq!(&raw[consumed..], b"NEXT", "pipelined bytes survive");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_strips_query_strings() {
+        let raw = b"GET /v1/stats?pretty=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let ParseOutcome::Request(req, consumed) = try_parse(raw) else {
+            panic!("expected a request");
+        };
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/stats");
+        assert!(req.body.is_empty());
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more_bytes() {
+        assert_eq!(try_parse(b"POST /v1/qu"), ParseOutcome::Incomplete);
+        assert_eq!(
+            try_parse(b"POST /v1/query HTTP/1.1\r\nContent-Length: 9\r\n\r\nshort"),
+            ParseOutcome::Incomplete
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_a_reason() {
+        for raw in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            &b"GET / SPDY/3\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: zero\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(try_parse(raw), ParseOutcome::Error(_)),
+                "{:?} should be rejected",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_render_with_exact_content_length() {
+        let bytes = render_response(429, r#"{"error":"overloaded"}"#);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"overloaded\"}"));
+    }
+}

@@ -5,8 +5,13 @@
 //!             [--connections C] [--mix mis,spanner3] [--family gnp]
 //!             [--n 1000000] [--seed 7] [--knob C] [--rate QPS]
 //!             [--max-probes P] [--verify] [--session PREFIX] [--pool N]
-//!             [--shutdown]
+//!             [--shutdown] [--target http://host:port]
 //! ```
+//!
+//! `--target http://host:port` points the same traffic shapes at an
+//! `lca-gateway` over HTTP/1.1 (`POST /v1/query` per request) instead of
+//! raw newline-JSON — one tool measures both serving tiers. `--shutdown`
+//! then drains the *gateway* (`POST /v1/shutdown`), not its backends.
 //!
 //! Drives an `lca-serve` daemon closed-loop (default), open-loop
 //! (`--rate`), or in high-fan-in mode (`--connections C`: C sockets held
@@ -42,6 +47,17 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--target" => {
+                let target = value("--target")?;
+                let Some(addr) = target.strip_prefix("http://") else {
+                    return Err(format!(
+                        "--target must be http://host:port, got {target:?} \
+                         (use --addr for raw newline-JSON)"
+                    ));
+                };
+                args.addr = addr.trim_end_matches('/').to_owned();
+                args.cfg.http = true;
+            }
             "--requests" => {
                 args.cfg.requests = value("--requests")?
                     .parse()
@@ -116,7 +132,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: lca-loadgen --addr host:port [--requests N] [--concurrency C] \
                      [--connections C] [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] \
                      [--rate QPS] [--max-probes P] [--verify] [--session PREFIX] [--pool N] \
-                     [--shutdown]"
+                     [--shutdown] [--target http://host:port]"
                         .to_owned(),
                 )
             }
@@ -148,7 +164,12 @@ fn main() -> ExitCode {
     }
     let outcome = run(&args.addr, &args.cfg);
     if args.shutdown {
-        if let Err(e) = send_shutdown(&args.addr) {
+        let result = if args.cfg.http {
+            lca_serve::loadgen::send_shutdown_http(&args.addr)
+        } else {
+            send_shutdown(&args.addr)
+        };
+        if let Err(e) = result {
             eprintln!("shutdown request failed: {e}");
         }
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N]
 //!           [--max-probes P] [--deadline-ms MS] [--max-connections C]
-//!           [--backend epoll|sweep] [--stdin]
+//!           [--backend epoll|sweep] [--backend-id ID] [--stdin]
 //! ```
 //!
 //! `--max-probes`/`--deadline-ms` install a server-side default query
@@ -84,12 +84,13 @@ fn parse_args() -> Result<Args, String> {
                 // The reactor's poller reads this env var at startup.
                 std::env::set_var("LCA_SERVE_BACKEND", backend);
             }
+            "--backend-id" => args.config.backend_id = value("--backend-id")?,
             "--stdin" => args.stdin = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: lca-serve [--addr host:port] [--workers N] [--queue N] \
                      [--max-probes P] [--deadline-ms MS] [--max-connections C] \
-                     [--backend epoll|sweep] [--stdin]"
+                     [--backend epoll|sweep] [--backend-id ID] [--stdin]"
                         .to_owned(),
                 )
             }

@@ -21,9 +21,16 @@
 //! server builds — the generator needs only `(family, n, seed)` to produce
 //! valid vertex and edge queries, which is the whole point of implicit
 //! inputs.
+//!
+//! With [`LoadgenConfig::http`] (the `--target http://host:port` flag) the
+//! same traffic shapes drive an `lca-gateway` instead: each request line
+//! ships as the body of a `POST /v1/query` and each response is read back
+//! out of the HTTP response body — one tool measures both tiers, and the
+//! `--verify` machinery applies unchanged because the gateway passes
+//! backend response lines through verbatim.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -101,6 +108,10 @@ pub struct LoadgenConfig {
     /// Distinct queries sampled per kind (requests cycle through them, so
     /// smaller pools produce hotter, more cacheable traffic).
     pub query_pool: usize,
+    /// Speak HTTP/1.1 to an `lca-gateway` instead of newline-JSON to an
+    /// `lca-serve`: request lines become `POST /v1/query` bodies, stats
+    /// come from `GET /v1/stats`, shutdown from `POST /v1/shutdown`.
+    pub http: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -119,6 +130,7 @@ impl Default for LoadgenConfig {
             verify: false,
             session_prefix: "loadgen".to_owned(),
             query_pool: 256,
+            http: false,
         }
     }
 }
@@ -383,6 +395,69 @@ fn schedule(i: usize, plans: &[KindPlan]) -> (usize, usize) {
     (ki, qi)
 }
 
+/// Writes one protocol request over the configured transport: the raw
+/// newline-JSON line, or the same line as a `POST /v1/query` body when
+/// driving a gateway.
+fn write_request(w: &mut impl Write, line: &str, http: bool) -> io::Result<()> {
+    if http {
+        write!(
+            w,
+            "POST /v1/query HTTP/1.1\r\nHost: lca\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{line}",
+            line.len()
+        )
+    } else {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")
+    }
+}
+
+/// Reads one protocol response into `line` over the configured transport:
+/// a newline-JSON line, or an HTTP response whose body is that line (the
+/// gateway answers every request with a JSON body, whatever the status).
+/// Returns 0 on clean EOF, like `read_line`.
+fn read_response(
+    reader: &mut BufReader<TcpStream>,
+    http: bool,
+    line: &mut String,
+) -> io::Result<usize> {
+    line.clear();
+    if !http {
+        return reader.read_line(line);
+    }
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Ok(0); // EOF between responses: peer closed
+    }
+    let mut content_length: usize = 0;
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside HTTP headers",
+            ));
+        }
+        let h = header.trim();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("content-length: {e}"))
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 HTTP body"))?;
+    line.push_str(&body);
+    // A zero-length body still counts as one received response.
+    Ok(line.len().max(1))
+}
+
 fn closed_loop_worker(
     addr: &str,
     plans: &[KindPlan],
@@ -409,10 +484,8 @@ fn closed_loop_worker(
         loop {
             attempts += 1;
             let start = Instant::now();
-            writer.write_all(request.as_bytes())?;
-            writer.write_all(b"\n")?;
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
+            write_request(&mut writer, &request, cfg.http)?;
+            if read_response(&mut reader, cfg.http, &mut line)? == 0 {
                 tally.errors += 1;
                 return Ok(tally);
             }
@@ -511,12 +584,7 @@ fn fan_in_worker(
                 }
                 let (ki, qi) = schedule(i, plans);
                 let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
-                if sock
-                    .writer
-                    .write_all(request.as_bytes())
-                    .and_then(|()| sock.writer.write_all(b"\n"))
-                    .is_err()
-                {
+                if write_request(&mut sock.writer, &request, cfg.http).is_err() {
                     tally.errors += 1;
                     sock.dead = true;
                     continue;
@@ -529,8 +597,7 @@ fn fan_in_worker(
                 let Some((id, started, attempts)) = sock.in_flight else {
                     continue;
                 };
-                line.clear();
-                match sock.reader.read_line(&mut line) {
+                match read_response(&mut sock.reader, cfg.http, &mut line) {
                     Ok(0) | Err(_) => {
                         tally.errors += 1;
                         sock.dead = true;
@@ -556,12 +623,7 @@ fn fan_in_worker(
                 std::thread::sleep(Duration::from_micros(500));
                 let (ki, qi) = schedule(id as usize, plans);
                 let request = request_line(&plans[ki], qi, id, cfg.max_probes);
-                if sock
-                    .writer
-                    .write_all(request.as_bytes())
-                    .and_then(|()| sock.writer.write_all(b"\n"))
-                    .is_err()
-                {
+                if write_request(&mut sock.writer, &request, cfg.http).is_err() {
                     tally.errors += 1;
                     sock.dead = true;
                     sock.in_flight = None;
@@ -610,8 +672,7 @@ fn open_loop_worker(
             let mut line = String::new();
             let mut received: u64 = 0;
             loop {
-                line.clear();
-                match reader.read_line(&mut line) {
+                match read_response(&mut reader, cfg.http, &mut line) {
                     Ok(0) | Err(_) => break,
                     Ok(_) => {
                         let trimmed = line.trim();
@@ -660,10 +721,7 @@ fn open_loop_worker(
                 .lock()
                 .expect("poisoned")
                 .insert(i as u64, Instant::now());
-            if let Err(e) = writer
-                .write_all(request.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-            {
+            if let Err(e) = write_request(&mut writer, &request, cfg.http) {
                 send_result = Err(e);
                 break;
             }
@@ -721,7 +779,11 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
                 })
                 .collect();
             done.wait();
-            mid_run_stats = fetch_stats(addr).ok();
+            mid_run_stats = if cfg.http {
+                fetch_stats_http(addr).ok()
+            } else {
+                fetch_stats(addr).ok()
+            };
             release.wait();
             handles
                 .into_iter()
@@ -794,6 +856,7 @@ pub fn run(addr: &str, cfg: &LoadgenConfig) -> io::Result<LoadRun> {
     };
     let server_stats = match mid_run_stats {
         Some(stats) => Some(stats),
+        None if cfg.http => fetch_stats_http(addr).ok(),
         None => fetch_stats(addr).ok(),
     };
     Ok(LoadRun {
@@ -822,6 +885,34 @@ pub fn send_shutdown(addr: &str) -> io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line)?;
+    Ok(())
+}
+
+/// Fetches `GET /v1/stats` from an `lca-gateway` and parses the JSON body
+/// (the fleet rollup plus per-backend snapshots).
+pub fn fetch_stats_http(addr: &str) -> io::Result<Json> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    write!(writer, "GET /v1/stats HTTP/1.1\r\nHost: lca\r\n\r\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_response(&mut reader, true, &mut line)?;
+    serde_json::from_str(line.trim())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Sends `POST /v1/shutdown` to an `lca-gateway`, starting its drain (the
+/// backends behind it keep running).
+pub fn send_shutdown_http(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "POST /v1/shutdown HTTP/1.1\r\nHost: lca\r\nContent-Length: 0\r\n\r\n"
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_response(&mut reader, true, &mut line)?;
     Ok(())
 }
 

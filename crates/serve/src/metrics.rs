@@ -255,6 +255,10 @@ pub fn session_stats_json(
 /// rollup and the fleet-wide cache rollup built with `CacheStats + CacheStats`).
 #[derive(Debug, Clone)]
 pub struct GlobalSnapshot {
+    /// Operator-assigned backend identity (`lca-serve --backend-id`),
+    /// echoed in `stats` so a fleet rollup can tag which member answered;
+    /// empty when the operator assigned none.
+    pub backend_id: String,
     /// Jobs waiting in the worker pool's admission queue.
     pub queue_len: usize,
     /// Whether a drain has begun.
@@ -276,7 +280,13 @@ pub fn global_stats_json(global: &GlobalMetrics, snap: &GlobalSnapshot) -> Json 
     let uptime_s = global.started.elapsed().as_secs_f64();
     let requests = global.requests.load(Ordering::Relaxed);
     Json::Obj(vec![
+        ("version".into(), num(crate::proto::PROTOCOL_VERSION)),
+        ("backend_id".into(), Json::Str(snap.backend_id.clone())),
         ("uptime_s".into(), Json::Num(uptime_s)),
+        (
+            "uptime_ms".into(),
+            num(global.started.elapsed().as_millis() as u64),
+        ),
         ("requests".into(), num(requests)),
         (
             "qps".into(),

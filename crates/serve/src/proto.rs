@@ -8,6 +8,12 @@
 use lca::prelude::{AlgorithmKind, ImplicitFamily};
 use serde::Json;
 
+/// Version of this wire protocol, reported in every `stats` response so a
+/// fleet front end can tag (and age out) backends speaking an older
+/// schema. Bump when a field changes meaning or disappears — additive
+/// fields do not require a bump.
+pub const PROTOCOL_VERSION: u64 = 1;
+
 /// A parsed session specification: the four scalars (plus one optional
 /// knob) that pin a served instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +67,10 @@ pub enum Request {
     },
     /// Report global and per-session metrics.
     Stats,
+    /// Report every resident session's pinned spec (`kind`, `family`, `n`,
+    /// `seed`, `knob`) — the spec-introspection half of fleet replication:
+    /// any process can rebuild every session from this one response.
+    Sessions,
     /// Liveness check.
     Ping,
     /// Begin a graceful drain: stop accepting, finish queued work, exit.
@@ -279,6 +289,7 @@ impl Request {
         let op = v.get("op").and_then(Json::as_str).unwrap_or("query");
         match op {
             "stats" => Ok(Request::Stats),
+            "sessions" => Ok(Request::Sessions),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "query" => Self::parse_query(&v, id),
@@ -524,6 +535,10 @@ mod tests {
             Request::parse(r#"{"op": "stats"}"#).unwrap(),
             Request::Stats
         );
+        assert_eq!(
+            Request::parse(r#"{"op": "sessions"}"#).unwrap(),
+            Request::Sessions
+        );
         assert_eq!(Request::parse(r#"{"op": "ping"}"#).unwrap(), Request::Ping);
         assert_eq!(
             Request::parse(r#"{"op": "shutdown"}"#).unwrap(),
@@ -586,6 +601,7 @@ mod tests {
         global.connections_open.store(1024, Ordering::Relaxed);
         global.reactor_wakeups.store(77, Ordering::Relaxed);
         let snap = GlobalSnapshot {
+            backend_id: "b0".into(),
             queue_len: 3,
             draining: false,
             sessions: 2,
@@ -617,6 +633,17 @@ mod tests {
         let line = response.render();
         let parsed = serde_json::from_str(&line).expect("stats line parses");
         let g = parsed.get("stats").expect("global object");
+        // The fleet-tagging fields: protocol version, operator-assigned
+        // backend identity, and millisecond-precision uptime.
+        assert_eq!(
+            g.get("version").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+        assert_eq!(g.get("backend_id").and_then(Json::as_str), Some("b0"));
+        assert!(
+            g.get("uptime_ms").and_then(Json::as_u64).is_some(),
+            "uptime_ms present and integral"
+        );
         assert_eq!(g.get("requests").and_then(Json::as_u64), Some(42));
         assert_eq!(g.get("connections").and_then(Json::as_u64), Some(1200));
         assert_eq!(g.get("connections_open").and_then(Json::as_u64), Some(1024));
@@ -648,6 +675,7 @@ mod tests {
         let json = global_stats_json(
             &GlobalMetrics::default(),
             &GlobalSnapshot {
+                backend_id: String::new(),
                 queue_len: 0,
                 draining: true,
                 sessions: 0,

@@ -44,6 +44,10 @@ pub struct ServerConfig {
     /// field-by-field). Unlimited by default — operators cap tail latency
     /// with `lca-serve --max-probes`/`--deadline-ms`.
     pub default_budget: QueryBudget,
+    /// Operator-assigned identity echoed in `stats` (`backend_id`), so a
+    /// fleet rollup can tag which member a snapshot came from. Empty by
+    /// default; set with `lca-serve --backend-id`.
+    pub backend_id: String,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
                 .unwrap_or(1),
             queue_capacity: 1024,
             default_budget: QueryBudget::unlimited(),
+            backend_id: String::new(),
         }
     }
 }
@@ -92,6 +97,7 @@ pub struct Server {
     pub(crate) pool: WorkerPool,
     draining: AtomicBool,
     default_budget: QueryBudget,
+    backend_id: String,
 }
 
 impl Server {
@@ -103,6 +109,7 @@ impl Server {
             pool: WorkerPool::new(config.workers, config.queue_capacity),
             draining: AtomicBool::new(false),
             default_budget: config.default_budget,
+            backend_id: config.backend_id,
         })
     }
 
@@ -148,6 +155,7 @@ impl Server {
             })
             .collect();
         let snap = GlobalSnapshot {
+            backend_id: self.backend_id.clone(),
             queue_len: self.pool.queue_len(),
             draining: self.draining(),
             sessions: sessions.len(),
@@ -159,6 +167,30 @@ impl Server {
             ("stats".into(), global_stats_json(&self.global, &snap)),
             ("sessions".into(), Json::Obj(session_objs)),
         ]))
+    }
+
+    /// The `sessions` response: every resident session's pinned spec —
+    /// enough for any process (a fleet gateway, a fresh replica) to
+    /// rebuild each instance exactly, because a session *is* its spec
+    /// (state is a seed, not a tape).
+    pub fn sessions_response(&self) -> Response {
+        let sessions = self.registry.snapshot();
+        let objs: Vec<(String, Json)> = sessions
+            .iter()
+            .map(|(name, s)| {
+                let mut fields = vec![
+                    ("kind".into(), Json::Str(s.spec.kind.to_string())),
+                    ("family".into(), Json::Str(s.spec.family.to_string())),
+                    ("n".into(), Json::Num(s.spec.n as f64)),
+                    ("seed".into(), Json::Num(s.spec.seed as f64)),
+                ];
+                if let Some(knob) = s.spec.knob {
+                    fields.push(("knob".into(), Json::Num(knob)));
+                }
+                (name.clone(), Json::Obj(fields))
+            })
+            .collect();
+        Response::Stats(Json::Obj(vec![("sessions".into(), Json::Obj(objs))]))
     }
 
     /// Handles one raw wire line: non-UTF-8 is answered `bad-request`
@@ -210,6 +242,7 @@ impl Server {
                 draining: self.draining(),
             }),
             Request::Stats => LineOutcome::Inline(self.stats_response()),
+            Request::Sessions => LineOutcome::Inline(self.sessions_response()),
             Request::Shutdown => {
                 self.begin_shutdown();
                 LineOutcome::Inline(Response::Ok { draining: true })
