@@ -241,8 +241,10 @@ struct ServeRow {
 }
 
 /// The `--serve` report: daemon + load generator end-to-end, in-process.
-/// Three passes — unbudgeted, budget-starved, and many-connection fan-in
-/// (the C10k witness) — all fully verified.
+/// Five passes — unbudgeted, budget-starved, many-connection fan-in (the
+/// C10k witness), and a fixed-vs-adaptive budget pair on the heavy-tailed
+/// kinds (cold-median client budget against a `--adaptive-budgets` daemon
+/// fitting p99) — all fully verified.
 fn serve_report() {
     use lca_serve::loadgen::{self, LoadgenConfig};
     use lca_serve::server::{bind, Server, ServerConfig};
@@ -345,6 +347,100 @@ fn serve_report() {
         f.connections, f.ok, f.qps, f.p99_us, connections_open_at_peak
     );
 
+    // Fourth pass pair: fixed versus adaptive budgets on the heavy-tailed
+    // kinds. A hand-picked budget equal to the *cold median* probe cost
+    // exhausts roughly half of all-distinct cold traffic by construction;
+    // a server fitting each session's budget to its observed p99 should
+    // claw almost all of that back — at zero verified-answer mismatches.
+    let tail_kinds = vec![
+        AlgorithmKind::Spanner(SpannerKind::K2),
+        AlgorithmKind::Classic(ClassicKind::Coloring),
+    ];
+
+    // The cold median, measured exactly the way the daemon executes: the
+    // session's derived seeds, a fresh instance per query (no cross-query
+    // memos), an unlimited probe context.
+    let tail_oracle = ImplicitFamily::Gnp.build(cfg.n, lca_serve::input_seed(cfg.seed));
+    let mut tail_probes: Vec<u64> = Vec::new();
+    for &kind in &tail_kinds {
+        let config = LcaConfig::new(kind, lca_serve::algo_seed(cfg.seed));
+        let queries = kind.queries_from(&tail_oracle, QuerySource::sample(128, Seed::new(0xC01D)));
+        for &q in &queries {
+            let cold = config.build(&tail_oracle);
+            let ctx = QueryCtx::unlimited();
+            cold.query_ctx(q, &ctx).expect("cold tail query");
+            tail_probes.push(ctx.spent());
+        }
+    }
+    tail_probes.sort_unstable();
+    let tail_budget_probes = pct(&tail_probes, 0.5).max(1);
+
+    let tail_requests = 1_200;
+    let fixed_cfg = LoadgenConfig {
+        requests: tail_requests,
+        kinds: tail_kinds.clone(),
+        max_probes: Some(tail_budget_probes),
+        session_prefix: "fixedtail".to_owned(),
+        query_pool: tail_requests,
+        connections: 0,
+        ..cfg.clone()
+    };
+    let fixed = loadgen::run(&addr, &fixed_cfg).expect("fixed-tail loadgen run");
+    let fx = &fixed.report;
+    assert_eq!(fx.errors, 0, "protocol errors during fixed-tail report");
+    assert_eq!(fx.mismatches, 0, "fixed-tail answers diverged");
+    let fixed_exhaustion_rate = fx.budget_exhausted as f64 / fx.requests.max(1) as f64;
+    println!(
+        "fixed tail (max_probes={tail_budget_probes}, cold median): {} ok, {} budget-exhausted ({:.1}%)",
+        fx.ok,
+        fx.budget_exhausted,
+        100.0 * fixed_exhaustion_rate
+    );
+
+    // The adaptive daemon: same workload, no client budget — the server
+    // observes each session's probe histogram and fits max_probes to p99.
+    let adaptive_listener = bind("127.0.0.1:0").expect("bind adaptive port");
+    let adaptive_addr = adaptive_listener
+        .local_addr()
+        .expect("local addr")
+        .to_string();
+    let adaptive_server = Server::new(ServerConfig {
+        adaptive_budgets: true,
+        ..ServerConfig::default()
+    });
+    let adaptive_loop = {
+        let server = adaptive_server.clone();
+        std::thread::spawn(move || {
+            server
+                .serve(adaptive_listener)
+                .expect("adaptive serve loop")
+        })
+    };
+    let adaptive_cfg = LoadgenConfig {
+        max_probes: None,
+        session_prefix: "adaptivetail".to_owned(),
+        ..fixed_cfg.clone()
+    };
+    let adaptive = loadgen::run(&adaptive_addr, &adaptive_cfg).expect("adaptive-tail loadgen run");
+    let ad = &adaptive.report;
+    assert_eq!(ad.errors, 0, "protocol errors during adaptive-tail report");
+    assert_eq!(ad.mismatches, 0, "adaptive-tail answers diverged");
+    let adaptive_exhaustion_rate = ad.budget_exhausted as f64 / ad.requests.max(1) as f64;
+    assert!(
+        adaptive_exhaustion_rate < fixed_exhaustion_rate,
+        "adaptive budgets must beat the fixed cold-median budget: \
+         adaptive {adaptive_exhaustion_rate:.3} vs fixed {fixed_exhaustion_rate:.3}"
+    );
+    println!(
+        "adaptive tail (--adaptive-budgets, p99 fit): {} ok, {} budget-exhausted ({:.1}%) — vs {:.1}% fixed",
+        ad.ok,
+        ad.budget_exhausted,
+        100.0 * adaptive_exhaustion_rate,
+        100.0 * fixed_exhaustion_rate
+    );
+    loadgen::send_shutdown(&adaptive_addr).expect("adaptive shutdown");
+    adaptive_loop.join().expect("adaptive drains");
+
     #[derive(serde::Serialize)]
     struct ServeTrajectory {
         mode: String,
@@ -356,6 +452,11 @@ fn serve_report() {
         fan_in: lca_serve::loadgen::LoadReport,
         fan_in_connections: usize,
         connections_open_at_peak: u64,
+        fixed_tail: lca_serve::loadgen::LoadReport,
+        adaptive_tail: lca_serve::loadgen::LoadReport,
+        tail_budget_probes: u64,
+        fixed_exhaustion_rate: f64,
+        adaptive_exhaustion_rate: f64,
     }
     write_json(
         "BENCH_engine_serve",
@@ -369,6 +470,11 @@ fn serve_report() {
             fan_in: f.clone(),
             fan_in_connections: fan_cfg.connections,
             connections_open_at_peak,
+            fixed_tail: fx.clone(),
+            adaptive_tail: ad.clone(),
+            tail_budget_probes,
+            fixed_exhaustion_rate,
+            adaptive_exhaustion_rate,
         },
     );
 

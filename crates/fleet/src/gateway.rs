@@ -153,6 +153,10 @@ struct Conn {
     stream: TcpStream,
     /// Bytes read but not yet framed into a complete request.
     read_buf: Vec<u8>,
+    /// How far into `read_buf` the head scan has already looked
+    /// ([`http::try_parse`]'s resume cursor); reset to 0 whenever consumed
+    /// bytes are drained from the front.
+    scanned: usize,
     /// Rendered responses awaiting socket space.
     write_buf: VecDeque<u8>,
     /// A deferred request is in flight; parse nothing further until its
@@ -308,6 +312,7 @@ impl Reactor {
         self.slots[idx].conn = Some(Conn {
             stream,
             read_buf: Vec::new(),
+            scanned: 0,
             write_buf: VecDeque::new(),
             busy: false,
             peer_closed: false,
@@ -403,11 +408,14 @@ impl Reactor {
             if conn.busy || conn.close_after_flush {
                 return;
             }
-            match http::try_parse(&conn.read_buf) {
+            match http::try_parse(&conn.read_buf, &mut conn.scanned) {
                 ParseOutcome::Incomplete => return,
                 ParseOutcome::Error(msg) => {
+                    // This connection is about to be dropped after the
+                    // flush: the response must say so, not keep-alive.
                     let body = format!(r#"{{"error":"bad-request","message":"{msg}"}}"#);
-                    conn.write_buf.extend(http::render_response(400, &body));
+                    conn.write_buf
+                        .extend(http::render_close_response(400, &body));
                     conn.close_after_flush = true;
                     self.gateway.requests.fetch_add(1, Ordering::Relaxed);
                     self.flush_conn(idx);
@@ -416,6 +424,7 @@ impl Reactor {
                 ParseOutcome::Request(request, consumed) => {
                     let conn = self.slots[idx].conn.as_mut().expect("live conn");
                     conn.read_buf.drain(..consumed);
+                    conn.scanned = 0;
                     self.gateway.requests.fetch_add(1, Ordering::Relaxed);
                     self.dispatch(idx, request);
                     if self.slots[idx].conn.is_none() {

@@ -82,13 +82,69 @@ impl FleetReply {
     }
 }
 
+/// Default bound on the gateway's session-spec cache. Eviction is safe at
+/// any size because a spec is *rebuildable* knowledge, not state: a session
+/// whose spec was evicted just needs its next request to carry the spec
+/// again (the same contract as a backend restart). The bound keeps a
+/// million-session namespace from growing gateway memory without limit.
+pub const DEFAULT_SPEC_CACHE_CAPACITY: usize = 65_536;
+
+/// A bounded LRU map from session name to its learned spec fields.
+/// Recency is a monotone tick stamped on insert and touch; eviction scans
+/// for the minimum tick — O(capacity), fine at the cache's size and only
+/// paid on insert past capacity.
+struct SpecCache {
+    map: HashMap<String, (Vec<(String, Json)>, u64)>,
+    tick: u64,
+    cap: usize,
+    evictions: u64,
+}
+
+impl SpecCache {
+    fn new(cap: usize) -> SpecCache {
+        SpecCache {
+            map: HashMap::new(),
+            tick: 0,
+            cap: cap.max(1),
+            evictions: 0,
+        }
+    }
+
+    fn insert(&mut self, session: &str, spec: Vec<(String, Json)>) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.len() >= self.cap && !self.map.contains_key(session) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(session.to_owned(), (spec, tick));
+    }
+
+    fn get(&mut self, session: &str) -> Option<&Vec<(String, Json)>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(session).map(|(spec, t)| {
+            *t = tick;
+            &*spec
+        })
+    }
+}
+
 /// The fleet router: N backend pools, the session spec cache, and the
 /// per-backend routing counters.
 pub struct Fleet {
     backends: Vec<BackendPool>,
     /// Session name → the spec fields learned from the first spec-bearing
     /// request that named it (`kind`/`family`/`n`/`seed`/`knob`, verbatim).
-    specs: Mutex<HashMap<String, Vec<(String, Json)>>>,
+    /// LRU-bounded: see [`DEFAULT_SPEC_CACHE_CAPACITY`].
+    specs: Mutex<SpecCache>,
     /// Query requests routed to each backend (the per-shard routing-hit
     /// witness reported in fleet stats).
     routed: Vec<AtomicU64>,
@@ -103,11 +159,17 @@ impl Fleet {
     /// is identity: position i is shard i, so a restarted gateway given
     /// the same `--backends` list routes identically.
     pub fn new(addrs: Vec<String>) -> Fleet {
+        Self::with_spec_capacity(addrs, DEFAULT_SPEC_CACHE_CAPACITY)
+    }
+
+    /// [`Fleet::new`] with an explicit spec-cache bound (tests use tiny
+    /// capacities to exercise eviction).
+    pub fn with_spec_capacity(addrs: Vec<String>, spec_capacity: usize) -> Fleet {
         assert!(!addrs.is_empty(), "a fleet needs at least one backend");
         let routed = addrs.iter().map(|_| AtomicU64::new(0)).collect();
         Fleet {
             backends: addrs.into_iter().map(BackendPool::new).collect(),
-            specs: Mutex::new(HashMap::new()),
+            specs: Mutex::new(SpecCache::new(spec_capacity)),
             routed,
             retries: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
@@ -185,7 +247,7 @@ impl Fleet {
             self.specs
                 .lock()
                 .expect("spec cache poisoned")
-                .insert(session.to_owned(), spec);
+                .insert(session, spec);
         } else if let Some(spec) = self.specs.lock().expect("spec cache poisoned").get(session) {
             for (k, v) in spec {
                 if !fields.iter().any(|(name, _)| name == k) {
@@ -243,6 +305,7 @@ impl Fleet {
             misses: 0,
             entries: 0,
         };
+        let mut adaptive_sessions = 0u64;
         let mut per_backend = Vec::new();
         for (idx, result) in results.into_iter().enumerate() {
             let mut entry = vec![
@@ -268,7 +331,26 @@ impl Fleet {
                             misses: pick("cache_misses_total"),
                             entries: 0,
                         };
+                    // Surface each backend's adaptively fitted budgets
+                    // (session name → fitted max_probes) so a fleet
+                    // operator sees the admission the whole fleet is
+                    // applying from one `GET /v1/stats`.
+                    let mut fitted = Vec::new();
+                    if let Some(Json::Obj(sess)) = parsed.get("sessions") {
+                        for (name, s) in sess {
+                            let budget = s.get("budget");
+                            let probes = budget
+                                .and_then(|b| b.get("fitted_max_probes"))
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0);
+                            if probes > 0 {
+                                adaptive_sessions += 1;
+                                fitted.push((name.clone(), Json::Num(probes as f64)));
+                            }
+                        }
+                    }
                     entry.push(("ok".to_owned(), Json::Bool(true)));
+                    entry.push(("fitted_budgets".to_owned(), Json::Obj(fitted)));
                     entry.push(("stats".to_owned(), g));
                 }
                 Err(e) => {
@@ -278,6 +360,10 @@ impl Fleet {
             }
             per_backend.push(Json::Obj(entry));
         }
+        let (spec_entries, spec_evictions) = {
+            let cache = self.specs.lock().expect("spec cache poisoned");
+            (cache.map.len() as u64, cache.evictions)
+        };
         let num = |x: u64| Json::Num(x as f64);
         let fleet = Json::Obj(vec![
             ("backends".to_owned(), num(self.backends.len() as u64)),
@@ -314,6 +400,9 @@ impl Fleet {
                 "unavailable".to_owned(),
                 num(self.unavailable.load(Ordering::Relaxed)),
             ),
+            ("adaptive_sessions".to_owned(), num(adaptive_sessions)),
+            ("spec_cache_entries".to_owned(), num(spec_entries)),
+            ("spec_cache_evictions".to_owned(), num(spec_evictions)),
         ]);
         let mut body = String::new();
         Json::Obj(vec![
@@ -406,6 +495,35 @@ mod tests {
         let other = serde_json::from_str(r#"{"session":"t","query":3}"#).unwrap();
         let line = fleet.learn_or_inject_spec("t", other);
         assert!(serde_json::from_str(&line).unwrap().get("kind").is_none());
+    }
+
+    #[test]
+    fn spec_cache_is_bounded_with_lru_eviction() {
+        let fleet = Fleet::with_spec_capacity(vec!["127.0.0.1:1".into()], 2);
+        let learn = |fleet: &Fleet, s: &str| {
+            let parsed = serde_json::from_str(&format!(
+                r#"{{"session":"{s}","kind":"mis","n":100,"query":1}}"#
+            ))
+            .unwrap();
+            fleet.learn_or_inject_spec(s, parsed);
+        };
+        let knows = |fleet: &Fleet, s: &str| {
+            let parsed =
+                serde_json::from_str(&format!(r#"{{"session":"{s}","query":1}}"#)).unwrap();
+            let line = fleet.learn_or_inject_spec(s, parsed);
+            serde_json::from_str(&line).unwrap().get("kind").is_some()
+        };
+        learn(&fleet, "a");
+        learn(&fleet, "b");
+        // Touch "a" so "b" becomes least-recently-used, then overflow.
+        assert!(knows(&fleet, "a"));
+        learn(&fleet, "c");
+        assert!(knows(&fleet, "a"), "recently touched entry survives");
+        assert!(knows(&fleet, "c"), "new entry resident");
+        assert!(!knows(&fleet, "b"), "LRU entry evicted at capacity");
+        let cache = fleet.specs.lock().unwrap();
+        assert_eq!(cache.map.len(), 2);
+        assert_eq!(cache.evictions, 1);
     }
 
     #[test]

@@ -240,6 +240,61 @@ fn routing_is_stable_across_gateway_restarts_and_specs_replicate() {
 }
 
 #[test]
+fn parse_errors_advertise_connection_close_and_the_gateway_hangs_up() {
+    let (addr0, h0, _b0) = spawn_backend("b0");
+    let (gw_addr, gw_handle) = spawn_gateway(vec![addr0.clone()]);
+
+    // A request the parser must reject: two Content-Length headers that
+    // disagree. After such an error the gateway cannot know where the next
+    // request starts, so the 400 must say `Connection: close` *and* the
+    // socket must actually close — header and behavior agree.
+    let mut stream = TcpStream::connect(&gw_addr).expect("connect gateway");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream
+        .write_all(
+            b"POST /v1/query HTTP/1.1\r\nHost: lca\r\n\
+              Content-Length: 2\r\nContent-Length: 5\r\n\r\n{}",
+        )
+        .expect("write malformed request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read until the gateway hangs up");
+    assert!(
+        response.starts_with("HTTP/1.1 400 "),
+        "expected a 400, got {response:?}"
+    );
+    let head = response
+        .split("\r\n\r\n")
+        .next()
+        .unwrap()
+        .to_ascii_lowercase();
+    assert!(
+        head.contains("connection: close"),
+        "400 must advertise the close it performs: {response:?}"
+    );
+    assert!(
+        !head.contains("connection: keep-alive"),
+        "conflicting connection headers: {response:?}"
+    );
+    // `read_to_string` returning proves EOF: the gateway really hung up
+    // instead of waiting for a next request it could not frame.
+
+    // Well-formed traffic on a fresh connection is unaffected.
+    let mut client = HttpClient::connect(&gw_addr);
+    let (status, response) = client.query(&spec_query(1, "close-test", 3));
+    assert_eq!(status, 200, "{response:?}");
+
+    client.request("POST", "/v1/shutdown", "");
+    gw_handle.join().expect("gateway drains");
+    let mut stream = TcpStream::connect(&addr0).expect("backend still up");
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    drop(stream);
+    h0.join().expect("backend drains");
+}
+
+#[test]
 fn a_dead_backend_fails_typed_while_other_shards_keep_serving() {
     let (addr0, h0, _b0) = spawn_backend("b0");
     let (addr1, h1, _b1) = spawn_backend("b1");

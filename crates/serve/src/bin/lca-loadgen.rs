@@ -4,9 +4,16 @@
 //! lca-loadgen --addr 127.0.0.1:7400 [--requests 1000] [--concurrency 4]
 //!             [--connections C] [--mix mis,spanner3] [--family gnp]
 //!             [--n 1000000] [--seed 7] [--knob C] [--rate QPS]
-//!             [--max-probes P] [--verify] [--session PREFIX] [--pool N]
-//!             [--shutdown] [--target http://host:port]
+//!             [--max-probes P] [--budget-policy POLICY] [--verify]
+//!             [--session PREFIX] [--pool N] [--shutdown]
+//!             [--target http://host:port]
 //! ```
+//!
+//! `--budget-policy` sends the `budget_policy` field with every request
+//! (`off`, `adaptive`, or a percentile like `p95`), asking the server to
+//! fit each session's probe budget to its observed distribution; `--verify`
+//! stays sound because server-chosen budgets are tolerated exactly like
+//! server-side defaults (answers must still match).
 //!
 //! `--target http://host:port` points the same traffic shapes at an
 //! `lca-gateway` over HTTP/1.1 (`POST /v1/query` per request) instead of
@@ -119,6 +126,16 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-probes: {e}"))?,
                 )
             }
+            "--budget-policy" => {
+                let policy = value("--budget-policy")?;
+                if lca_serve::budget::BudgetPolicy::parse(&policy).is_none() {
+                    return Err(format!(
+                        "--budget-policy: unknown policy {policy:?} \
+                         (use off, adaptive, or pNN like p95)"
+                    ));
+                }
+                args.cfg.budget_policy = Some(policy);
+            }
             "--verify" => args.cfg.verify = true,
             "--session" => args.cfg.session_prefix = value("--session")?,
             "--pool" => {
@@ -131,7 +148,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: lca-loadgen --addr host:port [--requests N] [--concurrency C] \
                      [--connections C] [--mix k1,k2] [--family F] [--n N] [--seed S] [--knob X] \
-                     [--rate QPS] [--max-probes P] [--verify] [--session PREFIX] [--pool N] \
+                     [--rate QPS] [--max-probes P] [--budget-policy POLICY] [--verify] \
+                     [--session PREFIX] [--pool N] \
                      [--shutdown] [--target http://host:port]"
                         .to_owned(),
                 )

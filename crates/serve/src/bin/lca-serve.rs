@@ -2,13 +2,22 @@
 //!
 //! ```text
 //! lca-serve [--addr 127.0.0.1:7400] [--workers N] [--queue N]
-//!           [--max-probes P] [--deadline-ms MS] [--max-connections C]
-//!           [--backend epoll|sweep] [--backend-id ID] [--stdin]
+//!           [--max-probes P] [--deadline-ms MS] [--adaptive-budgets]
+//!           [--budget-percentile P] [--budget-floor F]
+//!           [--max-connections C] [--backend epoll|sweep]
+//!           [--backend-id ID] [--stdin]
 //! ```
 //!
 //! `--max-probes`/`--deadline-ms` install a server-side default query
 //! budget; requests carrying their own `max_probes`/`deadline_ms` fields
 //! override it field-by-field.
+//!
+//! `--adaptive-budgets` starts every session with adaptive budget fitting
+//! enabled: the server fits each session's `max_probes` to
+//! `--budget-percentile` (default p99) of its observed probe distribution,
+//! clamped to `[--budget-floor, --max-probes]`. Explicit request
+//! `max_probes` always wins, and sessions can opt in or out per request
+//! with the `budget_policy` field.
 //!
 //! TCP connections are served by a single-threaded event-driven reactor
 //! (no per-connection threads); `--max-connections` (default 10240) sizes
@@ -71,6 +80,23 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 args.config.default_budget.timeout = Some(std::time::Duration::from_millis(ms));
             }
+            "--adaptive-budgets" => args.config.adaptive_budgets = true,
+            "--budget-percentile" => {
+                let pct: f64 = value("--budget-percentile")?
+                    .parse()
+                    .map_err(|e| format!("--budget-percentile: {e}"))?;
+                if !(pct > 0.0 && pct <= 100.0) {
+                    return Err(format!(
+                        "--budget-percentile must be in (0, 100], got {pct}"
+                    ));
+                }
+                args.config.budget_percentile = pct;
+            }
+            "--budget-floor" => {
+                args.config.budget_floor = value("--budget-floor")?
+                    .parse()
+                    .map_err(|e| format!("--budget-floor: {e}"))?
+            }
             "--max-connections" => {
                 args.max_connections = value("--max-connections")?
                     .parse()
@@ -89,8 +115,10 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: lca-serve [--addr host:port] [--workers N] [--queue N] \
-                     [--max-probes P] [--deadline-ms MS] [--max-connections C] \
-                     [--backend epoll|sweep] [--backend-id ID] [--stdin]"
+                     [--max-probes P] [--deadline-ms MS] [--adaptive-budgets] \
+                     [--budget-percentile P] [--budget-floor F] \
+                     [--max-connections C] [--backend epoll|sweep] \
+                     [--backend-id ID] [--stdin]"
                         .to_owned(),
                 )
             }

@@ -29,6 +29,11 @@
 //!   reports exhaustion counters plus a budget-utilization histogram.
 //!   Operators can install server-wide defaults
 //!   (`lca-serve --max-probes/--deadline-ms`).
+//! * **Adaptive budgets** ([`budget`]) — per-session controllers that fit
+//!   `max_probes` to a target percentile of the *observed* probe
+//!   distribution (windowed, decay-on-rotate histograms), requested per
+//!   session via the `budget_policy` field or server-wide via
+//!   `lca-serve --adaptive-budgets`. Explicit request budgets always win.
 //! * **Metrics** ([`metrics`]) — per-session and global qps, log₂ latency
 //!   and probe histograms (p50/p99), cache hit rates; served by the
 //!   `stats` request.
@@ -46,6 +51,7 @@
 #![deny(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod loadgen;
 pub mod metrics;
 pub mod pool;

@@ -100,6 +100,11 @@ pub struct LoadgenConfig {
     /// Per-query probe budget sent with every request (`max_probes` wire
     /// field); budget trips are counted, not treated as errors.
     pub max_probes: Option<u64>,
+    /// Adaptive-budget policy sent with every request (`budget_policy`
+    /// wire field, e.g. `"p99"`). Server-fitted budgets can trip like any
+    /// server-side default, which `--verify` tolerates deterministically
+    /// (see [`Expected`]); answers must still match.
+    pub budget_policy: Option<String>,
     /// Recompute every answer locally and count mismatches (the acceptance
     /// check: served answers must equal direct `LcaBuilder` queries).
     pub verify: bool,
@@ -127,6 +132,7 @@ impl Default for LoadgenConfig {
             knob: None,
             rate: None,
             max_probes: None,
+            budget_policy: None,
             verify: false,
             session_prefix: "loadgen".to_owned(),
             query_pool: 256,
@@ -361,15 +367,20 @@ impl Tally {
     }
 }
 
-fn request_line(plan: &KindPlan, query_idx: usize, id: u64, max_probes: Option<u64>) -> String {
+fn request_line(plan: &KindPlan, query_idx: usize, id: u64, cfg: &LoadgenConfig) -> String {
     // The session name carries the user-supplied --session prefix: render
     // it through the JSON writer so quotes/backslashes stay well-formed.
     let mut session = String::new();
     Json::Str(plan.session.clone()).render(&mut session);
-    let budget = match max_probes {
+    let mut budget = match cfg.max_probes {
         Some(n) => format!(",\"max_probes\":{n}"),
         None => String::new(),
     };
+    if let Some(policy) = &cfg.budget_policy {
+        let mut rendered = String::new();
+        Json::Str(policy.clone()).render(&mut rendered);
+        budget.push_str(&format!(",\"budget_policy\":{rendered}"));
+    }
     format!(
         "{{\"id\":{id},\"session\":{session},{}{budget},\"query\":{}}}",
         plan.spec_fields,
@@ -476,7 +487,7 @@ fn closed_loop_worker(
             break;
         }
         let (ki, qi) = schedule(i, plans);
-        let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
+        let request = request_line(&plans[ki], qi, i as u64, cfg);
         let expected = expected_answer(i as u64, plans, cfg.verify);
         // Closed loop: bounce on overload, back off briefly, retry — every
         // request eventually lands, which the verification relies on.
@@ -583,7 +594,7 @@ fn fan_in_worker(
                     next_send += gap;
                 }
                 let (ki, qi) = schedule(i, plans);
-                let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
+                let request = request_line(&plans[ki], qi, i as u64, cfg);
                 if write_request(&mut sock.writer, &request, cfg.http).is_err() {
                     tally.errors += 1;
                     sock.dead = true;
@@ -622,7 +633,7 @@ fn fan_in_worker(
                 }
                 std::thread::sleep(Duration::from_micros(500));
                 let (ki, qi) = schedule(id as usize, plans);
-                let request = request_line(&plans[ki], qi, id, cfg.max_probes);
+                let request = request_line(&plans[ki], qi, id, cfg);
                 if write_request(&mut sock.writer, &request, cfg.http).is_err() {
                     tally.errors += 1;
                     sock.dead = true;
@@ -711,7 +722,7 @@ fn open_loop_worker(
                 break;
             }
             let (ki, qi) = schedule(i, plans);
-            let request = request_line(&plans[ki], qi, i as u64, cfg.max_probes);
+            let request = request_line(&plans[ki], qi, i as u64, cfg);
             let now = Instant::now();
             if next_send > now {
                 std::thread::sleep(next_send - now);
@@ -951,7 +962,12 @@ mod tests {
         let plans = prepare(&cfg);
         assert_eq!(plans[0].expected.len(), plans[0].queries.len());
         assert!(plans[0].expected.iter().all(|e| e.may_exhaust));
-        let line = request_line(&plans[0], 3, 42, Some(500));
+        let budgeted = LoadgenConfig {
+            max_probes: Some(500),
+            budget_policy: Some("p95".to_owned()),
+            ..cfg
+        };
+        let line = request_line(&plans[0], 3, 42, &budgeted);
         let req = crate::proto::Request::parse(&line).unwrap();
         let crate::proto::Request::Query {
             session,
@@ -959,12 +975,17 @@ mod tests {
             queries,
             id,
             max_probes,
+            budget_policy,
             ..
         } = req
         else {
             panic!("not a query")
         };
         assert_eq!(max_probes, Some(500));
+        assert_eq!(
+            budget_policy,
+            Some(crate::budget::BudgetPolicy::Adaptive(Some(95.0)))
+        );
         assert_eq!(session, "loadgen-mis");
         assert_eq!(id, Some(42));
         assert_eq!(spec.unwrap().n, 5_000);

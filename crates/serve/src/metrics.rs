@@ -60,20 +60,24 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the covering
     /// bucket; `0` when empty.
+    ///
+    /// Allocation-free: a `stats` render makes eight quantile calls per
+    /// session and the adaptive-budget refit loop far more, so the atomics
+    /// are iterated directly. Concurrent recording can only grow counts
+    /// between the two passes, so the rank computed from the first pass is
+    /// always reachable in the second.
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
+        let mut total: u64 = 0;
+        for b in &self.buckets {
+            total += b.load(Ordering::Relaxed);
+        }
         if total == 0 {
             return 0;
         }
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 return match i {
                     0 => 0,

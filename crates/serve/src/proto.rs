@@ -8,6 +8,8 @@
 use lca::prelude::{AlgorithmKind, ImplicitFamily};
 use serde::Json;
 
+use crate::budget::BudgetPolicy;
+
 /// Version of this wire protocol, reported in every `stats` response so a
 /// fleet front end can tag (and age out) backends speaking an older
 /// schema. Bump when a field changes meaning or disappears — additive
@@ -64,6 +66,11 @@ pub enum Request {
         /// Wall-clock allowance for the whole request, in milliseconds;
         /// overruns fail with [`ErrorCode::DeadlineExceeded`].
         deadline_ms: Option<u64>,
+        /// Adaptive-budget policy for the session (`"off"`/`"none"`,
+        /// `"adaptive"`, or a `"pNN"` percentile like `"p95"`); latest
+        /// request wins. Explicit `max_probes` always overrides the fitted
+        /// budget. Absent means "leave the session's policy alone".
+        budget_policy: Option<BudgetPolicy>,
     },
     /// Report global and per-session metrics.
     Stats,
@@ -347,6 +354,25 @@ impl Request {
         }
         let max_probes = v.get("max_probes").and_then(Json::as_u64);
         let deadline_ms = v.get("deadline_ms").and_then(Json::as_u64);
+        let budget_policy = match v.get("budget_policy") {
+            None => None,
+            Some(policy) => {
+                let s = policy.as_str().ok_or_else(|| {
+                    ParseError::new(
+                        id,
+                        ErrorCode::BadRequest,
+                        "`budget_policy` must be a string",
+                    )
+                })?;
+                Some(BudgetPolicy::parse(s).ok_or_else(|| {
+                    ParseError::new(
+                        id,
+                        ErrorCode::BadRequest,
+                        format!("unknown budget_policy {s:?} (use off, adaptive, or pNN like p95)"),
+                    )
+                })?)
+            }
+        };
         Ok(Request::Query {
             session,
             spec,
@@ -354,6 +380,7 @@ impl Request {
             id,
             max_probes,
             deadline_ms,
+            budget_policy,
         })
     }
 
@@ -446,6 +473,7 @@ mod tests {
             id,
             max_probes,
             deadline_ms,
+            budget_policy,
         } = req
         else {
             panic!("not a query")
@@ -453,6 +481,7 @@ mod tests {
         assert_eq!(session, "s");
         assert_eq!(max_probes, None);
         assert_eq!(deadline_ms, None);
+        assert_eq!(budget_policy, None);
         assert_eq!(id, None);
         let spec = spec.unwrap();
         assert_eq!(spec.kind, AlgorithmKind::Classic(ClassicKind::Mis));
@@ -505,6 +534,34 @@ mod tests {
         assert_eq!(deadline_ms, Some(250));
         assert_eq!(ErrorCode::BudgetExhausted.as_str(), "budget-exhausted");
         assert_eq!(ErrorCode::DeadlineExceeded.as_str(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn budget_policy_parses_and_rejects_junk() {
+        for (policy, expect) in [
+            ("off", BudgetPolicy::Off),
+            ("none", BudgetPolicy::Off),
+            ("adaptive", BudgetPolicy::Adaptive(None)),
+            ("p95", BudgetPolicy::Adaptive(Some(95.0))),
+            ("p99.9", BudgetPolicy::Adaptive(Some(99.9))),
+        ] {
+            let line = format!(
+                r#"{{"session": "s", "kind": "mis", "n": 100, "budget_policy": "{policy}", "query": 1}}"#
+            );
+            let Request::Query { budget_policy, .. } = Request::parse(&line).unwrap() else {
+                panic!("not a query")
+            };
+            assert_eq!(budget_policy, Some(expect), "{policy}");
+        }
+        for line in [
+            r#"{"session": "s", "kind": "mis", "n": 100, "budget_policy": "p0", "query": 1}"#,
+            r#"{"session": "s", "kind": "mis", "n": 100, "budget_policy": "banana", "query": 1}"#,
+            r#"{"session": "s", "kind": "mis", "n": 100, "budget_policy": 99, "query": 1}"#,
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+            assert!(err.message.contains("budget_policy"), "{line}");
+        }
     }
 
     #[test]

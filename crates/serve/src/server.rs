@@ -26,6 +26,7 @@ use std::time::Duration;
 use lca::prelude::QueryBudget;
 use serde::Json;
 
+use crate::budget::BudgetPolicyConfig;
 use crate::metrics::{global_stats_json, session_stats_json, GlobalMetrics, GlobalSnapshot};
 use crate::pool::{RejectReason, WorkerPool};
 use crate::proto::{ErrorCode, Request, Response};
@@ -48,6 +49,16 @@ pub struct ServerConfig {
     /// fleet rollup can tag which member a snapshot came from. Empty by
     /// default; set with `lca-serve --backend-id`.
     pub backend_id: String,
+    /// When `true`, every session starts with adaptive budget fitting
+    /// enabled (`lca-serve --adaptive-budgets`); sessions can still opt in
+    /// or out per request via `budget_policy`.
+    pub adaptive_budgets: bool,
+    /// Default target percentile for adaptive fits (`--budget-percentile`,
+    /// default 99.0); also fills in a wire-level `"adaptive"` policy.
+    pub budget_percentile: f64,
+    /// The fitted budget never drops below this floor
+    /// (`--budget-floor`, default 8 probes).
+    pub budget_floor: u64,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +70,9 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             default_budget: QueryBudget::unlimited(),
             backend_id: String::new(),
+            adaptive_budgets: false,
+            budget_percentile: 99.0,
+            budget_floor: 8,
         }
     }
 }
@@ -98,18 +112,28 @@ pub struct Server {
     draining: AtomicBool,
     default_budget: QueryBudget,
     backend_id: String,
+    budget_percentile: f64,
 }
 
 impl Server {
     /// Builds a server (spawns its worker pool immediately).
     pub fn new(config: ServerConfig) -> Arc<Server> {
+        // The server's own `--max-probes` is the hard cap: an adaptive fit
+        // may tighten the budget below it but never loosen past it.
+        let policy = BudgetPolicyConfig {
+            enabled: config.adaptive_budgets,
+            percentile: config.budget_percentile,
+            floor: config.budget_floor,
+            cap: config.default_budget.max_probes.unwrap_or(u64::MAX),
+        };
         Arc::new(Server {
-            registry: SessionRegistry::new(),
+            registry: SessionRegistry::with_policy(policy),
             global: GlobalMetrics::default(),
             pool: WorkerPool::new(config.workers, config.queue_capacity),
             draining: AtomicBool::new(false),
             default_budget: config.default_budget,
             backend_id: config.backend_id,
+            budget_percentile: config.budget_percentile,
         })
     }
 
@@ -151,6 +175,7 @@ impl Server {
                 obj.insert(1, ("family".into(), Json::Str(s.spec.family.to_string())));
                 obj.insert(2, ("n".into(), Json::Num(s.vertex_count() as f64)));
                 obj.insert(3, ("seed".into(), Json::Num(s.spec.seed as f64)));
+                obj.push(("budget".into(), s.controller.stats_json()));
                 (name.clone(), Json::Obj(obj))
             })
             .collect();
@@ -254,6 +279,7 @@ impl Server {
                 id,
                 max_probes,
                 deadline_ms,
+                budget_policy,
             } => {
                 if self.draining() {
                     return LineOutcome::Inline(Response::Error {
@@ -268,8 +294,18 @@ impl Server {
                         return LineOutcome::Inline(Response::Error { id, code, message })
                     }
                 };
+                if let Some(policy) = budget_policy {
+                    resolved
+                        .controller
+                        .set_policy(policy, self.budget_percentile);
+                }
+                // Precedence: an explicit request budget always wins, then
+                // the session's fitted adaptive budget, then the server
+                // default.
                 let budget = QueryBudget {
-                    max_probes: max_probes.or(self.default_budget.max_probes),
+                    max_probes: max_probes
+                        .or_else(|| resolved.controller.fitted())
+                        .or(self.default_budget.max_probes),
                     timeout: deadline_ms
                         .map(Duration::from_millis)
                         .or(self.default_budget.timeout),

@@ -28,6 +28,7 @@ use lca::prelude::{CachedOracle, CountingOracle, LcaBuilder, LcaError, Oracle, Q
 use lca::registry::DynLca;
 use lca_graph::VertexId;
 
+use crate::budget::{BudgetController, BudgetPolicyConfig};
 use crate::metrics::SessionMetrics;
 use crate::proto::{ErrorCode, QueryPayload, Response, SessionSpec};
 use crate::{algo_seed, input_seed};
@@ -74,6 +75,10 @@ pub struct Session {
     pub started: Instant,
     /// Serving counters.
     pub metrics: SessionMetrics,
+    /// Adaptive budget controller: observes per-query probe spend and,
+    /// when enabled, fits the session's `max_probes` to a target
+    /// percentile (see [`crate::budget`]).
+    pub controller: BudgetController,
     oracle: Arc<OracleStack>,
     algo: DynLca<'static>,
     /// Deadline-poll stride derived from the oracle stack's probe-cost
@@ -95,6 +100,12 @@ impl Session {
     /// Construction is probe-free and cheap (the input is a generator, not
     /// a graph), so building lazily inside the registry lock is fine.
     pub fn build(spec: SessionSpec) -> Session {
+        Self::build_with_policy(spec, BudgetPolicyConfig::default())
+    }
+
+    /// [`Session::build`] with an explicit server-side budget policy (the
+    /// registry passes the server's `--adaptive-budgets` configuration).
+    pub fn build_with_policy(spec: SessionSpec, policy: BudgetPolicyConfig) -> Session {
         let implicit = spec
             .family
             .build_with(spec.n, input_seed(spec.seed), spec.knob);
@@ -107,6 +118,7 @@ impl Session {
             spec,
             started: Instant::now(),
             metrics: SessionMetrics::default(),
+            controller: BudgetController::new(policy),
             oracle,
             algo,
             poll_stride,
@@ -203,6 +215,10 @@ impl Session {
             probes += ctx.spent();
             match outcome {
                 Ok(a) => {
+                    // Every completed query feeds the adaptive controller's
+                    // windowed histogram (even while fitting is off, so a
+                    // later `budget_policy` switch fits from real history).
+                    self.controller.observe(ctx.spent());
                     // Utilization is a headroom signal over *successful*
                     // budgeted queries (trips have their own counter; a
                     // failed query's partial spend would skew the p50).
@@ -218,6 +234,15 @@ impl Session {
                         LcaError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
                         _ => ErrorCode::BudgetExhausted,
                     };
+                    // A probe-budget trip is a *censored* observation: the
+                    // true spend is at least the limit. Deadline trips are
+                    // not recorded — wall-clock partial spend would bias
+                    // the probe fit down.
+                    if code == ErrorCode::BudgetExhausted {
+                        if let Some(limit) = budget.max_probes {
+                            self.controller.observe_exhausted(limit);
+                        }
+                    }
                     return Response::Error {
                         id,
                         code,
@@ -281,6 +306,8 @@ struct RegistryShard {
 /// session cache stats.
 pub struct SessionRegistry {
     shards: Vec<RegistryShard>,
+    /// Server-side budget policy every newly built session starts with.
+    policy: BudgetPolicyConfig,
 }
 
 impl Default for SessionRegistry {
@@ -301,6 +328,16 @@ impl SessionRegistry {
             shards: (0..shards.max(1))
                 .map(|_| RegistryShard::default())
                 .collect(),
+            policy: BudgetPolicyConfig::default(),
+        }
+    }
+
+    /// An empty registry whose sessions start with `policy` (the server's
+    /// `--adaptive-budgets` configuration).
+    pub fn with_policy(policy: BudgetPolicyConfig) -> Self {
+        Self {
+            policy,
+            ..Self::new()
         }
     }
 
@@ -367,7 +404,7 @@ impl SessionRegistry {
                 }
             }
             (None, Some(spec)) => {
-                let session = Arc::new(Session::build(spec));
+                let session = Arc::new(Session::build_with_policy(spec, self.policy));
                 sessions.insert(name.to_owned(), session.clone());
                 Ok(session)
             }

@@ -355,6 +355,142 @@ fn budget_exhaustion_is_typed_deterministic_and_counted() {
 }
 
 #[test]
+fn budget_policy_on_the_wire_fits_reports_and_yields_to_explicit_budgets() {
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+    let spec = "\"session\":\"ap\",\"kind\":\"mis\",\"family\":\"gnp\",\"n\":50000,\"seed\":3";
+
+    // Cold all-distinct traffic under a requested p95 policy: every request
+    // re-asserts the policy (latest wins) and feeds the windowed histogram.
+    // Once fitted, a tail query may legitimately trip the fitted budget —
+    // tolerated, but nothing else may fail.
+    let mut answered = 0;
+    let mut exhausted = 0;
+    for v in 0..200u64 {
+        let r = client.roundtrip(&format!(
+            "{{{spec},\"budget_policy\":\"p95\",\"query\":{v}}}"
+        ));
+        match r.get("error").and_then(Json::as_str) {
+            None => answered += 1,
+            Some("budget-exhausted") => exhausted += 1,
+            Some(other) => panic!("unexpected error {other}: {r:?}"),
+        }
+    }
+    assert!(answered > 150, "answered {answered}, exhausted {exhausted}");
+
+    // The per-session stats block reports the live policy and a real fit.
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    let budget = stats
+        .get("sessions")
+        .and_then(|s| s.get("ap"))
+        .and_then(|s| s.get("budget"))
+        .unwrap_or_else(|| panic!("budget block missing: {stats:?}"));
+    assert_eq!(budget.get("policy").and_then(Json::as_str), Some("p95"));
+    assert_eq!(
+        budget.get("target_percentile").and_then(Json::as_f64),
+        Some(95.0)
+    );
+    let fitted = budget
+        .get("fitted_max_probes")
+        .and_then(Json::as_u64)
+        .expect("fitted value");
+    assert!(fitted > 0, "no fit after 200 observations: {stats:?}");
+    assert!(budget.get("refits").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(budget.get("samples").and_then(Json::as_u64).unwrap() >= 200);
+
+    // An explicit request budget overrides the fitted one: a generous
+    // max_probes must answer even where the tight fit could trip.
+    let r = client.roundtrip(r#"{"session":"ap","max_probes":1000000,"query":49999}"#);
+    assert!(r.get("answer").is_some(), "{r:?}");
+
+    // Switching the policy off on the wire is reflected in stats.
+    let r = client.roundtrip(r#"{"session":"ap","budget_policy":"off","query":7}"#);
+    assert!(
+        r.get("answer").is_some() || r.get("error").and_then(Json::as_str).is_none(),
+        "{r:?}"
+    );
+    let stats = client.roundtrip(r#"{"op":"stats"}"#);
+    let budget = stats
+        .get("sessions")
+        .and_then(|s| s.get("ap"))
+        .and_then(|s| s.get("budget"))
+        .expect("budget block");
+    assert_eq!(budget.get("policy").and_then(Json::as_str), Some("off"));
+
+    // A junk policy is a typed parse error.
+    let r = client.roundtrip(r#"{"session":"ap","budget_policy":"p0","query":7}"#);
+    assert_eq!(r.get("error").and_then(Json::as_str), Some("bad-request"));
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("drain");
+}
+
+#[test]
+fn adaptive_server_tightens_cold_sessions_and_verify_stays_green() {
+    // A server started with --adaptive-budgets fits every session's budget
+    // to p99 of observed spend. Cold all-distinct traffic (pool == request
+    // count) is the workload that used to exhaust ~50% at a hand-picked
+    // cold-median budget; under the fitted budget exhaustion must be rare
+    // and every completed answer must still verify against a direct local
+    // computation.
+    let (addr, handle, _server) = spawn_server(ServerConfig {
+        workers: 2,
+        queue_capacity: 128,
+        adaptive_budgets: true,
+        ..ServerConfig::default()
+    });
+    let requests = 400;
+    let cfg = LoadgenConfig {
+        requests,
+        concurrency: 2,
+        kinds: vec![AlgorithmKind::Classic(ClassicKind::Mis)],
+        family: ImplicitFamily::Gnp,
+        n: 100_000,
+        seed: 13,
+        verify: true,
+        query_pool: requests,
+        ..LoadgenConfig::default()
+    };
+    let run = loadgen::run(&addr, &cfg).expect("adaptive run");
+    assert_eq!(run.report.errors, 0, "{:?}", run.report);
+    assert_eq!(run.report.mismatches, 0, "{:?}", run.report);
+    assert_eq!(
+        run.report.ok + run.report.budget_exhausted,
+        requests as u64,
+        "{:?}",
+        run.report
+    );
+    // p99 fit + log₂ bucket-upper-bound headroom: trips stay a small tail,
+    // nowhere near the ~50% a cold-median fixed budget produces.
+    assert!(
+        run.report.budget_exhausted <= requests as u64 / 10,
+        "adaptive budget exhausted too often: {:?}",
+        run.report
+    );
+    let stats = run.server_stats.expect("stats fetched");
+    let budget = stats
+        .get("sessions")
+        .and_then(|s| s.get("loadgen-mis"))
+        .and_then(|s| s.get("budget"))
+        .unwrap_or_else(|| panic!("budget block missing: {stats:?}"));
+    assert_eq!(budget.get("policy").and_then(Json::as_str), Some("p99"));
+    assert!(
+        budget
+            .get("fitted_max_probes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "server-wide adaptive mode never fitted: {stats:?}"
+    );
+    loadgen::send_shutdown(&addr).expect("shutdown");
+    handle.join().expect("drain");
+}
+
+#[test]
 fn overload_backpressure_answers_instead_of_buffering() {
     // One worker, queue of one: pipelined requests behind a slow batch must
     // see `overloaded` rather than unbounded queueing.
