@@ -241,8 +241,9 @@ struct ServeRow {
 }
 
 /// The `--serve` report: daemon + load generator end-to-end, in-process.
-/// Five passes — unbudgeted, budget-starved, many-connection fan-in (the
-/// C10k witness), and a fixed-vs-adaptive budget pair on the heavy-tailed
+/// Six passes — unbudgeted, budget-starved, binary-framed, many-connection
+/// fan-in (the C10k witness, with the syscall-budget ratios measured over
+/// its window), and a fixed-vs-adaptive budget pair on the heavy-tailed
 /// kinds (cold-median client budget against a `--adaptive-budgets` daemon
 /// fitting p99) — all fully verified.
 fn serve_report() {
@@ -313,11 +314,32 @@ fn serve_report() {
         b.qps
     );
 
+    // Binary-framing pass: the same verified workload with responses
+    // negotiated to length-prefixed binary frames. The loadgen re-renders
+    // every decoded frame to the canonical JSON line before checking, so
+    // a green verify here proves the two framings are answer-identical.
+    let binary_cfg = LoadgenConfig {
+        frames: lca_serve::proto::FrameFormat::Binary,
+        session_prefix: "binframe".to_owned(),
+        ..cfg.clone()
+    };
+    let binary = loadgen::run(&addr, &binary_cfg).expect("binary-frame loadgen run");
+    let bf = &binary.report;
+    assert_eq!(bf.errors, 0, "protocol errors during binary-frame report");
+    assert_eq!(bf.mismatches, 0, "binary-frame answers diverged");
+    println!(
+        "binary frames (--frames binary): {} ok / {} requests, {:.0} qps, p99 {} µs",
+        bf.ok, bf.requests, bf.qps, bf.p99_us
+    );
+
     // Third pass: the many-connection fan-in scenario. 1000 sockets held
     // open simultaneously against the default-size worker pool, one
     // in-flight request per socket, every answer verified — the C10k
     // claim measured rather than asserted (`connections_open` is sampled
-    // from the server's stats while all sockets are open).
+    // from the server's stats while all sockets are open). A stats
+    // snapshot taken just before lets the syscall-budget ratios be
+    // computed over exactly the fan-in window.
+    let pre_fan = loadgen::fetch_stats(&addr).expect("pre-fan-in stats snapshot");
     let fan_cfg = LoadgenConfig {
         requests: 4_000,
         concurrency: 4,
@@ -345,6 +367,31 @@ fn serve_report() {
     println!(
         "fan-in loadgen ({} connections): {} ok, {:.0} qps, p99 {} µs, {} open at stats time",
         f.connections, f.ok, f.qps, f.p99_us, connections_open_at_peak
+    );
+
+    // The syscall budget over the fan-in window: counter deltas between
+    // the pre-pass snapshot and the mid-run capture. Batched completion
+    // drains plus coalesced vectored flushes must keep the hot path under
+    // 1.5 write syscalls per response (1.0 = every response shared or
+    // owned exactly one writev).
+    let counter = |stats: &serde::Json, key: &str| {
+        stats
+            .get("stats")
+            .and_then(|g| g.get(key))
+            .and_then(serde::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let fan_stats = fan.server_stats.as_ref().expect("mid-run fan-in stats");
+    let delta = |key: &str| counter(fan_stats, key).saturating_sub(counter(&pre_fan, key)) as f64;
+    let syscalls_per_response = delta("write_syscalls") / delta("responses").max(1.0);
+    let completions_per_wake = delta("completions_delivered") / delta("reactor_wakeups").max(1.0);
+    assert!(
+        syscalls_per_response < 1.5,
+        "fan-in hot path spent {syscalls_per_response:.3} write syscalls per response (want < 1.5)"
+    );
+    println!(
+        "syscall budget (fan-in window): {syscalls_per_response:.3} write syscalls/response, \
+         {completions_per_wake:.2} completions/wake"
     );
 
     // Fourth pass pair: fixed versus adaptive budgets on the heavy-tailed
@@ -449,9 +496,12 @@ fn serve_report() {
         budgeted: lca_serve::loadgen::LoadReport,
         budget_probes: u64,
         exhaustion_rate: f64,
+        binary_frames: lca_serve::loadgen::LoadReport,
         fan_in: lca_serve::loadgen::LoadReport,
         fan_in_connections: usize,
         connections_open_at_peak: u64,
+        syscalls_per_response: f64,
+        completions_per_wake: f64,
         fixed_tail: lca_serve::loadgen::LoadReport,
         adaptive_tail: lca_serve::loadgen::LoadReport,
         tail_budget_probes: u64,
@@ -467,9 +517,12 @@ fn serve_report() {
             budgeted: b.clone(),
             budget_probes: 48,
             exhaustion_rate: b.budget_exhausted as f64 / b.requests.max(1) as f64,
+            binary_frames: bf.clone(),
             fan_in: f.clone(),
             fan_in_connections: fan_cfg.connections,
             connections_open_at_peak,
+            syscalls_per_response,
+            completions_per_wake,
             fixed_tail: fx.clone(),
             adaptive_tail: ad.clone(),
             tail_budget_probes,

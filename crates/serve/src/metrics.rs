@@ -164,6 +164,21 @@ pub struct GlobalMetrics {
     /// side of the readiness loop; a coarse proxy for response batching —
     /// fewer wakeups per response means better batching).
     pub reactor_wakeups: AtomicU64,
+    /// Worker completions pulled off the completion queue, across all
+    /// drains. Divided by `reactor_wakeups` this is `completions_per_wake`
+    /// — the direct measure of drain batching (1.0 means every completion
+    /// paid a full wake; higher means the exhaustive drain amortized them).
+    pub completions_delivered: AtomicU64,
+    /// Write syscalls the reactor issued (each `writev`/`write` counts
+    /// once, including short writes and retries).
+    pub write_syscalls: AtomicU64,
+    /// Responses handed to connection write queues (every framing, every
+    /// op). Divided into `write_syscalls` this is `syscalls_per_response`.
+    pub responses: AtomicU64,
+    /// Bytes actually accepted by the kernel across all write syscalls —
+    /// exact under short writes, because the reactor adds precisely what
+    /// each syscall returned.
+    pub bytes_written: AtomicU64,
     /// Process start, for uptime/qps.
     pub started: Instant,
 }
@@ -178,6 +193,10 @@ impl Default for GlobalMetrics {
             connections: AtomicU64::new(0),
             connections_open: AtomicU64::new(0),
             reactor_wakeups: AtomicU64::new(0),
+            completions_delivered: AtomicU64::new(0),
+            write_syscalls: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -185,6 +204,15 @@ impl Default for GlobalMetrics {
 
 fn num(x: u64) -> Json {
     Json::Num(x as f64)
+}
+
+/// `a / b` rendering 0 (not NaN/null) before any traffic.
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
 }
 
 /// Renders one session's stats object (the `sessions` map values of the
@@ -323,6 +351,36 @@ pub fn global_stats_json(global: &GlobalMetrics, snap: &GlobalSnapshot) -> Json 
         (
             "reactor_wakeups".into(),
             num(global.reactor_wakeups.load(Ordering::Relaxed)),
+        ),
+        (
+            "completions_delivered".into(),
+            num(global.completions_delivered.load(Ordering::Relaxed)),
+        ),
+        (
+            "write_syscalls".into(),
+            num(global.write_syscalls.load(Ordering::Relaxed)),
+        ),
+        (
+            "responses".into(),
+            num(global.responses.load(Ordering::Relaxed)),
+        ),
+        (
+            "bytes_written".into(),
+            num(global.bytes_written.load(Ordering::Relaxed)),
+        ),
+        (
+            "completions_per_wake".into(),
+            Json::Num(ratio(
+                global.completions_delivered.load(Ordering::Relaxed),
+                global.reactor_wakeups.load(Ordering::Relaxed),
+            )),
+        ),
+        (
+            "syscalls_per_response".into(),
+            Json::Num(ratio(
+                global.write_syscalls.load(Ordering::Relaxed),
+                global.responses.load(Ordering::Relaxed),
+            )),
         ),
         ("queue_len".into(), num(snap.queue_len as u64)),
         ("sessions".into(), num(snap.sessions as u64)),

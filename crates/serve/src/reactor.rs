@@ -29,16 +29,16 @@
 //!   delivered and every write buffer is empty, then closes and returns.
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::proto::Response;
+use crate::proto::{FrameFormat, Response};
 use crate::server::{LineOutcome, Server};
-use crate::sys::{Event, Poller, Waker};
+use crate::sys::{self, Event, Poller, Waker};
 
 /// Registration token of the listener (connection tokens never reach it:
 /// they encode a slab index in the low 32 bits and a generation above).
@@ -111,16 +111,65 @@ struct Conn {
     stream: TcpStream,
     /// Bytes read but not yet framed into a complete line.
     read_buf: Vec<u8>,
-    /// Rendered responses awaiting socket space.
-    write_buf: VecDeque<u8>,
+    /// Rendered wire units (newline-JSON lines or binary frames) awaiting
+    /// socket space, oldest first. Kept as separate buffers so a flush can
+    /// gather many of them into one `writev` without copying.
+    write_queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front `write_queue` entry already accepted by the
+    /// kernel (a previous short write stopped mid-unit).
+    write_head: usize,
+    /// Unsent bytes across the whole queue (`write_queue` total minus
+    /// `write_head`) — the buffer-cap and "owes nothing" bookkeeping.
+    queued_bytes: usize,
+    /// Response framing negotiated for this connection (`hello`); starts
+    /// as newline-JSON.
+    frame: FrameFormat,
     /// Pool jobs admitted for this connection whose responses have not yet
-    /// been delivered to `write_buf`.
+    /// been delivered to `write_queue`.
     pending: usize,
     /// The peer half-closed its write side (EOF seen); we still flush what
     /// we owe, then close.
     peer_closed: bool,
     /// Whether the poller currently watches this fd for write readiness.
     want_write: bool,
+}
+
+impl Conn {
+    /// Renders `response` in the connection's negotiated framing and
+    /// queues it for flushing. Rendering happens exactly once, here — the
+    /// flush path only ever gathers byte slices.
+    fn enqueue(&mut self, response: &Response) {
+        let unit = match self.frame {
+            FrameFormat::Json => {
+                let mut bytes = response.render().into_bytes();
+                bytes.push(b'\n');
+                bytes
+            }
+            FrameFormat::Binary => response.encode_frame(),
+        };
+        self.queued_bytes += unit.len();
+        self.write_queue.push_back(unit);
+    }
+}
+
+/// Consumes `written` bytes off the front of a connection's write queue,
+/// popping fully-sent units and leaving `head` at the partial-write point
+/// inside the new front unit. Exact by construction: it advances by
+/// precisely what the syscall reported, which is what keeps
+/// `bytes_written` (and retry offsets) truthful under short writes.
+fn advance_write_queue(queue: &mut VecDeque<Vec<u8>>, head: &mut usize, mut written: usize) {
+    while written > 0 {
+        let front = queue.front().expect("advanced past end of write queue");
+        let remaining = front.len() - *head;
+        if written >= remaining {
+            written -= remaining;
+            queue.pop_front();
+            *head = 0;
+        } else {
+            *head += written;
+            written = 0;
+        }
+    }
 }
 
 struct Slot {
@@ -156,9 +205,10 @@ pub(crate) struct Reactor {
 }
 
 impl Reactor {
-    /// Runs the serve loop to drain completion. The listener is consumed;
-    /// the pool is left running (the caller shuts it down).
-    pub(crate) fn run(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
+    /// Builds a reactor around a bound listener (made nonblocking and
+    /// registered here). Split from [`Reactor::run`] so tests can drive
+    /// the pieces — accept, completion delivery, flush — by hand.
+    pub(crate) fn new(server: Arc<Server>, listener: TcpListener) -> io::Result<Reactor> {
         listener.set_nonblocking(true)?;
         let mut poller = Poller::new()?;
         poller.register(listener.as_raw_fd(), LISTENER_TOKEN, false)?;
@@ -167,7 +217,7 @@ impl Reactor {
             waker: poller.waker(),
             wakes_issued: std::sync::atomic::AtomicU64::new(0),
         });
-        let mut reactor = Reactor {
+        Ok(Reactor {
             server,
             poller,
             listener: Some(listener),
@@ -177,7 +227,13 @@ impl Reactor {
             in_flight: 0,
             open: 0,
             drain_started: None,
-        };
+        })
+    }
+
+    /// Runs the serve loop to drain completion. The listener is consumed;
+    /// the pool is left running (the caller shuts it down).
+    pub(crate) fn run(server: Arc<Server>, listener: TcpListener) -> io::Result<()> {
+        let mut reactor = Reactor::new(server, listener)?;
         let result = reactor.event_loop();
         // Whatever remains (error paths): close sockets before returning so
         // clients see EOF rather than a dead peer.
@@ -211,6 +267,10 @@ impl Reactor {
                     self.conn_ready(ev);
                 }
             }
+            // Completions that landed while we processed events go out now
+            // instead of waiting for the wake to be observed next
+            // iteration — one drain's worth of latency saved per loop.
+            self.deliver_completions();
             if self.server.draining() {
                 self.stop_accepting();
                 let drain_started = *self
@@ -229,7 +289,7 @@ impl Reactor {
                 for idx in 0..self.slots.len() {
                     let done = matches!(
                         &self.slots[idx].conn,
-                        Some(c) if c.pending == 0 && (grace_expired || c.write_buf.is_empty())
+                        Some(c) if c.pending == 0 && (grace_expired || c.queued_bytes == 0)
                     );
                     if done {
                         self.close_conn(idx);
@@ -303,7 +363,10 @@ impl Reactor {
         self.slots[idx].conn = Some(Conn {
             stream,
             read_buf: Vec::new(),
-            write_buf: VecDeque::new(),
+            write_queue: VecDeque::new(),
+            write_head: 0,
+            queued_bytes: 0,
+            frame: FrameFormat::Json,
             pending: 0,
             peer_closed: false,
             want_write: false,
@@ -347,13 +410,34 @@ impl Reactor {
         }
     }
 
+    /// Drains the whole completion queue in one pass: every response is
+    /// staged into its connection's write queue first, then each touched
+    /// connection is flushed exactly once — N completions for one
+    /// connection cost one `writev`, not N `write`s.
     fn deliver_completions(&mut self) {
-        for (token, response) in self.completions.drain() {
+        let batch = self.completions.drain();
+        if batch.is_empty() {
+            return;
+        }
+        self.server
+            .global
+            .completions_delivered
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let mut touched: Vec<usize> = Vec::with_capacity(batch.len());
+        for (token, response) in batch {
             self.in_flight -= 1;
             if let Some(idx) = self.live(token) {
                 let conn = self.slots[idx].conn.as_mut().expect("live conn");
                 conn.pending -= 1;
-                push_response(&mut conn.write_buf, &response);
+                conn.enqueue(&response);
+                self.server.global.responses.fetch_add(1, Ordering::Relaxed);
+                touched.push(idx);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for idx in touched {
+            if self.slots[idx].conn.is_some() {
                 self.flush_conn(idx);
             }
         }
@@ -395,6 +479,9 @@ impl Reactor {
                         return;
                     }
                     // Frame and dispatch every complete line we now hold.
+                    // Inline responses pile up in the write queue; they are
+                    // flushed together below, so a pipelined burst of K
+                    // requests costs one gather-write, not K writes.
                     loop {
                         let conn = self.slots[idx].conn.as_mut().expect("live conn");
                         let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
@@ -402,8 +489,17 @@ impl Reactor {
                         };
                         let line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
                         self.dispatch_line(idx, token, &line);
-                        if self.slots[idx].conn.is_none() {
-                            return; // dispatch closed the connection
+                        match self.slots[idx].conn.as_ref() {
+                            None => return, // dispatch closed the connection
+                            // A pipelined flood must not stage unboundedly
+                            // between flushes: shed pressure mid-batch.
+                            Some(c) if c.queued_bytes > MAX_WRITE_BUFFER => {
+                                self.flush_conn(idx);
+                                if self.slots[idx].conn.is_none() {
+                                    return;
+                                }
+                            }
+                            Some(_) => {}
                         }
                     }
                 }
@@ -413,6 +509,13 @@ impl Reactor {
                     self.close_conn(idx);
                     return;
                 }
+            }
+        }
+        // One coalesced flush for everything this readiness event staged.
+        if matches!(self.slots[idx].conn.as_ref(), Some(c) if c.queued_bytes > 0) {
+            self.flush_conn(idx);
+            if self.slots[idx].conn.is_none() {
+                return;
             }
         }
         // EOF: the peer cannot send more requests. Close as soon as every
@@ -429,8 +532,17 @@ impl Reactor {
         match outcome {
             LineOutcome::Inline(response) => {
                 let conn = self.slots[idx].conn.as_mut().expect("live conn");
-                push_response(&mut conn.write_buf, &response);
-                self.flush_conn(idx);
+                conn.enqueue(&response);
+                self.server.global.responses.fetch_add(1, Ordering::Relaxed);
+            }
+            LineOutcome::Hello(format) => {
+                // STARTTLS convention: acknowledge in the *current*
+                // framing, then switch — the client reads one response in
+                // the old framing and everything after in the new one.
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                conn.enqueue(&Response::Hello { frame: format });
+                conn.frame = format;
+                self.server.global.responses.fetch_add(1, Ordering::Relaxed);
             }
             LineOutcome::Deferred => {
                 self.in_flight += 1;
@@ -440,25 +552,52 @@ impl Reactor {
         }
     }
 
-    /// Writes as much of the connection's buffer as the socket accepts,
+    /// Writes as much of the connection's queue as the socket accepts —
+    /// gathering up to [`sys::MAX_IOVECS`] queued units per `writev` —
     /// maintains write-readiness interest, enforces the buffer cap, and
     /// closes once a finished connection owes nothing.
+    ///
+    /// Accounting is exact per syscall: `bytes_written` grows by precisely
+    /// the syscall's return value and the queue advances by the same
+    /// amount, so short writes never over- or under-report.
     fn flush_conn(&mut self, idx: usize) {
         let gen = self.slots[idx].gen;
+        let server = self.server.clone();
         let mut close = false;
         let mut interest = None;
         let Some(conn) = self.slots[idx].conn.as_mut() else {
             return;
         };
-        while !conn.write_buf.is_empty() {
-            let (head, _) = conn.write_buf.as_slices();
-            match conn.stream.write(head) {
+        while conn.queued_bytes > 0 {
+            let mut bufs: Vec<&[u8]> =
+                Vec::with_capacity(conn.write_queue.len().min(sys::MAX_IOVECS));
+            let mut gathered = 0usize;
+            let mut units = conn.write_queue.iter();
+            let front = units.next().expect("nonempty queue");
+            bufs.push(&front[conn.write_head..]);
+            gathered += front.len() - conn.write_head;
+            for unit in units.take(sys::MAX_IOVECS - 1) {
+                bufs.push(unit);
+                gathered += unit.len();
+            }
+            server.global.write_syscalls.fetch_add(1, Ordering::Relaxed);
+            match sys::write_vectored(&conn.stream, &bufs) {
                 Ok(0) => {
                     close = true;
                     break;
                 }
                 Ok(k) => {
-                    conn.write_buf.drain(..k);
+                    server
+                        .global
+                        .bytes_written
+                        .fetch_add(k as u64, Ordering::Relaxed);
+                    advance_write_queue(&mut conn.write_queue, &mut conn.write_head, k);
+                    conn.queued_bytes -= k;
+                    if k < gathered {
+                        // Short write: the socket buffer is full; retrying
+                        // now would only earn a WouldBlock.
+                        break;
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -468,12 +607,12 @@ impl Reactor {
                 }
             }
         }
-        if conn.write_buf.len() > MAX_WRITE_BUFFER {
+        if conn.queued_bytes > MAX_WRITE_BUFFER {
             // The peer has stopped reading; it forfeits the connection.
             close = true;
         }
         if !close {
-            let needs_write = !conn.write_buf.is_empty();
+            let needs_write = conn.queued_bytes > 0;
             if needs_write != conn.want_write {
                 conn.want_write = needs_write;
                 interest = Some((conn.stream.as_raw_fd(), needs_write));
@@ -495,17 +634,12 @@ impl Reactor {
     fn maybe_close_finished(&mut self, idx: usize) {
         let done = matches!(
             &self.slots[idx].conn,
-            Some(c) if c.peer_closed && c.pending == 0 && c.write_buf.is_empty()
+            Some(c) if c.peer_closed && c.pending == 0 && c.queued_bytes == 0
         );
         if done {
             self.close_conn(idx);
         }
     }
-}
-
-fn push_response(buf: &mut VecDeque<u8>, response: &Response) {
-    buf.extend(response.render().into_bytes());
-    buf.push_back(b'\n');
 }
 
 #[cfg(test)]
@@ -542,5 +676,106 @@ mod tests {
             assert_ne!(t, LISTENER_TOKEN);
         }
         assert_ne!(token_of(5, 1), token_of(5, 2), "reuse is distinguishable");
+    }
+
+    #[test]
+    fn advance_write_queue_is_exact_under_short_writes() {
+        let mut queue: VecDeque<Vec<u8>> = [b"aaaa".to_vec(), b"bb".to_vec(), b"cccccc".to_vec()]
+            .into_iter()
+            .collect();
+        let mut head = 0usize;
+        // A short write that ends mid-second-unit.
+        advance_write_queue(&mut queue, &mut head, 5);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(head, 1);
+        // Zero progress is a no-op.
+        advance_write_queue(&mut queue, &mut head, 0);
+        assert_eq!((queue.len(), head), (2, 1));
+        // Finishing the partial unit exactly resets the head.
+        advance_write_queue(&mut queue, &mut head, 1);
+        assert_eq!((queue.len(), head), (1, 0));
+        // Consuming everything empties the queue.
+        advance_write_queue(&mut queue, &mut head, 6);
+        assert!(queue.is_empty());
+        assert_eq!(head, 0);
+    }
+
+    /// The batch-drain path: N completions land while the reactor is
+    /// stalled — exactly one wake is issued, and the next drain delivers
+    /// all N responses through exactly one write syscall.
+    #[test]
+    fn stalled_burst_costs_one_wake_and_one_write_syscall() {
+        use crate::server::ServerConfig;
+        use std::io::BufRead as _;
+
+        let server = Server::new(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut reactor = Reactor::new(server.clone(), listener).expect("reactor");
+
+        // Connect a client and accept it without running the event loop —
+        // the "stalled reactor" half of the scenario.
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while reactor.open == 0 {
+            reactor.accept_ready();
+            assert!(std::time::Instant::now() < deadline, "accept never landed");
+        }
+        let token = token_of(0, reactor.slots[0].gen);
+
+        // A burst of N completions with no drain in between: only the
+        // empty→nonempty transition may write the wake pipe.
+        const N: usize = 10;
+        reactor.slots[0].conn.as_mut().expect("conn").pending = N;
+        reactor.in_flight = N;
+        for i in 0..N {
+            reactor.completions.push(
+                token,
+                Response::Answer {
+                    id: Some(i as u64),
+                    session: "burst".into(),
+                    answer: true,
+                    probes: 1,
+                    micros: 1,
+                },
+            );
+        }
+        assert_eq!(
+            reactor.completions.wakes_issued.load(Ordering::Relaxed),
+            1,
+            "burst must coalesce into one wake"
+        );
+
+        // One drain delivers all N and coalesces them into one writev.
+        reactor.deliver_completions();
+        let g = &server.global;
+        assert_eq!(g.completions_delivered.load(Ordering::Relaxed), N as u64);
+        assert_eq!(g.responses.load(Ordering::Relaxed), N as u64);
+        assert_eq!(
+            g.write_syscalls.load(Ordering::Relaxed),
+            1,
+            "N responses for one connection must flush as one gather-write"
+        );
+        assert_eq!(reactor.in_flight, 0);
+        assert_eq!(reactor.slots[0].conn.as_ref().expect("conn").pending, 0);
+
+        // The client sees all N responses, in completion order.
+        let mut reader = std::io::BufReader::new(client);
+        let mut total_bytes = 0u64;
+        for i in 0..N {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read response");
+            total_bytes += line.len() as u64;
+            assert!(line.contains(&format!("\"id\":{i}")), "{line}");
+        }
+        assert_eq!(
+            g.bytes_written.load(Ordering::Relaxed),
+            total_bytes,
+            "bytes_written matches what actually crossed the socket"
+        );
+        server.pool.shutdown();
     }
 }

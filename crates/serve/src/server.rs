@@ -98,6 +98,10 @@ pub(crate) enum LineOutcome {
     /// [`Server::handle_line`] fires with the response when a worker
     /// finishes (exactly once).
     Deferred,
+    /// A framing negotiation: the transport must acknowledge in its
+    /// *current* framing, then switch responses to the requested one. Only
+    /// the reactor can actually switch; stdio rejects `binary`.
+    Hello(crate::proto::FrameFormat),
     /// An empty line: no response owed.
     Ignored,
 }
@@ -272,6 +276,7 @@ impl Server {
                 self.begin_shutdown();
                 LineOutcome::Inline(Response::Ok { draining: true })
             }
+            Request::Hello { frame } => LineOutcome::Hello(frame),
             Request::Query {
                 session,
                 spec,
@@ -362,11 +367,27 @@ impl Server {
     /// transport): inline responses are written immediately, deferred ones
     /// when their worker finishes.
     pub fn dispatch(self: &Arc<Self>, line: &str, out: &SharedWriter) {
+        use crate::proto::FrameFormat;
         let deferred_out = out.clone();
-        if let LineOutcome::Inline(response) =
-            self.handle_line(line, move |response| write_line(&deferred_out, &response))
-        {
-            write_line(out, &response);
+        match self.handle_line(line, move |response| write_line(&deferred_out, &response)) {
+            LineOutcome::Inline(response) => write_line(out, &response),
+            // stdio is a line transport: acknowledging `json` is a no-op,
+            // but binary frames would corrupt the stream, so refuse.
+            LineOutcome::Hello(FrameFormat::Json) => write_line(
+                out,
+                &Response::Hello {
+                    frame: FrameFormat::Json,
+                },
+            ),
+            LineOutcome::Hello(FrameFormat::Binary) => write_line(
+                out,
+                &Response::Error {
+                    id: None,
+                    code: ErrorCode::BadRequest,
+                    message: "binary framing requires the TCP transport".to_owned(),
+                },
+            ),
+            LineOutcome::Deferred | LineOutcome::Ignored => {}
         }
     }
 

@@ -283,6 +283,84 @@ pub fn raise_fd_limit(target: u64) -> io::Result<u64> {
     }
 }
 
+/// Writes as many of `bufs` as the socket accepts in **one** syscall and
+/// returns the byte count, exactly like `write(2)` but gather-style. On
+/// Linux this is `writev(2)` over an iovec array (capped at
+/// [`MAX_IOVECS`]; the caller retries for the rest, as with any short
+/// write). The portable fallback concatenates the buffers into one scratch
+/// allocation and issues a single `write` — same single-syscall contract,
+/// one extra copy.
+///
+/// The reactor counts every call to this function in `write_syscalls`, so
+/// the `syscalls_per_response` stat stays truthful on both paths.
+pub fn write_vectored(stream: &std::net::TcpStream, bufs: &[&[u8]]) -> io::Result<usize> {
+    #[cfg(all(unix, target_os = "linux"))]
+    {
+        use std::os::fd::AsRawFd;
+        let iov: Vec<ffi::Iovec> = bufs
+            .iter()
+            .take(MAX_IOVECS)
+            .map(|b| ffi::Iovec {
+                iov_base: b.as_ptr(),
+                iov_len: b.len(),
+            })
+            .collect();
+        // SAFETY: every iovec points into a borrowed slice that outlives
+        // the call; the kernel only reads through them.
+        let n = unsafe { ffi::writev(stream.as_raw_fd(), iov.as_ptr(), iov.len() as i32) };
+        if n < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(n as usize)
+    }
+    #[cfg(not(all(unix, target_os = "linux")))]
+    {
+        use std::io::Write as _;
+        let total: usize = bufs.iter().take(MAX_IOVECS).map(|b| b.len()).sum();
+        let mut scratch = Vec::with_capacity(total);
+        for b in bufs.iter().take(MAX_IOVECS) {
+            scratch.extend_from_slice(b);
+        }
+        (&*stream).write(&scratch)
+    }
+}
+
+/// Most buffers one [`write_vectored`] call will gather. Linux's
+/// `UIO_MAXIOV` is 1024; 64 keeps the iovec array cache-friendly while
+/// still coalescing a deep per-connection backlog into one syscall.
+pub const MAX_IOVECS: usize = 64;
+
+/// Shrinks (or grows) the socket's kernel receive buffer. The framing
+/// torture tests set a tiny `SO_RCVBUF` on the *client* side to force the
+/// server into partial writes; production code has no reason to call this.
+/// No-op outside Linux — the tests that rely on it are gated accordingly.
+pub fn set_recv_buffer(stream: &std::net::TcpStream, bytes: usize) -> io::Result<()> {
+    #[cfg(all(unix, target_os = "linux"))]
+    {
+        use std::os::fd::AsRawFd;
+        let val: i32 = bytes.min(i32::MAX as usize) as i32;
+        // SAFETY: setsockopt reads 4 bytes from our stack-owned value.
+        let rc = unsafe {
+            ffi::setsockopt(
+                stream.as_raw_fd(),
+                ffi::SOL_SOCKET,
+                ffi::SO_RCVBUF,
+                &val as *const i32 as *const std::os::raw::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+    #[cfg(not(all(unix, target_os = "linux")))]
+    {
+        let _ = (stream, bytes);
+        Ok(())
+    }
+}
+
 #[cfg(all(unix, target_os = "linux"))]
 pub use epoll::EpollPoller;
 
@@ -311,10 +389,20 @@ mod ffi {
 
     pub const RLIMIT_NOFILE: c_int = 7;
 
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_RCVBUF: c_int = 8;
+
     #[repr(C)]
     pub struct Rlimit {
         pub rlim_cur: u64,
         pub rlim_max: u64,
+    }
+
+    /// `struct iovec` from `<sys/uio.h>`: base pointer + length.
+    #[repr(C)]
+    pub struct Iovec {
+        pub iov_base: *const u8,
+        pub iov_len: usize,
     }
 
     extern "C" {
@@ -327,6 +415,14 @@ mod ffi {
             timeout: c_int,
         ) -> c_int;
         pub fn close(fd: c_int) -> c_int;
+        pub fn writev(fd: c_int, iov: *const Iovec, iovcnt: c_int) -> isize;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const std::os::raw::c_void,
+            optlen: u32,
+        ) -> c_int;
         pub fn prlimit64(
             pid: c_long,
             resource: c_int,
@@ -545,6 +641,22 @@ mod tests {
             .deregister(accepted.as_raw_fd(), 9)
             .expect("deregister");
         drop(client);
+    }
+
+    #[test]
+    fn write_vectored_gathers_across_buffers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+
+        let bufs: [&[u8]; 3] = [b"alpha ", b"", b"beta"];
+        let n = write_vectored(&client, &bufs).expect("writev");
+        assert_eq!(n, 10, "small gather completes in one call");
+
+        let mut got = vec![0u8; 10];
+        server_side.read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"alpha beta");
     }
 
     #[test]

@@ -59,6 +59,12 @@ METRICS = {
     # wall-clock-free probe counts, but which requests land before the
     # first refit depends on thread interleaving — gate it as noisy.
     "adaptive_exhaustion_rate": ("down", 0.05, "wallclock"),
+    # The serving hot path's write syscalls per response over the fan-in
+    # window (BENCH_engine_serve). Batched drains + coalesced vectored
+    # writes keep it near 1.0; a climb back toward one-write-per-response
+    # means the coalescing regressed. The drain/flush schedule depends on
+    # thread interleaving, so gate it as noisy with a small floor.
+    "syscalls_per_response": ("down", 0.25, "wallclock"),
 }
 
 
