@@ -8,6 +8,8 @@
 //! is wall-clock over identical full-edge query sets, and each parallel
 //! configuration re-verifies that it kept exactly the serial spanner.
 
+// Progress/report lines on stdout are this target's output channel.
+#![allow(clippy::print_stdout)]
 use std::time::Instant;
 
 use lca::prelude::*;

@@ -26,6 +26,9 @@
 //! histogram. See the fleet-topology section of `docs/ARCHITECTURE.md`.
 //! Run: `cargo run --release -p lca-bench --bin engine_report -- --fleet`
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use std::time::Instant;
 
 use lca::core::DynQuery;

@@ -7,6 +7,9 @@
 //! Run: `cargo run --release -p lca-bench --bin fig_implicit_scaling`
 //! (set `LCA_IMPLICIT_MAX_N` to cap the largest size, e.g. on small hosts)
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use std::time::Instant;
 
 use lca::core::QueryEngine;

@@ -4,6 +4,9 @@
 //!
 //! Run: `cargo run --release -p lca-bench --bin fig_scaling`
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use lca_bench::{loglog_slope, probe_stats, record_json, sample_edges, Table};
 use lca_core::{FiveSpanner, FiveSpannerParams, Lca, ThreeSpanner, ThreeSpannerParams};
 use lca_graph::gen::GnpBuilder;

@@ -3,6 +3,9 @@
 //!
 //! Run: `cargo run --release -p lca-bench --bin fig_size_stretch`
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use lca_bench::{loglog_slope, record_json, Table};
 use lca_core::global::{five_spanner_global, into_subgraph, three_spanner_global};
 use lca_core::{FiveSpannerParams, ThreeSpannerParams};

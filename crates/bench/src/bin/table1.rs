@@ -5,6 +5,9 @@
 //!
 //! Run: `cargo run --release -p lca-bench --bin table1`
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use lca_bench::{probe_stats, record_json, sample_edges, sampled_stretch, Table};
 use lca_core::global::{
     five_spanner_global, into_subgraph, k2_spanner_global, three_spanner_global,

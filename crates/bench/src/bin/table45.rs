@@ -4,6 +4,9 @@
 //!
 //! Run: `cargo run --release -p lca-bench --bin table45`
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use lca_bench::{record_json, Table};
 use lca_core::{EdgeSubgraphLca, K2Params, K2Spanner};
 use lca_graph::gen::RegularBuilder;

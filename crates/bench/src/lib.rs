@@ -7,6 +7,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Reporting is this crate's purpose: every binary renders its table to
+// stdout, so the workspace-wide print ban does not apply here.
+#![allow(clippy::print_stdout)]
 
 use std::io::Write as _;
 

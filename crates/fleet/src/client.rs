@@ -11,6 +11,7 @@
 //! connection (once, because queries are idempotent: answers are a pure
 //! function of `(spec, query)`).
 
+#![warn(clippy::unwrap_used)]
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -141,6 +142,7 @@ impl BackendPool {
 
     /// Checks a connection out: an idle pooled one, or a fresh dial.
     pub fn get(&self) -> io::Result<BackendConn> {
+        // lint:allow(panic) — poison means a sibling worker panicked; propagate
         if let Some(conn) = self.idle.lock().expect("pool poisoned").pop() {
             return Ok(conn);
         }
@@ -150,6 +152,7 @@ impl BackendPool {
     /// Returns a healthy connection for reuse (dropped when the idle
     /// stack is full).
     pub fn put(&self, conn: BackendConn) {
+        // lint:allow(panic) — poison means a sibling worker panicked; propagate
         let mut idle = self.idle.lock().expect("pool poisoned");
         if idle.len() < MAX_IDLE {
             idle.push(conn);
@@ -173,6 +176,7 @@ impl BackendPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
     use std::net::TcpListener;

@@ -22,6 +22,7 @@
 //! (the load generator's open-loop mode drives one pipelined connection
 //! per sender thread and relies on exactly this ordering).
 
+#![warn(clippy::unwrap_used)]
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -133,6 +134,7 @@ struct Completions {
 impl Completions {
     fn push(&self, token: u64, response: Vec<u8>) {
         let was_empty = {
+            // lint:allow(panic) — poisoned queue means a worker already panicked; propagate
             let mut queue = self.queue.lock().expect("completion queue poisoned");
             let was_empty = queue.is_empty();
             queue.push((token, response));
@@ -144,6 +146,7 @@ impl Completions {
     }
 
     fn drain(&self) -> Vec<(u64, Vec<u8>)> {
+        // lint:allow(panic) — poisoned queue means a worker already panicked; propagate
         std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
     }
 }
@@ -246,7 +249,7 @@ impl Reactor {
                 let grace_expired = drain_started.elapsed() >= DRAIN_GRACE;
                 for idx in 0..self.slots.len() {
                     let done = matches!(
-                        &self.slots[idx].conn,
+                        self.conn_ref(idx),
                         Some(c) if !c.busy && (grace_expired || c.write_buf.is_empty())
                     );
                     if done {
@@ -300,7 +303,9 @@ impl Reactor {
                 self.slots.len() - 1
             }
         };
-        let token = token_of(idx, self.slots[idx].gen);
+        let Some(token) = self.token_at(idx) else {
+            return;
+        };
         if self
             .poller
             .register(stream.as_raw_fd(), token, false)
@@ -309,7 +314,10 @@ impl Reactor {
             self.free.push(idx);
             return;
         }
-        self.slots[idx].conn = Some(Conn {
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        slot.conn = Some(Conn {
             stream,
             read_buf: Vec::new(),
             scanned: 0,
@@ -323,12 +331,15 @@ impl Reactor {
     }
 
     fn close_conn(&mut self, idx: usize) {
-        let token = token_of(idx, self.slots[idx].gen);
-        let Some(conn) = self.slots[idx].conn.take() else {
+        let Some(slot) = self.slots.get_mut(idx) else {
             return;
         };
+        let token = token_of(idx, slot.gen);
+        let Some(conn) = slot.conn.take() else {
+            return;
+        };
+        slot.gen = slot.gen.wrapping_add(1);
         let _ = self.poller.deregister(conn.stream.as_raw_fd(), token);
-        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
         self.free.push(idx);
         self.open -= 1;
     }
@@ -341,19 +352,38 @@ impl Reactor {
         }
     }
 
+    /// The live connection at `idx`, if any — an already-closed slot (a
+    /// dispatch or flush raced a close) is `None`, never a panic.
+    fn conn_ref(&self, idx: usize) -> Option<&Conn> {
+        self.slots.get(idx).and_then(|slot| slot.conn.as_ref())
+    }
+
+    /// Mutable variant of [`Reactor::conn_ref`].
+    fn conn_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(idx).and_then(|slot| slot.conn.as_mut())
+    }
+
+    /// The poll token currently naming `idx`, if the slot exists.
+    fn token_at(&self, idx: usize) -> Option<u64> {
+        self.slots.get(idx).map(|slot| token_of(idx, slot.gen))
+    }
+
     fn deliver_completions(&mut self) {
         for (token, response) in self.completions.drain() {
             self.in_flight -= 1;
-            if let Some(idx) = self.live(token) {
-                let conn = self.slots[idx].conn.as_mut().expect("live conn");
-                conn.busy = false;
-                conn.write_buf.extend(response);
-                self.flush_conn(idx);
-                // The response freed the connection: pipelined requests
-                // buffered behind it can now run.
-                if self.slots[idx].conn.is_some() {
-                    self.process_buffer(idx);
-                }
+            let Some(idx) = self.live(token) else {
+                continue;
+            };
+            let Some(conn) = self.conn_mut(idx) else {
+                continue;
+            };
+            conn.busy = false;
+            conn.write_buf.extend(response);
+            self.flush_conn(idx);
+            // The response freed the connection: pipelined requests
+            // buffered behind it can now run.
+            if self.conn_ref(idx).is_some() {
+                self.process_buffer(idx);
             }
         }
     }
@@ -365,7 +395,7 @@ impl Reactor {
         if ev.readable {
             self.read_ready(idx);
         }
-        if ev.writable && self.slots[idx].conn.is_some() {
+        if ev.writable && self.conn_ref(idx).is_some() {
             self.flush_conn(idx);
         }
     }
@@ -373,14 +403,17 @@ impl Reactor {
     fn read_ready(&mut self, idx: usize) {
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     conn.peer_closed = true;
                     break;
                 }
                 Ok(k) => {
-                    conn.read_buf.extend_from_slice(&chunk[..k]);
+                    conn.read_buf
+                        .extend_from_slice(chunk.get(..k).unwrap_or(&[]));
                     if conn.read_buf.len() > http::MAX_HEAD + http::MAX_BODY {
                         self.close_conn(idx);
                         return;
@@ -395,7 +428,7 @@ impl Reactor {
             }
         }
         self.process_buffer(idx);
-        if self.slots[idx].conn.is_some() {
+        if self.conn_ref(idx).is_some() {
             self.maybe_close_finished(idx);
         }
     }
@@ -404,7 +437,9 @@ impl Reactor {
     /// busy (a deferred request in flight), runs dry, or dies.
     fn process_buffer(&mut self, idx: usize) {
         loop {
-            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
             if conn.busy || conn.close_after_flush {
                 return;
             }
@@ -422,12 +457,14 @@ impl Reactor {
                     return;
                 }
                 ParseOutcome::Request(request, consumed) => {
-                    let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                    let Some(conn) = self.conn_mut(idx) else {
+                        return;
+                    };
                     conn.read_buf.drain(..consumed);
                     conn.scanned = 0;
                     self.gateway.requests.fetch_add(1, Ordering::Relaxed);
                     self.dispatch(idx, request);
-                    if self.slots[idx].conn.is_none() {
+                    if self.conn_ref(idx).is_none() {
                         return;
                     }
                 }
@@ -481,7 +518,9 @@ impl Reactor {
             ),
         };
         let (status, body) = inline;
-        let conn = self.slots[idx].conn.as_mut().expect("live conn");
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
         conn.write_buf.extend(http::render_response(status, &body));
         self.flush_conn(idx);
     }
@@ -491,7 +530,9 @@ impl Reactor {
     /// answers the typed `overloaded` error inline — the same admission
     /// control the backends apply, enforced again at the HTTP tier.
     fn defer(&mut self, idx: usize, job: impl FnOnce() -> Vec<u8> + Send + 'static) {
-        let token = token_of(idx, self.slots[idx].gen);
+        let Some(token) = self.token_at(idx) else {
+            return;
+        };
         let completions = self.completions.clone();
         match self
             .gateway
@@ -499,8 +540,12 @@ impl Reactor {
             .try_execute(move || completions.push(token, job()))
         {
             Ok(()) => {
+                // Count in_flight unconditionally: the job was handed to
+                // the pool and its completion drains either way.
                 self.in_flight += 1;
-                self.slots[idx].conn.as_mut().expect("live conn").busy = true;
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.busy = true;
+                }
             }
             Err(reject) => {
                 let (status, code) = match reject {
@@ -508,7 +553,9 @@ impl Reactor {
                     RejectReason::ShuttingDown => (503, "draining"),
                 };
                 let body = format!(r#"{{"error":"{code}","message":"gateway admission queue"}}"#);
-                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                let Some(conn) = self.conn_mut(idx) else {
+                    return;
+                };
                 conn.write_buf.extend(http::render_response(status, &body));
                 self.flush_conn(idx);
             }
@@ -516,10 +563,13 @@ impl Reactor {
     }
 
     fn flush_conn(&mut self, idx: usize) {
-        let gen = self.slots[idx].gen;
         let mut close = false;
         let mut interest = None;
-        let Some(conn) = self.slots[idx].conn.as_mut() else {
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        let gen = slot.gen;
+        let Some(conn) = slot.conn.as_mut() else {
             return;
         };
         while !conn.write_buf.is_empty() {
@@ -567,7 +617,7 @@ impl Reactor {
 
     fn maybe_close_finished(&mut self, idx: usize) {
         let done = matches!(
-            &self.slots[idx].conn,
+            self.conn_ref(idx),
             Some(c) if c.peer_closed && !c.busy && c.write_buf.is_empty()
         );
         if done {
@@ -577,6 +627,7 @@ impl Reactor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
 

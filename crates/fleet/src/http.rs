@@ -12,6 +12,7 @@
 //! a trickled header block costs linear work, not a fresh full-buffer
 //! rescan per read.
 
+#![warn(clippy::unwrap_used)]
 /// One parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpRequest {
@@ -60,7 +61,10 @@ pub fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseOutcome {
     if head_end > MAX_HEAD {
         return ParseOutcome::Error("header block exceeds 64 KiB");
     }
-    let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+    let Some(head_bytes) = buf.get(..head_end) else {
+        return ParseOutcome::Incomplete;
+    };
+    let Ok(head) = std::str::from_utf8(head_bytes) else {
         return ParseOutcome::Error("header block is not UTF-8");
     };
     let mut lines = head.split("\r\n");
@@ -108,11 +112,14 @@ pub fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseOutcome {
     }
     // Strip any query string: routing is on exact paths.
     let path = target.split('?').next().unwrap_or(target).to_owned();
+    let Some(body) = buf.get(body_start..body_start + content_length) else {
+        return ParseOutcome::Incomplete;
+    };
     ParseOutcome::Request(
         HttpRequest {
             method: method.to_owned(),
             path,
-            body: buf[body_start..body_start + content_length].to_vec(),
+            body: body.to_vec(),
         },
         body_start + content_length,
     )
@@ -126,7 +133,8 @@ pub fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseOutcome {
 /// re-examine old bytes.
 fn find_head_end(buf: &[u8], scanned: &mut usize) -> Option<usize> {
     let start = scanned.saturating_sub(3).min(buf.len());
-    match buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+    let tail = buf.get(start..).unwrap_or(&[]);
+    match tail.windows(4).position(|w| w == b"\r\n\r\n") {
         Some(pos) => {
             let head_end = start + pos;
             *scanned = head_end;
@@ -179,6 +187,7 @@ pub fn render_close_response(status: u16, body: &str) -> Vec<u8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
 

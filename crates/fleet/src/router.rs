@@ -20,6 +20,7 @@
 //! answers the typed `backend-unavailable` error while every other shard
 //! keeps serving.
 
+#![warn(clippy::unwrap_used)]
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -227,18 +228,18 @@ impl Fleet {
         };
         let line = self.learn_or_inject_spec(&session, parsed);
         let idx = self.route(&session);
-        self.routed[idx].fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.routed.get(idx) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         match self.forward(idx, &line) {
             Ok(response) => FleetReply::from_backend_line(response),
             Err(e) => {
                 self.unavailable.fetch_add(1, Ordering::Relaxed);
+                let addr = self.backends.get(idx).map_or("?", |b| b.addr());
                 FleetReply::error(
                     503,
                     "backend-unavailable",
-                    &format!(
-                        "backend {idx} ({}) unreachable: {e}; other shards keep serving",
-                        self.backends[idx].addr()
-                    ),
+                    &format!("backend {idx} ({addr}) unreachable: {e}; other shards keep serving"),
                     id,
                 )
             }
@@ -252,6 +253,7 @@ impl Fleet {
     fn learn_or_inject_spec(&self, session: &str, parsed: Json) -> String {
         let has_spec = parsed.get("kind").is_some() && parsed.get("n").is_some();
         let Json::Obj(mut fields) = parsed else {
+            // lint:allow(panic) — object-ness was checked by the session lookup
             unreachable!("object-ness checked by the session lookup");
         };
         if has_spec {
@@ -262,8 +264,10 @@ impl Fleet {
                 .collect();
             self.specs
                 .lock()
+                // lint:allow(panic) — poison means a sibling worker panicked; propagate
                 .expect("spec cache poisoned")
                 .insert(session, spec);
+        // lint:allow(panic) — poison means a sibling worker panicked; propagate
         } else if let Some(spec) = self.specs.lock().expect("spec cache poisoned").get(session) {
             for (k, v) in spec {
                 if !fields.iter().any(|(name, _)| name == k) {
@@ -281,11 +285,17 @@ impl Fleet {
     /// connection died (backend restart, pooled connection gone stale)
     /// can only produce the same answer.
     fn forward(&self, idx: usize, line: &str) -> std::io::Result<String> {
-        match self.backends[idx].roundtrip(line) {
+        let Some(backend) = self.backends.get(idx) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "backend index out of range",
+            ));
+        };
+        match backend.roundtrip(line) {
             Ok(response) => Ok(response),
             Err(_) => {
                 self.retries.fetch_add(1, Ordering::Relaxed);
-                self.backends[idx].roundtrip(line)
+                backend.roundtrip(line)
             }
         }
     }
@@ -328,7 +338,7 @@ impl Fleet {
                 ("backend".to_owned(), Json::Num(idx as f64)),
                 (
                     "addr".to_owned(),
-                    Json::Str(self.backends[idx].addr().to_owned()),
+                    Json::Str(self.backends.get(idx).map_or("?", |b| b.addr()).to_owned()),
                 ),
             ];
             match result {
@@ -377,6 +387,7 @@ impl Fleet {
             per_backend.push(Json::Obj(entry));
         }
         let (spec_entries, spec_evictions) = {
+            // lint:allow(panic) — poison means a sibling worker panicked; propagate
             let cache = self.specs.lock().expect("spec cache poisoned");
             (cache.map.len() as u64, cache.evictions)
         };
@@ -464,6 +475,7 @@ impl Fleet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
 

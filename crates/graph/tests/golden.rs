@@ -11,6 +11,8 @@
 //! the constants and say so in the changelog: it invalidates recorded
 //! bench results.
 
+// Progress/report lines on stdout are this target's output channel.
+#![allow(clippy::print_stdout)]
 use lca_graph::gen::{ChungLuBuilder, GnmBuilder, GnpBuilder, RegularBuilder};
 use lca_graph::implicit::{ImplicitChungLu, ImplicitGnp, ImplicitOracle, ImplicitRegular};
 use lca_graph::Graph;

@@ -1,0 +1,233 @@
+//! `lint.toml` — the versioned invariant catalog.
+//!
+//! Parsed by a deliberately small TOML subset reader (same no-external-deps
+//! ethos as the serde shim): `[section]` and `[section."quoted.key"]`
+//! headers, `key = "string"`, `key = integer`, and `key = ["a", "b"]`
+//! arrays of strings, with `#` comments. That subset is the whole grammar
+//! the catalog needs; anything else is a hard error so a typo cannot
+//! silently disable a rule.
+
+use std::collections::BTreeMap;
+
+/// One section's key → value map.
+pub type Section = BTreeMap<String, Value>;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A bare integer.
+    Int(i64),
+    /// An array of quoted strings.
+    List(Vec<String>),
+}
+
+impl Value {
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a list.
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The whole catalog: section name → keys. Dotted-quoted headers like
+/// `[atomics."crates/serve/src/metrics.rs"]` keep the quoted part verbatim
+/// as `atomics.crates/serve/src/metrics.rs`.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Section name → parsed key/value map (root keys live under `""`).
+    pub sections: BTreeMap<String, Section>,
+}
+
+impl Config {
+    /// Parses catalog text; `Err` carries the offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        let mut current = String::new();
+        let mut lines = text.lines().enumerate();
+        while let Some((lineno, raw)) = lines.next() {
+            let mut line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: keep accumulating until the bracket closes.
+            if line.contains('[') && !line.starts_with('[') && !line.contains(']') {
+                for (_, cont) in lines.by_ref() {
+                    line.push(' ');
+                    line.push_str(strip_comment(cont).trim());
+                    if line.contains(']') {
+                        break;
+                    }
+                }
+            }
+            let line = line.as_str();
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(header) = rest.strip_suffix(']') else {
+                    return Err(format!("line {}: unterminated section header", lineno + 1));
+                };
+                current = parse_header(header)
+                    .ok_or_else(|| format!("line {}: malformed section header", lineno + 1))?;
+                config.sections.entry(current.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let value = parse_value(value.trim())
+                .ok_or_else(|| format!("line {}: unsupported value syntax", lineno + 1))?;
+            config
+                .sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key.trim().to_owned(), value);
+        }
+        Ok(config)
+    }
+
+    /// Loads and parses a catalog file.
+    pub fn load(path: &std::path::Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// The string list at `section.key`, empty when absent.
+    pub fn list(&self, section: &str, key: &str) -> Vec<String> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_list)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// The string at `section.key`.
+    pub fn str(&self, section: &str, key: &str) -> Option<&str> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_str)
+    }
+
+    /// The integer at `section.key`.
+    pub fn int(&self, section: &str, key: &str) -> Option<i64> {
+        self.sections
+            .get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_int)
+    }
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// `atomics."a/b.rs"` → `atomics.a/b.rs`; bare `name` stays itself.
+fn parse_header(header: &str) -> Option<String> {
+    let header = header.trim();
+    match header.split_once('.') {
+        None => {
+            if header.is_empty() || header.contains('"') {
+                None
+            } else {
+                Some(header.to_owned())
+            }
+        }
+        Some((base, quoted)) => {
+            let quoted = quoted.trim();
+            let inner = quoted.strip_prefix('"')?.strip_suffix('"')?;
+            Some(format!("{}.{inner}", base.trim()))
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Option<Value> {
+    if let Some(rest) = text.strip_prefix('[') {
+        let inner = rest.strip_suffix(']')?.trim();
+        if inner.is_empty() {
+            return Some(Value::List(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for item in inner.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(item.strip_prefix('"')?.strip_suffix('"')?.to_owned());
+        }
+        return Some(Value::List(items));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return Some(Value::Str(rest.strip_suffix('"')?.to_owned()));
+    }
+    text.parse::<i64>().ok().map(Value::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_catalog_shapes() {
+        let cfg = Config::parse(
+            r#"
+            version = 1
+            [hot_paths]
+            files = ["a.rs", "b.rs"] # trailing comment
+            max_waivers_panic = 24
+            [atomics."crates/serve/src/metrics.rs"]
+            allow = ["Relaxed"]
+            note = "histogram counters"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.int("", "version"), Some(1));
+        assert_eq!(cfg.list("hot_paths", "files"), vec!["a.rs", "b.rs"]);
+        assert_eq!(cfg.int("hot_paths", "max_waivers_panic"), Some(24));
+        assert_eq!(
+            cfg.list("atomics.crates/serve/src/metrics.rs", "allow"),
+            vec!["Relaxed"]
+        );
+        assert_eq!(
+            cfg.str("atomics.crates/serve/src/metrics.rs", "note"),
+            Some("histogram counters")
+        );
+    }
+
+    #[test]
+    fn rejects_what_it_does_not_understand() {
+        assert!(Config::parse("[broken").is_err());
+        assert!(Config::parse("key value").is_err());
+        assert!(Config::parse("key = { a = 1 }").is_err());
+    }
+}

@@ -1,0 +1,402 @@
+//! A hand-rolled Rust token scanner, string/comment/raw-string aware.
+//!
+//! This is not a full Rust lexer — it is exactly enough lexer for the
+//! invariant rules: it never confuses `unsafe` inside a string literal or
+//! comment with the keyword, it survives raw strings with arbitrary hash
+//! fences (`r##"…"##`), nested block comments, byte strings, and the
+//! char-literal/lifetime ambiguity (`'a'` vs `<'a>`), and it records the
+//! line of every token so findings point somewhere clickable. Comments are
+//! not discarded: they come back out-of-band because the waiver grammar
+//! (`// lint:allow(rule) — reason`) lives in them.
+
+/// What a token is; `text` disambiguates within a kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored unprefixed).
+    Ident,
+    /// `'a` — never a char literal.
+    Lifetime,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); `text` is
+    /// the unquoted content.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer part only; `1.5` lexes as `1` `.` `5`,
+    /// which is fine for structural rules).
+    Num,
+    /// Any other single character (`.`, `[`, `!`, …).
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier word, literal content, or punctuation character.
+    pub text: String,
+    /// 1-indexed source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// `true` when the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with the 1-indexed line it *starts* on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Comment text including the `//` / `/*` sigils' interior.
+    pub text: String,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct FileLex {
+    /// All tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order, kept for the waiver grammar.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` (panics never; unterminated constructs run to EOF).
+pub fn lex(src: &str) -> FileLex {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: FileLex::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: FileLex,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> FileLex {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    let s = self.string_literal();
+                    self.push(TokKind::Str, s, line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    let s = self.string_literal();
+                    self.push(TokKind::Str, s, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                    self.push(TokKind::Char, String::new(), line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => {
+                    let s = self.raw_string_literal();
+                    self.push(TokKind::Str, s, line);
+                }
+                'r' if self.peek(1) == Some('#') && Self::ident_start(self.peek(2)) => {
+                    // Raw identifier: `r#ident` — strip the prefix so rules
+                    // compare against the bare word. (`r#"…"` was handled
+                    // above; the quote is not an ident start.)
+                    self.bump();
+                    self.bump();
+                    let word = self.ident();
+                    self.push(TokKind::Ident, word, line);
+                }
+                '\'' => self.quote(line),
+                c if Self::ident_start(Some(c)) => {
+                    let word = self.ident();
+                    self.push(TokKind::Ident, word, line);
+                }
+                c if c.is_ascii_digit() => {
+                    let mut text = String::new();
+                    while let Some(d) = self.peek(0) {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            text.push(d);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Num, text, line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn ident_start(c: Option<char>) -> bool {
+        matches!(c, Some(c) if c.is_alphabetic() || c == '_')
+    }
+
+    fn ident(&mut self) -> String {
+        let mut word = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        word
+    }
+
+    /// `'x'` / `'\n'` is a char literal; `'a` (no closing quote right
+    /// after one element) is a lifetime. Escapes always mean char.
+    fn quote(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('\\') => {
+                self.char_literal();
+                self.push(TokKind::Char, String::new(), line);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(2) != Some('\'') => {
+                self.bump(); // the quote
+                let word = self.ident();
+                self.push(TokKind::Lifetime, word, line);
+            }
+            _ => {
+                self.char_literal();
+                self.push(TokKind::Char, String::new(), line);
+            }
+        }
+    }
+
+    /// Consumes a char literal from the opening quote (escape-aware).
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a string literal from the opening quote; returns content.
+    fn string_literal(&mut self) -> String {
+        self.bump(); // opening "
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        content.push('\\');
+                        content.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => content.push(c),
+            }
+        }
+        content
+    }
+
+    /// `true` when the cursor sits on `r"`, `r#…#"`, `br"` or `br#…#"`.
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1; // past the 'r' or 'b'
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// Consumes `r#"…"#` (any hash count, `br` included); returns content.
+    fn raw_string_literal(&mut self) -> String {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // the 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut content = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                // A quote closes only when followed by the full fence.
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(matched) == Some('#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            content.push(c);
+        }
+        content
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Block comments nest, per the Rust grammar.
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '/' && self.peek(0) == Some('*') {
+                depth += 1;
+                text.push('*');
+                self.bump();
+            } else if c == '*' && self.peek(0) == Some('/') {
+                depth -= 1;
+                text.push('/');
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_not_a_token() {
+        let src = r###"
+            // unsafe in a line comment
+            /* unsafe in a /* nested */ block comment */
+            let a = "unsafe";
+            let b = r#"unsafe"#;
+            let c = br##"unsafe with "quotes" inside"##;
+            let d = b"unsafe";
+        "###;
+        assert!(!idents(src).iter().any(|w| w == "unsafe"));
+        let lexed = lex(src);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            4
+        );
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn real_unsafe_keyword_is_seen() {
+        assert!(idents("unsafe { ptr::read(p) }")
+            .iter()
+            .any(|w| w == "unsafe"));
+        // A raw identifier is the same word to the rules.
+        assert!(idents("let r#unsafe = 1;").iter().any(|w| w == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_following_code() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // The char literal 'a' is distinct from the lifetime 'a.
+        let toks = lex("let c = 'a'; let s: &'a str;");
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+        assert!(toks.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn escaped_quotes_and_escaped_chars_stay_inside_literals() {
+        let toks = lex(r#"let s = "she said \"unsafe\""; let c = '\''; next"#);
+        assert!(toks.tokens.iter().any(|t| t.is_ident("next")));
+        assert!(!toks.tokens.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1; /* c\nc */ let d = 2;";
+        let toks = lex(src);
+        let b = toks.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+        let d = toks.tokens.iter().find(|t| t.is_ident("d")).unwrap();
+        assert_eq!(d.line, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! `lca-lint` — the workspace invariant checker.
+//!
+//! The serving stack multiplexes thousands of connections through one
+//! reactor thread, a worker pool, sharded registries, and lock-free
+//! counters; the paper-level guarantee (enforceable per-query budgets)
+//! only holds if no panic path can bypass the meter and no stray fence or
+//! stale flag read can wedge the loop. Those repo invariants used to live
+//! in CHANGES.md prose; this crate turns them into a machine-enforced,
+//! versioned catalog (`lint.toml`):
+//!
+//! * **R1 unsafe-confinement** — the token `unsafe` is legal only in the
+//!   sanctioned module(s); every other crate root pins
+//!   `#![forbid(unsafe_code)]`.
+//! * **R2 hot-path panic ban** — `unwrap`/`expect`/`panic!`/`todo!`/
+//!   `unreachable!`/bare slice indexing are banned in designated hot-path
+//!   modules, modulo justified waivers.
+//! * **R3 atomic-ordering audit** — every `Ordering::X` matches a
+//!   per-file allowlist; `SeqCst` off sanctioned flags and `Relaxed` on
+//!   anything flag-named are flagged outright.
+//! * **R4 lock-across-call** — a `.lock()` guard alive across an
+//!   oracle/query call serializes callers; the MemoOracle exactly-once
+//!   pattern is the waiver-sanctioned exception.
+//! * **R5 protocol-docs drift** — wire literals in the protocol sources
+//!   and the machine-readable field table in `docs/PROTOCOL.md` must be
+//!   the same set, both directions.
+//!
+//! Everything is std-only, built on a hand-rolled lexer
+//! ([`lexer`]) rather than text matching, so `r#"unsafe"#` in a string
+//! can never trip R1.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::{Finding, SourceFile};
+
+/// Directories never walked (build output, VCS, and the lint fixtures,
+/// which are violating-on-purpose).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", "fixtures", "bench-results", ".github"];
+
+/// Recursively collects workspace `.rs` files under `root`, repo-relative
+/// with forward slashes, deterministically sorted.
+pub fn walk_workspace(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the workspace at `root` under `config`: walks, lexes, runs every
+/// rule. The protocol doc is read relative to `root`.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for path in walk_workspace(root)? {
+        let content = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile::new(rel, &content));
+    }
+    let doc_text = config
+        .str("docs", "protocol")
+        .and_then(|p| std::fs::read_to_string(root.join(p)).ok());
+    Ok(rules::run_rules(config, &files, doc_text.as_deref()))
+}

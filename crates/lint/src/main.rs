@@ -1,0 +1,136 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! lca-lint [--root DIR] [--config lint.toml] [--check]
+//!          [--baseline FILE] [--write-baseline FILE] [--fix-waivers]
+//! ```
+//!
+//! Exit codes: 0 clean (or all findings baselined), 1 fresh findings with
+//! `--check`, 2 usage/configuration error. Output is deterministic —
+//! sorted by path, line, rule — so CI diffs are stable.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::print_stdout)] // the CLI's entire job is stdout
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lca_lint::config::Config;
+use lca_lint::{lint_workspace, report};
+
+struct Args {
+    root: PathBuf,
+    config: PathBuf,
+    check: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    fix_waivers: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: PathBuf::from("lint.toml"),
+        check: false,
+        baseline: None,
+        write_baseline: None,
+        fix_waivers: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => args.root = value("--root")?,
+            "--config" => args.config = value("--config")?,
+            "--check" => args.check = true,
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--fix-waivers" => args.fix_waivers = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lca-lint [--root DIR] [--config lint.toml] [--check] \
+                            [--baseline FILE] [--write-baseline FILE] [--fix-waivers]"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("lca-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = if args.config.is_absolute() {
+        args.config.clone()
+    } else {
+        args.root.join(&args.config)
+    };
+    let config = match Config::load(&config_path) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("lca-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&args.root, &config) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("lca-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let total = findings.len();
+
+    if let Some(path) = &args.write_baseline {
+        if let Err(e) = std::fs::write(path, report::render_baseline(&findings)) {
+            eprintln!("lca-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let baseline_text = match &args.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("lca-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => String::new(),
+    };
+    let screened = report::screen(findings, &baseline_text);
+
+    print!("{}", report::render(&screened.fresh));
+    if args.fix_waivers {
+        print!("{}", report::render_waiver_scaffold(&screened.fresh));
+    }
+    println!(
+        "lca-lint: {} finding(s) — {} fresh, {} baselined, {} stale baseline entr{}",
+        total,
+        screened.fresh.len(),
+        screened.baselined,
+        screened.stale,
+        if screened.stale == 1 { "y" } else { "ies" },
+    );
+    if screened.stale > 0 {
+        println!(
+            "lca-lint: stale entries are fixed debt — shrink the committed baseline \
+             (regenerate with --write-baseline)"
+        );
+    }
+    if args.check && !screened.fresh.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

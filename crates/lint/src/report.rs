@@ -1,0 +1,144 @@
+//! Deterministic findings output and the shrink-only baseline.
+//!
+//! A baseline line is `rule<TAB>path<TAB>message` — no line numbers, so
+//! grandfathered debt survives edits elsewhere in the file. Repeats are
+//! meaningful: two identical violations in one file need two baseline
+//! lines, and fixing one of them shrinks the baseline by one. CI commits
+//! the baseline and diffs a fresh `--write-baseline` against it; growth
+//! fails the build, shrink is the point.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// The outcome of filtering findings through a baseline.
+pub struct Screened {
+    /// Findings not covered by the baseline — these fail `--check`.
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by baseline entries.
+    pub baselined: usize,
+    /// Baseline entries that matched nothing: fixed debt that should be
+    /// removed from the committed file (CI's shrink check does exactly
+    /// that comparison).
+    pub stale: usize,
+}
+
+/// Splits `findings` into fresh vs baseline-covered, multiset-style.
+pub fn screen(findings: Vec<Finding>, baseline: &str) -> Screened {
+    let mut budget: BTreeMap<&str, usize> = BTreeMap::new();
+    for line in baseline.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        *budget.entry(line).or_insert(0) += 1;
+    }
+    let mut fresh = Vec::new();
+    let mut baselined = 0usize;
+    for finding in findings {
+        let key = finding.baseline_key();
+        match budget.get_mut(key.as_str()) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                baselined += 1;
+            }
+            _ => fresh.push(finding),
+        }
+    }
+    let stale = budget.values().sum();
+    Screened {
+        fresh,
+        baselined,
+        stale,
+    }
+}
+
+/// Renders findings one per line: `path:line: [rule] message`.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    out
+}
+
+/// Renders the baseline file for the given findings (sorted, stable).
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut lines: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+    lines.sort();
+    let mut out = String::from(
+        "# lca-lint baseline: grandfathered findings (rule<TAB>path<TAB>message).\n\
+         # This file may only shrink; CI diffs a fresh one against it.\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// `--fix-waivers` scaffolding: for each waivable finding, the exact
+/// comment to insert (printed, never applied — a waiver needs a human
+/// reason, which is the entire point of the grammar).
+pub fn render_waiver_scaffold(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let tag = match f.rule {
+            "R2/panic" => "panic",
+            "R3/atomic" => "atomic",
+            "R4/lock" => "lock",
+            _ => continue,
+        };
+        out.push_str(&format!(
+            "{}:{}: insert `// lint:allow({tag}) — <why this is sound>` on this line or above\n",
+            f.path, f.line
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, message: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line,
+            message: message.to_owned(),
+        }
+    }
+
+    #[test]
+    fn baseline_is_a_multiset_and_reports_stale_entries() {
+        let findings = vec![
+            finding("R2/panic", "a.rs", 3, ".unwrap() on a hot path"),
+            finding("R2/panic", "a.rs", 9, ".unwrap() on a hot path"),
+            finding("R3/atomic", "b.rs", 1, "Ordering::Acquire not allowed"),
+        ];
+        // Baseline covers ONE of the two identical unwraps plus a fixed one.
+        let baseline = "R2/panic\ta.rs\t.unwrap() on a hot path\n\
+                        R1/unsafe\tgone.rs\t`unsafe` outside the sanctioned module(s) []\n";
+        let screened = screen(findings, baseline);
+        assert_eq!(screened.baselined, 1);
+        assert_eq!(screened.stale, 1);
+        assert_eq!(screened.fresh.len(), 2);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render() {
+        let findings = vec![
+            finding("R3/atomic", "b.rs", 1, "x"),
+            finding("R2/panic", "a.rs", 3, "y"),
+        ];
+        let text = render_baseline(&findings);
+        let screened = screen(findings, &text);
+        assert_eq!(screened.fresh.len(), 0);
+        assert_eq!(screened.baselined, 2);
+        assert_eq!(screened.stale, 0);
+    }
+}

@@ -1,0 +1,21 @@
+// Clean fixture: everything the lexer must NOT mistake for a violation.
+// The word unsafe appears below only inside strings and comments.
+pub fn clean(v: &[u8]) -> Option<u8> {
+    // unsafe in a line comment is not a token
+    /* unsafe in a /* nested */ block comment is not a token either */
+    let _plain = "unsafe";
+    let _raw = r#"unsafe { *p }"#;
+    let _fenced = br##"an "unsafe" quote inside "##;
+    let _escaped = "she said \"unsafe\"";
+    let _char = 'u';
+    let _lifetime: Option<&'static str> = None;
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::clean(&[1]).unwrap();
+    }
+}

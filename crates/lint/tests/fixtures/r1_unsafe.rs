@@ -1,0 +1,4 @@
+// R1 fixture: one real `unsafe` block outside the sanctioned module.
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

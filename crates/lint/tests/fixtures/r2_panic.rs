@@ -1,0 +1,20 @@
+// R2 fixture: every banned panic shape once, plus a properly waived site
+// and a test module the rule must skip.
+pub fn hot(v: &[u8], m: &std::sync::Mutex<u8>) -> u8 {
+    let first = v.first().unwrap();
+    // lint:allow(panic) — poison means a sibling thread already panicked
+    let guard = m.lock().expect("poisoned");
+    if *first > *guard {
+        panic!("boom");
+    }
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        None::<u8>.unwrap_or(0);
+        Some(1u8).unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+// R3 fixture: an off-allowlist ordering, SeqCst off the sanctioned flags,
+// and Relaxed on a cross-thread flag.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn orderings(counter: &AtomicU64, shutdown: &AtomicBool, draining: &AtomicBool) {
+    counter.fetch_add(1, Ordering::Relaxed); // allowlisted
+    counter.load(Ordering::Acquire); // NOT allowlisted
+    counter.fetch_add(1, Ordering::SeqCst); // SeqCst on a counter
+    draining.store(true, Ordering::SeqCst); // sanctioned via seqcst_idents
+    shutdown.load(Ordering::Relaxed); // Relaxed on a cross-thread flag
+    let _ = 1.cmp(&2) == std::cmp::Ordering::Less; // not an atomic ordering
+}

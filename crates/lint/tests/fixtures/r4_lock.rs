@@ -1,0 +1,25 @@
+// R4 fixture: a lock guard held across an oracle call, one correctly
+// dropped first, one scoped out, and one sanctioned by waiver.
+pub fn bad(memo: &std::sync::Mutex<u8>, oracle: &O) {
+    let guard = memo.lock().unwrap();
+    oracle.query(*guard);
+}
+
+pub fn dropped_first(memo: &std::sync::Mutex<u8>, oracle: &O) {
+    let guard = memo.lock().unwrap();
+    drop(guard);
+    oracle.query(0);
+}
+
+pub fn scoped_out(memo: &std::sync::Mutex<u8>, oracle: &O) {
+    {
+        let _guard = memo.lock().unwrap();
+    }
+    oracle.query(0);
+}
+
+pub fn sanctioned(memo: &std::sync::Mutex<u8>, oracle: &O) {
+    // lint:allow(lock) — exactly-once memo fill: the lock IS the dedupe
+    let guard = memo.lock().unwrap();
+    oracle.query(*guard);
+}

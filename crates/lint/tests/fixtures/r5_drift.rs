@@ -1,0 +1,7 @@
+// R5 fixture: two field literals, one of which the doc table is missing;
+// the doc table also carries a ghost entry the code no longer has.
+pub fn parse(v: &Json) {
+    let _ = v.get("session");
+    let _ = v.get("max_probes");
+    let _msg = "not a field: it has spaces";
+}

@@ -1,0 +1,256 @@
+//! Fixture-driven tests for the invariant checker: every rule's minimal
+//! violating file produces exactly the expected findings, the clean file
+//! produces none, and the CLI's exit codes hold end to end.
+
+use lca_lint::config::Config;
+use lca_lint::rules::{run_rules, Finding, SourceFile};
+
+const R1: &str = include_str!("fixtures/r1_unsafe.rs");
+const R2: &str = include_str!("fixtures/r2_panic.rs");
+const R3: &str = include_str!("fixtures/r3_atomic.rs");
+const R4: &str = include_str!("fixtures/r4_lock.rs");
+const R5: &str = include_str!("fixtures/r5_drift.rs");
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+
+fn catalog() -> Config {
+    Config::parse(
+        r#"
+        version = 1
+        [unsafe]
+        sanctioned = ["crates/serve/src/sys.rs"]
+        [hot_paths]
+        files = ["crates/serve/src/r2_panic.rs"]
+        [atomics."crates/serve/src/r3_atomic.rs"]
+        allow = ["Relaxed"]
+        seqcst_idents = ["draining"]
+        [lock]
+        triggers = ["query", "probe"]
+        [docs]
+        protocol = "docs/PROTOCOL.md"
+        sources = ["crates/serve/src/r5_drift.rs"]
+        [waivers]
+        max_panic = 4
+        max_atomic = 2
+        max_lock = 2
+        "#,
+    )
+    .expect("fixture catalog parses")
+}
+
+fn findings_for(path: &str, src: &str, rule: &str) -> Vec<Finding> {
+    let files = [SourceFile::new(path, src)];
+    run_rules(&catalog(), &files, None)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+#[test]
+fn r1_flags_unsafe_outside_the_sanctioned_module() {
+    let found = findings_for("crates/serve/src/r1_unsafe.rs", R1, "R1/unsafe");
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].line, 3);
+    // The same content inside the sanctioned module is legal.
+    let found = findings_for("crates/serve/src/sys.rs", R1, "R1/unsafe");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn r2_flags_each_panic_shape_once_and_honors_the_waiver() {
+    let found = findings_for("crates/serve/src/r2_panic.rs", R2, "R2/panic");
+    // unwrap, panic!, and the index — the waived expect and the entire
+    // #[cfg(test)] module produce nothing.
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().any(|f| f.message.contains(".unwrap()")));
+    assert!(found.iter().any(|f| f.message.contains("panic!")));
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("slice index on `v`")));
+    assert!(!found.iter().any(|f| f.message.contains(".expect()")));
+}
+
+#[test]
+fn r3_flags_off_allowlist_seqcst_and_relaxed_flag_orderings() {
+    let found = findings_for("crates/serve/src/r3_atomic.rs", R3, "R3/atomic");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("Ordering::Acquire")));
+    assert!(found.iter().any(|f| f.message.contains("SeqCst off")));
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("cross-thread flag")));
+}
+
+#[test]
+fn r4_flags_only_the_guard_held_across_the_call() {
+    let found = findings_for("crates/serve/src/r4_lock.rs", R4, "R4/lock");
+    assert_eq!(found.len(), 1, "{found:?}");
+    // The finding anchors on the call, naming the guard's binding line.
+    assert_eq!(found[0].line, 5);
+    assert!(found[0].message.contains("`guard`"));
+    assert!(found[0].message.contains("line 4"));
+}
+
+#[test]
+fn r5_flags_drift_in_both_directions() {
+    let doc = "\
+# Protocol\n\
+<!-- lint-field-table:begin -->\n\
+| literal | kind | meaning |\n\
+|---|---|---|\n\
+| `session` | field | session name |\n\
+| `ghost_field` | field | removed long ago |\n\
+<!-- lint-field-table:end -->\n";
+    let files = [SourceFile::new("crates/serve/src/r5_drift.rs", R5)];
+    let found: Vec<Finding> = run_rules(&catalog(), &files, Some(doc))
+        .into_iter()
+        .filter(|f| f.rule == "R5/docs")
+        .collect();
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("max_probes") && f.path.ends_with("r5_drift.rs")));
+    assert!(found
+        .iter()
+        .any(|f| f.message.contains("ghost_field") && f.path == "docs/PROTOCOL.md"));
+}
+
+#[test]
+fn the_clean_file_is_clean_under_every_rule() {
+    // Run it as a hot-path file AND with an atomics allowlist so every
+    // rule actually looks at it.
+    let config = Config::parse(
+        r#"
+        [unsafe]
+        sanctioned = []
+        [hot_paths]
+        files = ["crates/serve/src/clean.rs"]
+        [lock]
+        triggers = ["query"]
+        "#,
+    )
+    .expect("catalog parses");
+    let files = [SourceFile::new("crates/serve/src/clean.rs", CLEAN)];
+    let found = run_rules(&config, &files, None);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn lexer_edge_cases_do_not_leak_unsafe_tokens() {
+    // `unsafe` in raw strings, nested comments, and escaped strings must
+    // not trip R1 even when the file is outside the sanctioned set.
+    let found = findings_for("crates/serve/src/clean.rs", CLEAN, "R1/unsafe");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+// ── CLI exit codes ──────────────────────────────────────────────────────
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lca-lint"))
+}
+
+/// Builds a throwaway workspace under the cargo-provided tmp dir.
+fn scratch_workspace(name: &str, violating: bool) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src_dir = root.join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir scratch src");
+    std::fs::write(
+        root.join("lint.toml"),
+        "version = 1\n[unsafe]\nsanctioned = []\n[hot_paths]\nfiles = [\"src/hot.rs\"]\n",
+    )
+    .expect("write catalog");
+    let body = if violating {
+        "pub fn f(v: &[u8]) -> u8 { v.first().copied().unwrap() }\n"
+    } else {
+        "pub fn f(v: &[u8]) -> Option<u8> { v.first().copied() }\n"
+    };
+    std::fs::write(src_dir.join("hot.rs"), body).expect("write fixture source");
+    root
+}
+
+#[test]
+fn check_exits_zero_on_a_clean_tree() {
+    let root = scratch_workspace("lint-clean", false);
+    let status = bin()
+        .args(["--root", root.to_str().expect("utf-8 tmp path"), "--check"])
+        .status()
+        .expect("run lca-lint");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn check_exits_nonzero_on_a_violation() {
+    let root = scratch_workspace("lint-dirty", true);
+    let output = bin()
+        .args(["--root", root.to_str().expect("utf-8 tmp path"), "--check"])
+        .output()
+        .expect("run lca-lint");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("R2/panic"), "{stdout}");
+    assert!(stdout.contains("src/hot.rs:1"), "{stdout}");
+}
+
+#[test]
+fn a_baseline_absorbs_known_findings_and_reports_stale_ones() {
+    let root = scratch_workspace("lint-baselined", true);
+    // Generate the baseline from the current findings, then check again:
+    // everything is absorbed, so --check passes.
+    let baseline = root.join("baseline.txt");
+    let root_arg = root.to_str().expect("utf-8 tmp path");
+    let baseline_arg = baseline.to_str().expect("utf-8 tmp path");
+    let status = bin()
+        .args(["--root", root_arg, "--write-baseline", baseline_arg])
+        .status()
+        .expect("run lca-lint");
+    assert_eq!(status.code(), Some(0));
+    let status = bin()
+        .args(["--root", root_arg, "--check", "--baseline", baseline_arg])
+        .status()
+        .expect("run lca-lint");
+    assert_eq!(status.code(), Some(0));
+    // Fix the violation: the check still passes (shrunken, not grown) and
+    // the stale entry is reported on stdout.
+    std::fs::write(
+        root.join("src").join("hot.rs"),
+        "pub fn f(v: &[u8]) -> Option<u8> { v.first().copied() }\n",
+    )
+    .expect("rewrite fixture source");
+    let output = bin()
+        .args(["--root", root_arg, "--check", "--baseline", baseline_arg])
+        .output()
+        .expect("run lca-lint");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("1 stale"), "{stdout}");
+}
+
+#[test]
+fn a_broken_catalog_is_a_usage_error() {
+    let root = scratch_workspace("lint-broken-config", false);
+    std::fs::write(root.join("lint.toml"), "[unterminated\n").expect("write catalog");
+    let status = bin()
+        .args(["--root", root.to_str().expect("utf-8 tmp path"), "--check"])
+        .status()
+        .expect("run lca-lint");
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn fix_waivers_prints_the_insertable_comment() {
+    let root = scratch_workspace("lint-scaffold", true);
+    let output = bin()
+        .args([
+            "--root",
+            root.to_str().expect("utf-8 tmp path"),
+            "--fix-waivers",
+        ])
+        .output()
+        .expect("run lca-lint");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("lint:allow(panic)"), "{stdout}");
+}

@@ -39,6 +39,9 @@
 //!
 //! Protocol reference: `docs/PROTOCOL.md`.
 
+// This binary's product is its stdout; the workspace print ban
+// applies to library code, not report/CLI entry points.
+#![allow(clippy::print_stdout)]
 use std::process::ExitCode;
 use std::sync::atomic::Ordering;
 

@@ -24,6 +24,7 @@
 //! it. Adaptive fitting changes *how often* the budget trips, never *what*
 //! a completed query answers.
 
+#![warn(clippy::unwrap_used)]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -84,7 +85,10 @@ impl WindowedHistogram {
     /// Records one observation, rotating the window if this observation
     /// fills it.
     pub fn record(&self, value: u64) {
-        self.cur[bucket(value)].fetch_add(1, Ordering::Relaxed);
+        // bucket() < BUCKETS by construction; get() keeps the hot path panic-free.
+        if let Some(counter) = self.cur.get(bucket(value)) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         let seen = self.in_window.fetch_add(1, Ordering::Relaxed) + 1;
         if seen >= self.window {
             self.try_rotate();
@@ -92,16 +96,17 @@ impl WindowedHistogram {
     }
 
     fn try_rotate(&self) {
+        // lint:allow(panic) — poison means a sibling recorder panicked; propagate
         let _guard = self.rotate.lock().expect("rotate mutex poisoned");
         // Double-check under the lock: a racing thread may have already
         // rotated on behalf of this window.
         if self.in_window.load(Ordering::Relaxed) < self.window {
             return;
         }
-        for i in 0..BUCKETS {
-            let fresh = self.cur[i].swap(0, Ordering::Relaxed);
-            let old = self.decayed[i].load(Ordering::Relaxed);
-            self.decayed[i].store(old / 2 + fresh, Ordering::Relaxed);
+        for (cur, decayed) in self.cur.iter().zip(&self.decayed) {
+            let fresh = cur.swap(0, Ordering::Relaxed);
+            let old = decayed.load(Ordering::Relaxed);
+            decayed.store(old / 2 + fresh, Ordering::Relaxed);
         }
         self.in_window.store(0, Ordering::Relaxed);
         self.epochs.fetch_add(1, Ordering::Relaxed);
@@ -117,16 +122,16 @@ impl WindowedHistogram {
     /// Returns 0 when empty. Allocation-free.
     pub fn quantile(&self, q: f64) -> u64 {
         let mut total: u64 = 0;
-        for i in 0..BUCKETS {
-            total += self.decayed[i].load(Ordering::Relaxed) + self.cur[i].load(Ordering::Relaxed);
+        for (decayed, cur) in self.decayed.iter().zip(&self.cur) {
+            total += decayed.load(Ordering::Relaxed) + cur.load(Ordering::Relaxed);
         }
         if total == 0 {
             return 0;
         }
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0;
-        for i in 0..BUCKETS {
-            seen += self.decayed[i].load(Ordering::Relaxed) + self.cur[i].load(Ordering::Relaxed);
+        for (i, (decayed, cur)) in self.decayed.iter().zip(&self.cur).enumerate() {
+            seen += decayed.load(Ordering::Relaxed) + cur.load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_upper_bound(i);
             }
@@ -358,6 +363,7 @@ fn percentile_to_bp(pct: f64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
 

@@ -5,6 +5,7 @@
 //! instead of buffering without bound and letting latency (then memory)
 //! blow up. Shutdown is a drain — already-admitted jobs run to completion.
 
+#![warn(clippy::unwrap_used)]
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +59,7 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("lca-serve-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
+                    // lint:allow(panic) — startup path: no workers means no server
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -71,6 +73,7 @@ impl WorkerPool {
     /// Admits `job`, or rejects it when the queue is full or draining —
     /// the caller turns a rejection into an `overloaded` wire response.
     pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), RejectReason> {
+        // lint:allow(panic) — poison means a worker already panicked; propagate
         let mut state = self.inner.state.lock().expect("pool poisoned");
         if state.shutdown {
             return Err(RejectReason::ShuttingDown);
@@ -86,6 +89,7 @@ impl WorkerPool {
 
     /// Jobs currently waiting for a worker.
     pub fn queue_len(&self) -> usize {
+        // lint:allow(panic) — poison means a worker already panicked; propagate
         self.inner.state.lock().expect("pool poisoned").queue.len()
     }
 
@@ -98,6 +102,7 @@ impl WorkerPool {
     /// Idempotent — later calls are no-ops.
     pub fn shutdown(&self) {
         {
+            // lint:allow(panic) — poison means a worker already panicked; propagate
             let mut state = self.inner.state.lock().expect("pool poisoned");
             state.shutdown = true;
         }
@@ -105,6 +110,7 @@ impl WorkerPool {
         let handles: Vec<_> = self
             .workers
             .lock()
+            // lint:allow(panic) — poison means a worker already panicked; propagate
             .expect("pool poisoned")
             .drain(..)
             .collect();
@@ -128,6 +134,7 @@ impl Drop for WorkerPool {
 fn worker_loop(inner: &PoolInner) {
     loop {
         let job = {
+            // lint:allow(panic) — poison means a worker already panicked; propagate
             let mut state = inner.state.lock().expect("pool poisoned");
             loop {
                 if let Some(job) = state.queue.pop_front() {
@@ -136,6 +143,7 @@ fn worker_loop(inner: &PoolInner) {
                 if state.shutdown {
                     return;
                 }
+                // lint:allow(panic) — poison means a worker already panicked; propagate
                 state = inner.not_empty.wait(state).expect("pool poisoned");
             }
         };
@@ -146,6 +154,7 @@ fn worker_loop(inner: &PoolInner) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

@@ -5,6 +5,7 @@
 //! owns parsing ([`Request::parse`]) and rendering ([`Response`]); it knows
 //! nothing about sockets or sessions.
 
+#![warn(clippy::unwrap_used)]
 use lca::prelude::{AlgorithmKind, ImplicitFamily};
 use serde::Json;
 
@@ -429,21 +430,28 @@ impl<'a> Cursor<'a> {
             .checked_add(n)
             .filter(|&end| end <= self.bytes.len())
             .ok_or(FrameError::Truncated(what))?;
-        let slice = &self.bytes[self.pos..end];
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(FrameError::Truncated(what))?;
         self.pos = end;
         Ok(slice)
     }
 
     fn u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
-        Ok(self.take(1, what)?[0])
+        Ok(self.take(1, what)?.first().copied().unwrap_or(0))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        let bytes = self.take(4, what)?;
+        let arr = bytes.try_into().map_err(|_| FrameError::Truncated(what))?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        let bytes = self.take(8, what)?;
+        let arr = bytes.try_into().map_err(|_| FrameError::Truncated(what))?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     fn str(&mut self, what: &'static str) -> Result<String, FrameError> {
@@ -504,7 +512,9 @@ impl Response {
                 let mut bits = vec![0u8; answers.len().div_ceil(8)];
                 for (i, &a) in answers.iter().enumerate() {
                     if a {
-                        bits[i / 8] |= 1 << (i % 8);
+                        if let Some(byte) = bits.get_mut(i / 8) {
+                            *byte |= 1 << (i % 8);
+                        }
                     }
                 }
                 p.extend_from_slice(&bits);
@@ -574,7 +584,7 @@ impl Response {
                 let count = c.u32("answer count")? as usize;
                 let bits = c.take(count.div_ceil(8), "answer bitset")?;
                 let answers = (0..count)
-                    .map(|i| bits[i / 8] >> (i % 8) & 1 != 0)
+                    .map(|i| bits.get(i / 8).is_some_and(|b| b >> (i % 8) & 1 != 0))
                     .collect();
                 let probes = c.u64("probes")?;
                 let micros = c.u64("micros")?;
@@ -651,18 +661,18 @@ impl FrameDecoder {
     /// needed. After any `Err` the stream is unrecoverable — drop the
     /// connection.
     pub fn next_frame(&mut self) -> Result<Option<Response>, FrameError> {
-        if self.buf.len() < 4 {
+        let Some(&prefix) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        };
+        let len = u32::from_le_bytes(prefix);
         if len == 0 || len as usize > MAX_FRAME {
             return Err(FrameError::BadLength { len });
         }
         let total = 4 + len as usize;
-        if self.buf.len() < total {
+        let Some(payload) = self.buf.get(4..total) else {
             return Ok(None);
-        }
-        let response = Response::decode_payload(&self.buf[4..total])?;
+        };
+        let response = Response::decode_payload(payload)?;
         self.buf.drain(..total);
         Ok(Some(response))
     }
@@ -676,7 +686,10 @@ pub fn read_binary_frame(r: &mut impl std::io::Read) -> std::io::Result<Option<R
     let mut prefix = [0u8; 4];
     let mut got = 0;
     while got < 4 {
-        match r.read(&mut prefix[got..]) {
+        let Some(rest) = prefix.get_mut(got..) else {
+            break;
+        };
+        match r.read(rest) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => {
                 return Err(Error::new(
@@ -922,6 +935,7 @@ impl Request {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
     use lca::prelude::{ClassicKind, SpannerKind};

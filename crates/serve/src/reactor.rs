@@ -28,6 +28,7 @@
 //!   accepting, keeps servicing readiness until every admitted job has
 //!   delivered and every write buffer is empty, then closes and returns.
 
+#![warn(clippy::unwrap_used)]
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
@@ -90,6 +91,7 @@ impl Completions {
     /// never blocks on I/O.
     fn push(&self, token: u64, response: Response) {
         let was_empty = {
+            // lint:allow(panic) — poisoned queue means a worker already panicked; propagate
             let mut queue = self.queue.lock().expect("completion queue poisoned");
             let was_empty = queue.is_empty();
             queue.push((token, response));
@@ -102,6 +104,7 @@ impl Completions {
     }
 
     fn drain(&self) -> Vec<(u64, Response)> {
+        // lint:allow(panic) — poisoned queue means a worker already panicked; propagate
         std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
     }
 }
@@ -159,7 +162,9 @@ impl Conn {
 /// `bytes_written` (and retry offsets) truthful under short writes.
 fn advance_write_queue(queue: &mut VecDeque<Vec<u8>>, head: &mut usize, mut written: usize) {
     while written > 0 {
-        let front = queue.front().expect("advanced past end of write queue");
+        let Some(front) = queue.front() else {
+            return; // kernel can't accept more than we gathered
+        };
         let remaining = front.len() - *head;
         if written >= remaining {
             written -= remaining;
@@ -288,7 +293,7 @@ impl Reactor {
                 let grace_expired = drain_started.elapsed() >= DRAIN_GRACE;
                 for idx in 0..self.slots.len() {
                     let done = matches!(
-                        &self.slots[idx].conn,
+                        self.conn_ref(idx),
                         Some(c) if c.pending == 0 && (grace_expired || c.queued_bytes == 0)
                     );
                     if done {
@@ -351,7 +356,9 @@ impl Reactor {
                 self.slots.len() - 1
             }
         };
-        let token = token_of(idx, self.slots[idx].gen);
+        let Some(token) = self.token_at(idx) else {
+            return;
+        };
         if self
             .poller
             .register(stream.as_raw_fd(), token, false)
@@ -360,7 +367,10 @@ impl Reactor {
             self.free.push(idx);
             return;
         }
-        self.slots[idx].conn = Some(Conn {
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        slot.conn = Some(Conn {
             stream,
             read_buf: Vec::new(),
             write_queue: VecDeque::new(),
@@ -383,12 +393,15 @@ impl Reactor {
     }
 
     fn close_conn(&mut self, idx: usize) {
-        let token = token_of(idx, self.slots[idx].gen);
-        let Some(conn) = self.slots[idx].conn.take() else {
+        let Some(slot) = self.slots.get_mut(idx) else {
             return;
         };
+        let token = token_of(idx, slot.gen);
+        let Some(conn) = slot.conn.take() else {
+            return;
+        };
+        slot.gen = slot.gen.wrapping_add(1);
         let _ = self.poller.deregister(conn.stream.as_raw_fd(), token);
-        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
         self.free.push(idx);
         self.open -= 1;
         self.server
@@ -410,6 +423,22 @@ impl Reactor {
         }
     }
 
+    /// The live connection at `idx`, if any — an already-closed slot (a
+    /// dispatch or flush raced a close) is `None`, never a panic.
+    fn conn_ref(&self, idx: usize) -> Option<&Conn> {
+        self.slots.get(idx).and_then(|slot| slot.conn.as_ref())
+    }
+
+    /// Mutable variant of [`Reactor::conn_ref`].
+    fn conn_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(idx).and_then(|slot| slot.conn.as_mut())
+    }
+
+    /// The poll token currently naming `idx`, if the slot exists.
+    fn token_at(&self, idx: usize) -> Option<u64> {
+        self.slots.get(idx).map(|slot| token_of(idx, slot.gen))
+    }
+
     /// Drains the whole completion queue in one pass: every response is
     /// staged into its connection's write queue first, then each touched
     /// connection is flushed exactly once — N completions for one
@@ -426,20 +455,22 @@ impl Reactor {
         let mut touched: Vec<usize> = Vec::with_capacity(batch.len());
         for (token, response) in batch {
             self.in_flight -= 1;
-            if let Some(idx) = self.live(token) {
-                let conn = self.slots[idx].conn.as_mut().expect("live conn");
-                conn.pending -= 1;
-                conn.enqueue(&response);
-                self.server.global.responses.fetch_add(1, Ordering::Relaxed);
-                touched.push(idx);
-            }
+            let Some(idx) = self.live(token) else {
+                continue;
+            };
+            let Some(conn) = self.conn_mut(idx) else {
+                continue;
+            };
+            conn.pending -= 1;
+            conn.enqueue(&response);
+            self.server.global.responses.fetch_add(1, Ordering::Relaxed);
+            touched.push(idx);
         }
         touched.sort_unstable();
         touched.dedup();
         for idx in touched {
-            if self.slots[idx].conn.is_some() {
-                self.flush_conn(idx);
-            }
+            // flush_conn is a no-op on a slot something above closed.
+            self.flush_conn(idx);
         }
     }
 
@@ -450,7 +481,7 @@ impl Reactor {
         if ev.readable {
             self.read_ready(idx);
         }
-        if ev.writable && self.slots[idx].conn.is_some() {
+        if ev.writable && self.conn_ref(idx).is_some() {
             self.flush_conn(idx);
         }
     }
@@ -459,10 +490,14 @@ impl Reactor {
     /// each. EOF with a final unterminated line still dispatches it —
     /// stdio mode would serve it, TCP must too.
     fn read_ready(&mut self, idx: usize) {
-        let token = token_of(idx, self.slots[idx].gen);
+        let Some(token) = self.token_at(idx) else {
+            return;
+        };
         let mut chunk = [0u8; 16 * 1024];
         loop {
-            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
             match conn.stream.read(&mut chunk) {
                 Ok(0) => {
                     conn.peer_closed = true;
@@ -473,7 +508,8 @@ impl Reactor {
                     break;
                 }
                 Ok(k) => {
-                    conn.read_buf.extend_from_slice(&chunk[..k]);
+                    conn.read_buf
+                        .extend_from_slice(chunk.get(..k).unwrap_or(&[]));
                     if conn.read_buf.len() > MAX_LINE {
                         self.close_conn(idx);
                         return;
@@ -483,19 +519,21 @@ impl Reactor {
                     // flushed together below, so a pipelined burst of K
                     // requests costs one gather-write, not K writes.
                     loop {
-                        let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                        let Some(conn) = self.conn_mut(idx) else {
+                            return;
+                        };
                         let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') else {
                             break;
                         };
                         let line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
                         self.dispatch_line(idx, token, &line);
-                        match self.slots[idx].conn.as_ref() {
+                        match self.conn_ref(idx) {
                             None => return, // dispatch closed the connection
                             // A pipelined flood must not stage unboundedly
                             // between flushes: shed pressure mid-batch.
                             Some(c) if c.queued_bytes > MAX_WRITE_BUFFER => {
                                 self.flush_conn(idx);
-                                if self.slots[idx].conn.is_none() {
+                                if self.conn_ref(idx).is_none() {
                                     return;
                                 }
                             }
@@ -512,9 +550,9 @@ impl Reactor {
             }
         }
         // One coalesced flush for everything this readiness event staged.
-        if matches!(self.slots[idx].conn.as_ref(), Some(c) if c.queued_bytes > 0) {
+        if matches!(self.conn_ref(idx), Some(c) if c.queued_bytes > 0) {
             self.flush_conn(idx);
-            if self.slots[idx].conn.is_none() {
+            if self.conn_ref(idx).is_none() {
                 return;
             }
         }
@@ -531,7 +569,9 @@ impl Reactor {
             .handle_raw_line(raw, move |response| completions.push(token, response));
         match outcome {
             LineOutcome::Inline(response) => {
-                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                let Some(conn) = self.conn_mut(idx) else {
+                    return;
+                };
                 conn.enqueue(&response);
                 self.server.global.responses.fetch_add(1, Ordering::Relaxed);
             }
@@ -539,14 +579,20 @@ impl Reactor {
                 // STARTTLS convention: acknowledge in the *current*
                 // framing, then switch — the client reads one response in
                 // the old framing and everything after in the new one.
-                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                let Some(conn) = self.conn_mut(idx) else {
+                    return;
+                };
                 conn.enqueue(&Response::Hello { frame: format });
                 conn.frame = format;
                 self.server.global.responses.fetch_add(1, Ordering::Relaxed);
             }
             LineOutcome::Deferred => {
+                // Count in_flight unconditionally: the job was handed to the
+                // pool and its completion will be drained either way.
                 self.in_flight += 1;
-                self.slots[idx].conn.as_mut().expect("live conn").pending += 1;
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.pending += 1;
+                }
             }
             LineOutcome::Ignored => {}
         }
@@ -561,11 +607,14 @@ impl Reactor {
     /// the syscall's return value and the queue advances by the same
     /// amount, so short writes never over- or under-report.
     fn flush_conn(&mut self, idx: usize) {
-        let gen = self.slots[idx].gen;
         let server = self.server.clone();
         let mut close = false;
         let mut interest = None;
-        let Some(conn) = self.slots[idx].conn.as_mut() else {
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return;
+        };
+        let gen = slot.gen;
+        let Some(conn) = slot.conn.as_mut() else {
             return;
         };
         while conn.queued_bytes > 0 {
@@ -573,9 +622,12 @@ impl Reactor {
                 Vec::with_capacity(conn.write_queue.len().min(sys::MAX_IOVECS));
             let mut gathered = 0usize;
             let mut units = conn.write_queue.iter();
-            let front = units.next().expect("nonempty queue");
-            bufs.push(&front[conn.write_head..]);
-            gathered += front.len() - conn.write_head;
+            let Some(front) = units.next() else {
+                break; // queued_bytes drifted from an empty queue: bail
+            };
+            let head = front.get(conn.write_head..).unwrap_or(&[]);
+            bufs.push(head);
+            gathered += head.len();
             for unit in units.take(sys::MAX_IOVECS - 1) {
                 bufs.push(unit);
                 gathered += unit.len();
@@ -633,7 +685,7 @@ impl Reactor {
     /// Closes a connection whose peer is gone and which owes nothing more.
     fn maybe_close_finished(&mut self, idx: usize) {
         let done = matches!(
-            &self.slots[idx].conn,
+            self.conn_ref(idx),
             Some(c) if c.peer_closed && c.pending == 0 && c.queued_bytes == 0
         );
         if done {
@@ -643,6 +695,7 @@ impl Reactor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // tests assert; unwrap IS the assertion
 mod tests {
     use super::*;
 

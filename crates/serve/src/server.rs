@@ -17,6 +17,7 @@
 //! are returned to the caller, query work is admitted to the pool with a
 //! `deliver` callback the worker invokes when the response is ready.
 
+#![warn(clippy::unwrap_used)]
 use std::io::{self, Write};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -83,6 +84,7 @@ pub type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
 fn write_line(out: &SharedWriter, response: &Response) {
     let line = response.render();
+    // lint:allow(panic) — poison means a sibling writer panicked; propagate
     let mut w = out.lock().expect("writer poisoned");
     // A vanished client is not a server error; drop the response.
     let _ = writeln!(w, "{line}");
@@ -173,6 +175,7 @@ impl Server {
                     s.started.elapsed().as_secs_f64(),
                 ) {
                     Json::Obj(fields) => fields,
+                    // lint:allow(panic) — session_stats_json returns Obj by construction
                     _ => unreachable!("session stats render as an object"),
                 };
                 obj.insert(0, ("kind".into(), Json::Str(s.spec.kind.to_string())));

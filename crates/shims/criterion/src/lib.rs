@@ -10,6 +10,11 @@
 //! No plotting, no statistics, no CLI filtering: just numbers, so the bench
 //! targets keep compiling and produce usable output in an offline container.
 
+#![forbid(unsafe_code)]
+// Printing the measured ns/iter lines IS this shim's output channel, so
+// the workspace-wide print ban does not apply here.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 /// Target wall-clock spent measuring one benchmark (after warm-up).

@@ -4,6 +4,8 @@
 //! struct with named fields. Anything else is a compile error by design —
 //! widen it if a new call site needs more.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]

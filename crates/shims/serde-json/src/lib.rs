@@ -3,6 +3,8 @@
 //! value trees (the `lca-serve` wire protocol reads requests through it).
 //! See `crates/shims/serde` for scope and caveats.
 
+#![forbid(unsafe_code)]
+
 /// The error type of this crate: unreachable for [`to_string`] (rendering a
 /// [`serde::Json`] tree cannot fail), and a position + message for
 /// [`from_str`] parse failures.

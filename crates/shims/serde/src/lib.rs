@@ -14,6 +14,8 @@
 //! delete `crates/shims/` and point the manifests at the real crates; the
 //! call sites are source-compatible for the subset used here.
 
+#![forbid(unsafe_code)]
+
 /// A JSON value tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {

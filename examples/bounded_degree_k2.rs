@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release --example bounded_degree_k2`
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::core::global::k2_partition;
 use lca::core::{K2Params, K2Spanner};
 use lca::prelude::*;

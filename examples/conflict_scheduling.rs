@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release --example conflict_scheduling`
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::classic::{MatchingLca, MisLca, VertexCoverLca};
 use lca::prelude::*;
 

@@ -7,6 +7,8 @@
 //!
 //! Run: `cargo run --release --example lower_bound_demo`
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::lowerbound::{
     bounded_reachability_accepts, distinguishing_experiment, sample_dminus, sample_dplus,
 };

@@ -9,6 +9,8 @@
 //!
 //! Run: `cargo run --release --example overlay_routing`
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::core::{materialize, ThreeSpanner};
 use lca::prelude::*;
 use lca::rand::SplitMix64;

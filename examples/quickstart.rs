@@ -32,6 +32,8 @@
 //! `(oracle, kind, seed)` shape, and `QueryEngine` batches and parallelizes
 //! the queries for you.
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::core::DynQuery;
 use lca::prelude::*;
 

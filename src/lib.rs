@@ -22,6 +22,8 @@
 //! assert!(oracle.counts().total() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lca_baseline as baseline;
 pub use lca_classic as classic;
 pub use lca_core as core;

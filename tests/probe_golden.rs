@@ -18,6 +18,8 @@
 //! cargo test --test probe_golden -- --ignored --nocapture print_probe_fingerprints
 //! ```
 
+// Stdout is this target's output channel; the print ban is for library code.
+#![allow(clippy::print_stdout)]
 use lca::prelude::*;
 
 const N: usize = 1024;
