@@ -45,6 +45,7 @@ struct TrajectoryRow {
     query_kind: String,
     queries: usize,
     qps: f64,
+    ns_per_probe: f64,
     probes_p50: u64,
     probes_p99: u64,
     latency_p50_us: u64,
@@ -79,7 +80,12 @@ fn trajectory_row(
     queries: &[DynQuery],
     engine: &QueryEngine,
 ) -> TrajectoryRow {
-    let shared = config.build(oracle);
+    // The serial pass runs through a counting decorator so the snapshot can
+    // report amortized wall time per probe actually issued — the probe
+    // pipeline's headline number (counter overhead is two relaxed atomic
+    // adds per probe, noise next to a query).
+    let probe_counter = CountingOracle::new(oracle);
+    let shared = config.build(&probe_counter);
     let mut lats: Vec<u64> = Vec::with_capacity(queries.len());
     let t = Instant::now();
     for &q in queries {
@@ -88,6 +94,7 @@ fn trajectory_row(
         lats.push(started.elapsed().as_micros() as u64);
     }
     let elapsed = t.elapsed().as_secs_f64();
+    let probes_total = probe_counter.counts().total();
     lats.sort_unstable();
 
     let cold_sample = &queries[..queries.len().min(256)];
@@ -110,6 +117,11 @@ fn trajectory_row(
         queries: queries.len(),
         qps: if elapsed > 0.0 {
             queries.len() as f64 / elapsed
+        } else {
+            0.0
+        },
+        ns_per_probe: if probes_total > 0 {
+            elapsed * 1e9 / probes_total as f64
         } else {
             0.0
         },

@@ -71,8 +71,13 @@ impl<O: Oracle> ColoringLca<O> {
         }
         let o = ctx.budgeted(&self.oracle);
         // Iterative DFS over the decreasing-rank dependency DAG; a vertex
-        // resolves once every lower-rank neighbor has a color.
+        // resolves once every lower-rank neighbor has a color. The probe
+        // loop below intentionally stays a point-probe scan with an early
+        // break at the first unresolved dependency — a full buffered scan
+        // would issue neighbor probes this walk never needs. `blocked` is
+        // hoisted so re-visits of `x` reuse one allocation.
         let mut stack = vec![v];
+        let mut blocked: Vec<u32> = Vec::new();
         while let Some(&x) = stack.last() {
             if self
                 .memo
@@ -85,7 +90,7 @@ impl<O: Oracle> ColoringLca<O> {
             }
             let rx = self.rank_of(x);
             let deg = o.degree(x);
-            let mut blocked: Vec<u32> = Vec::new();
+            blocked.clear();
             let mut need: Option<VertexId> = None;
             for i in 0..deg {
                 let Some(w) = o.neighbor(x, i) else {

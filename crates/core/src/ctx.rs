@@ -430,6 +430,17 @@ impl<O: Oracle> Oracle for BudgetedOracle<'_, O> {
         }
     }
 
+    // `neighbors_into` deliberately stays on the trait default, which
+    // decomposes a buffered scan into `degree(v)` + `neighbor(v, 0..d)`
+    // through the charged methods above. That makes budget semantics exact
+    // by construction: each constituent probe is charged individually
+    // (`ctx.spent()` counts d + 1 for a full scan), the probe that trips
+    // the budget is refused before reaching the inner oracle, and a
+    // refusal mid-scan leaves the already-answered prefix in the buffer —
+    // identical behavior, probe for probe, to a hand-written scan loop.
+    // Bulk-generation savings still apply below this layer (the implicit
+    // oracles memoize the generated list across the constituent probes).
+
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }
@@ -664,6 +675,36 @@ mod tests {
         assert!(matches!(
             ctx.checkpoint(),
             Err(LcaError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn buffered_scan_charges_exactly_degree_plus_one() {
+        let g = structured::star(9);
+        let ctx = QueryCtx::unlimited();
+        let o = ctx.budgeted(&g);
+        let mut buf = Vec::new();
+        let d = o.neighbors_into(VertexId::new(0), &mut buf);
+        assert_eq!(d, 8);
+        assert_eq!(buf.len(), 8);
+        // One degree probe plus one neighbor probe per entry — the same
+        // meter reading a hand-written scan loop would produce.
+        assert_eq!(ctx.spent(), 9);
+    }
+
+    #[test]
+    fn buffered_scan_truncates_at_the_budget() {
+        let g = structured::star(9);
+        // Budget covers degree + 3 neighbors; the 4th neighbor probe trips.
+        let ctx = QueryCtx::with_probe_limit(4);
+        let o = ctx.budgeted(&g);
+        let mut buf = Vec::new();
+        o.neighbors_into(VertexId::new(0), &mut buf);
+        assert_eq!(buf.len(), 3, "answered prefix survives the refusal");
+        assert_eq!(ctx.spent(), 4);
+        assert!(matches!(
+            ctx.checkpoint(),
+            Err(LcaError::BudgetExhausted { .. })
         ));
     }
 

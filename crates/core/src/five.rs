@@ -267,32 +267,45 @@ impl<O: Oracle> FiveSpanner<O> {
     }
 
     /// Enumerates the cluster `C(s) = {s} ∪ {w : s ∈ S(w)}` of a sampled
-    /// center `s`, sorted by label (the consistent bucket-partition order).
-    fn cluster_of<P: Oracle>(&self, o: &P, s: VertexId) -> Vec<VertexId> {
-        let mut members = vec![s];
-        let deg = o.degree(s);
-        for i in 0..deg {
-            let Some(w) = o.neighbor(s, i) else {
-                break;
-            };
+    /// center `s` into `members`, sorted by label (the consistent
+    /// bucket-partition order). `scratch` holds the buffered neighbor scan;
+    /// both buffers are caller-owned so the enumeration loop in
+    /// [`FiveSpanner::bucket_rule`] allocates nothing in steady state. The
+    /// buffered scan issues the same `degree(s)` + `neighbor(s, 0..d)`
+    /// probes as the hand-written loop, followed by the same per-member
+    /// `adjacency(w, s)` back-probes.
+    fn cluster_of_into<P: Oracle>(
+        &self,
+        o: &P,
+        s: VertexId,
+        scratch: &mut Vec<VertexId>,
+        members: &mut Vec<VertexId>,
+    ) {
+        members.clear();
+        members.push(s);
+        o.neighbors_into(s, scratch);
+        for &w in scratch.iter() {
             if matches!(o.adjacency(w, s), Some(idx) if idx < self.params.med_block) {
                 members.push(w);
             }
         }
         members.sort_by_key(|&w| o.label(w));
         members.dedup();
-        members
     }
 
-    /// The bucket of `member` within the (label-sorted) cluster: consecutive
-    /// chunks of size ∆_med. `None` means `member` is missing from its own
-    /// cluster — impossible from genuine probes, so callers treat it as
-    /// proof the budget tripped mid-enumeration.
-    fn bucket_of<'m>(&self, cluster: &'m [VertexId], member: VertexId) -> Option<&'m [VertexId]> {
+    /// The bucket of `member` within the (label-sorted) cluster, as an index
+    /// range: consecutive chunks of size ∆_med. `None` means `member` is
+    /// missing from its own cluster — impossible from genuine probes, so
+    /// callers treat it as proof the budget tripped mid-enumeration.
+    fn bucket_range_of(
+        &self,
+        cluster: &[VertexId],
+        member: VertexId,
+    ) -> Option<std::ops::Range<usize>> {
         let pos = cluster.iter().position(|&w| w == member)?;
         let b = self.params.med_block.max(1);
         let start = (pos / b) * b;
-        Some(&cluster[start..cluster.len().min(start + b)])
+        Some(start..cluster.len().min(start + b))
     }
 
     /// Bucket rule (B): is `(u, v)` the minimum-ID valid edge between the
@@ -326,30 +339,31 @@ impl<O: Oracle> FiveSpanner<O> {
             );
             false
         };
+        // Four buffers reused across every (s, t) center pair: the two
+        // cluster enumerations and their neighbor-scan scratch.
+        let (mut scratch, mut cs, mut ct) = (Vec::new(), Vec::new(), Vec::new());
         for &s in su {
-            let cs = self.cluster_of(o, s);
-            let Some(bu) = self.bucket_of(&cs, u) else {
+            self.cluster_of_into(o, s, &mut scratch, &mut cs);
+            let Some(bu) = self.bucket_range_of(&cs, u) else {
                 return degenerate(u);
             };
-            let bu = bu.to_vec();
             for &t in sv {
                 if s == t {
                     continue;
                 }
-                let ct = self.cluster_of(o, t);
-                let Some(bv) = self.bucket_of(&ct, v) else {
+                self.cluster_of_into(o, t, &mut scratch, &mut ct);
+                let Some(bv) = self.bucket_range_of(&ct, v) else {
                     return degenerate(v);
                 };
-                let bv = bv.to_vec();
                 let mut best: Option<(u64, u64)> = None;
-                for &a in &bu {
+                for &a in &cs[bu.clone()] {
                     // Candidates are cluster *members* (s ∈ S(a) must hold so
                     // the detour's center edge exists); the center itself is
                     // excluded.
                     if a == s || deg_of(a) < med {
                         continue;
                     }
-                    for &b in &bv {
+                    for &b in &ct[bv.clone()] {
                         if b == t || a == b || deg_of(b) < med {
                             continue;
                         }

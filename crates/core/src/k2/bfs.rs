@@ -88,23 +88,20 @@ pub fn center_search<O: Oracle>(
     dist.insert(v.raw(), 0);
     queue.push_back(v);
     let mut discovered = 1usize;
+    // One scratch buffer for every expansion: the buffered scan issues the
+    // same `degree` + `neighbor(0..d)` probes the hand-written loop did,
+    // without a per-vertex allocation.
+    let mut nbrs: Vec<VertexId> = Vec::new();
     while let Some(x) = queue.pop_front() {
         let dx = dist[&x.raw()];
         if dx >= k {
             continue;
         }
-        let deg = oracle.degree(x);
-        let mut nbrs: Vec<VertexId> = Vec::with_capacity(deg);
-        for i in 0..deg {
-            match oracle.neighbor(x, i) {
-                Some(w) => nbrs.push(w),
-                None => break,
-            }
-        }
+        oracle.neighbors_into(x, &mut nbrs);
         // Enqueue undiscovered neighbors in increasing label order — this is
         // what makes discovery order lexicographic in π(v, ·).
         nbrs.sort_by_key(|&w| oracle.label(w));
-        for w in nbrs {
+        for &w in &nbrs {
             if parent.contains_key(&w.raw()) {
                 continue;
             }

@@ -53,17 +53,17 @@ impl<O: Oracle> K2Spanner<O> {
             ctx.children.borrow_mut().insert(x.raw(), Rc::clone(&rc));
             return rc;
         };
-        let mut kids = Vec::new();
-        let deg = o.degree(x);
-        for i in 0..deg {
-            let Some(w) = o.neighbor(x, i) else {
-                break;
-            };
-            let stw = self.status(ctx, w);
-            if stw.center() == Some(cx) && stw.parent() == Some(x) {
-                kids.push(w);
+        let kids = ctx.with_nbrs(|nbrs| {
+            o.neighbors_into(x, nbrs);
+            let mut kids = Vec::new();
+            for &w in nbrs.iter() {
+                let stw = self.status(ctx, w);
+                if stw.center() == Some(cx) && stw.parent() == Some(x) {
+                    kids.push(w);
+                }
             }
-        }
+            kids
+        });
         let rc = Rc::new(kids);
         ctx.children.borrow_mut().insert(x.raw(), Rc::clone(&rc));
         rc
@@ -199,17 +199,16 @@ impl<O: Oracle> K2Spanner<O> {
         let o = self.o(ctx);
         let mut out: HashSet<u32> = HashSet::new();
         for &m in &a.members {
-            let deg = o.degree(m);
-            for i in 0..deg {
-                let Some(w) = o.neighbor(m, i) else {
-                    break;
-                };
-                if let Some(c) = self.status(ctx, w).center() {
-                    if c != a.cell_center {
-                        out.insert(c.raw());
+            ctx.with_nbrs(|nbrs| {
+                o.neighbors_into(m, nbrs);
+                for &w in nbrs.iter() {
+                    if let Some(c) = self.status(ctx, w).center() {
+                        if c != a.cell_center {
+                            out.insert(c.raw());
+                        }
                     }
                 }
-            }
+            });
         }
         let rc = Rc::new(out);
         ctx.boundaries.borrow_mut().insert(a.id(), Rc::clone(&rc));
@@ -226,18 +225,17 @@ impl<O: Oracle> K2Spanner<O> {
         let o = self.o(ctx);
         let mut best: Option<((u64, u64), (VertexId, VertexId))> = None;
         for &m in &a.members {
-            let deg = o.degree(m);
-            for i in 0..deg {
-                let Some(w) = o.neighbor(m, i) else {
-                    break;
-                };
-                if b_set.contains(&w.raw()) {
-                    let k = edge_key(o.label(m), o.label(w));
-                    if best.is_none_or(|(cur, _)| k < cur) {
-                        best = Some((k, (m, w)));
+            ctx.with_nbrs(|nbrs| {
+                o.neighbors_into(m, nbrs);
+                for &w in nbrs.iter() {
+                    if b_set.contains(&w.raw()) {
+                        let k = edge_key(o.label(m), o.label(w));
+                        if best.is_none_or(|(cur, _)| k < cur) {
+                            best = Some((k, (m, w)));
+                        }
                     }
                 }
-            }
+            });
         }
         best.map(|(_, e)| e)
     }
@@ -252,18 +250,17 @@ impl<O: Oracle> K2Spanner<O> {
         let o = self.o(ctx);
         let mut best: Option<((u64, u64), (VertexId, VertexId))> = None;
         for &m in &a.members {
-            let deg = o.degree(m);
-            for i in 0..deg {
-                let Some(w) = o.neighbor(m, i) else {
-                    break;
-                };
-                if self.status(ctx, w).center() == Some(cell) {
-                    let k = edge_key(o.label(m), o.label(w));
-                    if best.is_none_or(|(cur, _)| k < cur) {
-                        best = Some((k, (m, w)));
+            ctx.with_nbrs(|nbrs| {
+                o.neighbors_into(m, nbrs);
+                for &w in nbrs.iter() {
+                    if self.status(ctx, w).center() == Some(cell) {
+                        let k = edge_key(o.label(m), o.label(w));
+                        if best.is_none_or(|(cur, _)| k < cur) {
+                            best = Some((k, (m, w)));
+                        }
                     }
                 }
-            }
+            });
         }
         best.map(|(_, e)| e)
     }

@@ -24,7 +24,7 @@ pub use baswana_sen::{simulate, BsParams, LocalGraph};
 pub use bfs::{center_search, VertexStatus};
 pub use supergraph::Supergraph;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -116,6 +116,10 @@ pub(crate) struct Ctx<'q> {
     pub(crate) clusters: RefCell<HashMap<u32, Rc<dense::ClusterInfo>>>,
     /// `c(∂A)` per cluster id.
     pub(crate) boundaries: RefCell<HashMap<u32, Rc<HashSet<u32>>>>,
+    /// Reusable neighbor-scan buffer for the walk's probe loops
+    /// ([`Ctx::with_nbrs`]): one allocation per query instead of one per
+    /// expanded vertex.
+    nbrs: Cell<Option<Vec<VertexId>>>,
 }
 
 impl<'q> Ctx<'q> {
@@ -131,6 +135,17 @@ impl<'q> Ctx<'q> {
     /// which the dense machinery's invariants may degenerate.
     pub(crate) fn interrupted(&self) -> bool {
         self.budget.is_some_and(QueryCtx::interrupted)
+    }
+
+    /// Runs `f` with the query's scratch neighbor buffer. Take/put rather
+    /// than `RefCell`: a nested call simply works on a fresh `Vec` (no
+    /// current call path nests, but a borrow panic is not an acceptable
+    /// failure mode for a scan loop). Steady state: zero allocations.
+    pub(crate) fn with_nbrs<R>(&self, f: impl FnOnce(&mut Vec<VertexId>) -> R) -> R {
+        let mut buf = self.nbrs.take().unwrap_or_default();
+        let r = f(&mut buf);
+        self.nbrs.set(Some(buf));
+        r
     }
 }
 

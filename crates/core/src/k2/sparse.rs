@@ -66,23 +66,22 @@ fn gather_balls<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx<'_>, sources: &[VertexI
         if dx >= k {
             continue;
         }
-        let deg = o.degree(x);
-        for i in 0..deg {
-            let Some(w) = o.neighbor(x, i) else {
-                break;
-            };
-            if !edge_in_sparse(lca, ctx, x, w) {
-                continue;
-            }
-            match dist.get(&w.raw()) {
-                Some(_) => {}
-                None => {
-                    dist.insert(w.raw(), dx + 1);
-                    members.push(w);
-                    queue.push_back(w);
+        ctx.with_nbrs(|nbrs| {
+            o.neighbors_into(x, nbrs);
+            for &w in nbrs.iter() {
+                if !edge_in_sparse(lca, ctx, x, w) {
+                    continue;
+                }
+                match dist.get(&w.raw()) {
+                    Some(_) => {}
+                    None => {
+                        dist.insert(w.raw(), dx + 1);
+                        members.push(w);
+                        queue.push_back(w);
+                    }
                 }
             }
-        }
+        });
     }
     // Deterministic vertex numbering: sort by raw index.
     members.sort_by_key(|v| v.raw());
@@ -92,15 +91,14 @@ fn gather_balls<O: Oracle>(lca: &K2Spanner<O>, ctx: &Ctx<'_>, sources: &[VertexI
         lg.add_vertex(m, o.label(m));
     }
     for &m in &members {
-        let deg = o.degree(m);
-        for i in 0..deg {
-            let Some(w) = o.neighbor(m, i) else {
-                break;
-            };
-            if lg.contains(w) && edge_in_sparse(lca, ctx, m, w) {
-                lg.push_neighbor(m, w);
+        ctx.with_nbrs(|nbrs| {
+            o.neighbors_into(m, nbrs);
+            for &w in nbrs.iter() {
+                if lg.contains(w) && edge_in_sparse(lca, ctx, m, w) {
+                    lg.push_neighbor(m, w);
+                }
             }
-        }
+        });
     }
     lg
 }

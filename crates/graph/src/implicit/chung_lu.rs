@@ -5,7 +5,7 @@ use lca_rand::Seed;
 use crate::{Oracle, VertexId};
 
 use super::matchings::MatchingSlots;
-use super::ImplicitOracle;
+use super::{scratch, ImplicitOracle};
 
 /// Exact weight-sum cutoff: below this `n` the normalizing sum is computed
 /// term by term; above it the tail is integrated (Euler–Maclaurin leading
@@ -43,6 +43,7 @@ pub struct ImplicitChungLu {
     scale: f64,
     /// `K · w̄` — the keep-probability denominator.
     denom: f64,
+    memo_id: u64,
 }
 
 impl ImplicitChungLu {
@@ -75,6 +76,7 @@ impl ImplicitChungLu {
             gamma,
             scale,
             denom: slots as f64 * avg_degree,
+            memo_id: scratch::next_oracle_id(),
         }
     }
 
@@ -89,14 +91,30 @@ impl ImplicitChungLu {
         self.scale * ((v.index() + 1) as f64).powf(-self.gamma)
     }
 
-    fn list(&self, v: VertexId) -> Vec<VertexId> {
+    /// Runs `read` on `Γ(v)` through the per-thread generation scratch:
+    /// one weight/coin setup per generation instead of per probe.
+    fn with_list<R>(&self, v: VertexId, read: impl FnOnce(&[VertexId]) -> R) -> R {
         assert!(v.index() < self.n, "vertex {v} out of range");
-        let raw = v.raw() as u64;
-        let wv = self.weight(v);
-        self.core.neighbors_of(v, |slot, w| {
-            let q = (wv * self.weight(VertexId::from(w as u32)) / self.denom).min(1.0);
-            self.core.pair_unit(slot, raw, w) < q
-        })
+        scratch::with_list(
+            self.memo_id,
+            v,
+            |out| {
+                let raw = v.raw() as u64;
+                let wv = self.weight(v);
+                self.core.neighbors_into(
+                    v,
+                    |slot, w| {
+                        // Keep the exact float expression of the original
+                        // per-probe path: reassociating would flip ULP-edge
+                        // coins and silently regenerate a different graph.
+                        let q = (wv * self.weight(VertexId::from(w as u32)) / self.denom).min(1.0);
+                        self.core.pair_unit(slot, raw, w) < q
+                    },
+                    out,
+                );
+            },
+            read,
+        )
     }
 }
 
@@ -117,15 +135,23 @@ impl Oracle for ImplicitChungLu {
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        self.list(v).len()
+        self.with_list(v, |l| l.len())
     }
 
     fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
-        self.list(v).get(i).copied()
+        self.with_list(v, |l| l.get(i).copied())
     }
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
-        self.list(u).iter().position(|&w| w == v)
+        self.with_list(u, |l| l.iter().position(|&w| w == v))
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        self.with_list(v, |l| {
+            out.clear();
+            out.extend_from_slice(l);
+            l.len()
+        })
     }
 
     fn label(&self, v: VertexId) -> u64 {

@@ -36,11 +36,11 @@ impl ImplicitGrid {
         Self { rows, cols }
     }
 
-    fn list(&self, v: VertexId) -> Vec<VertexId> {
+    fn fill(&self, v: VertexId, out: &mut Vec<VertexId>) {
         let i = v.index();
         assert!(i < self.rows * self.cols, "vertex {v} out of range");
         let (r, c) = (i / self.cols, i % self.cols);
-        let mut out = Vec::with_capacity(4);
+        out.clear();
         if r > 0 {
             out.push(VertexId::new(i - self.cols)); // north
         }
@@ -53,6 +53,11 @@ impl ImplicitGrid {
         if r + 1 < self.rows {
             out.push(VertexId::new(i + self.cols)); // south
         }
+    }
+
+    fn list(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(4);
+        self.fill(v, &mut out);
         out
     }
 }
@@ -72,6 +77,11 @@ impl Oracle for ImplicitGrid {
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
         self.list(u).iter().position(|&w| w == v)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        self.fill(v, out);
+        out.len()
     }
 
     fn label(&self, v: VertexId) -> u64 {
@@ -136,6 +146,12 @@ impl Oracle for ImplicitTorus {
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
         self.list(u).iter().position(|&w| w == v)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        out.clear();
+        out.extend_from_slice(&self.list(v));
+        4
     }
 
     fn label(&self, v: VertexId) -> u64 {

@@ -85,15 +85,32 @@ impl MatchingSlots {
     /// `keep`, in slot order, with duplicate pairs (the same `{v, w}` matched
     /// in several slots) reported once at their first kept slot.
     ///
-    /// Cost: O(K) permutation evaluations — this is the per-probe work bound
-    /// of every matching-backed oracle.
+    /// Cost: O(K) permutation evaluations — this is the per-*generation*
+    /// work bound of every matching-backed oracle (the per-thread scratch in
+    /// [`super::scratch`] amortizes it across repeated probes of one vertex).
+    #[cfg(test)]
     pub(crate) fn neighbors_of(
         &self,
         v: VertexId,
-        mut keep: impl FnMut(usize, u64) -> bool,
+        keep: impl FnMut(usize, u64) -> bool,
     ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.neighbors_into(v, keep, &mut out);
+        out
+    }
+
+    /// Buffered form of [`MatchingSlots::neighbors_of`]: clears `out` and
+    /// fills it with the kept partners of `v`, in slot order, deduplicated.
+    /// One permutation-table walk per call — the single place the Feistel
+    /// setup is paid, whatever buffer the caller brings.
+    pub(crate) fn neighbors_into(
+        &self,
+        v: VertexId,
+        mut keep: impl FnMut(usize, u64) -> bool,
+        out: &mut Vec<VertexId>,
+    ) {
         let v = v.raw() as u64;
-        let mut out: Vec<VertexId> = Vec::new();
+        out.clear();
         for slot in 0..self.perms.len() {
             let Some(w) = self.partner(v, slot) else {
                 continue;
@@ -106,7 +123,6 @@ impl MatchingSlots {
                 out.push(w);
             }
         }
-        out
     }
 }
 

@@ -42,6 +42,7 @@ mod lattice;
 mod matchings;
 mod permute;
 mod regular;
+mod scratch;
 mod sparse;
 
 pub use chung_lu::ImplicitChungLu;

@@ -5,7 +5,7 @@ use lca_rand::Seed;
 use crate::{Oracle, VertexId};
 
 use super::matchings::MatchingSlots;
-use super::ImplicitOracle;
+use super::{scratch, ImplicitOracle};
 
 /// A random (near-)d-regular graph served implicitly: the union of `d`
 /// seeded perfect matchings (the paper's §6 matching-table model), with
@@ -39,6 +39,7 @@ pub struct ImplicitRegular {
     core: MatchingSlots,
     n: usize,
     d: usize,
+    memo_id: u64,
 }
 
 impl ImplicitRegular {
@@ -48,6 +49,7 @@ impl ImplicitRegular {
             core: MatchingSlots::new(n, d, seed),
             n,
             d,
+            memo_id: scratch::next_oracle_id(),
         }
     }
 
@@ -56,9 +58,20 @@ impl ImplicitRegular {
         self.d
     }
 
-    fn list(&self, v: VertexId) -> Vec<VertexId> {
+    /// Runs `read` on `Γ(v)` through the per-thread generation scratch.
+    fn with_list<R>(&self, v: VertexId, read: impl FnOnce(&[VertexId]) -> R) -> R {
         assert!(v.index() < self.n, "vertex {v} out of range");
-        self.core.neighbors_of(v, |_, _| true)
+        scratch::with_list(
+            self.memo_id,
+            v,
+            |out| self.core.neighbors_into(v, |_, _| true, out),
+            read,
+        )
+    }
+
+    #[cfg(test)]
+    fn list(&self, v: VertexId) -> Vec<VertexId> {
+        self.with_list(v, |l| l.to_vec())
     }
 }
 
@@ -68,15 +81,23 @@ impl Oracle for ImplicitRegular {
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        self.list(v).len()
+        self.with_list(v, |l| l.len())
     }
 
     fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
-        self.list(v).get(i).copied()
+        self.with_list(v, |l| l.get(i).copied())
     }
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
-        self.list(u).iter().position(|&w| w == v)
+        self.with_list(u, |l| l.iter().position(|&w| w == v))
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        self.with_list(v, |l| {
+            out.clear();
+            out.extend_from_slice(l);
+            l.len()
+        })
     }
 
     fn label(&self, v: VertexId) -> u64 {

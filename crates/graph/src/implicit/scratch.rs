@@ -1,0 +1,180 @@
+//! Per-thread generation scratch for the matching-backed implicit oracles.
+//!
+//! Every probe against an implicit oracle regenerates the probed vertex's
+//! full adjacency list — O(K) Feistel cycle-walks plus hash-coin thinning —
+//! even though real query workloads hammer the *same* vertex many times in a
+//! row (`degree(v)` followed by `neighbor(v, 0..d)` is the canonical scan,
+//! and BFS/DFS layers revisit frontier vertices constantly). The LCA model
+//! charges for probes to the input, not for local recomputation, so
+//! remembering the last few generated lists is free in-model: answers are a
+//! pure function of `(oracle, vertex)`, so a remembered list is bit-identical
+//! to a regenerated one and probe transcripts cannot change (call sites
+//! still issue exactly the probes they issued before).
+//!
+//! The scratch is a tiny per-thread set-associative memo: [`WAYS`] entries,
+//! each keyed by `(oracle id, vertex)` and owning a reusable `Vec` so the
+//! steady state allocates nothing. Oracle ids come from a process-global
+//! counter handed out at construction ([`next_oracle_id`]), so two distinct
+//! oracles never alias; clones share an id, which is sound because clones
+//! are field-for-field identical generators. Replacement is second chance:
+//! a hit sets the entry's referenced bit, and the round-robin victim pointer
+//! skips (and clears) referenced entries before reusing one.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::VertexId;
+
+/// Associativity of the per-thread memo. Four ways cover the common probe
+/// shapes: a scan of `v` interleaved with `adjacency(w, v)` back-probes
+/// touches two vertices, BFS expansion with parent checks touches three.
+const WAYS: usize = 4;
+
+/// Process-global id well; `0` is reserved as "no entry".
+static NEXT_ORACLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh oracle id (called once per oracle construction).
+pub(crate) fn next_oracle_id() -> u64 {
+    NEXT_ORACLE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One memo way: the generated list for `(oracle, vertex)`.
+#[derive(Default)]
+struct Way {
+    oracle: u64,
+    vertex: u32,
+    referenced: bool,
+    list: Vec<VertexId>,
+}
+
+/// The per-thread memo: a handful of ways plus a clock hand.
+#[derive(Default)]
+struct Memo {
+    ways: [Way; WAYS],
+    hand: usize,
+}
+
+thread_local! {
+    static MEMO: RefCell<Memo> = RefCell::new(Memo::default());
+}
+
+/// Runs `read` on the generated adjacency list of `(oracle, v)`, generating
+/// via `generate` only when the per-thread memo has no copy. `generate` must
+/// be a pure function of `(oracle, v)` that fills the cleared buffer it is
+/// handed; it must not recurse into [`with_list`] (the implicit generators
+/// are leaf computations, so they never do).
+pub(crate) fn with_list<R>(
+    oracle: u64,
+    v: VertexId,
+    generate: impl FnOnce(&mut Vec<VertexId>),
+    read: impl FnOnce(&[VertexId]) -> R,
+) -> R {
+    MEMO.with(|memo| {
+        let Ok(mut memo) = memo.try_borrow_mut() else {
+            // Unreachable without reentrancy; regenerate without caching.
+            let mut list = Vec::new();
+            generate(&mut list);
+            return read(&list);
+        };
+        let memo = &mut *memo;
+        for way in memo.ways.iter_mut() {
+            if way.oracle == oracle && way.vertex == v.raw() {
+                way.referenced = true;
+                return read(&way.list);
+            }
+        }
+        // Miss: second-chance victim selection — sweep from the clock hand
+        // clearing referenced bits; the first unreferenced way is the
+        // victim, and a fully-referenced set falls back to the hand itself
+        // (whose bit the sweep just cleared).
+        let mut victim = memo.hand;
+        for off in 0..WAYS {
+            let idx = (memo.hand + off) % WAYS;
+            if memo.ways.get(idx).is_some_and(|w| w.referenced) {
+                if let Some(w) = memo.ways.get_mut(idx) {
+                    w.referenced = false;
+                }
+                victim = (idx + 1) % WAYS;
+            } else {
+                victim = idx;
+                break;
+            }
+        }
+        memo.hand = (victim + 1) % WAYS;
+        if let Some(way) = memo.ways.get_mut(victim) {
+            way.oracle = oracle;
+            way.vertex = v.raw();
+            way.referenced = true;
+            way.list.clear();
+            generate(&mut way.list);
+            read(&way.list)
+        } else {
+            // victim < WAYS always; kept total for the panic-free contract.
+            let mut list = Vec::new();
+            generate(&mut list);
+            read(&list)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_ids_are_unique() {
+        let a = next_oracle_id();
+        let b = next_oracle_id();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn memo_serves_repeats_without_regenerating() {
+        let id = next_oracle_id();
+        let v = VertexId::new(7);
+        let mut generations = 0;
+        for _ in 0..5 {
+            let len = with_list(
+                id,
+                v,
+                |out| {
+                    generations += 1;
+                    out.extend([VertexId::new(1), VertexId::new(2)]);
+                },
+                |list| list.len(),
+            );
+            assert_eq!(len, 2);
+        }
+        assert_eq!(generations, 1, "repeat probes must hit the memo");
+    }
+
+    #[test]
+    fn distinct_oracles_do_not_alias() {
+        let a = next_oracle_id();
+        let b = next_oracle_id();
+        let v = VertexId::new(3);
+        let la = with_list(a, v, |out| out.push(VertexId::new(10)), |l| l.to_vec());
+        let lb = with_list(b, v, |out| out.push(VertexId::new(20)), |l| l.to_vec());
+        assert_eq!(la, vec![VertexId::new(10)]);
+        assert_eq!(lb, vec![VertexId::new(20)]);
+    }
+
+    #[test]
+    fn eviction_cycles_through_many_vertices() {
+        let id = next_oracle_id();
+        // Far more distinct vertices than ways: every access regenerates,
+        // and the answers stay keyed correctly.
+        for round in 0..3 {
+            for i in 0..64u32 {
+                let got = with_list(
+                    id,
+                    VertexId::from(i),
+                    |out| out.push(VertexId::from(i ^ 1)),
+                    |l| l[0],
+                );
+                assert_eq!(got, VertexId::from(i ^ 1), "round {round}");
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@ use lca_rand::Seed;
 use crate::{Oracle, VertexId};
 
 use super::matchings::MatchingSlots;
-use super::ImplicitOracle;
+use super::{scratch, ImplicitOracle};
 
 /// A sparse random graph with expected degree `c` served implicitly — the
 /// G(n, c/n) regime of the paper, on graphs far too large to materialize.
@@ -39,6 +39,7 @@ pub struct ImplicitGnp {
     core: MatchingSlots,
     n: usize,
     keep: f64,
+    memo_id: u64,
 }
 
 impl ImplicitGnp {
@@ -69,6 +70,7 @@ impl ImplicitGnp {
             core: MatchingSlots::new(n, slots, seed),
             n,
             keep: (c / slots as f64).min(1.0),
+            memo_id: scratch::next_oracle_id(),
         }
     }
 
@@ -82,11 +84,29 @@ impl ImplicitGnp {
         self.keep * self.core.slots() as f64
     }
 
-    fn list(&self, v: VertexId) -> Vec<VertexId> {
+    /// Runs `read` on `Γ(v)`, generating at most once per memo residency:
+    /// the per-thread scratch returns the remembered list when this oracle
+    /// generated `v` recently on this thread.
+    fn with_list<R>(&self, v: VertexId, read: impl FnOnce(&[VertexId]) -> R) -> R {
         assert!(v.index() < self.n, "vertex {v} out of range");
-        let raw = v.raw() as u64;
-        self.core
-            .neighbors_of(v, |slot, w| self.core.pair_unit(slot, raw, w) < self.keep)
+        scratch::with_list(
+            self.memo_id,
+            v,
+            |out| {
+                let raw = v.raw() as u64;
+                self.core.neighbors_into(
+                    v,
+                    |slot, w| self.core.pair_unit(slot, raw, w) < self.keep,
+                    out,
+                );
+            },
+            read,
+        )
+    }
+
+    #[cfg(test)]
+    fn list(&self, v: VertexId) -> Vec<VertexId> {
+        self.with_list(v, |l| l.to_vec())
     }
 }
 
@@ -96,15 +116,23 @@ impl Oracle for ImplicitGnp {
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        self.list(v).len()
+        self.with_list(v, |l| l.len())
     }
 
     fn neighbor(&self, v: VertexId, i: usize) -> Option<VertexId> {
-        self.list(v).get(i).copied()
+        self.with_list(v, |l| l.get(i).copied())
     }
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
-        self.list(u).iter().position(|&w| w == v)
+        self.with_list(u, |l| l.iter().position(|&w| w == v))
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        self.with_list(v, |l| {
+            out.clear();
+            out.extend_from_slice(l);
+            l.len()
+        })
     }
 
     fn label(&self, v: VertexId) -> u64 {

@@ -72,6 +72,33 @@ pub trait Oracle {
     /// `Adjacency⟨u, v⟩` probe: the index of `v` inside `Γ(u)`, or `None`.
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize>;
 
+    /// Buffered neighbor scan: clears `out` and fills it with `Γ(v)` in
+    /// adjacency order, returning `deg(v)`.
+    ///
+    /// This is **exactly** `Degree⟨v⟩` followed by `Neighbor⟨v, i⟩` for
+    /// `i in 0..deg(v)` — `deg(v) + 1` logical probes — packaged so callers
+    /// can reuse one buffer and implementations can amortize per-vertex
+    /// setup across the whole scan. Accounting wrappers charge and record it
+    /// as those `deg(v) + 1` probes; a bulk override must produce the same
+    /// answers the per-probe path would (the differential suite in
+    /// `tests/buffered_equivalence.rs` at the workspace root checks both
+    /// answers and transcripts). If a probe is refused mid-scan (a budgeted
+    /// view ran dry), `out` holds the prefix that was answered, which is
+    /// what the equivalent `neighbor` loop would have collected before its
+    /// first `None`.
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        out.clear();
+        let d = self.degree(v);
+        out.reserve(d);
+        for i in 0..d {
+            match self.neighbor(v, i) {
+                Some(w) => out.push(w),
+                None => break,
+            }
+        }
+        d
+    }
+
     /// The label `ID(v)` (free: labels travel with handles in this model).
     fn label(&self, v: VertexId) -> u64;
 
@@ -103,6 +130,13 @@ impl Oracle for Graph {
         Graph::adjacency_index(self, u, v)
     }
 
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        let nbrs = Graph::neighbors(self, v);
+        out.clear();
+        out.extend_from_slice(nbrs);
+        nbrs.len()
+    }
+
     fn label(&self, v: VertexId) -> u64 {
         Graph::label(self, v)
     }
@@ -123,6 +157,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
         (**self).adjacency(u, v)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        (**self).neighbors_into(v, out)
     }
 
     fn label(&self, v: VertexId) -> u64 {
@@ -151,6 +189,10 @@ impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
         (**self).adjacency(u, v)
     }
 
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        (**self).neighbors_into(v, out)
+    }
+
     fn label(&self, v: VertexId) -> u64 {
         (**self).label(v)
     }
@@ -175,6 +217,10 @@ impl<O: Oracle + ?Sized> Oracle for &O {
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
         (**self).adjacency(u, v)
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        (**self).neighbors_into(v, out)
     }
 
     fn label(&self, v: VertexId) -> u64 {

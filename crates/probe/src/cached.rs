@@ -1,8 +1,8 @@
 //! The serving-layer input cache.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use lca_graph::VertexId;
 
@@ -10,6 +10,14 @@ use crate::Oracle;
 
 /// Default number of cache shards.
 const DEFAULT_SHARDS: usize = 16;
+
+/// Default byte budget of one shard's decoded-adjacency slab (lists admitted
+/// via [`Oracle::neighbors_into`]); 16 shards × 256 KiB = 4 MiB per cache.
+const DEFAULT_SLAB_BYTES: usize = 256 * 1024;
+
+/// Accounted footprint of one slab entry: the `Vec` header + hash-map slot
+/// overhead, charged on top of the neighbor payload itself.
+const LIST_OVERHEAD_BYTES: usize = 48;
 
 /// An [`Oracle`] wrapper that caches answers **across queries**, sharded by
 /// vertex so concurrent `query_batch` workers rarely contend on one lock.
@@ -29,9 +37,22 @@ const DEFAULT_SHARDS: usize = 16;
 ///   [`crate::CountingOracle`] *inside* the cache to count only misses, or
 ///   *outside* to count every logical probe.
 ///
-/// Each shard is optionally capacity-bounded; a shard at capacity is flushed
-/// wholesale before inserting (crude but O(1) amortized and allocation-free
-/// — the cache is a pure accelerator, so dropping entries is always safe).
+/// Two stores live behind each shard lock:
+///
+/// * **Point entries** — one cached probe each (`degree`, `neighbor`,
+///   `adjacency`), bounded by the per-shard entry cap. Eviction is *second
+///   chance*, not wholesale flush: each entry carries a referenced bit set
+///   on hit, and an insert at capacity sweeps a FIFO queue, re-queueing
+///   referenced entries (bit cleared) and evicting the first cold one. The
+///   hit rate therefore degrades smoothly at the capacity boundary instead
+///   of cliffing to zero (the old behavior dropped the whole shard).
+/// * **The decoded-adjacency slab** — whole neighbor lists admitted by
+///   [`Oracle::neighbors_into`] misses, byte-bounded per shard
+///   ([`CachedOracle::with_slab_bytes`]) with the same second-chance sweep.
+///   A resident list answers *all* probe kinds for its vertex (`degree` is
+///   its length, `neighbor` an index, `adjacency` a scan), so one bulk miss
+///   against an implicit generator converts every later point probe of that
+///   vertex into a memory read.
 ///
 /// # Example
 ///
@@ -52,20 +73,137 @@ pub struct CachedOracle<O> {
     inner: O,
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: Option<usize>,
+    slab_bytes_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+/// A point-cache entry: the cached answer plus its second-chance bit.
+#[derive(Debug)]
+struct Entry<T> {
+    value: T,
+    referenced: bool,
+}
+
+/// A decoded-adjacency slab entry: the full `Γ(v)` plus its referenced bit.
+#[derive(Debug)]
+struct ListEntry {
+    nbrs: Box<[VertexId]>,
+    referenced: bool,
+}
+
+impl ListEntry {
+    fn bytes(&self) -> usize {
+        self.nbrs.len() * std::mem::size_of::<VertexId>() + LIST_OVERHEAD_BYTES
+    }
+}
+
+/// Keys of the point-entry eviction queue, tagged by probe kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PointKey {
+    Degree(u32),
+    Neighbor(u32, u32),
+    Adjacency(u32, u32),
+}
+
 #[derive(Debug, Default)]
 struct Shard {
-    degree: HashMap<u32, usize>,
-    neighbor: HashMap<(u32, u32), Option<VertexId>>,
-    adjacency: HashMap<(u32, u32), Option<usize>>,
+    degree: HashMap<u32, Entry<usize>>,
+    neighbor: HashMap<(u32, u32), Entry<Option<VertexId>>>,
+    adjacency: HashMap<(u32, u32), Entry<Option<usize>>>,
+    /// FIFO of point keys in admission order (second-chance clock).
+    queue: VecDeque<PointKey>,
+    /// The decoded-adjacency slab and its FIFO, accounted in bytes.
+    lists: HashMap<u32, ListEntry>,
+    list_queue: VecDeque<u32>,
+    list_bytes: usize,
 }
 
 impl Shard {
     fn len(&self) -> usize {
-        self.degree.len() + self.neighbor.len() + self.adjacency.len()
+        self.degree.len() + self.neighbor.len() + self.adjacency.len() + self.lists.len()
+    }
+
+    /// Evicts one cold point entry via the second-chance sweep. Each pass
+    /// either evicts or clears one referenced bit and re-queues, so the
+    /// sweep terminates within `2 × queue.len()` iterations.
+    fn evict_one_point(&mut self) {
+        let mut budget = 2 * self.queue.len();
+        while let Some(key) = self.queue.pop_front() {
+            let referenced = match key {
+                PointKey::Degree(k) => self.degree.get_mut(&k).map(|e| {
+                    let r = e.referenced;
+                    e.referenced = false;
+                    r
+                }),
+                PointKey::Neighbor(v, i) => self.neighbor.get_mut(&(v, i)).map(|e| {
+                    let r = e.referenced;
+                    e.referenced = false;
+                    r
+                }),
+                PointKey::Adjacency(u, v) => self.adjacency.get_mut(&(u, v)).map(|e| {
+                    let r = e.referenced;
+                    e.referenced = false;
+                    r
+                }),
+            };
+            match referenced {
+                // Stale queue slot (entry already gone): keep sweeping.
+                None => {}
+                Some(true) => {
+                    self.queue.push_back(key);
+                    budget = budget.saturating_sub(1);
+                    if budget == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                Some(false) => {
+                    match key {
+                        PointKey::Degree(k) => {
+                            self.degree.remove(&k);
+                        }
+                        PointKey::Neighbor(v, i) => {
+                            self.neighbor.remove(&(v, i));
+                        }
+                        PointKey::Adjacency(u, v) => {
+                            self.adjacency.remove(&(u, v));
+                        }
+                    }
+                    return;
+                }
+            }
+            budget = budget.saturating_sub(1);
+            if budget == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Shrinks the slab below `budget` bytes (second-chance order).
+    fn evict_lists_to(&mut self, budget: usize) {
+        let mut sweeps = 2 * self.list_queue.len();
+        while self.list_bytes > budget {
+            let Some(v) = self.list_queue.pop_front() else {
+                break;
+            };
+            match self.lists.get_mut(&v) {
+                None => {}
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.list_queue.push_back(v);
+                }
+                Some(_) => {
+                    if let Some(e) = self.lists.remove(&v) {
+                        self.list_bytes = self.list_bytes.saturating_sub(e.bytes());
+                    }
+                }
+            }
+            sweeps = sweeps.saturating_sub(1);
+            if sweeps == 0 {
+                break;
+            }
+        }
     }
 }
 
@@ -76,7 +214,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Probes forwarded to the inner oracle.
     pub misses: u64,
-    /// Entries currently resident across all shards.
+    /// Entries currently resident across all shards (point entries plus
+    /// decoded adjacency lists).
     pub entries: usize,
 }
 
@@ -107,12 +246,14 @@ impl std::ops::Add for CacheStats {
 }
 
 impl<O: Oracle> CachedOracle<O> {
-    /// Wraps an oracle with an unbounded cache over 16 shards.
+    /// Wraps an oracle with an unbounded point cache over 16 shards and the
+    /// default slab budget.
     pub fn new(inner: O) -> Self {
         Self::with_shards(inner, DEFAULT_SHARDS, None)
     }
 
-    /// Wraps with explicit shard count and optional per-shard entry cap.
+    /// Wraps with explicit shard count and optional per-shard point-entry
+    /// cap.
     ///
     /// # Panics
     ///
@@ -123,9 +264,17 @@ impl<O: Oracle> CachedOracle<O> {
             inner,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity,
+            slab_bytes_per_shard: DEFAULT_SLAB_BYTES,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the per-shard byte budget of the decoded-adjacency slab
+    /// (`0` disables bulk caching entirely).
+    pub fn with_slab_bytes(mut self, bytes_per_shard: usize) -> Self {
+        self.slab_bytes_per_shard = bytes_per_shard;
+        self
     }
 
     /// Current hit/miss/occupancy counters.
@@ -133,18 +282,14 @@ impl<O: Oracle> CachedOracle<O> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache poisoned").len())
-                .sum(),
+            entries: self.shards.iter().map(|s| lock_shard(s).len()).sum(),
         }
     }
 
     /// Drops every cached entry (counters are kept).
     pub fn flush(&self) {
         for shard in &self.shards {
-            *shard.lock().expect("cache poisoned") = Shard::default();
+            *lock_shard(shard) = Shard::default();
         }
     }
 
@@ -153,20 +298,56 @@ impl<O: Oracle> CachedOracle<O> {
         &self.inner
     }
 
-    fn shard(&self, v: u32) -> &Mutex<Shard> {
-        &self.shards[crate::shard_index(v, self.shards.len())]
+    fn shard(&self, v: u32) -> MutexGuard<'_, Shard> {
+        let i = crate::shard_index(v, self.shards.len());
+        match self.shards.get(i).or_else(|| self.shards.first()) {
+            Some(s) => lock_shard(s),
+            // `shards` is never empty (asserted at construction); satisfy
+            // the panic-free contract without indexing.
+            None => unreachable_shard(),
+        }
     }
 
-    /// Evicts (by flushing the shard) when at capacity, then inserts via
-    /// `put`. The shard lock is already held by the caller.
-    fn admit(&self, shard: &mut Shard, put: impl FnOnce(&mut Shard)) {
+    /// Makes room for one point entry, then inserts via `put`.
+    fn admit(&self, shard: &mut Shard, key: PointKey, put: impl FnOnce(&mut Shard)) {
         if let Some(cap) = self.per_shard_capacity {
-            if shard.len() >= cap {
-                *shard = Shard::default();
+            let point_len = shard.degree.len() + shard.neighbor.len() + shard.adjacency.len();
+            if point_len >= cap.max(1) {
+                shard.evict_one_point();
             }
         }
+        shard.queue.push_back(key);
         put(shard);
     }
+
+    /// Serves a probe from the decoded list if resident. Returns the answer
+    /// produced by `read`, or `None` when the vertex has no resident list.
+    fn read_resident<T>(
+        &self,
+        shard: &mut Shard,
+        v: u32,
+        read: impl FnOnce(&[VertexId]) -> T,
+    ) -> Option<T> {
+        let e = shard.lists.get_mut(&v)?;
+        e.referenced = true;
+        Some(read(&e.nbrs))
+    }
+}
+
+/// Locks a shard, recovering the guard if a holder panicked: every cached
+/// value is a pure probe answer, so a poisoned shard is still valid data.
+fn lock_shard(m: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Cold stub for the impossible empty-shard-vector case.
+#[cold]
+fn unreachable_shard() -> ! {
+    // lint:allow(panic) — construction asserts shards > 0; this path is dead.
+    unreachable!("CachedOracle has at least one shard")
 }
 
 impl<O: Oracle> Oracle for CachedOracle<O> {
@@ -175,15 +356,27 @@ impl<O: Oracle> Oracle for CachedOracle<O> {
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        let mut s = self.shard(v.raw()).lock().expect("cache poisoned");
-        if let Some(&d) = s.degree.get(&v.raw()) {
+        let mut s = self.shard(v.raw());
+        if let Some(d) = self.read_resident(&mut s, v.raw(), <[VertexId]>::len) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return d;
+        }
+        if let Some(e) = s.degree.get_mut(&v.raw()) {
+            e.referenced = true;
+            let d = e.value;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return d;
         }
         let d = self.inner.degree(v);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.admit(&mut s, |s| {
-            s.degree.insert(v.raw(), d);
+        self.admit(&mut s, PointKey::Degree(v.raw()), |s| {
+            s.degree.insert(
+                v.raw(),
+                Entry {
+                    value: d,
+                    referenced: false,
+                },
+            );
         });
         d
     }
@@ -192,33 +385,95 @@ impl<O: Oracle> Oracle for CachedOracle<O> {
         let Ok(idx) = u32::try_from(i) else {
             return self.inner.neighbor(v, i); // beyond u32: certainly ⊥, skip cache
         };
+        let mut s = self.shard(v.raw());
+        if let Some(w) = self.read_resident(&mut s, v.raw(), |l| l.get(i).copied()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return w;
+        }
         let key = (v.raw(), idx);
-        let mut s = self.shard(v.raw()).lock().expect("cache poisoned");
-        if let Some(&w) = s.neighbor.get(&key) {
+        if let Some(e) = s.neighbor.get_mut(&key) {
+            e.referenced = true;
+            let w = e.value;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return w;
         }
         let w = self.inner.neighbor(v, i);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.admit(&mut s, |s| {
-            s.neighbor.insert(key, w);
+        self.admit(&mut s, PointKey::Neighbor(v.raw(), idx), |s| {
+            s.neighbor.insert(
+                key,
+                Entry {
+                    value: w,
+                    referenced: false,
+                },
+            );
         });
         w
     }
 
     fn adjacency(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let mut s = self.shard(u.raw());
+        if let Some(p) = self.read_resident(&mut s, u.raw(), |l| l.iter().position(|&w| w == v)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return p;
+        }
         let key = (u.raw(), v.raw());
-        let mut s = self.shard(u.raw()).lock().expect("cache poisoned");
-        if let Some(&p) = s.adjacency.get(&key) {
+        if let Some(e) = s.adjacency.get_mut(&key) {
+            e.referenced = true;
+            let p = e.value;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return p;
         }
         let p = self.inner.adjacency(u, v);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.admit(&mut s, |s| {
-            s.adjacency.insert(key, p);
+        self.admit(&mut s, PointKey::Adjacency(u.raw(), v.raw()), |s| {
+            s.adjacency.insert(
+                key,
+                Entry {
+                    value: p,
+                    referenced: false,
+                },
+            );
         });
         p
+    }
+
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        let mut s = self.shard(v.raw());
+        if let Some(d) = self.read_resident(&mut s, v.raw(), |l| {
+            out.clear();
+            out.extend_from_slice(l);
+            l.len()
+        }) {
+            // One buffered scan is deg + 1 logical probes, all served here.
+            self.hits.fetch_add(d as u64 + 1, Ordering::Relaxed);
+            return d;
+        }
+        let d = self.inner.neighbors_into(v, out);
+        self.misses
+            .fetch_add(out.len() as u64 + 1, Ordering::Relaxed);
+        // Admit only complete lists: a truncated scan (budget-refused
+        // prefix) must not masquerade as `Γ(v)` for future probes.
+        if out.len() == d {
+            let entry = ListEntry {
+                nbrs: out.as_slice().into(),
+                referenced: false,
+            };
+            let bytes = entry.bytes();
+            if bytes <= self.slab_bytes_per_shard {
+                let budget = self.slab_bytes_per_shard - bytes;
+                s.evict_lists_to(budget);
+                if s.list_bytes <= budget {
+                    if let Some(old) = s.lists.insert(v.raw(), entry) {
+                        s.list_bytes = s.list_bytes.saturating_sub(old.bytes());
+                    } else {
+                        s.list_queue.push_back(v.raw());
+                    }
+                    s.list_bytes += bytes;
+                }
+            }
+        }
+        d
     }
 
     fn label(&self, v: VertexId) -> u64 {
@@ -285,6 +540,98 @@ mod tests {
             "capacity exceeded: {}",
             stats.entries
         );
+    }
+
+    #[test]
+    fn eviction_is_incremental_not_wholesale() {
+        // A hot set (12 vertices, re-probed every round) under constant cold
+        // pressure (4 fresh vertices per round from a 16-vertex pool, so the
+        // cache sits pinned at its 16-entry capacity). The old wholesale
+        // flush emptied the shard — hot set included — every time an insert
+        // hit capacity, cratering whole rounds to a 0% hit rate; the
+        // second-chance sweep must instead keep re-referenced hot entries
+        // resident and evict only cold ones, so every round after warmup
+        // serves all 12 hot probes from cache.
+        let g = structured::complete(28);
+        let cached = CachedOracle::with_shards(&g, 1, Some(16)).with_slab_bytes(0);
+        let hot: Vec<VertexId> = (0..12).map(VertexId::new).collect();
+        for &v in &hot {
+            cached.degree(v); // warmup: hot set resident
+        }
+        let mut worst_round_rate = f64::INFINITY;
+        for round in 0..12 {
+            let before = cached.stats();
+            for &v in &hot {
+                cached.degree(v);
+            }
+            for i in 0..4u32 {
+                let cold = 12 + (4 * round + i) % 16;
+                cached.degree(VertexId::from(cold));
+            }
+            let after = cached.stats();
+            let hits = (after.hits - before.hits) as f64;
+            let reqs = (after.requests() - before.requests()) as f64;
+            worst_round_rate = worst_round_rate.min(hits / reqs);
+            assert!(after.entries <= 16, "capacity exceeded: {}", after.entries);
+        }
+        assert!(
+            worst_round_rate > 0.0,
+            "hit rate cratered to 0 under capacity pressure"
+        );
+        // Second chance retains the full hot set: 12 of 16 probes per round.
+        assert!(
+            worst_round_rate >= 12.0 / 16.0,
+            "hot set evicted under cold pressure: worst round {worst_round_rate}"
+        );
+    }
+
+    #[test]
+    fn decoded_list_serves_all_probe_kinds() {
+        let g = structured::cycle(9);
+        let counted = CountingOracle::new(&g);
+        let cached = CachedOracle::new(&counted);
+        let v = VertexId::new(4);
+        let mut buf = Vec::new();
+        assert_eq!(cached.neighbors_into(v, &mut buf), 2);
+        let after_fill = counted.counts().total();
+        // Every later probe of v is served by the resident list.
+        assert_eq!(cached.degree(v), 2);
+        assert_eq!(cached.neighbor(v, 0), Some(buf[0]));
+        assert_eq!(cached.neighbor(v, 1), Some(buf[1]));
+        assert_eq!(cached.adjacency(v, buf[1]), Some(1));
+        assert_eq!(cached.adjacency(v, v), None);
+        let mut buf2 = Vec::new();
+        assert_eq!(cached.neighbors_into(v, &mut buf2), 2);
+        assert_eq!(buf, buf2);
+        assert_eq!(counted.counts().total(), after_fill, "all hits after fill");
+    }
+
+    #[test]
+    fn slab_respects_byte_budget() {
+        let g = structured::complete(64);
+        // Budget fits only a couple of 63-neighbor lists per shard.
+        let cached = CachedOracle::with_shards(&g, 1, None).with_slab_bytes(700);
+        let mut buf = Vec::new();
+        for v in g.vertices() {
+            cached.neighbors_into(v, &mut buf);
+        }
+        let resident = cached.stats().entries;
+        assert!(resident >= 1, "budget admits at least one list");
+        assert!(resident <= 3, "byte budget exceeded: {resident} lists");
+        // Answers stay correct regardless of residency.
+        for v in g.vertices() {
+            assert_eq!(cached.degree(v), 63);
+        }
+    }
+
+    #[test]
+    fn zero_slab_budget_disables_bulk_caching() {
+        let g = structured::star(6);
+        let cached = CachedOracle::new(&g).with_slab_bytes(0);
+        let mut buf = Vec::new();
+        cached.neighbors_into(VertexId::new(0), &mut buf);
+        assert_eq!(buf.len(), 5);
+        assert_eq!(cached.stats().entries, 0);
     }
 
     #[test]

@@ -160,6 +160,16 @@ impl<O: Oracle> Oracle for CountingOracle<O> {
         self.inner.adjacency(u, v)
     }
 
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        // A buffered scan is `degree(v)` plus one `neighbor` probe per
+        // returned entry — charge exactly what the decomposed loop would,
+        // while still forwarding the bulk call to the inner oracle.
+        self.degree.fetch_add(1, Ordering::Relaxed);
+        let d = self.inner.neighbors_into(v, out);
+        self.neighbor.fetch_add(out.len() as u64, Ordering::Relaxed);
+        d
+    }
+
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }

@@ -138,6 +138,42 @@ impl<O: Oracle> Oracle for MemoOracle<O> {
         p
     }
 
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        // One shard lock for the whole scan: each constituent probe
+        // (`degree(v)`, `neighbor(v, 0..d)`) is served from the memo when
+        // present and forwarded to the inner oracle exactly once when not,
+        // so the distinct-probe measure is identical to the decomposed loop.
+        let mut s = self.shard(v.raw()).lock().expect("memo poisoned");
+        let d = match s.degree.get(&v.raw()) {
+            Some(&d) => d,
+            None => {
+                let d = self.inner.degree(v);
+                s.degree.insert(v.raw(), d);
+                s.distinct.insert((0, v.raw() as u64));
+                d
+            }
+        };
+        out.clear();
+        out.reserve(d);
+        for i in 0..d {
+            let key = (v.raw(), i as u64);
+            let w = match s.neighbor.get(&key) {
+                Some(&w) => w,
+                None => {
+                    let w = self.inner.neighbor(v, i);
+                    s.neighbor.insert(key, w);
+                    s.distinct.insert((1, ((v.raw() as u64) << 32) | i as u64));
+                    w
+                }
+            };
+            match w {
+                Some(w) => out.push(w),
+                None => break,
+            }
+        }
+        d
+    }
+
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }

@@ -113,6 +113,29 @@ impl<O: Oracle> Oracle for TracingOracle<O> {
         p
     }
 
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<VertexId>) -> usize {
+        // Forward the bulk call, then synthesize exactly the records the
+        // decomposed `degree` + `neighbor(0..d)` loop would have produced —
+        // transcripts are identical whichever entry point the caller used.
+        let d = self.inner.neighbors_into(v, out);
+        let mut trace = self.trace.lock().expect("trace poisoned");
+        trace.push(ProbeRecord {
+            kind: ProbeKind::Degree,
+            u: v,
+            arg: 0,
+            answer: d as i64,
+        });
+        for (i, w) in out.iter().enumerate() {
+            trace.push(ProbeRecord {
+                kind: ProbeKind::Neighbor,
+                u: v,
+                arg: i as u64,
+                answer: w.index() as i64,
+            });
+        }
+        d
+    }
+
     fn label(&self, v: VertexId) -> u64 {
         self.inner.label(v)
     }

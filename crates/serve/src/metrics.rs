@@ -183,8 +183,29 @@ pub struct GlobalMetrics {
     /// exact under short writes, because the reactor adds precisely what
     /// each syscall returned.
     pub bytes_written: AtomicU64,
+    /// Coarse mutation stamp for the stats snapshot cache: bumped whenever
+    /// serving state that feeds `stats` changes — request dispatch, worker
+    /// completions, connection lifecycle, drain. Read-only requests
+    /// (ping/stats/sessions) do not bump it, so an idle dashboard polling
+    /// `stats` is served the cached snapshot without re-rendering. Pure-IO
+    /// counters (`write_syscalls`, `bytes_written`, `reactor_wakeups`) and
+    /// the uptime clock intentionally do not bump it either: the cached
+    /// snapshot may lag those until the next mutation, which is the
+    /// accepted coarseness of the cache.
+    pub mutations: AtomicU64,
+    /// Stats snapshots built from scratch (cache misses).
+    pub stats_renders: AtomicU64,
+    /// Stats requests answered from the cached snapshot.
+    pub stats_served_cached: AtomicU64,
     /// Process start, for uptime/qps.
     pub started: Instant,
+}
+
+impl GlobalMetrics {
+    /// Bumps the mutation stamp, invalidating the cached stats snapshot.
+    pub fn mark_mutation(&self) {
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Default for GlobalMetrics {
@@ -201,6 +222,9 @@ impl Default for GlobalMetrics {
             write_syscalls: AtomicU64::new(0),
             responses: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            stats_renders: AtomicU64::new(0),
+            stats_served_cached: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -385,6 +409,14 @@ pub fn global_stats_json(global: &GlobalMetrics, snap: &GlobalSnapshot) -> Json 
                 global.write_syscalls.load(Ordering::Relaxed),
                 global.responses.load(Ordering::Relaxed),
             )),
+        ),
+        (
+            "stats_renders".into(),
+            num(global.stats_renders.load(Ordering::Relaxed)),
+        ),
+        (
+            "stats_served_cached".into(),
+            num(global.stats_served_cached.load(Ordering::Relaxed)),
         ),
         ("queue_len".into(), num(snap.queue_len as u64)),
         ("sessions".into(), num(snap.sessions as u64)),

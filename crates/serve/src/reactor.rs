@@ -390,6 +390,8 @@ impl Reactor {
             .global
             .connections_open
             .fetch_add(1, Ordering::Relaxed);
+        // The gauges feed the stats snapshot; invalidate the cached render.
+        self.server.global.mark_mutation();
     }
 
     fn close_conn(&mut self, idx: usize) {
@@ -408,6 +410,7 @@ impl Reactor {
             .global
             .connections_open
             .fetch_sub(1, Ordering::Relaxed);
+        self.server.global.mark_mutation();
         // `conn.stream` drops here, closing the socket. Any still-running
         // job for this connection delivers into the completion queue and is
         // discarded there (stale generation).

@@ -119,6 +119,11 @@ pub struct Server {
     default_budget: QueryBudget,
     backend_id: String,
     budget_percentile: f64,
+    /// The zero-render stats snapshot: the last built `stats` JSON plus the
+    /// [`GlobalMetrics::mutations`] stamp it was built at. A `stats`
+    /// request whose stamp still matches is answered from here without
+    /// touching a histogram or a session shard.
+    stats_cache: Mutex<Option<(u64, Json)>>,
 }
 
 impl Server {
@@ -140,6 +145,7 @@ impl Server {
             default_budget: config.default_budget,
             backend_id: config.backend_id,
             budget_percentile: config.budget_percentile,
+            stats_cache: Mutex::new(None),
         })
     }
 
@@ -156,7 +162,32 @@ impl Server {
     /// The `stats` response: global counters plus one object per session.
     /// The global half carries the shard and cache rollups
     /// ([`GlobalSnapshot`], summed with `CacheStats::add` across sessions).
+    ///
+    /// Renders are cached against the coarse mutation stamp
+    /// ([`GlobalMetrics::mark_mutation`]): while nothing that feeds the
+    /// snapshot has changed, repeated `stats` requests are answered from
+    /// the pre-built JSON — a polled dashboard costs zero histogram walks
+    /// and zero session-shard locks in steady state. `stats_renders` and
+    /// `stats_served_cached` in the snapshot count both outcomes.
     pub fn stats_response(&self) -> Response {
+        let stamp = self.global.mutations.load(Ordering::Relaxed);
+        {
+            let cache = match self.stats_cache.lock() {
+                Ok(cache) => cache,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some((cached_stamp, json)) = cache.as_ref() {
+                if *cached_stamp == stamp {
+                    self.global
+                        .stats_served_cached
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Response::Stats(json.clone());
+                }
+            }
+        }
+        // Count the rebuild before building so the fresh snapshot reports
+        // itself.
+        self.global.stats_renders.fetch_add(1, Ordering::Relaxed);
         let sessions = self.registry.snapshot();
         let mut cache_total = lca_probe::CacheStats {
             hits: 0,
@@ -195,10 +226,21 @@ impl Server {
             registry_shard_hits: self.registry.shard_hits(),
             cache_total,
         };
-        Response::Stats(Json::Obj(vec![
+        let json = Json::Obj(vec![
             ("stats".into(), global_stats_json(&self.global, &snap)),
             ("sessions".into(), Json::Obj(session_objs)),
-        ]))
+        ]);
+        {
+            let mut cache = match self.stats_cache.lock() {
+                Ok(cache) => cache,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            // A concurrent mutation between the stamp load and here leaves
+            // a snapshot stamped with the older value — it is served until
+            // the *next* mutation, the documented coarseness.
+            *cache = Some((stamp, json.clone()));
+        }
+        Response::Stats(json)
     }
 
     /// The `sessions` response: every resident session's pinned spec —
@@ -236,6 +278,7 @@ impl Server {
             Ok(line) => self.handle_line(line, deliver),
             Err(_) => {
                 self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
+                self.global.mark_mutation();
                 LineOutcome::Inline(Response::Error {
                     id: None,
                     code: ErrorCode::BadRequest,
@@ -266,6 +309,7 @@ impl Server {
             }
             Err(e) => {
                 self.global.parse_errors.fetch_add(1, Ordering::Relaxed);
+                self.global.mark_mutation();
                 return LineOutcome::Inline(e.response());
             }
         };
@@ -277,6 +321,7 @@ impl Server {
             Request::Sessions => LineOutcome::Inline(self.sessions_response()),
             Request::Shutdown => {
                 self.begin_shutdown();
+                self.global.mark_mutation();
                 LineOutcome::Inline(Response::Ok { draining: true })
             }
             Request::Hello { frame } => LineOutcome::Hello(frame),
@@ -289,6 +334,11 @@ impl Server {
                 deadline_ms,
                 budget_policy,
             } => {
+                // Every query outcome moves something the snapshot shows
+                // (session registry, queue depth, error counters), so the
+                // whole arm is one coarse mutation; a second bump fires
+                // from the worker when the histograms are updated.
+                self.global.mark_mutation();
                 if self.draining() {
                     return LineOutcome::Inline(Response::Error {
                         id,
@@ -348,6 +398,7 @@ impl Server {
                             .budget_exhausted
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                    server.global.mark_mutation();
                     deliver(response);
                 });
                 match admitted {

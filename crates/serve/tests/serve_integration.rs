@@ -547,3 +547,60 @@ fn overload_backpressure_answers_instead_of_buffering() {
     client.roundtrip(r#"{"op":"shutdown"}"#);
     handle.join().expect("drain");
 }
+
+#[test]
+fn idle_stats_polling_is_served_from_the_cached_snapshot() {
+    use std::sync::atomic::Ordering;
+
+    let (addr, handle, server) = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr);
+
+    // One query so the snapshot has something in it (and the mutation
+    // stamp settles after the session build + histogram update).
+    let answer = client
+        .roundtrip(r#"{"session":"sc","kind":"mis","family":"gnp","n":10000,"seed":3,"query":7}"#);
+    assert!(answer.get("answer").and_then(Json::as_bool).is_some());
+
+    // First poll renders; the following polls must hit the cache — no
+    // serving event happens between them, so the stamp cannot move and the
+    // responses are byte-identical (uptime included: it is part of the
+    // frozen snapshot).
+    let renders_before = server.global.stats_renders.load(Ordering::Relaxed);
+    let first = client.roundtrip(r#"{"op":"stats"}"#);
+    let second = client.roundtrip(r#"{"op":"stats"}"#);
+    let third = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(first, second);
+    assert_eq!(second, third);
+    assert_eq!(
+        server.global.stats_renders.load(Ordering::Relaxed),
+        renders_before + 1,
+        "idle polling re-rendered the snapshot"
+    );
+    assert!(
+        server.global.stats_served_cached.load(Ordering::Relaxed) >= 2,
+        "cached serves not counted"
+    );
+
+    // A query is a mutation: the next poll must re-render and show it.
+    client
+        .roundtrip(r#"{"session":"sc","kind":"mis","family":"gnp","n":10000,"seed":3,"query":8}"#);
+    let fresh = client.roundtrip(r#"{"op":"stats"}"#);
+    assert_eq!(
+        server.global.stats_renders.load(Ordering::Relaxed),
+        renders_before + 2,
+        "mutation did not invalidate the snapshot"
+    );
+    let queries = fresh
+        .get("sessions")
+        .and_then(|s| s.get("sc"))
+        .and_then(|s| s.get("queries"))
+        .and_then(Json::as_u64);
+    assert_eq!(queries, Some(2), "fresh snapshot missing the second query");
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    handle.join().expect("drain");
+}

@@ -48,6 +48,13 @@ METRICS = {
     "p50_us": ("down", 100.0, "wallclock"),
     "p99_us": ("down", 250.0, "wallclock"),
     "mean_us": ("down", 100.0, "wallclock"),
+    # Amortized wall time per issued probe over the serial serving pass
+    # (engine_report trajectory rows). This is the probe pipeline's headline
+    # number: bulk generation + buffered scans push it down, and a climb
+    # means the hot loops started allocating or regenerating again. Pure
+    # wall clock, so gated at the noisy threshold with a floor that absorbs
+    # scheduler jitter on the cheap kinds.
+    "ns_per_probe": ("down", 50.0, "wallclock"),
     "probes_p50": ("down", 4.0, "exact"),
     "probes_p99": ("down", 8.0, "exact"),
     # The HTTP tier's latency over the direct-TCP path (BENCH_engine_fleet):
